@@ -1,0 +1,91 @@
+// E1 — Theorem T1 accuracy. For each epsilon, run many independent trials
+// and report the error distribution and the empirical failure probability
+// Pr[relative error > epsilon], which the theorem bounds by delta.
+// Also ablates the capacity constant (DESIGN.md section 5).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/f0_estimator.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+
+double one_trial(double eps, double delta, std::size_t distinct, std::uint64_t seed,
+                 double capacity_constant = EstimatorParams::kDefaultCapacityConstant) {
+  F0Estimator est(EstimatorParams::for_guarantee(eps, delta, seed, capacity_constant));
+  Xoshiro256 rng(seed ^ 0x5151);
+  for (std::size_t i = 0; i < distinct; ++i) est.add(rng.next());
+  return relative_error(est.estimate(), static_cast<double>(distinct));
+}
+}  // namespace
+
+int main() {
+  constexpr double kDelta = 0.05;
+
+  title("E1a: error vs epsilon (F0 = 100k, delta = 0.05, 40 trials each)");
+  note("claim: Pr[rel.err > eps] <= delta; observed failure fraction in last column");
+  {
+    Table t({"eps", "capacity", "copies", "mean err", "p50 err", "p95 err", "fail frac"});
+    for (double eps : {0.30, 0.20, 0.10, 0.05, 0.03}) {
+      const auto params = EstimatorParams::for_guarantee(eps, kDelta);
+      const auto errors = run_trials(
+          40, [&](std::uint64_t seed) { return one_trial(eps, kDelta, 100'000, seed); });
+      t.row({fmt("%.2f", eps), fmt("%zu", params.capacity), fmt("%zu", params.copies),
+             fmt("%.4f", errors.mean()), fmt("%.4f", errors.median()),
+             fmt("%.4f", errors.quantile(0.95)), fmt("%.3f", errors.fraction_above(eps))});
+    }
+  }
+
+  title("E1b: error vs true F0 at eps = 0.1 (space is CONSTANT in F0)");
+  {
+    Table t({"true F0", "mean err", "p95 err", "fail frac"});
+    for (std::size_t distinct : {std::size_t{1000}, std::size_t{10'000}, std::size_t{100'000},
+                                 std::size_t{1'000'000}}) {
+      const auto errors = run_trials(
+          25, [&](std::uint64_t seed) { return one_trial(0.1, kDelta, distinct, seed); },
+          20'000);
+      t.row({fmt("%zu", distinct), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95)), fmt("%.3f", errors.fraction_above(0.1))});
+    }
+  }
+
+  title("E1c: capacity-constant ablation (eps = 0.1, F0 = 100k, 30 trials)");
+  note("claim shape: error ~ 1/sqrt(constant); 36 is the paper-style safe choice");
+  {
+    Table t({"constant", "capacity", "mean err", "p95 err", "fail frac"});
+    for (double constant : {6.0, 12.0, 24.0, 36.0, 48.0}) {
+      const auto errors = run_trials(30, [&](std::uint64_t seed) {
+        return one_trial(0.1, kDelta, 100'000, seed, constant);
+      });
+      t.row({fmt("%.0f", constant),
+             fmt("%zu", EstimatorParams::capacity_for_epsilon(0.1, constant)),
+             fmt("%.4f", errors.mean()), fmt("%.4f", errors.quantile(0.95)),
+             fmt("%.3f", errors.fraction_above(0.1))});
+    }
+  }
+
+  title("E1d: median-of-copies vs one big sampler at EQUAL space (F0 = 100k)");
+  note("copies buy failure-probability, capacity buys per-copy accuracy");
+  {
+    Table t({"layout", "capacity", "copies", "mean err", "p95 err"});
+    struct Layout {
+      std::size_t capacity, copies;
+      const char* name;
+    };
+    for (const Layout& l : {Layout{3600, 9, "9 x 3600"}, Layout{10'800, 3, "3 x 10800"},
+                            Layout{32'400, 1, "1 x 32400"}}) {
+      const auto errors = run_trials(30, [&](std::uint64_t seed) {
+        F0Estimator est(EstimatorParams{.capacity = l.capacity, .copies = l.copies,
+                                        .seed = seed});
+        Xoshiro256 rng(seed ^ 0x77);
+        for (std::size_t i = 0; i < 100'000; ++i) est.add(rng.next());
+        return relative_error(est.estimate(), 100'000.0);
+      });
+      t.row({l.name, fmt("%zu", l.capacity), fmt("%zu", l.copies), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95))});
+    }
+  }
+  return 0;
+}

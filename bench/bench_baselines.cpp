@@ -1,0 +1,95 @@
+// E6 — the paper's comparison claims (C1). Two shootouts:
+//   (a) theory sizing: each sketch sized by its own analysis for
+//       eps = 0.1 — observed error and the space it took;
+//   (b) equal space: every sketch gets the same byte budget — observed
+//       error. AMS's constant-factor floor and linear-counting's
+//       saturation are the claimed qualitative shapes.
+// Plus the capability matrix the numbers don't show.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "baselines/factory.h"
+#include "common/random.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+
+Sample errors_for(const std::function<std::unique_ptr<DistinctCounter>(std::uint64_t)>& make,
+                  std::size_t distinct, int trials) {
+  return run_trials(trials, [&](std::uint64_t seed) {
+    auto counter = make(seed);
+    Xoshiro256 rng(seed ^ 0xbeef);
+    for (std::size_t i = 0; i < distinct; ++i) counter->add(rng.next());
+    return relative_error(counter->estimate(), static_cast<double>(distinct));
+  });
+}
+}  // namespace
+
+int main() {
+  constexpr std::size_t kDistinct = 200'000;
+  constexpr int kTrials = 15;
+
+  title("E6a: theory-sized for eps = 0.1 (F0 = 200k, 15 trials)");
+  note("claim: GT achieves arbitrary eps with pairwise hashing; AMS cannot");
+  {
+    Table t({"sketch", "bytes", "mean err", "p95 err", "max err"}, 16);
+    for (CounterKind kind : all_sketch_kinds()) {
+      std::size_t bytes = 0;
+      const auto errors = errors_for(
+          [&](std::uint64_t seed) {
+            auto c = make_counter_for_epsilon(kind, 0.1, seed, kDistinct * 2);
+            bytes = c->bytes_used();
+            return c;
+          },
+          kDistinct, kTrials);
+      t.row({to_string(kind), fmt("%zu", bytes), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95)), fmt("%.4f", errors.max())});
+    }
+  }
+
+  title("E6b: equal space, 64 KiB each (F0 = 200k, 15 trials)");
+  {
+    Table t({"sketch", "bytes", "mean err", "p95 err"}, 16);
+    for (CounterKind kind : all_sketch_kinds()) {
+      std::size_t bytes = 0;
+      const auto errors = errors_for(
+          [&](std::uint64_t seed) {
+            auto c = make_counter_for_space(kind, 64 * 1024, seed);
+            bytes = c->bytes_used();
+            return c;
+          },
+          kDistinct, kTrials);
+      t.row({to_string(kind), fmt("%zu", bytes), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95))});
+    }
+  }
+
+  title("E6c: equal space, 4 KiB each (tight-memory regime)");
+  {
+    Table t({"sketch", "bytes", "mean err", "p95 err"}, 16);
+    for (CounterKind kind : all_sketch_kinds()) {
+      std::size_t bytes = 0;
+      const auto errors = errors_for(
+          [&](std::uint64_t seed) {
+            auto c = make_counter_for_space(kind, 4 * 1024, seed);
+            bytes = c->bytes_used();
+            return c;
+          },
+          kDistinct, kTrials);
+      t.row({to_string(kind), fmt("%zu", bytes), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95))});
+    }
+  }
+
+  title("E6d: capability matrix (what the numbers above don't show)");
+  note("sketch              tunable-eps  pairwise-only  mergeable  labels  sums/preds");
+  note("gibbons-tirthapura       yes          yes          yes      yes      yes");
+  note("fm-pcsa                  yes          NO (ideal)   yes      no       no");
+  note("ams-f0                   NO           yes          yes      no       no");
+  note("bjkst                    yes          yes          yes      no       no");
+  note("kmv                      yes          NO (ideal)   yes      opt      opt");
+  note("linear-counting          yes*         NO (ideal)   yes      no       no   *linear space");
+  note("hyperloglog              yes          NO (ideal)   yes      no       no");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E5 — Theorem T3: SumDistinct and predicate aggregates over distinct
+// labels, single-stream and over the distributed union.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/distinct_sum.h"
+#include "core/f0_estimator.h"
+#include "distributed/protocols.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+}  // namespace
+
+int main() {
+  title("E5a: SumDistinct error vs eps (F0 = 100k, values in [1,2], 10x dups)");
+  {
+    Table t({"eps", "mean err", "p95 err", "naive x"}, 12);
+    for (double eps : {0.3, 0.2, 0.1, 0.05}) {
+      double naive_factor = 0.0;
+      const auto errors = run_trials(20, [&](std::uint64_t seed) {
+        SyntheticStream stream({.distinct = 100'000, .total_items = 1'000'000,
+                                .zipf_alpha = 1.0, .seed = seed, .value_lo = 1.0,
+                                .value_hi = 2.0});
+        DistinctSumEstimator est(eps, 0.05, seed * 3 + 1);
+        double naive = 0.0;
+        while (!stream.done()) {
+          const Item item = stream.next();
+          est.add(item.label, item.value);
+          naive += item.value;
+        }
+        naive_factor = naive / stream.true_sum_distinct();
+        return relative_error(est.estimate_sum(), stream.true_sum_distinct());
+      });
+      t.row({fmt("%.2f", eps), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95)), fmt("%.1f", naive_factor)});
+    }
+  }
+
+  title("E5b: value-skew sensitivity at eps = 0.1 (values in [1, hi])");
+  note("claim: guarantee needs bounded value spread; error grows with v_max/v_mean");
+  {
+    Table t({"value hi", "mean err", "p95 err"}, 12);
+    for (double hi : {1.0, 2.0, 10.0, 100.0, 1000.0}) {
+      const auto errors = run_trials(20, [&](std::uint64_t seed) {
+        DistinctSumEstimator est(0.1, 0.05, seed);
+        Xoshiro256 rng(seed ^ 1);
+        double truth = 0.0;
+        for (int i = 0; i < 100'000; ++i) {
+          const std::uint64_t label = rng.next();
+          // Heavy-tailed values: most small, a few near hi.
+          const double u = rng.uniform01();
+          const double value = 1.0 + (hi - 1.0) * u * u * u * u;
+          est.add(label, value);
+          truth += value;
+        }
+        return relative_error(est.estimate_sum(), truth);
+      });
+      t.row({fmt("%.0f", hi), fmt("%.4f", errors.mean()),
+             fmt("%.4f", errors.quantile(0.95))});
+    }
+  }
+
+  title("E5c: predicate aggregates over distinct labels (F0 = 100k, eps = 0.1)");
+  {
+    Table t({"selectivity", "count err", "frac err"}, 14);
+    for (double sel : {0.5, 0.25, 0.1, 0.01}) {
+      const auto mod = static_cast<std::uint64_t>(1.0 / sel);
+      const auto errors = run_trials(20, [&](std::uint64_t seed) {
+        F0Estimator est(0.1, 0.05, seed);
+        for (std::uint64_t x = 0; x < 100'000; ++x) est.add(x * 2654435761u + seed);
+        // Predicate keyed off the label's low bits via a mix (stable).
+        const auto pred = [mod](std::uint64_t label) {
+          return SplitMix64::mix(label) % mod == 0;
+        };
+        const double truth_frac = 1.0 / static_cast<double>(mod);
+        return relative_error(est.estimate_count_if(pred), 100'000.0 * truth_frac);
+      });
+      t.row({fmt("%.2f", sel), fmt("%.4f", errors.mean()), fmt("%.4f", errors.median())});
+    }
+  }
+
+  title("E5d: SumDistinct over the distributed union (8 sites)");
+  {
+    Table t({"overlap", "rel err", "bytes/site"}, 12);
+    const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 99);
+    for (double overlap : {0.0, 0.5, 1.0}) {
+      const auto w = make_distributed_workload({.sites = 8, .union_distinct = 100'000,
+                                                .overlap = overlap, .duplication = 3.0,
+                                                .zipf_alpha = 1.1, .seed = 7,
+                                                .value_lo = 1.0, .value_hi = 2.0});
+      const auto res = run_distinct_sum_union(w, params);
+      t.row({fmt("%.2f", overlap), fmt("%.4f", res.relative_error),
+             fmt("%.0f", res.channel.mean_message_bytes())});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E9 — hash substrate: raw throughput of each family (the sampler's hot
+// path is one hash + one compare for most items), plus field arithmetic
+// microcosts.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hash/field61.h"
+#include "hash/hash_family.h"
+#include "hash/kwise.h"
+#include "hash/level.h"
+
+namespace {
+using namespace ustream;
+
+template <typename Hash>
+void BM_HashThroughput(benchmark::State& state) {
+  Hash h(12345);
+  std::uint64_t x = 0, sink = 0;
+  for (auto _ : state) {
+    sink ^= h(++x);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_HashThroughput, PairwiseHash);
+BENCHMARK_TEMPLATE(BM_HashThroughput, TabulationHash);
+BENCHMARK_TEMPLATE(BM_HashThroughput, MultiplyShiftHash);
+BENCHMARK_TEMPLATE(BM_HashThroughput, MurmurMixHash);
+
+void BM_FourWiseThroughput(benchmark::State& state) {
+  KWiseHash h(12345, 4);
+  std::uint64_t x = 0, sink = 0;
+  for (auto _ : state) {
+    sink ^= h(++x);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FourWiseThroughput);
+
+void BM_LevelExtraction(benchmark::State& state) {
+  PairwiseHash h(7);
+  std::uint64_t x = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    sink += hash_level(h(++x), PairwiseHash::kBits);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LevelExtraction);
+
+void BM_Field61MulAdd(benchmark::State& state) {
+  std::uint64_t a = 0x123456789abcdefULL % field61::kPrime;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = field61::mul_add(a, x, 17);
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Field61MulAdd);
+
+// Type-erased dispatch overhead (what the harness pays for runtime
+// hash-kind selection; the sampler itself is templated and pays nothing).
+void BM_AnyLabelHashDispatch(benchmark::State& state) {
+  AnyLabelHash h(HashKind::kPairwise, 9);
+  std::uint64_t x = 0, sink = 0;
+  for (auto _ : state) {
+    sink ^= h.value(++x);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnyLabelHashDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E8 — merge: the referee-side cost. Merge time vs capacity and vs the
+// number of sketches folded, plus serialization round-trip cost (the other
+// half of what the referee does per message).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/coordinated_sampler.h"
+#include "core/f0_estimator.h"
+
+namespace {
+using namespace ustream;
+
+using Sampler = CoordinatedSampler<PairwiseHash, Unit>;
+
+Sampler loaded_sampler(std::size_t capacity, std::uint64_t seed, std::uint64_t items) {
+  Sampler s(capacity, 42);  // shared seed: mergeable
+  Xoshiro256 rng(seed);
+  for (std::uint64_t i = 0; i < items; ++i) s.add(rng.next());
+  return s;
+}
+
+void BM_SamplerMerge_Capacity(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  const Sampler a = loaded_sampler(capacity, 1, capacity * 8);
+  const Sampler b = loaded_sampler(capacity, 2, capacity * 8);
+  for (auto _ : state) {
+    Sampler merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SamplerMerge_Capacity)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)->Complexity();
+
+void BM_EstimatorMergeChain(benchmark::State& state) {
+  // Fold `t` site sketches into one, as the referee does.
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  const EstimatorParams params{.capacity = 3600, .copies = 5, .seed = 9};
+  std::vector<F0Estimator> sketches;
+  for (std::size_t s = 0; s < sites; ++s) {
+    F0Estimator est(params);
+    Xoshiro256 rng(s + 1);
+    for (int i = 0; i < 30'000; ++i) est.add(rng.next());
+    sketches.push_back(std::move(est));
+  }
+  for (auto _ : state) {
+    F0Estimator referee = sketches[0];
+    for (std::size_t s = 1; s < sites; ++s) referee.merge(sketches[s]);
+    benchmark::DoNotOptimize(referee.estimate());
+  }
+}
+BENCHMARK(BM_EstimatorMergeChain)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SamplerSerialize(benchmark::State& state) {
+  const Sampler s = loaded_sampler(4096, 3, 100'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.serialize());
+  }
+}
+BENCHMARK(BM_SamplerSerialize);
+
+void BM_SamplerDeserialize(benchmark::State& state) {
+  const Sampler s = loaded_sampler(4096, 4, 100'000);
+  const auto bytes = s.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sampler::deserialize(bytes));
+  }
+}
+BENCHMARK(BM_SamplerDeserialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

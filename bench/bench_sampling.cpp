@@ -1,0 +1,80 @@
+// E13 — the "sample of the union" itself (BottomKSampler): distinct-count
+// accuracy vs k, fidelity of value statistics over distinct labels under
+// heavy duplication, and the union-sample property across sites.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/distinct_sampler.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+}  // namespace
+
+int main() {
+  title("E13a: KMV-form distinct estimate, error vs k (F0 = 500k, 15 trials)");
+  note("claim shape: stderr ~ 1/sqrt(k)");
+  {
+    Table t({"k", "mean err", "p95 err", "pred 1/sqrt(k)"}, 15);
+    for (std::size_t k : {std::size_t{256}, std::size_t{1024}, std::size_t{4096},
+                          std::size_t{16384}}) {
+      const auto errors = run_trials(15, [&](std::uint64_t seed) {
+        BottomKSampler s(k, seed);
+        Xoshiro256 rng(seed ^ 0xf00d);
+        for (int i = 0; i < 500'000; ++i) s.add(rng.next(), 0.0);
+        return relative_error(s.estimate_distinct(), 500'000.0);
+      });
+      t.row({fmt("%zu", k), fmt("%.4f", errors.mean()), fmt("%.4f", errors.quantile(0.95)),
+             fmt("%.4f", 1.0 / std::sqrt(static_cast<double>(k)))});
+    }
+  }
+
+  title("E13b: value statistics over DISTINCT labels under zipf duplication");
+  note("per-item averages would be multiplicity-weighted; the sample is not");
+  {
+    Table t({"alpha", "mean err", "p50 err", "p90 err"}, 12);
+    for (double alpha : {0.0, 1.0, 1.8}) {
+      Sample mean_err, p50_err, p90_err;
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        SyntheticStream stream({.distinct = 100'000, .total_items = 800'000,
+                                .zipf_alpha = alpha, .seed = seed + 1, .value_lo = 0.0,
+                                .value_hi = 10.0});
+        BottomKSampler s(4096, seed + 50);
+        while (!stream.done()) {
+          const Item item = stream.next();
+          s.add(item.label, item.value);
+        }
+        mean_err.add(relative_error(s.estimate_value_mean(), 5.0));
+        p50_err.add(relative_error(s.estimate_value_quantile(0.5), 5.0));
+        p90_err.add(relative_error(s.estimate_value_quantile(0.9), 9.0));
+      }
+      t.row({fmt("%.1f", alpha), fmt("%.4f", mean_err.mean()), fmt("%.4f", p50_err.mean()),
+             fmt("%.4f", p90_err.mean())});
+    }
+  }
+
+  title("E13c: sample of the UNION — per-site bottom-k merge, 8 sites");
+  {
+    const auto w = make_distributed_workload({.sites = 8, .union_distinct = 200'000,
+                                              .overlap = 0.5, .duplication = 2.0,
+                                              .seed = 9, .value_lo = 0.0, .value_hi = 1.0});
+    BottomKSampler merged(4096, 31);
+    std::size_t message_bytes = 0;
+    for (const auto& stream : w.site_streams) {
+      BottomKSampler site(4096, 31);
+      for (const Item& item : stream) site.add(item.label, item.value);
+      message_bytes += site.serialize().size();
+      merged.merge(site);
+    }
+    Table t({"union F0", "estimate", "rel err", "bytes/site"}, 12);
+    t.row({fmt("%zu", w.union_distinct), fmt("%.0f", merged.estimate_distinct()),
+           fmt("%.4f", relative_error(merged.estimate_distinct(),
+                                      static_cast<double>(w.union_distinct))),
+           fmt("%zu", message_bytes / 8)});
+  }
+  return 0;
+}

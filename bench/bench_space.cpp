@@ -1,0 +1,78 @@
+// E2 — Theorem T1/T2 space. In-memory footprint and serialized message
+// size as functions of (epsilon, delta) and of the stream: the claim is
+// O(eps^-2 log(1/delta) log n) BITS, independent of stream length and of
+// F0 once the sketch saturates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/f0_estimator.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+
+struct SpacePoint {
+  std::size_t memory_bytes;
+  std::size_t message_bytes;
+};
+
+SpacePoint measure(double eps, double delta, std::size_t distinct, std::uint64_t seed) {
+  F0Estimator est(EstimatorParams::for_guarantee(eps, delta, seed));
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < distinct; ++i) est.add(rng.next());
+  return {est.bytes_used(), est.serialize().size()};
+}
+}  // namespace
+
+int main() {
+  title("E2a: space vs epsilon (delta = 0.05, F0 = 200k)");
+  note("claim: bytes ~ 1/eps^2 (x4 per halving of eps)");
+  {
+    Table t({"eps", "capacity", "memory B", "message B", "msg ratio"}, 13);
+    std::size_t prev = 0;
+    for (double eps : {0.4, 0.2, 0.1, 0.05}) {
+      const auto p = measure(eps, 0.05, 200'000, 11);
+      t.row({fmt("%.2f", eps),
+             fmt("%zu", EstimatorParams::capacity_for_epsilon(eps)),
+             fmt("%zu", p.memory_bytes), fmt("%zu", p.message_bytes),
+             prev ? fmt("%.2f", double(p.message_bytes) / double(prev)) : "-"});
+      prev = p.message_bytes;
+    }
+  }
+
+  title("E2b: space vs delta (eps = 0.1, F0 = 200k)");
+  note("claim: bytes ~ log(1/delta)");
+  {
+    Table t({"delta", "copies", "memory B", "message B"}, 13);
+    for (double delta : {0.3, 0.1, 0.03, 0.01, 0.001}) {
+      const auto p = measure(0.1, delta, 200'000, 12);
+      t.row({fmt("%.3f", delta), fmt("%zu", EstimatorParams::copies_for_delta(delta)),
+             fmt("%zu", p.memory_bytes), fmt("%zu", p.message_bytes)});
+    }
+  }
+
+  title("E2c: space vs stream size (eps = 0.1, delta = 0.05)");
+  note("claim: flat once saturated — the whole point of sketching");
+  {
+    Table t({"true F0", "memory B", "message B"}, 13);
+    for (std::size_t distinct : {std::size_t{1000}, std::size_t{10'000}, std::size_t{100'000},
+                                 std::size_t{1'000'000}, std::size_t{4'000'000}}) {
+      const auto p = measure(0.1, 0.05, distinct, 13);
+      t.row({fmt("%zu", distinct), fmt("%zu", p.memory_bytes), fmt("%zu", p.message_bytes)});
+    }
+  }
+
+  title("E2d: exact-counter comparison (the linear-space alternative)");
+  {
+    Table t({"true F0", "sketch B", "exact B (8B/label lower bnd)"}, 22);
+    for (std::size_t distinct : {std::size_t{10'000}, std::size_t{1'000'000},
+                                 std::size_t{100'000'000}}) {
+      const auto p = distinct <= 1'000'000
+                         ? measure(0.1, 0.05, distinct, 14)
+                         : measure(0.1, 0.05, 1'000'000, 14);  // saturated anyway
+      t.row({fmt("%zu", distinct), fmt("%zu", p.message_bytes), fmt("%zu", distinct * 8)});
+    }
+  }
+  return 0;
+}

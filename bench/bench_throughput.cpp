@@ -1,0 +1,103 @@
+// E3 — Theorem T1 time: O(1) expected amortized processing per item.
+// google-benchmark microbenchmarks of the update path: vs capacity (flat),
+// vs copies (linear — each copy is an independent sampler), vs hash family,
+// and the level-raise amortization (fresh stream of all-distinct labels,
+// the worst case for eviction work).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/coordinated_sampler.h"
+#include "core/f0_estimator.h"
+#include "hash/hash_family.h"
+
+namespace {
+using namespace ustream;
+
+// Single-sampler update throughput vs capacity. Labels are pre-generated
+// so the RNG is out of the measured loop.
+void BM_SamplerAdd_Capacity(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  CoordinatedSampler<PairwiseHash, Unit> sampler(capacity, 42);
+  std::vector<std::uint64_t> labels(1 << 16);
+  Xoshiro256 rng(1);
+  for (auto& l : labels) l = rng.next();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.add(labels[i++ & (labels.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["final_level"] = sampler.level();
+}
+BENCHMARK(BM_SamplerAdd_Capacity)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+// All-distinct stream (maximum insert/evict pressure).
+void BM_SamplerAdd_AllDistinct(benchmark::State& state) {
+  CoordinatedSampler<PairwiseHash, Unit> sampler(3600, 42);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    sampler.add(SplitMix64::mix(++x));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["level_raises"] = static_cast<double>(sampler.level_raises());
+}
+BENCHMARK(BM_SamplerAdd_AllDistinct);
+
+// Heavy-duplicate stream (the fast path: most adds are below-level skips
+// or duplicate lookups).
+void BM_SamplerAdd_HeavyDuplicates(benchmark::State& state) {
+  CoordinatedSampler<PairwiseHash, Unit> sampler(3600, 42);
+  std::vector<std::uint64_t> labels(1024);
+  Xoshiro256 rng(2);
+  for (auto& l : labels) l = rng.next();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.add(labels[i++ & 1023]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerAdd_HeavyDuplicates);
+
+// Estimator update vs number of copies (the delta knob's time cost).
+void BM_EstimatorAdd_Copies(benchmark::State& state) {
+  EstimatorParams params;
+  params.capacity = 3600;
+  params.copies = static_cast<std::size_t>(state.range(0));
+  params.seed = 7;
+  F0Estimator est(params);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    est.add(SplitMix64::mix(++x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EstimatorAdd_Copies)->Arg(1)->Arg(5)->Arg(9)->Arg(37);
+
+// Hash-family ablation on the sampler hot path.
+template <typename Hash>
+void BM_SamplerAdd_Hash(benchmark::State& state) {
+  CoordinatedSampler<Hash, Unit> sampler(3600, 42);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    sampler.add(SplitMix64::mix(++x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_SamplerAdd_Hash, PairwiseHash);
+BENCHMARK_TEMPLATE(BM_SamplerAdd_Hash, TabulationHash);
+BENCHMARK_TEMPLATE(BM_SamplerAdd_Hash, MurmurMixHash);
+BENCHMARK_TEMPLATE(BM_SamplerAdd_Hash, MultiplyShiftHash);
+
+// Query cost: estimate() is O(copies) medians over O(1) state.
+void BM_EstimatorQuery(benchmark::State& state) {
+  F0Estimator est(0.1, 0.05, 9);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200'000; ++i) est.add(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate());
+  }
+}
+BENCHMARK(BM_EstimatorQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E4 — Theorem T2: the union over t distributed streams. Sweeps the number
+// of sites and the inter-site overlap; reports the union estimate's error,
+// the error a naive sum-of-per-site-estimates would make, and the exact
+// communication cost (bytes per party, one message each).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/f0_estimator.h"
+#include "distributed/continuous.h"
+#include "distributed/protocols.h"
+#include "stream/partitioner.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+}  // namespace
+
+int main() {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 321);
+
+  title("E4a: union error vs number of sites (union F0 = 100k, overlap 0.5)");
+  note("claim: error independent of t; one sketch-sized message per site");
+  {
+    Table t({"sites", "rel err", "msgs", "bytes/site", "total B"}, 12);
+    for (std::size_t sites : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{16}, std::size_t{32}, std::size_t{64}}) {
+      const auto w = make_distributed_workload({.sites = sites, .union_distinct = 100'000,
+                                                .overlap = 0.5, .duplication = 2.0,
+                                                .zipf_alpha = 1.0, .seed = 77});
+      const auto res = run_f0_union(w, params);
+      t.row({fmt("%zu", sites), fmt("%.4f", res.relative_error),
+             fmt("%llu", static_cast<unsigned long long>(res.channel.messages)),
+             fmt("%.0f", res.channel.mean_message_bytes()),
+             fmt("%llu", static_cast<unsigned long long>(res.channel.total_bytes))});
+    }
+  }
+
+  title("E4b: union vs naive-sum as overlap grows (8 sites, union F0 = 100k)");
+  note("claim shape: naive overcount -> (1 + 7*overlap)x; union estimate stays flat");
+  {
+    Table t({"overlap", "union err", "naive est", "naive x", "union est"}, 12);
+    for (double overlap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const auto w = make_distributed_workload({.sites = 8, .union_distinct = 100'000,
+                                                .overlap = overlap, .duplication = 2.0,
+                                                .zipf_alpha = 1.0, .seed = 78});
+      // Per-site estimates for the naive answer.
+      double naive = 0.0;
+      DistributedRun<F0Estimator> run(8, [&] { return F0Estimator(params); });
+      for (std::size_t s = 0; s < 8; ++s) {
+        for (const Item& item : w.site_streams[s]) run.site(s).add(item.label);
+        naive += run.site(s).estimate();
+      }
+      const double union_est = run.collect().estimate();
+      t.row({fmt("%.2f", overlap),
+             fmt("%.4f", relative_error(union_est, double(w.union_distinct))),
+             fmt("%.0f", naive), fmt("%.2f", naive / double(w.union_distinct)),
+             fmt("%.0f", union_est)});
+    }
+  }
+
+  title("E4c: message bytes vs epsilon (4 sites; communication ~ 1/eps^2)");
+  {
+    Table t({"eps", "bytes/site", "union err"}, 12);
+    const auto w = make_distributed_workload({.sites = 4, .union_distinct = 100'000,
+                                              .overlap = 0.5, .duplication = 2.0,
+                                              .seed = 79});
+    for (double eps : {0.3, 0.2, 0.1, 0.05}) {
+      const auto res = run_f0_union(w, EstimatorParams::for_guarantee(eps, 0.05, 500));
+      t.row({fmt("%.2f", eps), fmt("%.0f", res.channel.mean_message_bytes()),
+             fmt("%.4f", res.relative_error)});
+    }
+  }
+
+  title("E4d: continuous-monitoring extension — staleness/communication tradeoff");
+  note("(beyond the paper's one-shot model; periodic snapshot pushes)");
+  {
+    Table t({"interval", "snapshots", "total B", "final err"}, 12);
+    const auto w = make_distributed_workload({.sites = 4, .union_distinct = 50'000,
+                                              .overlap = 0.3, .duplication = 2.0,
+                                              .seed = 80});
+    for (std::uint64_t interval : {std::uint64_t{1000}, std::uint64_t{10'000},
+                                   std::uint64_t{100'000}}) {
+      ContinuousUnionMonitor mon(4, interval, params);
+      for (std::size_t s = 0; s < 4; ++s) {
+        for (const Item& item : w.site_streams[s]) mon.observe(s, item.label);
+      }
+      mon.flush();
+      t.row({fmt("%llu", static_cast<unsigned long long>(interval)),
+             fmt("%llu", static_cast<unsigned long long>(mon.snapshots_received())),
+             fmt("%llu", static_cast<unsigned long long>(mon.channel_stats().total_bytes)),
+             fmt("%.4f", relative_error(mon.estimate(), double(w.union_distinct)))});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// in the style of the paper's result rows, plus a trial runner that
+// aggregates relative errors over independent seeds.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ustream::bench {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+// Minimal fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : cols_(headers.size()), width_(col_width) {
+    for (const auto& h : headers) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols_; ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  // Row cells are preformatted strings.
+  void row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::size_t cols_;
+  int width_;
+};
+
+inline std::string fmt(const char* format, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+// Runs `trial(seed)` -> relative error, over `trials` distinct seeds.
+inline Sample run_trials(int trials, const std::function<double(std::uint64_t)>& trial,
+                         std::uint64_t seed_base = 10'000) {
+  Sample errors;
+  for (int t = 0; t < trials; ++t) {
+    errors.add(trial(seed_base + static_cast<std::uint64_t>(t) * 7919));
+  }
+  return errors;
+}
+
+}  // namespace ustream::bench

@@ -1,0 +1,66 @@
+// E12 — sliding-window distinct counting (extension): query-time-chosen
+// windows from one pass. Error vs window size (level fallback), update
+// cost, and memory vs the O(capacity * levels) bound.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/dense_map.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/windowed_sampler.h"
+
+namespace {
+using namespace ustream;
+using namespace ustream::bench;
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kItems = 400'000;
+  constexpr std::uint64_t kLabelSpace = 150'000;
+
+  title("E12a: one pass, any window — error vs window size (eps = 0.15)");
+  {
+    WindowedF0Estimator est(EstimatorParams{.capacity = 1600, .copies = 9, .seed = 21});
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> log;
+    Xoshiro256 rng(1);
+    WallTimer timer;
+    for (std::uint64_t t = 0; t < kItems; ++t) {
+      const std::uint64_t label = rng.below(kLabelSpace);
+      est.add(label, t);
+      log.push_back({label, t});
+    }
+    const double build_s = timer.seconds();
+    Table t({"window", "truth", "estimate", "rel err", "level"}, 12);
+    for (std::uint64_t window : {1'000ull, 10'000ull, 50'000ull, 200'000ull, 400'000ull}) {
+      const std::uint64_t start = kItems - window;
+      DenseSet exact;
+      for (const auto& [label, ts] : log) {
+        if (ts >= start) exact.insert(label);
+      }
+      const double truth = static_cast<double>(exact.size());
+      const double estimate = est.estimate_distinct(start);
+      t.row({fmt("%llu", static_cast<unsigned long long>(window)), fmt("%.0f", truth),
+             fmt("%.0f", estimate), fmt("%.4f", relative_error(estimate, truth)),
+             fmt("%d", est.copy(0).level_for_window(start))});
+    }
+    note(fmt("build: %.2f s for %llu items (%.2f M items/s, %zu copies)", build_s,
+             static_cast<unsigned long long>(kItems),
+             static_cast<double>(kItems) / build_s / 1e6, est.num_copies()));
+    note(fmt("memory: %zu bytes", est.bytes_used()));
+  }
+
+  title("E12b: update cost vs capacity (single sampler)");
+  {
+    Table t({"capacity", "ns/item", "bytes"}, 12);
+    for (std::size_t capacity : {std::size_t{256}, std::size_t{1024}, std::size_t{4096}}) {
+      WindowedF0Sampler s(capacity, 22);
+      Xoshiro256 rng(2);
+      WallTimer timer;
+      constexpr std::uint64_t kN = 300'000;
+      for (std::uint64_t t2 = 0; t2 < kN; ++t2) s.add(rng.next(), t2);
+      t.row({fmt("%zu", capacity), fmt("%.0f", timer.seconds() * 1e9 / kN),
+             fmt("%zu", s.bytes_used())});
+    }
+  }
+  return 0;
+}

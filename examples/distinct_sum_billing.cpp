@@ -1,0 +1,68 @@
+// SumDistinct in the wild: metering distinct provisioned resources.
+//
+// A fleet of edge gateways reports (resource_id, monthly_price) records.
+// Records are heavily RE-TRANSMITTED (at-least-once delivery) and the same
+// resource is seen by several gateways, so adding up record values
+// overbills massively. The right number is the sum of price over DISTINCT
+// resource ids across the union of all gateway streams — exactly the
+// paper's "aggregate function over the distinct labels".
+#include <cstdio>
+#include <vector>
+
+#include "core/params.h"
+#include "distributed/protocols.h"
+#include "stream/partitioner.h"
+
+int main() {
+  using namespace ustream;
+
+  // 400k distinct resources spread over 8 gateways; 30% of resources are
+  // multi-homed (seen by more than one gateway); each gateway re-sends
+  // records ~4x with a heavy-tailed retry distribution.
+  const DistributedConfig config{.sites = 8,
+                                 .union_distinct = 400'000,
+                                 .overlap = 0.3,
+                                 .duplication = 4.0,
+                                 .zipf_alpha = 1.2,
+                                 .seed = 314,
+                                 .value_lo = 0.50,   // cheapest SKU, $/month
+                                 .value_hi = 40.0};  // priciest SKU
+  std::printf("generating %zu gateway streams ...\n", config.sites);
+  const DistributedWorkload workload = make_distributed_workload(config);
+
+  // What naive aggregation would bill (sum over all records).
+  double naive_total = 0.0;
+  std::size_t records = 0;
+  for (const auto& stream : workload.site_streams) {
+    for (const Item& record : stream) {
+      naive_total += record.value;
+      ++records;
+    }
+  }
+
+  // The sketch-based pipeline: each gateway keeps one DistinctSumEstimator,
+  // ships it once, the billing service merges.
+  const EstimatorParams params = EstimatorParams::for_guarantee(0.05, 0.01, 2718);
+  DistinctSumUnionProtocol protocol(config.sites, params);
+  for (std::size_t site = 0; site < config.sites; ++site) {
+    for (const Item& record : workload.site_streams[site]) {
+      protocol.observe(site, record.label, record.value);
+    }
+  }
+
+  const double estimate = protocol.estimate_sum();
+  const double truth = workload.union_sum_distinct;
+  std::printf("\nrecords processed        : %zu\n", records);
+  std::printf("naive record-sum billing : $%.2f   (%.1fx overbilled)\n", naive_total,
+              naive_total / truth);
+  std::printf("true distinct-sum        : $%.2f\n", truth);
+  std::printf("sketch estimate          : $%.2f   (%.2f%% off)\n", estimate,
+              100.0 * (estimate - truth) / truth);
+  std::printf("distinct resources       : %.0f (est) vs %zu (true)\n",
+              protocol.estimate_distinct(), workload.union_distinct);
+  const auto comm = protocol.channel_stats();
+  std::printf("communication            : %llu bytes across %llu messages\n",
+              static_cast<unsigned long long>(comm.total_bytes),
+              static_cast<unsigned long long>(comm.messages));
+  return 0;
+}

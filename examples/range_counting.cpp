@@ -1,0 +1,57 @@
+// Range-efficient counting (the E11 extension): streams whose items are
+// whole INTERVALS of labels, processed in polylog time per interval.
+//
+// Scenario: firewalls log blocked address RANGES (CIDR blocks). How many
+// distinct addresses were blocked across all firewalls? Intervals overlap
+// heavily; a naive expansion would touch billions of addresses.
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/range_sampler.h"
+
+int main() {
+  using namespace ustream;
+
+  const EstimatorParams params = EstimatorParams::for_guarantee(0.05, 0.05, 424242);
+  RangeF0Estimator fw1(params), fw2(params);
+
+  // Two firewalls block ranges inside a shared /16-ish region so the
+  // overlap is substantial, plus private disjoint blocks each.
+  Xoshiro256 rng(12);
+  std::uint64_t intervals = 0;
+  WallTimer timer;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t base = 0x0a000000ull + rng.below(1 << 22);
+    const std::uint64_t width = 1 + rng.below(1 << 12);
+    fw1.add_range(base, base + width);
+    ++intervals;
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t base = 0x0a000000ull + rng.below(1 << 22);  // same region
+    const std::uint64_t width = 1 + rng.below(1 << 12);
+    fw2.add_range(base, base + width);
+    ++intervals;
+  }
+  // Each firewall also blocks a big private block.
+  fw1.add_range(0x20000000ull, 0x20000000ull + 5'000'000);
+  fw2.add_range(0x30000000ull, 0x30000000ull + 5'000'000);
+  intervals += 2;
+  const double seconds = timer.seconds();
+
+  // Union across firewalls = merge, as always.
+  RangeF0Estimator merged = fw1;
+  merged.merge(fw2);
+
+  std::printf("intervals processed : %llu in %.3fs (%.1f us/interval incl. %zu copies)\n",
+              static_cast<unsigned long long>(intervals), seconds,
+              1e6 * seconds / static_cast<double>(intervals), params.copies);
+  std::printf("firewall 1 estimate : %.3e distinct blocked addresses\n", fw1.estimate());
+  std::printf("firewall 2 estimate : %.3e\n", fw2.estimate());
+  std::printf("union estimate      : %.3e\n", merged.estimate());
+  std::printf("sketch memory       : %zu bytes per firewall\n", fw1.bytes_used());
+  std::printf("\n(the widest interval covered 5e6 addresses; the sketch never \n"
+              " enumerated more than its capacity of %zu survivors per copy)\n",
+              params.capacity);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Sliding-window monitoring: "how many distinct source IPs did we see in
+// the last N packets?" — with N chosen AT QUERY TIME, from a single pass.
+//
+// A burst of fresh sources (e.g. a DDoS ramp-up) shows up immediately in
+// short-window distinct counts while long-window counts stay calm; one
+// WindowedF0Estimator answers both.
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/windowed_sampler.h"
+
+int main() {
+  using namespace ustream;
+
+  WindowedF0Estimator monitor(EstimatorParams{.capacity = 2048, .copies = 9, .seed = 7});
+
+  Xoshiro256 rng(1);
+  std::uint64_t t = 0;
+
+  // Phase 1: steady state — 50k packets from a pool of 2000 regular sources.
+  for (int i = 0; i < 50'000; ++i) {
+    monitor.add(rng.below(2000), t++);
+  }
+  std::printf("steady state (t = %llu):\n", static_cast<unsigned long long>(t));
+  for (std::uint64_t window : {1'000ull, 10'000ull, 50'000ull}) {
+    std::printf("  distinct sources in last %6llu packets: %8.0f\n",
+                static_cast<unsigned long long>(window),
+                monitor.estimate_distinct(t - window));
+  }
+
+  // Phase 2: attack — 10k packets, 80% from spoofed (fresh) sources.
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t src = rng.bernoulli(0.8) ? rng.next() : rng.below(2000);
+    monitor.add(src, t++);
+  }
+  std::printf("\nafter a spoofed burst (t = %llu):\n", static_cast<unsigned long long>(t));
+  for (std::uint64_t window : {1'000ull, 10'000ull, 60'000ull}) {
+    std::printf("  distinct sources in last %6llu packets: %8.0f\n",
+                static_cast<unsigned long long>(window),
+                monitor.estimate_distinct(t - window));
+  }
+  std::printf("\n(one pass, every window size answered at query time: the 10k\n"
+              " window jumps ~5x on the burst while packet VOLUME rose only 20%%\n"
+              " — the signature a byte counter cannot see; memory: %zu bytes)\n",
+              monitor.bytes_used());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Superspreader hunt: which sources are touching abnormally many DISTINCT
+// destinations across the whole network? Each link runs a small
+// SuperspreaderDetector; the security console merges the per-link states
+// (coordinated seeds make the merge sound) and reports the heavy tail.
+#include <cstdio>
+#include <vector>
+
+#include "netmon/superspreader.h"
+#include "netmon/trace_gen.h"
+
+int main() {
+  using namespace ustream;
+
+  // Traffic on 4 links with a scan episode (one source probing thousands
+  // of destinations once each) hidden inside normal flows.
+  const NetworkWorkload net = make_network_workload({.links = 4, .flows_per_link = 15'000,
+                                                     .link_overlap = 0.4,
+                                                     .scan_fraction = 0.08, .seed = 555});
+  std::printf("traffic: %zu packets over 4 links\n", net.total_packets);
+
+  SuperspreaderConfig config;
+  config.table_capacity = 512;
+  config.sampler_capacity = 256;
+  config.admission_level = 4;  // ignore sources below ~16 distinct contacts
+  config.seed = 0xc0ffee;
+
+  std::vector<SuperspreaderDetector> links(4, SuperspreaderDetector(config));
+  for (std::size_t link = 0; link < 4; ++link) {
+    for (const Packet& p : net.link_traces[link]) {
+      links[link].observe(p.src_ip, p.dst_ip);
+    }
+  }
+
+  // Console side: merge the per-link detectors.
+  SuperspreaderDetector console = links[0];
+  for (std::size_t link = 1; link < 4; ++link) console.merge(links[link]);
+
+  const auto reports = console.report(/*threshold=*/200.0);
+  std::printf("\nsources contacting >= 200 distinct destinations (network-wide):\n");
+  std::printf("%-16s %s\n", "source", "distinct destinations (est)");
+  for (const auto& r : reports) {
+    std::printf("%-16llx %.0f\n", static_cast<unsigned long long>(r.source),
+                r.distinct_destinations);
+  }
+  std::printf("\ntracked sources : %zu of ~%zu seen (admission filter)\n",
+              console.tracked_sources(), net.truth.union_distinct[1]);
+  std::printf("detector memory : %zu bytes per link\n", links[0].bytes_used());
+  return 0;
+}

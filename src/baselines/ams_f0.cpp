@@ -1,0 +1,55 @@
+#include "baselines/ams_f0.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "hash/level.h"
+
+namespace ustream {
+
+AmsF0Counter::AmsF0Counter(std::size_t copies, std::uint64_t seed)
+    : rho_(copies, -1), seed_(seed) {
+  USTREAM_REQUIRE(copies >= 1, "AMS needs at least one copy");
+  SeedSequence seeds(seed);
+  hashes_.reserve(copies);
+  for (std::size_t i = 0; i < copies; ++i) hashes_.emplace_back(seeds.child(i));
+}
+
+void AmsF0Counter::add(std::uint64_t label) {
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    const int rho = hash_level(hashes_[i](label), PairwiseHash::kBits);
+    rho_[i] = std::max(rho_[i], rho);
+  }
+}
+
+double AmsF0Counter::estimate() const {
+  std::vector<double> ests;
+  ests.reserve(rho_.size());
+  for (int r : rho_) {
+    // No items yet -> estimate 0; otherwise 2^(R + 1/2) (the 1/2 centers
+    // the geometric rounding).
+    ests.push_back(r < 0 ? 0.0 : std::pow(2.0, static_cast<double>(r) + 0.5));
+  }
+  return median_of(std::move(ests));
+}
+
+void AmsF0Counter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const AmsF0Counter*>(&other);
+  USTREAM_REQUIRE(o != nullptr && o->rho_.size() == rho_.size() && o->seed_ == seed_,
+                  "merge requires an AMS counter with identical parameters");
+  for (std::size_t i = 0; i < rho_.size(); ++i) rho_[i] = std::max(rho_[i], o->rho_[i]);
+}
+
+std::size_t AmsF0Counter::bytes_used() const {
+  return sizeof(*this) + hashes_.capacity() * sizeof(PairwiseHash) +
+         rho_.capacity() * sizeof(int);
+}
+
+std::unique_ptr<DistinctCounter> AmsF0Counter::clone_empty() const {
+  return std::make_unique<AmsF0Counter>(rho_.size(), seed_);
+}
+
+}  // namespace ustream

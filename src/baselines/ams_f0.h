@@ -1,0 +1,41 @@
+// Alon-Matias-Szegedy F0 estimator (1996) — the other baseline the paper
+// names. AMS showed that with only pairwise-independent hashing, tracking
+// R = max rho(h(x)) and outputting 2^R approximates F0 to within a CONSTANT
+// factor (with constant probability); it cannot be tuned to arbitrary
+// epsilon. The Gibbons-Tirthapura contribution is precisely removing that
+// limitation at the same independence assumption. E6 exhibits the constant-
+// factor error floor empirically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/distinct_counter.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+class AmsF0Counter final : public DistinctCounter {
+ public:
+  // `copies` independent pairwise hashes; the estimate is the median of the
+  // per-copy values 2^(R_i + 1/2).
+  AmsF0Counter(std::size_t copies, std::uint64_t seed);
+
+  void add(std::uint64_t label) override;
+  double estimate() const override;
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override;
+  std::string name() const override { return "ams-f0"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override;
+
+  int max_rho(std::size_t copy) const { return rho_[copy]; }
+  std::size_t copies() const noexcept { return rho_.size(); }
+
+ private:
+  std::vector<PairwiseHash> hashes_;
+  std::vector<int> rho_;  // max trailing-zero count seen per copy
+  std::uint64_t seed_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,65 @@
+#include "baselines/bjkst.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "hash/level.h"
+
+namespace ustream {
+
+BjkstCounter::BjkstCounter(std::size_t capacity, std::uint64_t seed)
+    : level_hash_(SeedSequence(seed).child(0)),
+      fingerprint_hash_(SeedSequence(seed).child(1)),
+      seed_(seed),
+      capacity_(capacity),
+      map_(capacity + 1) {
+  USTREAM_REQUIRE(capacity >= 1, "BJKST capacity must be >= 1");
+}
+
+void BjkstCounter::add(std::uint64_t label) {
+  const int lvl = hash_level(level_hash_(label), PairwiseHash::kBits);
+  if (lvl < level_) return;
+  // Fingerprint width: the analysis needs O(capacity^2) range to keep the
+  // collision probability within the sketch's error budget; we keep 32 bits
+  // of the pairwise fingerprint hash, comfortably above that for every
+  // capacity this library instantiates.
+  const std::uint64_t fp = fingerprint_hash_(label) & 0xffffffffULL;
+  map_.try_emplace(fp, static_cast<std::uint8_t>(lvl));
+  if (map_.size() > capacity_) raise_level();
+}
+
+void BjkstCounter::raise_level() {
+  while (map_.size() > capacity_) {
+    ++level_;
+    map_.filter([this](const auto& e) { return e.value >= level_; });
+    if (level_ >= PairwiseHash::kBits) break;
+  }
+}
+
+double BjkstCounter::estimate() const {
+  return static_cast<double>(map_.size()) * std::ldexp(1.0, level_);
+}
+
+void BjkstCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const BjkstCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr && o->capacity_ == capacity_ && o->seed_ == seed_,
+                  "merge requires a BJKST counter with identical parameters");
+  if (o->level_ > level_) {
+    level_ = o->level_;
+    map_.filter([this](const auto& e) { return e.value >= level_; });
+  }
+  for (const auto& e : o->map_) {
+    if (e.value < level_) continue;
+    map_.try_emplace(e.key, e.value);
+    if (map_.size() > capacity_) raise_level();
+  }
+}
+
+std::size_t BjkstCounter::bytes_used() const { return sizeof(*this) + map_.bytes_used(); }
+
+std::unique_ptr<DistinctCounter> BjkstCounter::clone_empty() const {
+  return std::make_unique<BjkstCounter>(capacity_, seed_);
+}
+
+}  // namespace ustream

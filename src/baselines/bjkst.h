@@ -1,0 +1,46 @@
+// BJKST distinct counter (Bar-Yossef, Jayram, Kumar, Sivakumar, Trevisan,
+// RANDOM 2002) — the successor refinement of level-based sampling published
+// the year after the paper reproduced here. Structurally it is the
+// Gibbons-Tirthapura sampler with one space optimization: instead of the
+// labels themselves it stores short FINGERPRINTS g(x) of the sampled
+// labels, shaving the per-entry cost from log(n) to log(capacity) bits at
+// the price of fingerprint collisions (and of losing every label-level
+// query the coordinated sample supports). Included as the natural
+// "what came next" baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/distinct_counter.h"
+#include "common/dense_map.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+class BjkstCounter final : public DistinctCounter {
+ public:
+  BjkstCounter(std::size_t capacity, std::uint64_t seed);
+
+  void add(std::uint64_t label) override;
+  double estimate() const override;
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override;
+  std::string name() const override { return "bjkst"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override;
+
+  int level() const noexcept { return level_; }
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  void raise_level();
+
+  PairwiseHash level_hash_;        // shared-style level hash
+  PairwiseHash fingerprint_hash_;  // second hash: label -> fingerprint
+  std::uint64_t seed_;
+  std::size_t capacity_;
+  int level_ = 0;
+  DenseMap<std::uint8_t> map_;  // fingerprint -> level of its label
+};
+
+}  // namespace ustream

@@ -1,0 +1,40 @@
+// Common interface for distinct-counting sketches, so experiment E6 can run
+// the Gibbons-Tirthapura estimator and every baseline through one harness.
+//
+// The interface is deliberately the lowest common denominator (add /
+// estimate / merge / bytes): several baselines cannot do what the
+// coordinated sample can (per-label predicates, SumDistinct, coordinated
+// set expressions) — that asymmetry is part of the paper's point and is
+// discussed in EXPERIMENTS.md rather than papered over here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ustream {
+
+class DistinctCounter {
+ public:
+  virtual ~DistinctCounter() = default;
+
+  virtual void add(std::uint64_t label) = 0;
+  virtual double estimate() const = 0;
+
+  // Folds `other` (which must be the same concrete type, built with the
+  // same parameters/seed) into this counter. Throws InvalidArgument
+  // otherwise. Exact/PCSA/LC/HLL/KMV and the coordinated sampler are all
+  // mergeable; merge is the backbone of the distributed experiments.
+  virtual void merge(const DistinctCounter& other) = 0;
+
+  // In-memory footprint for space-accuracy tradeoff tables.
+  virtual std::size_t bytes_used() const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Fresh counter with identical parameters and seed (for per-site sketches
+  // in distributed runs).
+  virtual std::unique_ptr<DistinctCounter> clone_empty() const = 0;
+};
+
+}  // namespace ustream

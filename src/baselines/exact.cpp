@@ -1,0 +1,13 @@
+#include "baselines/exact.h"
+
+#include "common/error.h"
+
+namespace ustream {
+
+void ExactDistinctCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const ExactDistinctCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr, "merge requires another ExactDistinctCounter");
+  o->set_.for_each([this](std::uint64_t label) { set_.insert(label); });
+}
+
+}  // namespace ustream

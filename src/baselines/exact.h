@@ -1,0 +1,33 @@
+// Exact distinct counter: a hash set of every label seen. Linear space —
+// the thing every sketch in this repository exists to avoid — but the
+// source of ground truth whenever the workload generator can't supply it.
+#pragma once
+
+#include <memory>
+
+#include "baselines/distinct_counter.h"
+#include "common/dense_map.h"
+
+namespace ustream {
+
+class ExactDistinctCounter final : public DistinctCounter {
+ public:
+  ExactDistinctCounter() = default;
+
+  void add(std::uint64_t label) override { set_.insert(label); }
+  double estimate() const override { return static_cast<double>(set_.size()); }
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override { return sizeof(*this) + set_.bytes_used(); }
+  std::string name() const override { return "exact"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override {
+    return std::make_unique<ExactDistinctCounter>();
+  }
+
+  std::uint64_t count() const noexcept { return set_.size(); }
+  bool contains(std::uint64_t label) const noexcept { return set_.contains(label); }
+
+ private:
+  DenseSet set_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,129 @@
+#include "baselines/factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/ams_f0.h"
+#include "baselines/bjkst.h"
+#include "baselines/exact.h"
+#include "baselines/fm_pcsa.h"
+#include "baselines/hyperloglog.h"
+#include "baselines/kmv.h"
+#include "baselines/linear_counting.h"
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace ustream {
+
+std::string to_string(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kExact: return "exact";
+    case CounterKind::kGibbonsTirthapura: return "gibbons-tirthapura";
+    case CounterKind::kFmPcsa: return "fm-pcsa";
+    case CounterKind::kAmsF0: return "ams-f0";
+    case CounterKind::kBjkst: return "bjkst";
+    case CounterKind::kKmv: return "kmv";
+    case CounterKind::kLinearCounting: return "linear-counting";
+    case CounterKind::kHyperLogLog: return "hyperloglog";
+  }
+  return "unknown";
+}
+
+const std::vector<CounterKind>& all_sketch_kinds() {
+  static const std::vector<CounterKind> kinds = {
+      CounterKind::kGibbonsTirthapura, CounterKind::kFmPcsa,         CounterKind::kAmsF0,
+      CounterKind::kBjkst,             CounterKind::kKmv,            CounterKind::kLinearCounting,
+      CounterKind::kHyperLogLog,
+  };
+  return kinds;
+}
+
+void GtCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const GtCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr, "merge requires another GT counter");
+  est_.merge(o->est_);
+}
+
+std::unique_ptr<DistinctCounter> make_counter_for_epsilon(CounterKind kind, double epsilon,
+                                                          std::uint64_t seed,
+                                                          std::size_t expected_max_f0) {
+  USTREAM_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  constexpr double kDelta = 0.05;
+  switch (kind) {
+    case CounterKind::kExact:
+      return std::make_unique<ExactDistinctCounter>();
+    case CounterKind::kGibbonsTirthapura:
+      return std::make_unique<GtCounter>(EstimatorParams::for_guarantee(epsilon, kDelta, seed));
+    case CounterKind::kFmPcsa: {
+      // PCSA standard error ~0.78/sqrt(m).
+      const double m = 0.78 * 0.78 / (epsilon * epsilon);
+      return std::make_unique<FmPcsaCounter>(
+          ceil_pow2(static_cast<std::uint64_t>(std::ceil(std::max(m, 2.0)))), seed);
+    }
+    case CounterKind::kAmsF0:
+      // Constant-factor regardless of epsilon; copies only tighten delta.
+      return std::make_unique<AmsF0Counter>(EstimatorParams::copies_for_delta(kDelta), seed);
+    case CounterKind::kBjkst:
+      return std::make_unique<BjkstCounter>(EstimatorParams::capacity_for_epsilon(epsilon),
+                                            seed);
+    case CounterKind::kKmv: {
+      // KMV standard error ~1/sqrt(k-2).
+      const auto k = static_cast<std::size_t>(std::ceil(1.0 / (epsilon * epsilon))) + 2;
+      return std::make_unique<KmvCounter>(k, seed);
+    }
+    case CounterKind::kLinearCounting: {
+      // Load factor ~ n/m; keep m comparable to the largest cardinality the
+      // experiment will feed it (bitmap must not saturate).
+      const std::size_t bits = std::max<std::size_t>(expected_max_f0 * 2, 1024);
+      return std::make_unique<LinearCountingCounter>(bits, seed);
+    }
+    case CounterKind::kHyperLogLog: {
+      // HLL standard error ~1.04/sqrt(m) => m = (1.04/eps)^2.
+      const double m = 1.04 * 1.04 / (epsilon * epsilon);
+      int p = ceil_log2(static_cast<std::uint64_t>(std::ceil(std::max(m, 16.0))));
+      p = std::clamp(p, 4, 18);
+      return std::make_unique<HyperLogLogCounter>(p, seed);
+    }
+  }
+  throw InvalidArgument("unknown counter kind");
+}
+
+std::unique_ptr<DistinctCounter> make_counter_for_space(CounterKind kind, std::size_t bytes,
+                                                        std::uint64_t seed) {
+  USTREAM_REQUIRE(bytes >= 256, "space budget must be at least 256 bytes");
+  switch (kind) {
+    case CounterKind::kExact:
+      return std::make_unique<ExactDistinctCounter>();
+    case CounterKind::kGibbonsTirthapura: {
+      // State is dominated by `copies` DenseMaps of `capacity` entries;
+      // an entry (label + slot + probe share) is ~16 bytes. Use 5 copies
+      // for a mild median boost and give the rest to capacity.
+      EstimatorParams p;
+      p.copies = 5;
+      p.capacity = std::max<std::size_t>(bytes / (p.copies * 16), 4);
+      p.seed = seed;
+      return std::make_unique<GtCounter>(p);
+    }
+    case CounterKind::kFmPcsa:
+      return std::make_unique<FmPcsaCounter>(std::max<std::uint64_t>(ceil_pow2(bytes / 8), 2),
+                                             seed);
+    case CounterKind::kAmsF0:
+      return std::make_unique<AmsF0Counter>(std::max<std::size_t>(bytes / 24, 1), seed);
+    case CounterKind::kBjkst:
+      // Fingerprint entries are ~8 bytes of map state.
+      return std::make_unique<BjkstCounter>(std::max<std::size_t>(bytes / 8, 4), seed);
+    case CounterKind::kKmv:
+      return std::make_unique<KmvCounter>(std::max<std::size_t>(bytes / 16, 2), seed);
+    case CounterKind::kLinearCounting:
+      return std::make_unique<LinearCountingCounter>(std::max<std::size_t>(bytes * 8, 64),
+                                                     seed);
+    case CounterKind::kHyperLogLog: {
+      int p = floor_log2(std::max<std::uint64_t>(bytes, 16));
+      p = std::clamp(p, 4, 18);
+      return std::make_unique<HyperLogLogCounter>(p, seed);
+    }
+  }
+  throw InvalidArgument("unknown counter kind");
+}
+
+}  // namespace ustream

@@ -1,0 +1,65 @@
+// Construction helpers for the baseline-comparison experiments (E6):
+// build any counter either (a) sized by its own theory for a target
+// epsilon, or (b) sized to a common byte budget for an equal-space shootout.
+// Also provides the adapter exposing the Gibbons-Tirthapura estimator
+// through the DistinctCounter interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/distinct_counter.h"
+#include "core/f0_estimator.h"
+
+namespace ustream {
+
+enum class CounterKind {
+  kExact,
+  kGibbonsTirthapura,
+  kFmPcsa,
+  kAmsF0,
+  kBjkst,
+  kKmv,
+  kLinearCounting,
+  kHyperLogLog,
+};
+
+std::string to_string(CounterKind kind);
+// All sketch kinds (excludes kExact), in presentation order.
+const std::vector<CounterKind>& all_sketch_kinds();
+
+// Adapter: the paper's estimator behind the common interface.
+class GtCounter final : public DistinctCounter {
+ public:
+  explicit GtCounter(const EstimatorParams& params) : est_(params) {}
+
+  void add(std::uint64_t label) override { est_.add(label); }
+  double estimate() const override { return est_.estimate(); }
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override { return est_.bytes_used(); }
+  std::string name() const override { return "gibbons-tirthapura"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override {
+    return std::make_unique<GtCounter>(est_.params());
+  }
+
+  const F0Estimator& estimator() const noexcept { return est_; }
+
+ private:
+  F0Estimator est_;
+};
+
+// Counter sized by its own published analysis for relative error ~epsilon
+// (delta fixed at a conventional value where the sketch has a delta knob).
+// kAmsF0 ignores epsilon (constant-factor by design); kLinearCounting
+// sizes its bitmap for the given expected maximum cardinality.
+std::unique_ptr<DistinctCounter> make_counter_for_epsilon(CounterKind kind, double epsilon,
+                                                          std::uint64_t seed,
+                                                          std::size_t expected_max_f0 = 1 << 24);
+
+// Counter sized to approximately `bytes` of state (equal-space shootout).
+std::unique_ptr<DistinctCounter> make_counter_for_space(CounterKind kind, std::size_t bytes,
+                                                        std::uint64_t seed);
+
+}  // namespace ustream

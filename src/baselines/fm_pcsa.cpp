@@ -1,0 +1,58 @@
+#include "baselines/fm_pcsa.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "hash/mix.h"
+
+namespace ustream {
+
+namespace {
+constexpr double kPhi = 0.77351;  // Flajolet-Martin magic constant
+}
+
+FmPcsaCounter::FmPcsaCounter(std::size_t num_bitmaps, std::uint64_t seed)
+    : bitmaps_(num_bitmaps, 0), seed_(seed), index_bits_(ceil_log2(num_bitmaps)) {
+  USTREAM_REQUIRE(num_bitmaps >= 1 && is_pow2(num_bitmaps),
+                  "PCSA bitmap count must be a power of two");
+}
+
+void FmPcsaCounter::add(std::uint64_t label) {
+  const std::uint64_t h = murmur_mix64_seeded(label, seed_);
+  const std::size_t bucket = h & (bitmaps_.size() - 1);
+  const std::uint64_t rest = h >> index_bits_;
+  const int rho = trailing_zeros(rest, 64 - index_bits_);
+  bitmaps_[bucket] |= (std::uint64_t{1} << rho);
+}
+
+double FmPcsaCounter::estimate() const {
+  // Mean index of the lowest unset bit across bitmaps. (The raw FM formula
+  // reports m/phi on an all-empty sketch; report 0 instead.)
+  double sum_r = 0.0;
+  bool any = false;
+  for (std::uint64_t bm : bitmaps_) {
+    any = any || bm != 0;
+    sum_r += static_cast<double>(trailing_zeros(~bm, 64));
+  }
+  if (!any) return 0.0;
+  const auto m = static_cast<double>(bitmaps_.size());
+  return (m / kPhi) * std::pow(2.0, sum_r / m);
+}
+
+void FmPcsaCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const FmPcsaCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr && o->bitmaps_.size() == bitmaps_.size() && o->seed_ == seed_,
+                  "merge requires a PCSA counter with identical parameters");
+  for (std::size_t i = 0; i < bitmaps_.size(); ++i) bitmaps_[i] |= o->bitmaps_[i];
+}
+
+std::size_t FmPcsaCounter::bytes_used() const {
+  return sizeof(*this) + bitmaps_.capacity() * sizeof(std::uint64_t);
+}
+
+std::unique_ptr<DistinctCounter> FmPcsaCounter::clone_empty() const {
+  return std::make_unique<FmPcsaCounter>(bitmaps_.size(), seed_);
+}
+
+}  // namespace ustream

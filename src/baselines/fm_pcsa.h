@@ -1,0 +1,42 @@
+// Flajolet-Martin Probabilistic Counting with Stochastic Averaging (PCSA,
+// 1985) — the classical baseline the paper improves on. Its analysis
+// assumes an idealized (fully random) hash; deployed implementations use a
+// strong mixer, which is what we do (murmur finalizer). The coordinated
+// sampler needs only pairwise independence for the SAME guarantee — that
+// contrast is experiment E6/E9.
+//
+// m bitmaps; each item is routed to one bitmap by the low bits of its hash
+// and sets bit rho(remaining bits). Estimate: (m / phi) * 2^(mean lowest
+// unset bit index), phi ~= 0.77351.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/distinct_counter.h"
+
+namespace ustream {
+
+class FmPcsaCounter final : public DistinctCounter {
+ public:
+  // num_bitmaps must be a power of two.
+  FmPcsaCounter(std::size_t num_bitmaps, std::uint64_t seed);
+
+  void add(std::uint64_t label) override;
+  double estimate() const override;
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override;
+  std::string name() const override { return "fm-pcsa"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override;
+
+  std::size_t num_bitmaps() const noexcept { return bitmaps_.size(); }
+  std::uint64_t bitmap(std::size_t i) const { return bitmaps_.at(i); }
+
+ private:
+  std::vector<std::uint64_t> bitmaps_;
+  std::uint64_t seed_;
+  int index_bits_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,65 @@
+#include "baselines/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "hash/mix.h"
+
+namespace ustream {
+
+HyperLogLogCounter::HyperLogLogCounter(int precision, std::uint64_t seed)
+    : precision_(precision), seed_(seed),
+      registers_(std::size_t{1} << precision, 0) {
+  USTREAM_REQUIRE(precision >= 4 && precision <= 18, "HLL precision must be in [4,18]");
+}
+
+void HyperLogLogCounter::add(std::uint64_t label) {
+  const std::uint64_t h = murmur_mix64_seeded(label, seed_);
+  const std::size_t bucket = h >> (64 - precision_);
+  const std::uint64_t rest = h << precision_;
+  // rho = 1 + number of leading zeros of the remaining bits.
+  const int rho = rest == 0 ? (64 - precision_ + 1) : std::countl_zero(rest) + 1;
+  registers_[bucket] = std::max(registers_[bucket], static_cast<std::uint8_t>(rho));
+}
+
+double HyperLogLogCounter::estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double alpha;
+  if (registers_.size() == 16) alpha = 0.673;
+  else if (registers_.size() == 32) alpha = 0.697;
+  else if (registers_.size() == 64) alpha = 0.709;
+  else alpha = 0.7213 / (1.0 + 1.079 / m);
+  const double raw = alpha * m * m / inv_sum;
+  // Small-range correction: fall back to linear counting.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLogCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const HyperLogLogCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr && o->precision_ == precision_ && o->seed_ == seed_,
+                  "merge requires an HLL counter with identical parameters");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], o->registers_[i]);
+  }
+}
+
+std::size_t HyperLogLogCounter::bytes_used() const {
+  return sizeof(*this) + registers_.capacity();
+}
+
+std::unique_ptr<DistinctCounter> HyperLogLogCounter::clone_empty() const {
+  return std::make_unique<HyperLogLogCounter>(precision_, seed_);
+}
+
+}  // namespace ustream

@@ -1,0 +1,39 @@
+// HyperLogLog (Flajolet et al. 2007): the modern production descendant of
+// FM sketching. 2^p six-bit registers (stored as bytes here), harmonic-mean
+// estimate with the alpha_m bias constant and linear-counting small-range
+// correction. Included to situate the 2001 coordinated sampler against
+// what practice eventually adopted: HLL wins on space-per-accuracy for
+// plain F0, but (like PCSA) relies on empirically-strong hashing and
+// supports none of the coordinated sample's label-level queries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/distinct_counter.h"
+
+namespace ustream {
+
+class HyperLogLogCounter final : public DistinctCounter {
+ public:
+  // precision p in [4, 18]: 2^p registers.
+  HyperLogLogCounter(int precision, std::uint64_t seed);
+
+  void add(std::uint64_t label) override;
+  double estimate() const override;
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override;
+  std::string name() const override { return "hyperloglog"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override;
+
+  int precision() const noexcept { return precision_; }
+  std::uint8_t register_at(std::size_t i) const { return registers_.at(i); }
+
+ private:
+  int precision_;
+  std::uint64_t seed_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,77 @@
+#include "baselines/kmv.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "hash/mix.h"
+
+namespace ustream {
+
+KmvCounter::KmvCounter(std::size_t k, std::uint64_t seed)
+    : k_(k), seed_(seed), members_(k + 1) {
+  USTREAM_REQUIRE(k >= 2, "KMV needs k >= 2");
+  heap_.reserve(k);
+}
+
+void KmvCounter::sift_up(std::size_t i) noexcept {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (heap_[parent] >= heap_[i]) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void KmvCounter::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t largest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && heap_[l] > heap_[largest]) largest = l;
+    if (r < n && heap_[r] > heap_[largest]) largest = r;
+    if (largest == i) return;
+    std::swap(heap_[i], heap_[largest]);
+    i = largest;
+  }
+}
+
+void KmvCounter::push(std::uint64_t hv) {
+  if (heap_.size() < k_) {
+    if (!members_.insert(hv)) return;  // duplicate hash value (same label)
+    heap_.push_back(hv);
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  if (hv >= heap_.front()) return;  // not among the k smallest
+  if (!members_.insert(hv)) return;
+  // Replace the maximum. The evicted value stays in `members_` as a
+  // harmless tombstone — a re-arrival of it would be >= heap max anyway.
+  heap_.front() = hv;
+  sift_down(0);
+}
+
+void KmvCounter::add(std::uint64_t label) { push(murmur_mix64_seeded(label, seed_)); }
+
+double KmvCounter::estimate() const {
+  if (heap_.size() < k_) return static_cast<double>(heap_.size());  // exact regime
+  // v_k = k-th smallest normalized to (0,1]; estimate (k-1)/v_k.
+  const double vk = (static_cast<double>(heap_.front()) + 1.0) * 0x1.0p-64;
+  return static_cast<double>(k_ - 1) / vk;
+}
+
+void KmvCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const KmvCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr && o->k_ == k_ && o->seed_ == seed_,
+                  "merge requires a KMV counter with identical parameters");
+  for (std::uint64_t hv : o->heap_) push(hv);
+}
+
+std::size_t KmvCounter::bytes_used() const {
+  return sizeof(*this) + heap_.capacity() * sizeof(std::uint64_t) + members_.bytes_used();
+}
+
+std::unique_ptr<DistinctCounter> KmvCounter::clone_empty() const {
+  return std::make_unique<KmvCounter>(k_, seed_);
+}
+
+}  // namespace ustream

@@ -1,0 +1,42 @@
+// KMV (k-minimum values) distinct counter (Bar-Yossef et al. 2002 lineage;
+// the direct descendant of coordinated sampling and the core of Apache
+// DataSketches' theta sketch). Keeps the k smallest hash values seen;
+// estimate is (k-1) / v_k normalized to the hash range. Mergeable by
+// keeping the k smallest of the union.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/distinct_counter.h"
+#include "common/dense_map.h"
+
+namespace ustream {
+
+class KmvCounter final : public DistinctCounter {
+ public:
+  KmvCounter(std::size_t k, std::uint64_t seed);
+
+  void add(std::uint64_t label) override;
+  double estimate() const override;
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override;
+  std::string name() const override { return "kmv"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override;
+
+  std::size_t k() const noexcept { return k_; }
+  std::size_t held() const noexcept { return heap_.size(); }
+
+ private:
+  void push(std::uint64_t hash_value);
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+
+  std::size_t k_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> heap_;  // max-heap of the k smallest hash values
+  DenseSet members_;                 // dedup: hash values currently held
+};
+
+}  // namespace ustream

@@ -1,0 +1,55 @@
+#include "baselines/linear_counting.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+#include "hash/mix.h"
+
+namespace ustream {
+
+LinearCountingCounter::LinearCountingCounter(std::size_t bits, std::uint64_t seed)
+    : bits_(bits), seed_(seed), words_((bits + 63) / 64, 0) {
+  USTREAM_REQUIRE(bits >= 64, "linear counting needs at least 64 bits");
+}
+
+void LinearCountingCounter::add(std::uint64_t label) {
+  const std::uint64_t h = murmur_mix64_seeded(label, seed_) % bits_;
+  const std::uint64_t mask = std::uint64_t{1} << (h & 63);
+  std::uint64_t& word = words_[h >> 6];
+  if (!(word & mask)) {
+    word |= mask;
+    ++set_bits_;
+  }
+}
+
+double LinearCountingCounter::estimate() const {
+  const auto m = static_cast<double>(bits_);
+  const auto empty = static_cast<double>(bits_ - set_bits_);
+  if (empty <= 0.0) {
+    // Bitmap saturated: report the (divergent) upper end of the range.
+    return m * std::log(m);
+  }
+  return m * std::log(m / empty);
+}
+
+void LinearCountingCounter::merge(const DistinctCounter& other) {
+  const auto* o = dynamic_cast<const LinearCountingCounter*>(&other);
+  USTREAM_REQUIRE(o != nullptr && o->bits_ == bits_ && o->seed_ == seed_,
+                  "merge requires a linear-counting counter with identical parameters");
+  set_bits_ = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= o->words_[i];
+    set_bits_ += static_cast<std::size_t>(std::popcount(words_[i]));
+  }
+}
+
+std::size_t LinearCountingCounter::bytes_used() const {
+  return sizeof(*this) + words_.capacity() * sizeof(std::uint64_t);
+}
+
+std::unique_ptr<DistinctCounter> LinearCountingCounter::clone_empty() const {
+  return std::make_unique<LinearCountingCounter>(bits_, seed_);
+}
+
+}  // namespace ustream

@@ -1,0 +1,37 @@
+// Linear counting (Whang et al. 1990): an m-bit bitmap; item x sets bit
+// h(x) mod m; estimate m * ln(m / empty_bits). Accurate while the bitmap
+// is sparse-to-moderately loaded, but space is LINEAR in F0 for fixed
+// relative error — the contrast with logarithmic-space sketches that E6's
+// space column makes visible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/distinct_counter.h"
+
+namespace ustream {
+
+class LinearCountingCounter final : public DistinctCounter {
+ public:
+  LinearCountingCounter(std::size_t bits, std::uint64_t seed);
+
+  void add(std::uint64_t label) override;
+  double estimate() const override;
+  void merge(const DistinctCounter& other) override;
+  std::size_t bytes_used() const override;
+  std::string name() const override { return "linear-counting"; }
+  std::unique_ptr<DistinctCounter> clone_empty() const override;
+
+  std::size_t bit_count() const noexcept { return bits_; }
+  std::size_t bits_set() const noexcept { return set_bits_; }
+
+ private:
+  std::size_t bits_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> words_;
+  std::size_t set_bits_ = 0;
+};
+
+}  // namespace ustream

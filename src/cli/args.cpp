@@ -1,0 +1,67 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+
+namespace ustream::cli {
+
+Args::Args(const std::vector<std::string>& argv) {
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      USTREAM_REQUIRE(!key.empty(), "empty flag name");
+      if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+        flags_[key] = argv[++i];
+      } else {
+        flags_[key] = "";  // boolean flag
+      }
+      consumed_[key] = false;
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string Args::str(const std::string& key, const std::string& fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+std::string Args::required_str(const std::string& key) const {
+  auto it = flags_.find(key);
+  USTREAM_REQUIRE(it != flags_.end(), "missing required flag --" + key);
+  consumed_[key] = true;
+  return it->second;
+}
+
+std::uint64_t Args::u64(const std::string& key, std::uint64_t fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+  USTREAM_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                  "flag --" + key + " expects an unsigned integer, got '" + it->second + "'");
+  return v;
+}
+
+double Args::f64(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  USTREAM_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                  "flag --" + key + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+void Args::reject_unknown() const {
+  for (const auto& [key, used] : consumed_) {
+    USTREAM_REQUIRE(used, "unknown flag --" + key);
+  }
+}
+
+}  // namespace ustream::cli

@@ -1,0 +1,205 @@
+#include "cli/commands.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "baselines/exact.h"
+#include "cli/args.h"
+#include "common/serialize.h"
+#include "core/params.h"
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+
+namespace ustream::cli {
+
+namespace {
+
+constexpr std::uint32_t kSketchMagic = 0x454b5355;  // "USKE"
+
+void append(std::string& out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  USTREAM_REQUIRE(f != nullptr, "cannot open file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size < 0 ? 0 : size));
+  const bool ok = buf.empty() || std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) throw SerializationError("short read: " + path);
+  return buf;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  USTREAM_REQUIRE(f != nullptr, "cannot open file for writing: " + path);
+  const bool ok = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) throw SerializationError("short write: " + path);
+}
+
+int cmd_generate(const Args& args, std::string& out) {
+  StreamConfig config;
+  config.distinct = args.u64("distinct", 100'000);
+  config.total_items = args.u64("items", config.distinct * 3);
+  config.zipf_alpha = args.f64("alpha", 1.0);
+  config.seed = args.u64("seed", 1);
+  config.value_lo = args.f64("value-lo", 0.0);
+  config.value_hi = args.f64("value-hi", 1.0);
+  const std::string kind = args.str("labels", "random");
+  config.label_kind = kind == "sequential" ? LabelKind::kSequential
+                      : kind == "clustered" ? LabelKind::kClustered
+                                            : LabelKind::kRandom64;
+  const std::string path = args.required_str("out");
+  args.reject_unknown();
+  SyntheticStream stream(config);
+  write_trace(path, stream.to_vector());
+  append(out, "wrote %zu items (%zu distinct, alpha %.2f) to %s", config.total_items,
+         config.distinct, config.zipf_alpha, path.c_str());
+  return 0;
+}
+
+int cmd_sketch(const Args& args, std::string& out) {
+  const std::string in = args.required_str("in");
+  const std::string out_path = args.required_str("out");
+  const double eps = args.f64("eps", 0.1);
+  const double delta = args.f64("delta", 0.05);
+  const std::uint64_t seed = args.u64("seed", 0x5eed0123456789abULL);
+  args.reject_unknown();
+  F0Estimator estimator(EstimatorParams::for_guarantee(eps, delta, seed));
+  const auto items = read_trace(in);
+  for (const Item& item : items) estimator.add(item.label);
+  write_sketch_file(out_path, estimator);
+  append(out, "sketched %zu items from %s -> %s (%zu bytes, estimate %.0f)", items.size(),
+         in.c_str(), out_path.c_str(), read_file(out_path).size(), estimator.estimate());
+  return 0;
+}
+
+int cmd_merge(const Args& args, std::string& out) {
+  const std::string out_path = args.required_str("out");
+  args.reject_unknown();
+  const auto& inputs = args.positional();
+  USTREAM_REQUIRE(!inputs.empty(), "merge needs at least one input sketch");
+  F0Estimator merged = read_sketch_file(inputs[0]);
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    merged.merge(read_sketch_file(inputs[i]));
+  }
+  write_sketch_file(out_path, merged);
+  append(out, "merged %zu sketches -> %s (union estimate %.0f)", inputs.size(),
+         out_path.c_str(), merged.estimate());
+  return 0;
+}
+
+int cmd_estimate(const Args& args, std::string& out) {
+  args.reject_unknown();
+  USTREAM_REQUIRE(!args.positional().empty(), "estimate needs a sketch file");
+  for (const auto& path : args.positional()) {
+    const F0Estimator est = read_sketch_file(path);
+    append(out, "%s: distinct ~= %.0f", path.c_str(), est.estimate());
+  }
+  return 0;
+}
+
+int cmd_exact(const Args& args, std::string& out) {
+  const std::string in = args.required_str("in");
+  args.reject_unknown();
+  ExactDistinctCounter exact;
+  const auto items = read_trace(in);
+  for (const Item& item : items) exact.add(item.label);
+  append(out, "%s: %zu items, %llu distinct (exact)", in.c_str(), items.size(),
+         static_cast<unsigned long long>(exact.count()));
+  return 0;
+}
+
+int cmd_info(const Args& args, std::string& out) {
+  args.reject_unknown();
+  USTREAM_REQUIRE(!args.positional().empty(), "info needs at least one file");
+  for (const auto& path : args.positional()) {
+    const auto bytes = read_file(path);
+    if (bytes.size() >= 4) {
+      ByteReader r(bytes);
+      const std::uint32_t magic = r.u32();
+      if (magic == kSketchMagic) {
+        const F0Estimator est = read_sketch_file(path);
+        append(out, "%s: sketch, %zu bytes, %zu copies x capacity %zu, seed %llu",
+               path.c_str(), bytes.size(), est.params().copies, est.params().capacity,
+               static_cast<unsigned long long>(est.params().seed));
+        continue;
+      }
+      if (magic == 0x52545355) {  // "USTR"
+        const auto items = read_trace(path);
+        append(out, "%s: trace, %zu bytes, %zu items", path.c_str(), bytes.size(),
+               items.size());
+        continue;
+      }
+    }
+    append(out, "%s: unrecognized format (%zu bytes)", path.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+void write_sketch_file(const std::string& path, const F0Estimator& estimator) {
+  ByteWriter w;
+  w.u32(kSketchMagic);
+  estimator.serialize(w);
+  write_file(path, w.data());
+}
+
+F0Estimator read_sketch_file(const std::string& path) {
+  const auto bytes = read_file(path);
+  ByteReader r(bytes);
+  if (r.remaining() < 4 || r.u32() != kSketchMagic) {
+    throw SerializationError("not a ustream sketch file: " + path);
+  }
+  F0Estimator est = F0Estimator::deserialize(r);
+  if (!r.done()) throw SerializationError("trailing bytes in sketch file: " + path);
+  return est;
+}
+
+std::string usage() {
+  return "usage: ustream <command> [flags]\n"
+         "  generate --out FILE [--distinct N] [--items M] [--alpha A]\n"
+         "           [--labels random|sequential|clustered] [--seed S]\n"
+         "  sketch   --in TRACE --out SKETCH [--eps E] [--delta D] [--seed S]\n"
+         "  merge    --out SKETCH IN1 IN2 ...\n"
+         "  estimate SKETCH...\n"
+         "  exact    --in TRACE\n"
+         "  info     FILE...\n";
+}
+
+int run(const std::vector<std::string>& argv, std::string& out) {
+  try {
+    if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
+      out += usage();
+      return argv.empty() ? 2 : 0;
+    }
+    const std::string command = argv[0];
+    const Args args(std::vector<std::string>(argv.begin() + 1, argv.end()));
+    if (command == "generate") return cmd_generate(args, out);
+    if (command == "sketch") return cmd_sketch(args, out);
+    if (command == "merge") return cmd_merge(args, out);
+    if (command == "estimate") return cmd_estimate(args, out);
+    if (command == "exact") return cmd_exact(args, out);
+    if (command == "info") return cmd_info(args, out);
+    out += "unknown command: " + command + "\n" + usage();
+    return 2;
+  } catch (const std::exception& e) {
+    out += std::string("error: ") + e.what() + "\n";
+    return 1;
+  }
+}
+
+}  // namespace ustream::cli

@@ -1,0 +1,33 @@
+// The ustream command-line tool, as a library so tests can drive it.
+//
+// Workflow it supports (mirroring the distributed model on files):
+//   ustream generate --distinct 100000 --items 500000 --out site0.trace
+//   ustream sketch   --in site0.trace --eps 0.1 --delta 0.05 --out site0.sk
+//   ustream merge    --out union.sk site0.sk site1.sk site2.sk
+//   ustream estimate union.sk
+//   ustream exact    --in site0.trace
+//   ustream info     site0.trace union.sk
+//
+// Sketch files carry a magic header; all sketches to be merged must have
+// been built with the same --eps/--delta/--seed (the coordination rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/f0_estimator.h"
+
+namespace ustream::cli {
+
+// Runs one CLI invocation; argv excludes the program name (argv[0] is the
+// subcommand). Output lines go to `out`. Returns the process exit code.
+int run(const std::vector<std::string>& argv, std::string& out);
+
+// Sketch-file helpers (exposed for tests).
+void write_sketch_file(const std::string& path, const F0Estimator& estimator);
+F0Estimator read_sketch_file(const std::string& path);
+
+std::string usage();
+
+}  // namespace ustream::cli

@@ -1,0 +1,15 @@
+// ustream — command-line front end for the library: generate traces,
+// sketch them, merge sketches across "sites", estimate the union.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  const int code = ustream::cli::run(args, out);
+  std::fputs(out.c_str(), code == 0 ? stdout : stderr);
+  return code;
+}

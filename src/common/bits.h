@@ -1,0 +1,54 @@
+// Small bit-manipulation helpers used by the hash and sketch layers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ustream {
+
+// Number of trailing zero bits of v, with tzcnt(0) defined as `width`.
+// Used to compute the geometric "level" of a hashed label: if v is uniform
+// on [0, 2^width), then Pr[tzcnt(v) >= l] = 2^-l for l <= width.
+constexpr int trailing_zeros(std::uint64_t v, int width = 64) noexcept {
+  if (v == 0) return width;
+  return std::countr_zero(v);
+}
+
+// Number of leading zero bits within the low `width` bits of v
+// (v must fit in `width` bits). lzcnt of 0 is `width`.
+constexpr int leading_zeros(std::uint64_t v, int width = 64) noexcept {
+  if (v == 0) return width;
+  return std::countl_zero(v) - (64 - width);
+}
+
+// Position (1-based) of the least significant set bit; 0 if v == 0.
+// This is Flajolet-Martin's rho function shifted by one.
+constexpr int lsb_rank(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : std::countr_zero(v) + 1;
+}
+
+// Smallest power of two >= v (v >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t v) noexcept {
+  return std::bit_ceil(v);
+}
+
+constexpr bool is_pow2(std::uint64_t v) noexcept { return std::has_single_bit(v); }
+
+// floor(log2(v)) for v >= 1.
+constexpr int floor_log2(std::uint64_t v) noexcept { return 63 - std::countl_zero(v); }
+
+// ceil(log2(v)) for v >= 1.
+constexpr int ceil_log2(std::uint64_t v) noexcept {
+  return v <= 1 ? 0 : 64 - std::countl_zero(v - 1);
+}
+
+// Reverse the low `width` bits of v.
+constexpr std::uint64_t reverse_bits(std::uint64_t v, int width = 64) noexcept {
+  std::uint64_t r = 0;
+  for (int i = 0; i < width; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace ustream

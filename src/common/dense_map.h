@@ -1,0 +1,181 @@
+// DenseMap: open-addressing hash map from uint64 labels to a small value
+// type, with dense entry storage.
+//
+// Tailored to the access pattern of level-based samplers:
+//   * insert-if-absent and lookup are the hot operations;
+//   * deletion only ever happens in bulk ("drop every entry below level l"),
+//     implemented as an in-place filter + index rebuild, so the probe table
+//     needs no tombstones;
+//   * iteration over live entries must be cache-friendly (dense vector).
+//
+// The probe table stores 1-based indices into the entry vector; 0 = empty.
+// Table placement uses a fixed avalanche mix of the label — independent of
+// any sampler hash, so pathological inputs for the sampler's pairwise hash
+// cannot also degrade the table.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace ustream {
+
+namespace detail {
+constexpr std::uint64_t dense_map_mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 32;
+  return x;
+}
+}  // namespace detail
+
+template <typename V>
+class DenseMap {
+ public:
+  struct Entry {
+    std::uint64_t key;
+    V value;
+  };
+
+  DenseMap() { rebuild(kMinSlots); }
+  explicit DenseMap(std::size_t expected_size) {
+    rebuild(table_size_for(expected_size));
+    entries_.reserve(expected_size);
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  // Inserts (key, value) if key is absent. Returns {pointer to entry,
+  // inserted?}. Pointers are invalidated by any mutating call.
+  std::pair<Entry*, bool> try_emplace(std::uint64_t key, V value) {
+    if ((entries_.size() + 1) * 8 > slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = detail::dense_map_mix(key) & mask;
+    while (true) {
+      const std::uint32_t slot = slots_[pos];
+      if (slot == 0) {
+        entries_.push_back(Entry{key, std::move(value)});
+        slots_[pos] = static_cast<std::uint32_t>(entries_.size());
+        return {&entries_.back(), true};
+      }
+      Entry& e = entries_[slot - 1];
+      if (e.key == key) return {&e, false};
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  Entry* find(std::uint64_t key) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = detail::dense_map_mix(key) & mask;
+    while (true) {
+      const std::uint32_t slot = slots_[pos];
+      if (slot == 0) return nullptr;
+      Entry& e = entries_[slot - 1];
+      if (e.key == key) return &e;
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  const Entry* find(std::uint64_t key) const noexcept {
+    return const_cast<DenseMap*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const noexcept { return find(key) != nullptr; }
+
+  // Keeps exactly the entries for which pred(entry) is true; single pass,
+  // then rebuilds the probe table. This is the bulk "raise the level"
+  // eviction used by samplers.
+  template <typename Pred>
+  void filter(Pred pred) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < entries_.size(); ++r) {
+      if (pred(static_cast<const Entry&>(entries_[r]))) {
+        if (w != r) entries_[w] = std::move(entries_[r]);
+        ++w;
+      }
+    }
+    entries_.resize(w);
+    reindex();
+  }
+
+  void clear() {
+    entries_.clear();
+    rebuild(kMinSlots);
+  }
+
+  // Dense iteration over live entries, in insertion(-ish) order.
+  auto begin() noexcept { return entries_.begin(); }
+  auto end() noexcept { return entries_.end(); }
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  // Memory footprint in bytes (entries + probe table), for space accounting.
+  std::size_t bytes_used() const noexcept {
+    return entries_.capacity() * sizeof(Entry) + slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 16;
+
+  static std::size_t table_size_for(std::size_t n) {
+    // Keep load factor under 7/8.
+    std::size_t want = ceil_pow2(n + n / 4 + kMinSlots);
+    return want < kMinSlots ? kMinSlots : want;
+  }
+
+  void rebuild(std::size_t slot_count) {
+    slots_.assign(slot_count, 0);
+    reindex_into_current();
+  }
+
+  void reindex() { rebuild(table_size_for(entries_.size())); }
+
+  void grow() {
+    slots_.assign(slots_.size() * 2, 0);
+    reindex_into_current();
+  }
+
+  void reindex_into_current() noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t pos = detail::dense_map_mix(entries_[i].key) & mask;
+      while (slots_[pos] != 0) pos = (pos + 1) & mask;
+      slots_[pos] = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> slots_;
+};
+
+// A set of uint64 keys built on DenseMap; used by the exact baseline.
+class DenseSet {
+ public:
+  DenseSet() = default;
+  explicit DenseSet(std::size_t expected) : map_(expected) {}
+
+  // Returns true if the key was newly inserted.
+  bool insert(std::uint64_t key) { return map_.try_emplace(key, Empty{}).second; }
+  bool contains(std::uint64_t key) const noexcept { return map_.contains(key); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t bytes_used() const noexcept { return map_.bytes_used(); }
+  void clear() { map_.clear(); }
+
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const auto& e : map_) fn(e.key);
+  }
+
+ private:
+  struct Empty {};
+  DenseMap<Empty> map_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,38 @@
+// Error types shared across the ustream library.
+//
+// The library throws exceptions only on programmer error (bad parameters,
+// corrupt serialized state). Hot paths (sketch updates) never throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ustream {
+
+// Thrown when a caller passes an invalid parameter (epsilon out of range,
+// zero capacity, mismatched merge seeds, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+// Thrown when deserializing a buffer that is truncated or structurally
+// inconsistent with the expected wire format.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown by the distributed runtime on protocol misuse (e.g. querying a
+// referee before all sites reported).
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+#define USTREAM_REQUIRE(cond, msg)                  \
+  do {                                              \
+    if (!(cond)) throw ::ustream::InvalidArgument(msg); \
+  } while (0)
+
+}  // namespace ustream

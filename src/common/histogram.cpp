@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace ustream {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  USTREAM_REQUIRE(hi > lo, "histogram range must be nonempty");
+  USTREAM_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bin_low(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(counts_[i] * width / peak);
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8llu |", bin_low(i), bin_high(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ || overflow_) {
+    std::snprintf(line, sizeof(line), "underflow=%llu overflow=%llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+void Log2Histogram::add(std::uint64_t x) noexcept {
+  const std::size_t idx = (x == 0) ? 0 : static_cast<std::size_t>(floor_log2(x)) + 1;
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::bucket(int i) const noexcept {
+  const auto idx = static_cast<std::size_t>(i);
+  return idx < counts_.size() ? counts_[idx] : 0;
+}
+
+int Log2Histogram::max_bucket() const noexcept {
+  return counts_.empty() ? -1 : static_cast<int>(counts_.size()) - 1;
+}
+
+std::string Log2Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t lo = (i == 0) ? 0 : (1ULL << (i - 1));
+    const auto bar = static_cast<std::size_t>(counts_[i] * width / peak);
+    std::snprintf(line, sizeof(line), "[%12llu, ...) %8llu |", static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ustream

@@ -1,0 +1,52 @@
+// Fixed-bin and log-scale histograms for experiment harnesses
+// (error distributions, level distributions, message-size distributions).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ustream {
+
+// Linear-bin histogram over [lo, hi); out-of-range values land in
+// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const noexcept { return counts_[i]; }
+  double bin_low(std::size_t i) const noexcept;
+  double bin_high(std::size_t i) const noexcept { return bin_low(i + 1); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  // Multi-line ASCII rendering (used by bench harness --verbose output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+// Power-of-two bucketed histogram for nonnegative integers (level counts,
+// byte sizes). Bucket i holds values in [2^i, 2^(i+1)).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x) noexcept;
+  std::uint64_t bucket(int i) const noexcept;
+  int max_bucket() const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;  // index 0 => value 0, index i => [2^(i-1), 2^i)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ustream

@@ -1,0 +1,64 @@
+#include "common/random.h"
+
+namespace ustream {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.
+  unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+}  // namespace ustream

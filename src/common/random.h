@@ -1,0 +1,102 @@
+// Deterministic, seedable PRNGs used throughout the library.
+//
+// We deliberately do not use std::mt19937 in library code: sketch seeds must
+// be cheap to split (every independent estimator copy draws its own hash
+// coefficients) and reproducible across platforms. SplitMix64 is used as a
+// seed sequencer / mixer, xoshiro256** as the general-purpose generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ustream {
+
+// SplitMix64 (Steele, Lea, Flood). Passes BigCrush when used as a stream;
+// its main role here is turning an arbitrary 64-bit seed into a sequence of
+// well-mixed 64-bit words for seeding other generators and hash families.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // Stateless mix: a single SplitMix64 round applied to x. A good cheap
+  // finalizer with full avalanche; used to decorrelate derived seeds.
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** (Blackman, Vigna). Fast, high-quality 256-bit state PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+
+  // Uniform in [0, bound); bound > 0. Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform01(); }
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  // Jump ahead by 2^128 steps: yields non-overlapping subsequences for
+  // parallel sites driven from a single seed.
+  void jump() noexcept;
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+// A tiny helper that hands out decorrelated child seeds from one root seed.
+// Child k of seed s is independent of child j != k for all practical
+// purposes (full-avalanche mixing of the pair).
+class SeedSequence {
+ public:
+  explicit constexpr SeedSequence(std::uint64_t root) noexcept : root_(root) {}
+
+  constexpr std::uint64_t child(std::uint64_t index) const noexcept {
+    return SplitMix64::mix(root_ ^ SplitMix64::mix(index + 0x51ed2701a4ull));
+  }
+
+  constexpr std::uint64_t root() const noexcept { return root_; }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,70 @@
+// Byte-level serialization for sketches and distributed messages.
+//
+// The wire format is what the distributed-streams model charges for: each
+// party ships exactly one serialized sketch to the referee (E4 measures
+// these bytes). Format: little-endian fixed-width integers plus LEB128
+// varints for counts and deltas. Explicitly versioned per message type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ustream {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  // Unsigned LEB128 variable-length integer (1-10 bytes).
+  void varint(std::uint64_t v);
+  // ZigZag-encoded signed varint.
+  void svarint(std::int64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::uint64_t varint();
+  std::int64_t svarint();
+  std::vector<std::uint8_t> bytes(std::size_t n);
+  std::string str();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw SerializationError("truncated buffer");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ustream

@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ustream {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  mean_ = (n * mean_ + m * other.mean_) / (n + m);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Sample::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Sample::mean() const noexcept {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Sample::stddev() const noexcept {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Sample::quantile(double q) const {
+  USTREAM_REQUIRE(!xs_.empty(), "quantile of empty sample");
+  USTREAM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  ensure_sorted();
+  if (xs_.size() == 1) return xs_[0];
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double Sample::fraction_above(double threshold) const noexcept {
+  if (xs_.empty()) return 0.0;
+  std::size_t k = 0;
+  for (double x : xs_) {
+    if (x > threshold) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(xs_.size());
+}
+
+double relative_error(double estimate, double truth) noexcept {
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+double signed_relative_error(double estimate, double truth) noexcept {
+  return (estimate - truth) / truth;
+}
+
+double median_of(std::vector<double> xs) {
+  USTREAM_REQUIRE(!xs.empty(), "median of empty vector");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  if (xs.size() % 2 == 1) return xs[mid];
+  const double hi = xs[mid];
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (xs[mid - 1] + hi);
+}
+
+std::uint64_t median_of_u64(std::vector<std::uint64_t> xs) {
+  USTREAM_REQUIRE(!xs.empty(), "median of empty vector");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  return xs[mid];
+}
+
+}  // namespace ustream

@@ -1,0 +1,77 @@
+// Streaming/offline summary statistics used by the benchmark harnesses and
+// the accuracy experiments (E1-E11): mean, variance, quantiles, relative
+// error aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ustream {
+
+// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  // Merge another accumulator into this one (Chan et al. parallel update).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Offline sample that answers arbitrary quantiles. Stores all observations;
+// intended for experiment harnesses (thousands of trials), not data paths.
+class Sample {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const noexcept { return xs_.size(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  // q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  // Fraction of observations with value > threshold (used to measure the
+  // empirical failure probability Pr[relative error > epsilon]).
+  double fraction_above(double threshold) const noexcept;
+
+  const std::vector<double>& values() const noexcept { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+// Relative error |est - truth| / truth; truth must be nonzero.
+double relative_error(double estimate, double truth) noexcept;
+
+// Signed relative error (est - truth) / truth; truth must be nonzero.
+double signed_relative_error(double estimate, double truth) noexcept;
+
+// Median of a (small) vector, destructive partial sort. Used for
+// median-of-copies estimator boosting.
+double median_of(std::vector<double> xs);
+std::uint64_t median_of_u64(std::vector<std::uint64_t> xs);
+
+}  // namespace ustream

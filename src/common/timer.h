@@ -1,0 +1,33 @@
+// Wall-clock timing helper for the table-style benchmark harnesses
+// (google-benchmark handles the microbenchmarks; this covers end-to-end
+// experiment loops that print paper-style rows).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ustream {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+  std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ustream

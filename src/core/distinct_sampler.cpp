@@ -1,0 +1,128 @@
+#include "core/distinct_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/field61.h"
+
+namespace ustream {
+
+BottomKSampler::BottomKSampler(std::size_t k, std::uint64_t seed)
+    : hash_(seed), seed_(seed), k_(k) {
+  USTREAM_REQUIRE(k >= 2, "bottom-k sampler needs k >= 2");
+  entries_.reserve(k);
+}
+
+bool BottomKSampler::contains_hash(std::uint64_t h) const noexcept {
+  // Hashes are unique per label (the pairwise map is a field bijection), so
+  // hash equality == label equality.
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), h,
+      [](const Entry& e, std::uint64_t value) { return e.hash < value; });
+  return it != entries_.end() && it->hash == h;
+}
+
+void BottomKSampler::insert_entry(const Entry& e) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), e.hash,
+      [](const Entry& x, std::uint64_t value) { return x.hash < value; });
+  if (it != entries_.end() && it->hash == e.hash) return;  // duplicate label
+  entries_.insert(it, e);
+  if (entries_.size() > k_) entries_.pop_back();
+}
+
+void BottomKSampler::add(std::uint64_t label, double value) {
+  const std::uint64_t h = hash_of(label);
+  if (entries_.size() >= k_ && h >= entries_.back().hash) return;  // fast path
+  insert_entry(Entry{h, label, value});
+}
+
+double BottomKSampler::estimate_distinct() const {
+  if (!saturated()) return static_cast<double>(entries_.size());  // exact regime
+  // Normalize the k-th smallest hash to (0, 1] over the field range.
+  const double vk =
+      (static_cast<double>(entries_.back().hash) + 1.0) / static_cast<double>(field61::kPrime);
+  return static_cast<double>(k_ - 1) / vk;
+}
+
+double BottomKSampler::estimate_value_mean() const {
+  if (entries_.empty()) return 0.0;
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.value;
+  return s / static_cast<double>(entries_.size());
+}
+
+double BottomKSampler::estimate_value_quantile(double q) const {
+  USTREAM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  USTREAM_REQUIRE(!entries_.empty(), "quantile of an empty sample");
+  std::vector<double> values;
+  values.reserve(entries_.size());
+  for (const Entry& e : entries_) values.push_back(e.value);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+void BottomKSampler::merge(const BottomKSampler& other) {
+  USTREAM_REQUIRE(can_merge_with(other),
+                  "merge requires bottom-k samplers with identical seed and k");
+  for (const Entry& e : other.entries_) {
+    if (entries_.size() >= k_ && e.hash >= entries_.back().hash) continue;
+    insert_entry(e);
+  }
+}
+
+void BottomKSampler::serialize(ByteWriter& w) const {
+  w.u8(kWireVersion);
+  w.u64(seed_);
+  w.varint(k_);
+  w.varint(entries_.size());
+  std::uint64_t prev = 0;
+  for (const Entry& e : entries_) {  // already sorted by hash
+    w.varint(e.hash - prev);
+    prev = e.hash;
+    w.varint(e.label);
+    w.f64(e.value);
+  }
+}
+
+std::vector<std::uint8_t> BottomKSampler::serialize() const {
+  ByteWriter w(16 + entries_.size() * 20);
+  serialize(w);
+  return w.take();
+}
+
+BottomKSampler BottomKSampler::deserialize(ByteReader& r) {
+  if (r.u8() != kWireVersion) throw SerializationError("bad bottom-k version");
+  const std::uint64_t seed = r.u64();
+  const std::uint64_t k = r.varint();
+  if (k < 2) throw SerializationError("bottom-k k < 2");
+  const std::uint64_t count = r.varint();
+  if (count > k) throw SerializationError("bottom-k overfull");
+  BottomKSampler s(static_cast<std::size_t>(k), seed);
+  std::uint64_t prev_hash = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    const std::uint64_t delta = r.varint();
+    if (i > 0 && delta == 0) throw SerializationError("bottom-k hashes not strictly sorted");
+    e.hash = prev_hash + delta;
+    prev_hash = e.hash;
+    e.label = r.varint();
+    e.value = r.f64();
+    if (s.hash_of(e.label) != e.hash) throw SerializationError("bottom-k hash inconsistent");
+    s.entries_.push_back(e);
+  }
+  return s;
+}
+
+BottomKSampler BottomKSampler::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto s = deserialize(r);
+  if (!r.done()) throw SerializationError("trailing bytes after bottom-k sampler");
+  return s;
+}
+
+}  // namespace ustream

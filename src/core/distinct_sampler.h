@@ -1,0 +1,99 @@
+// BottomKSampler — a coordinated uniform sample of the DISTINCT labels of
+// one stream or of a union of streams, with per-label values.
+//
+// This is the abstract's "extract a sample of the union" capability in its
+// most directly usable form: keep the k labels with the smallest shared
+// hash values (bottom-k). Because the hash is shared, bottom-k sets from
+// different sites merge into the bottom-k of the union; because each
+// distinct label appears once regardless of multiplicity, the sample is
+// uniform over distinct labels. Against the level-based CoordinatedSampler
+// the bottom-k view trades the clean 2^level estimate for an exactly-k
+// sample, which is what statistics over per-label values want:
+//
+//   * estimate_distinct():   (k-1) / h_(k)            (KMV form)
+//   * mean / quantiles of value over distinct labels: statistics of the
+//     sampled values (uniform sample => plug-in estimates)
+//   * fraction of distinct labels with predicate P:   sample fraction
+//
+// The paper's coordinated-sampling idea is exactly what makes the merge
+// sound; KMV/theta sketches are this structure's direct descendants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+class BottomKSampler {
+ public:
+  struct Entry {
+    std::uint64_t hash;   // shared-hash value (the coordination key)
+    std::uint64_t label;
+    double value;         // per-label attribute (first occurrence wins)
+  };
+
+  BottomKSampler(std::size_t k, std::uint64_t seed);
+
+  void add(std::uint64_t label, double value = 0.0);
+
+  // Number of distinct labels currently sampled (== min(k, F0 so far)).
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t k() const noexcept { return k_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  bool saturated() const noexcept { return entries_.size() >= k_; }
+
+  // KMV estimate of the number of distinct labels.
+  double estimate_distinct() const;
+
+  // Plug-in statistics of the per-label value over DISTINCT labels.
+  double estimate_value_mean() const;
+  double estimate_value_quantile(double q) const;
+
+  template <typename Pred>
+  double estimate_fraction_if(Pred pred) const {
+    if (entries_.empty()) return 0.0;
+    std::size_t hits = 0;
+    for (const Entry& e : entries_) {
+      if (pred(e.label, e.value)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(entries_.size());
+  }
+
+  // The sample itself (sorted by hash, i.e. in uniform-random label order).
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  void merge(const BottomKSampler& other);
+  bool can_merge_with(const BottomKSampler& other) const noexcept {
+    return seed_ == other.seed_ && k_ == other.k_;
+  }
+
+  void serialize(ByteWriter& w) const;
+  std::vector<std::uint8_t> serialize() const;
+  static BottomKSampler deserialize(ByteReader& r);
+  static BottomKSampler deserialize(std::span<const std::uint8_t> bytes);
+
+  std::size_t bytes_used() const noexcept {
+    return sizeof(*this) + entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  static constexpr std::uint8_t kWireVersion = 1;
+
+  std::uint64_t hash_of(std::uint64_t label) const noexcept { return hash_(label); }
+  bool contains_hash(std::uint64_t h) const noexcept;
+  void insert_entry(const Entry& e);
+
+  PairwiseHash hash_;
+  std::uint64_t seed_;
+  std::size_t k_;
+  // Sorted ascending by hash; size <= k. Insertion is O(k) worst case but
+  // amortized O(1) once saturated (a random new label beats the threshold
+  // with probability k/F0).
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ustream

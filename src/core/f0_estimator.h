@@ -1,0 +1,157 @@
+// F0Estimator: (epsilon, delta)-approximation of the number of distinct
+// labels in one stream or in the union of many streams (Theorems T1/T2).
+//
+// Runs `copies` independent CoordinatedSamplers (independent hash seeds
+// derived from one root seed) and reports the MEDIAN of their estimates —
+// the standard boosting that turns the per-copy constant failure
+// probability into delta. The estimator is mergeable copy-by-copy, so the
+// distributed referee gets the same guarantee on the union.
+//
+// Beyond F0 it exposes the other "simple functions" the coordinated sample
+// supports: counts/fractions of distinct labels satisfying a predicate,
+// and the sample itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/serialize.h"
+#include "common/stats.h"
+#include "core/coordinated_sampler.h"
+#include "core/params.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+template <typename Hash = PairwiseHash>
+class BasicF0Estimator {
+ public:
+  using Sampler = CoordinatedSampler<Hash, Unit>;
+
+  explicit BasicF0Estimator(const EstimatorParams& params) : params_(params) {
+    USTREAM_REQUIRE(params.copies >= 1, "need at least one copy");
+    SeedSequence seeds(params.seed);
+    copies_.reserve(params.copies);
+    for (std::size_t i = 0; i < params.copies; ++i) {
+      copies_.emplace_back(params.capacity, seeds.child(i));
+    }
+  }
+
+  // Convenience: estimator meeting an (epsilon, delta) guarantee.
+  BasicF0Estimator(double epsilon, double delta,
+                   std::uint64_t seed = 0x5eed0123456789abULL)
+      : BasicF0Estimator(EstimatorParams::for_guarantee(epsilon, delta, seed)) {}
+
+  void add(std::uint64_t label) {
+    for (auto& c : copies_) c.add(label);
+  }
+
+  // Median-of-copies estimate of F0.
+  double estimate() const {
+    std::vector<double> ests;
+    ests.reserve(copies_.size());
+    for (const auto& c : copies_) ests.push_back(c.estimate_distinct());
+    return median_of(std::move(ests));
+  }
+
+  // Estimate of the number of distinct labels satisfying pred.
+  template <typename Pred>
+  double estimate_count_if(Pred pred) const {
+    std::vector<double> ests;
+    ests.reserve(copies_.size());
+    for (const auto& c : copies_) ests.push_back(c.estimate_count_if(pred));
+    return median_of(std::move(ests));
+  }
+
+  // Estimate of the fraction of distinct labels satisfying pred, in [0,1].
+  template <typename Pred>
+  double estimate_fraction_if(Pred pred) const {
+    std::vector<double> ests;
+    ests.reserve(copies_.size());
+    for (const auto& c : copies_) {
+      const auto n = static_cast<double>(c.size());
+      ests.push_back(n == 0.0 ? 0.0
+                              : static_cast<double>(c.estimate_count_if(pred)) /
+                                    (n * std::ldexp(1.0, c.level())));
+    }
+    return median_of(std::move(ests));
+  }
+
+  // A coordinated sample of the distinct labels (from the first copy).
+  std::vector<std::uint64_t> sample_labels() const { return copies_.front().sample_labels(); }
+
+  void merge(const BasicF0Estimator& other) {
+    USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
+                    "merge requires estimators with identical parameters");
+    for (std::size_t i = 0; i < copies_.size(); ++i) copies_[i].merge(other.copies_[i]);
+  }
+
+  bool can_merge_with(const BasicF0Estimator& other) const noexcept {
+    if (copies_.size() != other.copies_.size()) return false;
+    for (std::size_t i = 0; i < copies_.size(); ++i) {
+      if (!copies_[i].can_merge_with(other.copies_[i])) return false;
+    }
+    return true;
+  }
+
+  const EstimatorParams& params() const noexcept { return params_; }
+  std::size_t num_copies() const noexcept { return copies_.size(); }
+  const Sampler& copy(std::size_t i) const { return copies_.at(i); }
+  std::uint64_t items_processed() const noexcept { return copies_.front().items_processed(); }
+
+  std::size_t bytes_used() const noexcept {
+    std::size_t b = sizeof(*this);
+    for (const auto& c : copies_) b += c.bytes_used();
+    return b;
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.u8(kWireVersion);
+    w.u64(params_.seed);
+    w.varint(params_.capacity);
+    w.varint(copies_.size());
+    for (const auto& c : copies_) c.serialize(w);
+  }
+
+  std::vector<std::uint8_t> serialize() const {
+    ByteWriter w;
+    serialize(w);
+    return w.take();
+  }
+
+  static BasicF0Estimator deserialize(ByteReader& r) {
+    if (r.u8() != kWireVersion) throw SerializationError("bad estimator version");
+    EstimatorParams p;
+    p.seed = r.u64();
+    p.capacity = r.varint();
+    p.copies = r.varint();
+    if (p.copies == 0 || p.copies > 4096) throw SerializationError("bad copy count");
+    BasicF0Estimator est(p);
+    est.copies_.clear();
+    for (std::size_t i = 0; i < p.copies; ++i) {
+      est.copies_.push_back(Sampler::deserialize(r));
+      if (est.copies_.back().capacity() != p.capacity)
+        throw SerializationError("copy capacity mismatch");
+    }
+    return est;
+  }
+
+  static BasicF0Estimator deserialize(std::span<const std::uint8_t> bytes) {
+    ByteReader r(bytes);
+    auto e = deserialize(r);
+    if (!r.done()) throw SerializationError("trailing bytes after estimator");
+    return e;
+  }
+
+ private:
+  static constexpr std::uint8_t kWireVersion = 1;
+
+  EstimatorParams params_;
+  std::vector<Sampler> copies_;
+};
+
+using F0Estimator = BasicF0Estimator<PairwiseHash>;
+
+}  // namespace ustream

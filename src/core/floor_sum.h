@@ -1,0 +1,57 @@
+// floor_sum and progression threshold counting.
+//
+// floor_sum(n, m, a, b) = Sum_{i=0}^{n-1} floor((a*i + b) / m), computed in
+// O(log) time by the Euclid-like recurrence. This is the counting oracle
+// behind range-efficient coordinated sampling (after Pavan & Tirthapura):
+// it answers "how many labels in an interval survive the current sampling
+// threshold" without touching the labels individually, because the survival
+// test ( (a*x + b) mod p < t ) counts via two floor_sums.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ustream {
+
+// Sum_{i=0}^{n-1} floor((a*i + b) / m). Requires m > 0.
+// All intermediates fit in unsigned __int128 for the library's use
+// (m = 2^61 - 1, a,b < m, n <= 2^61).
+constexpr unsigned __int128 floor_sum(std::uint64_t n, std::uint64_t m, std::uint64_t a,
+                                      std::uint64_t b) {
+  USTREAM_REQUIRE(m > 0, "floor_sum modulus must be positive");
+  unsigned __int128 ans = 0;
+  while (true) {
+    if (a >= m) {
+      // Triangular contribution of the quotient part of a.
+      ans += (static_cast<unsigned __int128>(n) * (n - 1) / 2) * (a / m);
+      a %= m;
+    }
+    if (b >= m) {
+      ans += static_cast<unsigned __int128>(n) * (b / m);
+      b %= m;
+    }
+    const unsigned __int128 y_max = static_cast<unsigned __int128>(a) * n + b;
+    if (y_max < m) break;
+    // Swap roles (Stern-Brocot style descent).
+    n = static_cast<std::uint64_t>(y_max / m);
+    b = static_cast<std::uint64_t>(y_max % m);
+    std::swap(m, a);
+  }
+  return ans;
+}
+
+// |{ i in [0, n) : (a*i + b) mod p < t }| for t <= p, a,b < p.
+// Identity: [v mod p >= t] = floor((v + p - t)/p) - floor(v/p) for v >= 0,
+// so the count below t is n minus the difference of two floor_sums.
+constexpr std::uint64_t count_below_threshold(std::uint64_t n, std::uint64_t p, std::uint64_t a,
+                                              std::uint64_t b, std::uint64_t t) {
+  USTREAM_REQUIRE(t <= p, "threshold exceeds modulus");
+  if (n == 0 || t == 0) return 0;
+  if (t == p) return n;
+  const unsigned __int128 ge = floor_sum(n, p, a, b + (p - t)) - floor_sum(n, p, a, b);
+  return n - static_cast<std::uint64_t>(ge);
+}
+
+}  // namespace ustream

@@ -1,0 +1,26 @@
+// Explicit instantiations of the sampler/estimator templates for the
+// combinations the library ships, keeping client compile times down and
+// catching template errors at library build time.
+#include "core/coordinated_sampler.h"
+#include "core/distinct_sum.h"
+#include "core/f0_estimator.h"
+#include "hash/hash_family.h"
+
+namespace ustream {
+
+template class CoordinatedSampler<PairwiseHash, Unit>;
+template class CoordinatedSampler<PairwiseHash, double>;
+template class CoordinatedSampler<PairwiseHash, std::uint64_t>;
+template class CoordinatedSampler<TabulationHash, Unit>;
+template class CoordinatedSampler<MultiplyShiftHash, Unit>;
+template class CoordinatedSampler<MurmurMixHash, Unit>;
+
+template class BasicF0Estimator<PairwiseHash>;
+template class BasicF0Estimator<TabulationHash>;
+template class BasicF0Estimator<MultiplyShiftHash>;
+template class BasicF0Estimator<MurmurMixHash>;
+
+template class BasicDistinctSumEstimator<PairwiseHash, double>;
+template class BasicDistinctSumEstimator<PairwiseHash, std::uint64_t>;
+
+}  // namespace ustream

@@ -1,0 +1,40 @@
+#include "core/params.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ustream {
+
+std::size_t EstimatorParams::copies_for_delta(double delta) {
+  USTREAM_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  // Median of r copies, each failing w.p. p <= 1/3: failure requires >= r/2
+  // failures; Chernoff gives Pr <= exp(-r * D(1/2 || 1/3)) with
+  // D(1/2||1/3) ~= 0.0589. r = ceil(ln(1/delta)/0.0589) is sufficient; we
+  // use the conventional 18*ln(1/delta) styled constant divided for
+  // practicality: 12*ln(1/delta) rounded up to odd.
+  const double r = 12.0 * std::log(1.0 / delta);
+  auto copies = static_cast<std::size_t>(std::ceil(r));
+  if (copies < 1) copies = 1;
+  if (copies % 2 == 0) ++copies;
+  return copies;
+}
+
+std::size_t EstimatorParams::capacity_for_epsilon(double epsilon, double capacity_constant) {
+  USTREAM_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  USTREAM_REQUIRE(capacity_constant > 0.0, "capacity constant must be positive");
+  const double c = capacity_constant / (epsilon * epsilon);
+  auto capacity = static_cast<std::size_t>(std::ceil(c));
+  return capacity < 4 ? 4 : capacity;
+}
+
+EstimatorParams EstimatorParams::for_guarantee(double epsilon, double delta, std::uint64_t seed,
+                                               double capacity_constant) {
+  EstimatorParams p;
+  p.capacity = capacity_for_epsilon(epsilon, capacity_constant);
+  p.copies = copies_for_delta(delta);
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace ustream

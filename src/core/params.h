@@ -1,0 +1,41 @@
+// Parameter calculus: turning a target (epsilon, delta) guarantee into the
+// concrete knobs of the coordinated sampler — per-copy sample capacity and
+// number of independent copies whose median is reported.
+//
+// Following the paper's analysis: with a pairwise-independent hash and
+// capacity c = kCapacityConstant / eps^2, a single coordinated sample's
+// estimate |S| * 2^level is within (1 +- eps) of F0 except with (constant)
+// probability < 1/3; the median of r = O(log 1/delta) independent copies
+// then fails with probability at most delta (standard Chernoff boosting).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ustream {
+
+struct EstimatorParams {
+  std::size_t capacity = 576;  // per-copy sample capacity c
+  std::size_t copies = 9;      // independent copies (odd, median-reported)
+  std::uint64_t seed = 0x5eed0123456789abULL;
+
+  // The constant in c = constant / eps^2. The paper's proof uses a
+  // comfortable constant (we default to 36); E1 ablates {12,24,36,48}.
+  static constexpr double kDefaultCapacityConstant = 36.0;
+
+  // Builds parameters achieving an (epsilon, delta)-approximation.
+  // Requires 0 < epsilon < 1 and 0 < delta < 1.
+  static EstimatorParams for_guarantee(double epsilon, double delta,
+                                       std::uint64_t seed = 0x5eed0123456789abULL,
+                                       double capacity_constant = kDefaultCapacityConstant);
+
+  // Number of copies sufficient for median boosting to failure prob delta,
+  // assuming per-copy failure probability <= 1/3. Always odd, >= 1.
+  static std::size_t copies_for_delta(double delta);
+
+  // Capacity for a single copy at the given epsilon.
+  static std::size_t capacity_for_epsilon(double epsilon,
+                                          double capacity_constant = kDefaultCapacityConstant);
+};
+
+}  // namespace ustream

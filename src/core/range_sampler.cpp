@@ -1,0 +1,194 @@
+#include "core/range_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/floor_sum.h"
+
+namespace ustream {
+
+RangeSampler::RangeSampler(std::size_t capacity, std::uint64_t seed)
+    : seed_(seed), capacity_(capacity), set_(capacity + 1) {
+  USTREAM_REQUIRE(capacity >= 1, "range sampler capacity must be >= 1");
+  const PairwiseHash h(seed);
+  a_ = h.a();
+  b_ = h.b();
+}
+
+std::uint64_t RangeSampler::count_survivors(std::uint64_t lo, std::uint64_t hi,
+                                            std::uint64_t t) const {
+  // h(lo + i) = (a*i + (a*lo + b mod p)) mod p for i in [0, hi-lo].
+  const std::uint64_t shifted_b = field61::mul_add(a_, lo, b_);
+  return count_below_threshold(hi - lo + 1, field61::kPrime, a_, shifted_b, t);
+}
+
+void RangeSampler::enumerate_survivors(std::uint64_t lo, std::uint64_t hi,
+                                       std::vector<std::uint64_t>& out) const {
+  // Below this width, direct testing beats two floor_sum evaluations.
+  constexpr std::uint64_t kScanWidth = 32;
+  if (hi - lo + 1 <= kScanWidth) {
+    for (std::uint64_t x = lo; x <= hi; ++x) {
+      if (survives(x)) out.push_back(x);
+    }
+    return;
+  }
+  if (count_survivors(lo, hi, threshold_) == 0) return;
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  enumerate_survivors(lo, mid, out);
+  enumerate_survivors(mid + 1, hi, out);
+}
+
+void RangeSampler::add_range(std::uint64_t lo, std::uint64_t hi) {
+  USTREAM_REQUIRE(lo <= hi && hi < kDomain, "interval must satisfy lo <= hi < domain");
+  ++intervals_processed_;
+  // Preemptive raise ONLY when the interval's own survivors cannot fit at
+  // the current level — they are distinct labels that would all enter S, so
+  // the raise is forced regardless of what S already holds. (Raising on
+  // set_.size() + c would over-raise when the interval overlaps S, breaking
+  // the exact equivalence with point-by-point insertion.)
+  std::uint64_t c = count_survivors(lo, hi, threshold_);
+  while (c > capacity_ && threshold_ > 0) {
+    raise_level();
+    c = count_survivors(lo, hi, threshold_);
+  }
+  if (c == 0) return;
+  std::vector<std::uint64_t> survivors;
+  survivors.reserve(static_cast<std::size_t>(c));
+  enumerate_survivors(lo, hi, survivors);
+  for (std::uint64_t x : survivors) {
+    if (!survives(x)) continue;  // the level rose mid-insertion
+    set_.insert(x);
+    while (set_.size() > capacity_ && threshold_ > 0) raise_level();
+  }
+}
+
+void RangeSampler::raise_level() {
+  ++level_;
+  threshold_ = level_ >= 61 ? 0 : (kDomain >> level_);
+  std::vector<std::uint64_t> keep;
+  keep.reserve(set_.size());
+  set_.for_each([&](std::uint64_t x) {
+    if (survives(x)) keep.push_back(x);
+  });
+  set_.clear();
+  for (std::uint64_t x : keep) set_.insert(x);
+}
+
+double RangeSampler::estimate_distinct() const noexcept {
+  if (threshold_ == 0) return 0.0;
+  const double scale = static_cast<double>(kDomain) / static_cast<double>(threshold_);
+  return static_cast<double>(set_.size()) * scale;
+}
+
+void RangeSampler::merge(const RangeSampler& other) {
+  USTREAM_REQUIRE(can_merge_with(other),
+                  "merge requires range samplers with identical seed and capacity");
+  if (other.level_ > level_) {
+    level_ = other.level_;
+    threshold_ = other.threshold_;
+    std::vector<std::uint64_t> keep;
+    keep.reserve(set_.size());
+    set_.for_each([&](std::uint64_t x) {
+      if (survives(x)) keep.push_back(x);
+    });
+    set_.clear();
+    for (std::uint64_t x : keep) set_.insert(x);
+  }
+  std::vector<std::uint64_t> incoming;
+  incoming.reserve(other.set_.size());
+  other.set_.for_each([&](std::uint64_t x) { incoming.push_back(x); });
+  for (std::uint64_t x : incoming) {
+    if (!survives(x)) continue;
+    set_.insert(x);
+    while (set_.size() > capacity_ && threshold_ > 0) raise_level();
+  }
+  intervals_processed_ += other.intervals_processed_;
+}
+
+std::vector<std::uint64_t> RangeSampler::sample_labels() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(set_.size());
+  set_.for_each([&](std::uint64_t x) { out.push_back(x); });
+  return out;
+}
+
+void RangeSampler::serialize(ByteWriter& w) const {
+  w.u8(kWireVersion);
+  w.u64(seed_);
+  w.varint(capacity_);
+  w.u8(static_cast<std::uint8_t>(level_));
+  w.varint(set_.size());
+  auto labels = sample_labels();
+  std::sort(labels.begin(), labels.end());
+  std::uint64_t prev = 0;
+  for (std::uint64_t x : labels) {
+    w.varint(x - prev);
+    prev = x;
+  }
+}
+
+std::vector<std::uint8_t> RangeSampler::serialize() const {
+  ByteWriter w(16 + set_.size() * 5);
+  serialize(w);
+  return w.take();
+}
+
+RangeSampler RangeSampler::deserialize(ByteReader& r) {
+  if (r.u8() != kWireVersion) throw SerializationError("bad range sampler version");
+  const std::uint64_t seed = r.u64();
+  const std::uint64_t capacity = r.varint();
+  if (capacity == 0) throw SerializationError("range sampler capacity 0");
+  const int level = r.u8();
+  if (level > 61) throw SerializationError("range sampler level out of range");
+  const std::uint64_t count = r.varint();
+  if (count > capacity) throw SerializationError("range sampler overfull");
+  RangeSampler s(static_cast<std::size_t>(capacity), seed);
+  s.level_ = level;
+  s.threshold_ = level >= 61 ? 0 : (kDomain >> level);
+  std::uint64_t label = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    label += r.varint();
+    if (label >= kDomain) throw SerializationError("label out of domain");
+    if (!s.survives(label)) throw SerializationError("label inconsistent with threshold");
+    if (!s.set_.insert(label)) throw SerializationError("duplicate label");
+  }
+  return s;
+}
+
+RangeSampler RangeSampler::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto s = deserialize(r);
+  if (!r.done()) throw SerializationError("trailing bytes after range sampler");
+  return s;
+}
+
+RangeF0Estimator::RangeF0Estimator(const EstimatorParams& params) : params_(params) {
+  USTREAM_REQUIRE(params.copies >= 1, "need at least one copy");
+  SeedSequence seeds(params.seed);
+  copies_.reserve(params.copies);
+  for (std::size_t i = 0; i < params.copies; ++i) {
+    copies_.emplace_back(params.capacity, seeds.child(i));
+  }
+}
+
+double RangeF0Estimator::estimate() const {
+  std::vector<double> ests;
+  ests.reserve(copies_.size());
+  for (const auto& c : copies_) ests.push_back(c.estimate_distinct());
+  return median_of(std::move(ests));
+}
+
+void RangeF0Estimator::merge(const RangeF0Estimator& other) {
+  USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
+                  "merge requires estimators with identical parameters");
+  for (std::size_t i = 0; i < copies_.size(); ++i) copies_[i].merge(other.copies_[i]);
+}
+
+std::size_t RangeF0Estimator::bytes_used() const noexcept {
+  std::size_t b = sizeof(*this);
+  for (const auto& c : copies_) b += c.bytes_used();
+  return b;
+}
+
+}  // namespace ustream

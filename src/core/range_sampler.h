@@ -1,0 +1,124 @@
+// RangeSampler — range-efficient coordinated sampling (the Pavan-Tirthapura
+// extension indexed as E11 in DESIGN.md).
+//
+// The stream's items are INTERVALS of labels [lo, hi] (e.g. IP ranges,
+// timestamp windows, rectangle edges); the quantity of interest is still F0,
+// the number of distinct labels covered by the union of all intervals. A
+// naive coordinated sampler would insert every label of every interval; the
+// range sampler processes an interval in time polylogarithmic in its width:
+//
+//   * survival test is threshold-form:  h(x) = (a*x+b) mod p  <  t_l, with
+//     t_l = p >> l  (same geometric sampling law, Pr ~ 2^-l, but the test
+//     over an interval becomes an arithmetic-progression count);
+//   * count_below_threshold (floor_sum) counts an interval's survivors in
+//     O(log p) — the level is raised until the interval's survivors fit;
+//   * surviving labels are then ENUMERATED by binary interval splitting,
+//     guided by the same counting oracle (O(k log w log p) for k survivors).
+//
+// Estimate: |S| * (p / t_l). Mergeable and duplicate-/overlap-insensitive
+// exactly like the point sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+#include "common/serialize.h"
+#include "common/stats.h"
+#include "core/params.h"
+#include "hash/field61.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+class RangeSampler {
+ public:
+  // Labels live in [0, kDomain); intervals are inclusive [lo, hi].
+  static constexpr std::uint64_t kDomain = field61::kPrime;
+
+  RangeSampler(std::size_t capacity, std::uint64_t seed);
+
+  // Insert every label in [lo, hi] (inclusive). Requires lo <= hi < kDomain.
+  void add_range(std::uint64_t lo, std::uint64_t hi);
+
+  // Insert a single label (an interval of width 1).
+  void add(std::uint64_t label) { add_range(label, label); }
+
+  double estimate_distinct() const noexcept;
+
+  void merge(const RangeSampler& other);
+  bool can_merge_with(const RangeSampler& other) const noexcept {
+    return seed_ == other.seed_ && capacity_ == other.capacity_;
+  }
+
+  int level() const noexcept { return level_; }
+  std::uint64_t threshold() const noexcept { return threshold_; }
+  std::size_t size() const noexcept { return set_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t intervals_processed() const noexcept { return intervals_processed_; }
+  std::size_t bytes_used() const noexcept { return sizeof(*this) + set_.bytes_used(); }
+
+  // Survival test for a single label at the current level (for tests).
+  bool survives(std::uint64_t label) const noexcept { return hash_value(label) < threshold_; }
+  std::uint64_t hash_value(std::uint64_t label) const noexcept {
+    return field61::mul_add(a_, label, b_);
+  }
+
+  // Number of labels in [lo, hi] surviving threshold t (O(log p) via
+  // floor_sum); public for tests and for the estimator's diagnostics.
+  std::uint64_t count_survivors(std::uint64_t lo, std::uint64_t hi, std::uint64_t t) const;
+
+  std::vector<std::uint64_t> sample_labels() const;
+
+  void serialize(ByteWriter& w) const;
+  std::vector<std::uint8_t> serialize() const;
+  static RangeSampler deserialize(ByteReader& r);
+  static RangeSampler deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  static constexpr std::uint8_t kWireVersion = 1;
+
+  void raise_level();
+  // Appends survivors of [lo, hi] under the current threshold to out by
+  // binary splitting (count oracle prunes empty halves).
+  void enumerate_survivors(std::uint64_t lo, std::uint64_t hi,
+                           std::vector<std::uint64_t>& out) const;
+
+  std::uint64_t a_, b_;  // shared pairwise hash coefficients
+  std::uint64_t seed_;
+  std::size_t capacity_;
+  int level_ = 0;
+  std::uint64_t threshold_ = kDomain;  // t_l = p >> l
+  DenseSet set_;
+  std::uint64_t intervals_processed_ = 0;
+};
+
+// Median-of-copies (epsilon, delta) wrapper, mirroring F0Estimator.
+class RangeF0Estimator {
+ public:
+  explicit RangeF0Estimator(const EstimatorParams& params);
+  RangeF0Estimator(double epsilon, double delta, std::uint64_t seed = 0x5eed0123456789abULL)
+      : RangeF0Estimator(EstimatorParams::for_guarantee(epsilon, delta, seed)) {}
+
+  void add_range(std::uint64_t lo, std::uint64_t hi) {
+    for (auto& c : copies_) c.add_range(lo, hi);
+  }
+  void add(std::uint64_t label) { add_range(label, label); }
+
+  double estimate() const;
+
+  void merge(const RangeF0Estimator& other);
+
+  std::size_t num_copies() const noexcept { return copies_.size(); }
+  const RangeSampler& copy(std::size_t i) const { return copies_.at(i); }
+  const EstimatorParams& params() const noexcept { return params_; }
+  std::size_t bytes_used() const noexcept;
+
+ private:
+  EstimatorParams params_;
+  std::vector<RangeSampler> copies_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,88 @@
+#include "core/windowed_sampler.h"
+
+#include <cmath>
+
+namespace ustream {
+
+WindowedF0Sampler::WindowedF0Sampler(std::size_t capacity, std::uint64_t seed)
+    : hash_(seed), seed_(seed), capacity_(capacity),
+      levels_(static_cast<std::size_t>(kMaxLevel) + 1) {
+  USTREAM_REQUIRE(capacity >= 1, "windowed sampler capacity must be >= 1");
+}
+
+void WindowedF0Sampler::touch_level(Level& level, std::uint64_t label, std::uint64_t ts) {
+  const auto key = std::make_pair(ts, seq_);
+  auto it = level.latest.find(label);
+  if (it != level.latest.end()) {
+    // Refresh recency: drop the stale position.
+    level.by_recency.erase(it->second);
+    it->second = key;
+  } else {
+    level.latest.emplace(label, key);
+  }
+  level.by_recency.emplace(key, label);
+  if (level.by_recency.size() > capacity_) {
+    const auto oldest = level.by_recency.begin();
+    level.evict_horizon = std::max(level.evict_horizon, oldest->first.first);
+    level.ever_evicted = true;
+    level.latest.erase(oldest->second);
+    level.by_recency.erase(oldest);
+  }
+}
+
+void WindowedF0Sampler::add(std::uint64_t label, std::uint64_t timestamp) {
+  USTREAM_REQUIRE(timestamp >= last_ts_, "timestamps must be non-decreasing");
+  last_ts_ = timestamp;
+  ++seq_;
+  ++items_;
+  const int lambda = std::min(hash_level(hash_(label), PairwiseHash::kBits), kMaxLevel);
+  for (int l = 0; l <= lambda; ++l) {
+    touch_level(levels_[static_cast<std::size_t>(l)], label, timestamp);
+  }
+}
+
+int WindowedF0Sampler::level_for_window(std::uint64_t window_start) const {
+  for (int l = 0; l <= kMaxLevel; ++l) {
+    const Level& level = levels_[static_cast<std::size_t>(l)];
+    // Valid if nothing with timestamp >= window_start was ever evicted.
+    if (!level.ever_evicted || level.evict_horizon < window_start) return l;
+  }
+  return kMaxLevel;
+}
+
+double WindowedF0Sampler::estimate_distinct(std::uint64_t window_start) const {
+  const int l = level_for_window(window_start);
+  const Level& level = levels_[static_cast<std::size_t>(l)];
+  const auto first =
+      level.by_recency.lower_bound(std::make_pair(window_start, std::uint64_t{0}));
+  const auto count = static_cast<double>(
+      std::distance(first, level.by_recency.end()));
+  return count * std::ldexp(1.0, l);
+}
+
+std::size_t WindowedF0Sampler::bytes_used() const noexcept {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& level : levels_) {
+    // Node-based containers: approximate per-entry overheads.
+    bytes += level.by_recency.size() * (sizeof(std::pair<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>) + 4 * sizeof(void*));
+    bytes += level.latest.size() * (sizeof(std::pair<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+WindowedF0Estimator::WindowedF0Estimator(const EstimatorParams& params) {
+  USTREAM_REQUIRE(params.copies >= 1, "need at least one copy");
+  SeedSequence seeds(params.seed);
+  copies_.reserve(params.copies);
+  for (std::size_t i = 0; i < params.copies; ++i) {
+    copies_.emplace_back(params.capacity, seeds.child(i));
+  }
+}
+
+std::size_t WindowedF0Estimator::bytes_used() const noexcept {
+  std::size_t b = sizeof(*this);
+  for (const auto& c : copies_) b += c.bytes_used();
+  return b;
+}
+
+}  // namespace ustream

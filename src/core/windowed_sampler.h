@@ -1,0 +1,114 @@
+// Sliding-window distinct counting — the extension the authors pursued
+// immediately after this paper (Gibbons & Tirthapura, SPAA 2002 direction):
+// estimate the number of distinct labels among the items whose timestamps
+// fall in a recent window (now - W, now], for ANY W up to a maximum,
+// chosen at query time.
+//
+// Construction: one coordinated sample PER LEVEL. Level l keeps the most
+// recent `capacity` distinct labels whose hash level is >= l (each label
+// appears with its LATEST timestamp, so re-arrivals refresh recency —
+// duplicate-insensitive within the window semantics). When a level
+// overflows, its oldest label is evicted and the level records the evicted
+// timestamp horizon. A query for window start `s` uses the SMALLEST level
+// whose horizon is older than `s` — that level provably still holds every
+// surviving label of the window — and scales the in-window count by 2^l.
+//
+// Expected update cost is O(1) map operations amortized (a label of level
+// lambda touches lambda+1 <= levels structures, E[lambda+1] = 2); space is
+// O(capacity * log n) words, matching the published bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/params.h"
+#include "hash/level.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+class WindowedF0Sampler {
+ public:
+  // Levels above this hold < capacity/2^40 of a 2^40-distinct stream:
+  // never needed at realistic scale, and capping bounds worst-case memory.
+  static constexpr int kMaxLevel = 40;
+
+  WindowedF0Sampler(std::size_t capacity, std::uint64_t seed);
+
+  // Timestamps must be non-decreasing across calls (stream order).
+  void add(std::uint64_t label, std::uint64_t timestamp);
+
+  // Estimate of |{distinct labels with latest timestamp >= window_start}|.
+  // Any window_start <= current time is valid; accuracy degrades (level
+  // rises) for windows so large that their labels overflowed every level.
+  double estimate_distinct(std::uint64_t window_start) const;
+
+  // Smallest usable level for the given window start (diagnostics/tests).
+  int level_for_window(std::uint64_t window_start) const;
+
+  std::uint64_t last_timestamp() const noexcept { return last_ts_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t items_processed() const noexcept { return items_; }
+  std::size_t bytes_used() const noexcept;
+
+  // Labels currently retained at a level (tests).
+  std::size_t level_size(int level) const { return levels_.at(static_cast<std::size_t>(level)).by_recency.size(); }
+  std::uint64_t level_horizon(int level) const { return levels_.at(static_cast<std::size_t>(level)).evict_horizon; }
+
+ private:
+  struct Level {
+    // (timestamp, sequence) -> label; ordered so the oldest is first.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> by_recency;
+    // label -> its key in by_recency.
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> latest;
+    // Max timestamp ever evicted: windows starting at or before this
+    // timestamp can no longer be answered exactly from this level.
+    std::uint64_t evict_horizon = 0;
+    bool ever_evicted = false;
+  };
+
+  void touch_level(Level& level, std::uint64_t label, std::uint64_t ts);
+
+  PairwiseHash hash_;
+  std::uint64_t seed_;
+  std::size_t capacity_;
+  std::vector<Level> levels_;
+  std::uint64_t last_ts_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t items_ = 0;
+};
+
+// Median-of-copies wrapper, mirroring F0Estimator.
+class WindowedF0Estimator {
+ public:
+  explicit WindowedF0Estimator(const EstimatorParams& params);
+  WindowedF0Estimator(double epsilon, double delta,
+                      std::uint64_t seed = 0x5eed0123456789abULL)
+      : WindowedF0Estimator(EstimatorParams::for_guarantee(epsilon, delta, seed)) {}
+
+  void add(std::uint64_t label, std::uint64_t timestamp) {
+    for (auto& c : copies_) c.add(label, timestamp);
+  }
+
+  double estimate_distinct(std::uint64_t window_start) const {
+    std::vector<double> ests;
+    ests.reserve(copies_.size());
+    for (const auto& c : copies_) ests.push_back(c.estimate_distinct(window_start));
+    return median_of(std::move(ests));
+  }
+
+  std::size_t num_copies() const noexcept { return copies_.size(); }
+  const WindowedF0Sampler& copy(std::size_t i) const { return copies_.at(i); }
+  std::size_t bytes_used() const noexcept;
+
+ private:
+  std::vector<WindowedF0Sampler> copies_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,64 @@
+// The communication substrate of the distributed-streams model.
+//
+// The model's only resource besides per-site memory is communication:
+// after observing its entire stream, each party sends ONE message (its
+// serialized sketch) to the referee. The Channel is an in-process stand-in
+// for the network that charges exactly those bytes — E4's "message cost per
+// party" column reads ChannelStats. (Substitution note in DESIGN.md: a real
+// monitor deployment is replaced by this accounted in-process transport,
+// which preserves the model's observable: message count and size.)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ustream {
+
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t max_message_bytes = 0;
+  std::vector<std::uint64_t> bytes_per_site;
+
+  double mean_message_bytes() const noexcept {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(total_bytes) / static_cast<double>(messages);
+  }
+};
+
+class Channel {
+ public:
+  explicit Channel(std::size_t sites) { stats_.bytes_per_site.assign(sites, 0); }
+
+  // Site -> referee. Thread-safe: sites may finish concurrently.
+  void send(std::size_t from_site, std::vector<std::uint8_t> payload) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.messages += 1;
+    stats_.total_bytes += payload.size();
+    if (payload.size() > stats_.max_message_bytes) stats_.max_message_bytes = payload.size();
+    if (from_site < stats_.bytes_per_site.size()) {
+      stats_.bytes_per_site[from_site] += payload.size();
+    }
+    mailbox_.push_back(std::move(payload));
+  }
+
+  // Referee side: take all pending messages.
+  std::vector<std::vector<std::uint8_t>> drain() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return std::exchange(mailbox_, {});
+  }
+
+  ChannelStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> mailbox_;
+  ChannelStats stats_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,55 @@
+#include "distributed/continuous.h"
+
+#include "common/error.h"
+
+namespace ustream {
+
+ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
+                                               const EstimatorParams& params)
+    : params_(params),
+      report_interval_(report_interval),
+      since_report_(sites, 0),
+      referee_snapshots_(sites),
+      channel_(sites) {
+  USTREAM_REQUIRE(sites >= 1, "need at least one site");
+  USTREAM_REQUIRE(report_interval >= 1, "report interval must be >= 1");
+  site_sketches_.reserve(sites);
+  for (std::size_t i = 0; i < sites; ++i) site_sketches_.emplace_back(params);
+}
+
+void ContinuousUnionMonitor::observe(std::size_t site, std::uint64_t label) {
+  site_sketches_.at(site).add(label);
+  if (++since_report_[site] >= report_interval_) push(site);
+}
+
+void ContinuousUnionMonitor::push(std::size_t site) {
+  since_report_[site] = 0;
+  auto payload = site_sketches_[site].serialize();
+  channel_.send(site, std::move(payload));
+  // The referee consumes immediately in this in-process simulation.
+  for (auto& bytes : channel_.drain()) {
+    ++snapshots_;
+    referee_snapshots_[site] = F0Estimator::deserialize(std::span<const std::uint8_t>(bytes));
+  }
+}
+
+void ContinuousUnionMonitor::flush() {
+  for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+    if (since_report_[i] > 0 || !referee_snapshots_[i].has_value()) push(i);
+  }
+}
+
+double ContinuousUnionMonitor::estimate() const {
+  std::optional<F0Estimator> merged;
+  for (const auto& snap : referee_snapshots_) {
+    if (!snap) continue;
+    if (!merged) {
+      merged = *snap;
+    } else {
+      merged->merge(*snap);
+    }
+  }
+  return merged ? merged->estimate() : 0.0;
+}
+
+}  // namespace ustream

@@ -1,0 +1,55 @@
+// ContinuousUnionMonitor — an extension beyond the paper's one-shot model.
+//
+// The SPAA'01 model has parties communicate only once, after their streams
+// end. Real monitoring products also want a LIVE union estimate. The
+// mergeable-sketch property makes the obvious periodic protocol sound:
+// every site pushes a fresh snapshot of its sketch after each
+// `report_interval` items; the referee keeps the latest snapshot per site
+// and answers queries by merging the snapshots it has. The answer is then
+// an estimate of the union of the observed PREFIXES — never an overcount —
+// and the communication/staleness tradeoff is exactly report_interval.
+// (This is the direction later formalized in the continuous distributed
+// monitoring literature; here it is the natural corollary of mergeability.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/f0_estimator.h"
+#include "core/params.h"
+#include "distributed/channel.h"
+
+namespace ustream {
+
+class ContinuousUnionMonitor {
+ public:
+  ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
+                         const EstimatorParams& params);
+
+  // Site observes one label; may trigger a snapshot push.
+  void observe(std::size_t site, std::uint64_t label);
+
+  // Force every site to push its current state (end-of-stream flush).
+  void flush();
+
+  // Union estimate from the snapshots currently at the referee.
+  double estimate() const;
+
+  ChannelStats channel_stats() const { return channel_.stats(); }
+  std::uint64_t snapshots_received() const noexcept { return snapshots_; }
+
+ private:
+  void push(std::size_t site);
+
+  EstimatorParams params_;
+  std::uint64_t report_interval_;
+  std::vector<F0Estimator> site_sketches_;
+  std::vector<std::uint64_t> since_report_;
+  std::vector<std::optional<F0Estimator>> referee_snapshots_;
+  Channel channel_;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace ustream

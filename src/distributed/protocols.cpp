@@ -1,0 +1,47 @@
+#include "distributed/protocols.h"
+
+#include "common/stats.h"
+
+namespace ustream {
+
+UnionRunResult run_f0_union(const DistributedWorkload& workload, const EstimatorParams& params,
+                            bool parallel_sites) {
+  DistributedRun<F0Estimator> run(workload.site_streams.size(),
+                                  [&params] { return F0Estimator(params); });
+  const auto feed = [&workload](std::size_t site, F0Estimator& sketch) {
+    for (const Item& item : workload.site_streams[site]) sketch.add(item.label);
+  };
+  if (parallel_sites) {
+    observe_in_parallel<F0Estimator>(run, feed);
+  } else {
+    for (std::size_t s = 0; s < run.num_sites(); ++s) feed(s, run.site(s));
+  }
+  UnionRunResult out;
+  out.estimate = run.collect().estimate();
+  out.truth = static_cast<double>(workload.union_distinct);
+  out.relative_error = relative_error(out.estimate, out.truth);
+  out.channel = run.channel_stats();
+  return out;
+}
+
+UnionRunResult run_distinct_sum_union(const DistributedWorkload& workload,
+                                      const EstimatorParams& params, bool parallel_sites) {
+  DistributedRun<DistinctSumEstimator> run(workload.site_streams.size(),
+                                           [&params] { return DistinctSumEstimator(params); });
+  const auto feed = [&workload](std::size_t site, DistinctSumEstimator& sketch) {
+    for (const Item& item : workload.site_streams[site]) sketch.add(item.label, item.value);
+  };
+  if (parallel_sites) {
+    observe_in_parallel<DistinctSumEstimator>(run, feed);
+  } else {
+    for (std::size_t s = 0; s < run.num_sites(); ++s) feed(s, run.site(s));
+  }
+  UnionRunResult out;
+  out.estimate = run.collect().estimate_sum();
+  out.truth = workload.union_sum_distinct;
+  out.relative_error = relative_error(out.estimate, out.truth);
+  out.channel = run.channel_stats();
+  return out;
+}
+
+}  // namespace ustream

@@ -1,0 +1,75 @@
+// Concrete end-of-stream union protocols (Theorem T2's setting) for the
+// estimators the library ships, plus one-call helpers that run a whole
+// DistributedWorkload and report estimate + communication cost.
+#pragma once
+
+#include <cstdint>
+
+#include "core/distinct_sum.h"
+#include "core/f0_estimator.h"
+#include "core/params.h"
+#include "distributed/runtime.h"
+#include "stream/partitioner.h"
+
+namespace ustream {
+
+// Distributed distinct-count over the union of t streams.
+class F0UnionProtocol {
+ public:
+  F0UnionProtocol(std::size_t sites, const EstimatorParams& params)
+      : run_(sites, [&params] { return F0Estimator(params); }) {}
+
+  void observe(std::size_t site, std::uint64_t label) { run_.site(site).add(label); }
+
+  // Ends observation (first call) and returns the union estimate.
+  double estimate() { return run_.collect().estimate(); }
+
+  const F0Estimator& referee_sketch() { return run_.collect(); }
+  ChannelStats channel_stats() const { return run_.channel_stats(); }
+  std::size_t num_sites() const noexcept { return run_.num_sites(); }
+  DistributedRun<F0Estimator>& run() noexcept { return run_; }
+
+ private:
+  DistributedRun<F0Estimator> run_;
+};
+
+// Distributed SumDistinct over the union of t streams.
+class DistinctSumUnionProtocol {
+ public:
+  DistinctSumUnionProtocol(std::size_t sites, const EstimatorParams& params)
+      : run_(sites, [&params] { return DistinctSumEstimator(params); }) {}
+
+  void observe(std::size_t site, std::uint64_t label, double value) {
+    run_.site(site).add(label, value);
+  }
+
+  double estimate_sum() { return run_.collect().estimate_sum(); }
+  double estimate_distinct() { return run_.collect().estimate_distinct(); }
+
+  ChannelStats channel_stats() const { return run_.channel_stats(); }
+  std::size_t num_sites() const noexcept { return run_.num_sites(); }
+  DistributedRun<DistinctSumEstimator>& run() noexcept { return run_; }
+
+ private:
+  DistributedRun<DistinctSumEstimator> run_;
+};
+
+// One-call experiment drivers.
+struct UnionRunResult {
+  double estimate = 0.0;
+  double truth = 0.0;
+  double relative_error = 0.0;
+  ChannelStats channel;
+};
+
+// Runs the F0-union protocol over a generated workload (optionally feeding
+// sites from concurrent threads) and reports accuracy + message cost.
+UnionRunResult run_f0_union(const DistributedWorkload& workload, const EstimatorParams& params,
+                            bool parallel_sites = false);
+
+// Same for SumDistinct over the union.
+UnionRunResult run_distinct_sum_union(const DistributedWorkload& workload,
+                                      const EstimatorParams& params,
+                                      bool parallel_sites = false);
+
+}  // namespace ustream

@@ -1,0 +1,72 @@
+#include "distributed/registry.h"
+
+#include <algorithm>
+
+namespace ustream {
+
+void SketchRegistry::put(const std::string& site, F0Estimator sketch) {
+  USTREAM_REQUIRE(sketch.params().seed == params_.seed &&
+                      sketch.params().capacity == params_.capacity &&
+                      sketch.num_copies() == params_.copies,
+                  "sketch parameters do not match the registry");
+  for (auto& [name, existing] : sites_) {
+    if (name == site) {
+      existing = std::move(sketch);
+      return;
+    }
+  }
+  sites_.emplace_back(site, std::move(sketch));
+}
+
+void SketchRegistry::put_serialized(const std::string& site,
+                                    std::span<const std::uint8_t> bytes) {
+  put(site, F0Estimator::deserialize(bytes));
+}
+
+bool SketchRegistry::contains(const std::string& site) const {
+  return std::any_of(sites_.begin(), sites_.end(),
+                     [&](const auto& entry) { return entry.first == site; });
+}
+
+std::vector<std::string> SketchRegistry::site_names() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, sketch] : sites_) names.push_back(name);
+  return names;
+}
+
+const F0Estimator& SketchRegistry::find(const std::string& site) const {
+  for (const auto& [name, sketch] : sites_) {
+    if (name == site) return sketch;
+  }
+  throw InvalidArgument("unknown site: " + site);
+}
+
+F0Estimator SketchRegistry::fold(std::span<const std::string> sites) const {
+  USTREAM_REQUIRE(!sites.empty(), "empty site group");
+  F0Estimator merged = find(sites[0]);
+  for (std::size_t i = 1; i < sites.size(); ++i) merged.merge(find(sites[i]));
+  return merged;
+}
+
+double SketchRegistry::estimate_union(std::span<const std::string> sites) const {
+  return fold(sites).estimate();
+}
+
+double SketchRegistry::estimate_union_all() const {
+  const auto names = site_names();
+  return estimate_union(names);
+}
+
+double SketchRegistry::estimate_site(const std::string& site) const {
+  return find(site).estimate();
+}
+
+SetExpressionEstimate<PairwiseHash> SketchRegistry::compare_groups(
+    std::span<const std::string> group_a, std::span<const std::string> group_b) const {
+  const F0Estimator a = fold(group_a);
+  const F0Estimator b = fold(group_b);
+  return estimate_set_expressions(a, b);
+}
+
+}  // namespace ustream

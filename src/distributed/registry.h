@@ -1,0 +1,58 @@
+// SketchRegistry — the referee as a queryable service. The one-shot
+// protocol answers "the union of everything"; real monitoring consoles
+// also ask about arbitrary SUBSETS of sites ("distinct users across the
+// EU links", "links 3 and 7 only"). Because sketches merge pairwise and
+// associatively, the referee just keeps every site's sketch and folds the
+// requested subset on demand — plus set expressions BETWEEN subsets,
+// courtesy of coordination.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/f0_estimator.h"
+#include "core/set_ops.h"
+
+namespace ustream {
+
+class SketchRegistry {
+ public:
+  explicit SketchRegistry(const EstimatorParams& params) : params_(params) {}
+
+  // Registers (or replaces) a site's sketch. The sketch must be mergeable
+  // with the registry's parameters.
+  void put(const std::string& site, F0Estimator sketch);
+  void put_serialized(const std::string& site, std::span<const std::uint8_t> bytes);
+
+  bool contains(const std::string& site) const;
+  std::size_t size() const noexcept { return sites_.size(); }
+  std::vector<std::string> site_names() const;
+
+  // F0 of the union of the named sites (throws on unknown names).
+  double estimate_union(std::span<const std::string> sites) const;
+  // F0 of the union of every registered site.
+  double estimate_union_all() const;
+  // Per-site estimate.
+  double estimate_site(const std::string& site) const;
+
+  // Set expressions between the unions of two site groups:
+  // |U(A) ∩ U(B)|, |U(A) \ U(B)|, Jaccard — the cross-group comparisons
+  // coordination enables.
+  SetExpressionEstimate<PairwiseHash> compare_groups(std::span<const std::string> group_a,
+                                                     std::span<const std::string> group_b) const;
+
+  const EstimatorParams& params() const noexcept { return params_; }
+
+ private:
+  const F0Estimator& find(const std::string& site) const;
+  F0Estimator fold(std::span<const std::string> sites) const;
+
+  EstimatorParams params_;
+  std::vector<std::pair<std::string, F0Estimator>> sites_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,101 @@
+// DistributedRun — the end-to-end shape of the paper's model for any
+// mergeable, serializable sketch:
+//
+//   1. each of t sites owns a private sketch built from the SAME root seed
+//      (the coordination contract) and observes only its own stream;
+//   2. when a site's stream ends, it serializes its sketch and sends the
+//      bytes to the referee over the accounted Channel — one message per
+//      site, nothing before that;
+//   3. the referee deserializes and merges all t sketches and answers
+//      queries about the UNION of the streams.
+//
+// Sketch requirements (concept UnionSketch): add-like mutators (left to the
+// caller), serialize() -> bytes, static deserialize(span), merge(Sketch).
+// F0Estimator, DistinctSumEstimator and RangeF0Estimator all satisfy it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "distributed/channel.h"
+
+namespace ustream {
+
+template <typename S>
+concept UnionSketch = requires(S s, const S cs, std::span<const std::uint8_t> bytes) {
+  { cs.serialize() } -> std::convertible_to<std::vector<std::uint8_t>>;
+  { S::deserialize(bytes) } -> std::convertible_to<S>;
+  s.merge(cs);
+};
+
+template <UnionSketch Sketch>
+class DistributedRun {
+ public:
+  // `make_sketch` must produce identically-parameterized sketches (same
+  // root seed) — sites clone the referee's configuration, never invent
+  // their own, mirroring how a deployment ships one config to all monitors.
+  DistributedRun(std::size_t sites, const std::function<Sketch()>& make_sketch)
+      : channel_(sites) {
+    USTREAM_REQUIRE(sites >= 1, "need at least one site");
+    sites_.reserve(sites);
+    for (std::size_t i = 0; i < sites; ++i) sites_.push_back(make_sketch());
+  }
+
+  std::size_t num_sites() const noexcept { return sites_.size(); }
+
+  // Mutable access to site i's sketch during the observation phase.
+  Sketch& site(std::size_t i) {
+    USTREAM_REQUIRE(!collected_, "observation phase is over");
+    return sites_.at(i);
+  }
+
+  // Ends the observation phase: every site ships its sketch; the referee
+  // merges. Idempotent via the collected_ latch.
+  const Sketch& collect() {
+    if (!collected_) {
+      for (std::size_t i = 0; i < sites_.size(); ++i) {
+        channel_.send(i, sites_[i].serialize());
+      }
+      for (auto& payload : channel_.drain()) {
+        Sketch s = Sketch::deserialize(std::span<const std::uint8_t>(payload));
+        if (!referee_) {
+          referee_.emplace(std::move(s));
+        } else {
+          referee_->merge(s);
+        }
+      }
+      collected_ = true;
+    }
+    return *referee_;
+  }
+
+  bool collected() const noexcept { return collected_; }
+  ChannelStats channel_stats() const { return channel_.stats(); }
+
+ private:
+  std::vector<Sketch> sites_;
+  Channel channel_;
+  std::optional<Sketch> referee_;
+  bool collected_ = false;
+};
+
+// Feeds per-site workloads concurrently, one thread per site — each site's
+// sketch is touched only by its own thread, exactly the isolation the model
+// prescribes. `feed(site_index, sketch)` must only touch that sketch.
+template <UnionSketch Sketch>
+void observe_in_parallel(DistributedRun<Sketch>& run,
+                         const std::function<void(std::size_t, Sketch&)>& feed) {
+  std::vector<std::thread> threads;
+  threads.reserve(run.num_sites());
+  for (std::size_t i = 0; i < run.num_sites(); ++i) {
+    threads.emplace_back([&run, &feed, i] { feed(i, run.site(i)); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace ustream

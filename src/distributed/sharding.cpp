@@ -1,0 +1,12 @@
+#include "distributed/sharding.h"
+
+namespace ustream {
+
+F0Estimator sketch_in_parallel(std::span<const Item> items, const EstimatorParams& params,
+                               std::size_t threads) {
+  return shard_and_merge<F0Estimator>(
+      items, threads, [&params] { return F0Estimator(params); },
+      [](F0Estimator& sketch, const Item& item) { sketch.add(item.label); });
+}
+
+}  // namespace ustream

@@ -1,0 +1,53 @@
+// Shared-memory parallel sketching. Mergeability doesn't just serve the
+// distributed model — it also makes single-machine parallelism trivial and
+// EXACT: shard the input across threads, sketch each shard with the same
+// parameters, merge. The result is identical (not just statistically
+// equivalent) to sequential processing, because merge == concat.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/f0_estimator.h"
+#include "core/params.h"
+#include "stream/item.h"
+
+namespace ustream {
+
+// Sketches `items` with `threads` workers; returns the merged estimator.
+// Deterministic: equal to feeding the items sequentially into one
+// F0Estimator built from the same params.
+F0Estimator sketch_in_parallel(std::span<const Item> items, const EstimatorParams& params,
+                               std::size_t threads);
+
+// Generic version: `sketch_shard(shard_index, item)` semantics via a
+// factory + feeder, merged left to right.
+template <typename Sketch>
+Sketch shard_and_merge(std::span<const Item> items, std::size_t threads,
+                       const std::function<Sketch()>& make,
+                       const std::function<void(Sketch&, const Item&)>& feed) {
+  USTREAM_REQUIRE(threads >= 1, "need at least one thread");
+  std::vector<Sketch> shards;
+  shards.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) shards.push_back(make());
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (items.size() + threads - 1) / threads;
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      const std::size_t begin = i * chunk;
+      const std::size_t end = std::min(items.size(), begin + chunk);
+      for (std::size_t j = begin; j < end; ++j) feed(shards[i], items[j]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  Sketch merged = std::move(shards[0]);
+  for (std::size_t i = 1; i < shards.size(); ++i) merged.merge(shards[i]);
+  return merged;
+}
+
+}  // namespace ustream

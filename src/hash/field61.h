@@ -1,0 +1,51 @@
+// Arithmetic over the Mersenne prime field GF(p), p = 2^61 - 1.
+//
+// All hash families with exact independence guarantees in this library
+// (pairwise CW, k-wise polynomial) are polynomials over this field: the
+// Mersenne structure turns `mod p` into shift/add, so a field multiply is
+// one 64x64->128 multiply plus two folds.
+#pragma once
+
+#include <cstdint>
+
+namespace ustream::field61 {
+
+inline constexpr std::uint64_t kPrime = (std::uint64_t{1} << 61) - 1;
+
+// Reduce a value < 2^122 + 2^61 (i.e. any product a*b + c with a,b,c < p)
+// to the canonical range [0, p).
+constexpr std::uint64_t reduce(unsigned __int128 v) noexcept {
+  // First fold: v = lo + hi where v = hi*2^61 + lo and 2^61 == 1 (mod p).
+  std::uint64_t r =
+      static_cast<std::uint64_t>(v & kPrime) + static_cast<std::uint64_t>(v >> 61);
+  // After one fold r < 2^62 + 2^61; fold once more.
+  r = (r & kPrime) + (r >> 61);
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+// (a * b) mod p for a, b < p.
+constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) noexcept {
+  return reduce(static_cast<unsigned __int128>(a) * b);
+}
+
+// (a + b) mod p for a, b < p.
+constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t r = a + b;
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+// (a * b + c) mod p for a, b, c < p.
+constexpr std::uint64_t mul_add(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  return reduce(static_cast<unsigned __int128>(a) * b + c);
+}
+
+// Canonicalize an arbitrary 64-bit word into [0, p).
+constexpr std::uint64_t canon(std::uint64_t v) noexcept {
+  v = (v & kPrime) + (v >> 61);
+  if (v >= kPrime) v -= kPrime;
+  return v;
+}
+
+}  // namespace ustream::field61

@@ -1,0 +1,53 @@
+#include "hash/hash_family.h"
+
+#include "common/error.h"
+
+namespace ustream {
+
+std::string to_string(HashKind kind) {
+  switch (kind) {
+    case HashKind::kPairwise: return "pairwise";
+    case HashKind::kFourWise: return "4wise";
+    case HashKind::kTabulation: return "tabulation";
+    case HashKind::kMultiplyShift: return "multiply-shift";
+    case HashKind::kMurmurMix: return "murmur";
+  }
+  return "unknown";
+}
+
+HashKind hash_kind_from_string(const std::string& name) {
+  if (name == "pairwise") return HashKind::kPairwise;
+  if (name == "4wise") return HashKind::kFourWise;
+  if (name == "tabulation") return HashKind::kTabulation;
+  if (name == "multiply-shift") return HashKind::kMultiplyShift;
+  if (name == "murmur") return HashKind::kMurmurMix;
+  throw InvalidArgument("unknown hash kind: " + name);
+}
+
+namespace {
+auto make_impl(HashKind kind, std::uint64_t seed)
+    -> std::variant<PairwiseHash, KWiseHash, TabulationHash, MultiplyShiftHash, MurmurMixHash> {
+  switch (kind) {
+    case HashKind::kPairwise: return PairwiseHash(seed);
+    case HashKind::kFourWise: return KWiseHash(seed, 4);
+    case HashKind::kTabulation: return TabulationHash(seed);
+    case HashKind::kMultiplyShift: return MultiplyShiftHash(seed);
+    case HashKind::kMurmurMix: return MurmurMixHash(seed);
+  }
+  throw InvalidArgument("unknown hash kind");
+}
+}  // namespace
+
+AnyLabelHash::AnyLabelHash(HashKind kind, std::uint64_t seed)
+    : kind_(kind), impl_(make_impl(kind, seed)) {}
+
+std::uint64_t AnyLabelHash::value(std::uint64_t x) const noexcept {
+  return std::visit([x](const auto& h) { return h(x); }, impl_);
+}
+
+int AnyLabelHash::bits() const noexcept {
+  return std::visit([](const auto& h) { return std::remove_cvref_t<decltype(h)>::kBits; },
+                    impl_);
+}
+
+}  // namespace ustream

@@ -1,0 +1,57 @@
+// Runtime-selectable hash family for experiments that sweep hash kinds
+// (E9). The core sampler is templated on the hash type for zero-overhead
+// dispatch; AnyLabelHash is the type-erased version used by harness code
+// where a runtime switch is more convenient than template instantiation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "hash/kwise.h"
+#include "hash/mix.h"
+#include "hash/multiply_shift.h"
+#include "hash/pairwise.h"
+#include "hash/tabulation.h"
+
+namespace ustream {
+
+enum class HashKind {
+  kPairwise,       // CW a*x+b over GF(2^61-1): the paper's assumption
+  kFourWise,       // degree-3 polynomial over the same field
+  kTabulation,     // simple tabulation
+  kMultiplyShift,  // cheap universal; weak low bits (negative control)
+  kMurmurMix,      // full-avalanche mixer; "idealized hashing" stand-in
+};
+
+std::string to_string(HashKind kind);
+HashKind hash_kind_from_string(const std::string& name);
+
+// Seeded murmur mixer packaged with the hash-family interface.
+class MurmurMixHash {
+ public:
+  static constexpr int kBits = 64;
+  explicit MurmurMixHash(std::uint64_t seed) noexcept : seed_(seed) {}
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return murmur_mix64_seeded(x, seed_);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Type-erased label hash: value + usable bit width.
+class AnyLabelHash {
+ public:
+  AnyLabelHash(HashKind kind, std::uint64_t seed);
+
+  std::uint64_t value(std::uint64_t x) const noexcept;
+  int bits() const noexcept;
+  HashKind kind() const noexcept { return kind_; }
+
+ private:
+  HashKind kind_;
+  std::variant<PairwiseHash, KWiseHash, TabulationHash, MultiplyShiftHash, MurmurMixHash> impl_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,5 @@
+#include "hash/kwise.h"
+
+namespace ustream {
+static_assert(KWiseHash::kBits == 61);
+}  // namespace ustream

@@ -1,0 +1,46 @@
+// k-wise independent hashing: degree-(k-1) polynomial over GF(2^61 - 1).
+//
+// The core sampler only needs k = 2 (PairwiseHash), but higher independence
+// is useful for (a) statistical tests that separate hash quality from
+// estimator behaviour and (b) the 4-wise hashing some baselines (AMS-style
+// moment estimators) traditionally use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "hash/field61.h"
+
+namespace ustream {
+
+class KWiseHash {
+ public:
+  static constexpr int kBits = 61;
+
+  KWiseHash(std::uint64_t seed, unsigned k) : coeffs_(k) {
+    USTREAM_REQUIRE(k >= 1, "KWiseHash needs k >= 1");
+    SplitMix64 sm(seed);
+    for (auto& c : coeffs_) c = field61::canon(sm.next());
+    // Leading coefficient nonzero so the polynomial has full degree.
+    while (coeffs_.back() == 0) coeffs_.back() = field61::canon(sm.next());
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    const std::uint64_t xc = field61::canon(x);
+    std::uint64_t acc = 0;
+    // Horner evaluation, highest degree first.
+    for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+      acc = field61::mul_add(acc, xc, *it);
+    }
+    return acc;
+  }
+
+  unsigned independence() const noexcept { return static_cast<unsigned>(coeffs_.size()); }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // c0 + c1 x + ... + c_{k-1} x^{k-1}
+};
+
+}  // namespace ustream

@@ -1,0 +1,43 @@
+// Geometric level extraction — the heart of coordinated sampling.
+//
+// For a hash value v uniform on [0, 2^bits), define
+//   level(v) = number of trailing zero bits of v,  capped at bits.
+// Then Pr[level(v) >= l] = 2^-l: each label independently "survives" to
+// level l with probability 2^-l, and crucially the coin flips are a
+// deterministic function of the SHARED hash, so every party in the
+// distributed model makes the same decision about the same label. That is
+// what makes samples from different streams compose into a sample of the
+// union (coordinated sampling, Gibbons-Tirthapura SPAA'01).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace ustream {
+
+// Level of a single hash value with `bits` uniform bits.
+constexpr int hash_level(std::uint64_t v, int bits) noexcept {
+  const int tz = trailing_zeros(v, bits);
+  return tz > bits ? bits : tz;
+}
+
+// Convenience functor binding a hash family to level extraction.
+// H must expose `static constexpr int kBits` and `uint64_t operator()(uint64_t)`.
+template <typename H>
+class LevelFunction {
+ public:
+  explicit LevelFunction(H hash) noexcept : hash_(static_cast<H&&>(hash)) {}
+
+  int operator()(std::uint64_t label) const noexcept {
+    return hash_level(hash_(label), H::kBits);
+  }
+
+  const H& hash() const noexcept { return hash_; }
+  static constexpr int max_level() noexcept { return H::kBits; }
+
+ private:
+  H hash_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,34 @@
+// Full-avalanche 64-bit mixers (MurmurHash3 fmix64 and a xxHash-style
+// variant). These have no independence *guarantee*; baselines that were
+// published assuming idealized hashing (Flajolet-Martin PCSA, HyperLogLog)
+// use them, which is faithful to how those sketches are deployed.
+#pragma once
+
+#include <cstdint>
+
+namespace ustream {
+
+// MurmurHash3 64-bit finalizer (Appleby). Bijective on 64-bit words.
+constexpr std::uint64_t murmur_mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// xxHash3-style avalanche. Bijective on 64-bit words.
+constexpr std::uint64_t xx_mix64(std::uint64_t x) noexcept {
+  x ^= x >> 37;
+  x *= 0x165667919e3779f9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+// Seeded variant: mixes the seed in before and after for cheap keying.
+constexpr std::uint64_t murmur_mix64_seeded(std::uint64_t x, std::uint64_t seed) noexcept {
+  return murmur_mix64(x ^ seed) ^ (seed * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace ustream

@@ -1,0 +1,34 @@
+// Dietzfelbinger multiply-shift hashing.
+//
+// The cheapest family in the library: one multiply and one add. Universal
+// for bucket assignment via the HIGH bits, but its LOW bits are famously
+// poor — trailing-zero level extraction from a multiply-shift value is
+// biased. This is a deliberate ablation point (E9): plugging MultiplyShift
+// into the coordinated sampler demonstrates why the paper insists on a
+// pairwise-independent family rather than "any universal hash".
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace ustream {
+
+class MultiplyShiftHash {
+ public:
+  static constexpr int kBits = 64;
+
+  explicit MultiplyShiftHash(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    a_ = sm.next() | 1;  // odd multiplier
+    b_ = sm.next();
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept { return a_ * x + b_; }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+}  // namespace ustream

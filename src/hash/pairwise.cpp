@@ -1,0 +1,8 @@
+#include "hash/pairwise.h"
+
+// PairwiseHash is fully inline; this TU exists so the target has a home for
+// the class should out-of-line members be added, and to anchor the vtable-
+// free type in one object file for build hygiene.
+namespace ustream {
+static_assert(PairwiseHash::kBits == 61);
+}  // namespace ustream

@@ -1,0 +1,45 @@
+// Pairwise-independent (2-universal, in fact 2-wise independent) hash
+// family h(x) = a*x + b over GF(2^61 - 1), after Carter & Wegman.
+//
+// This is exactly the independence assumption the paper's analysis needs:
+// the variance bound for the coordinated sample's per-level estimator uses
+// only pairwise independence of the indicator variables "label x reaches
+// level l". No idealized hashing is assumed anywhere in the core library.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "hash/field61.h"
+
+namespace ustream {
+
+class PairwiseHash {
+ public:
+  // Number of uniform output bits. Values are uniform on [0, p) with
+  // p = 2^61 - 1, i.e. effectively 61 bits (the single missing value
+  // 2^61 - 1 biases trailing-zero probabilities by < 2^-60).
+  static constexpr int kBits = 61;
+
+  // Draws (a, b) from the seed; a != 0 so the map is a bijection on the field.
+  explicit PairwiseHash(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    do {
+      a_ = field61::canon(sm.next());
+    } while (a_ == 0);
+    b_ = field61::canon(sm.next());
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return field61::mul_add(a_, field61::canon(x), b_);
+  }
+
+  std::uint64_t a() const noexcept { return a_; }
+  std::uint64_t b() const noexcept { return b_; }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+}  // namespace ustream

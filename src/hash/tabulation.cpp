@@ -1,0 +1,5 @@
+#include "hash/tabulation.h"
+
+namespace ustream {
+static_assert(TabulationHash::kBits == 64);
+}  // namespace ustream

@@ -1,0 +1,72 @@
+#include "netmon/monitor.h"
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace ustream {
+
+namespace {
+constexpr std::array<NetLabel, 4> kAllLabels = {NetLabel::kDstIp, NetLabel::kSrcIp,
+                                                NetLabel::kFlow, NetLabel::kSrcDstPair};
+constexpr std::uint8_t kReportVersion = 1;
+}  // namespace
+
+LinkMonitor::LinkMonitor(const EstimatorParams& params)
+    : sketches_{F0Estimator(params), F0Estimator(params), F0Estimator(params),
+                F0Estimator(params)} {}
+
+void LinkMonitor::observe(const Packet& packet) {
+  ++packets_;
+  for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
+    sketches_[q].add(extract_label(packet, kAllLabels[q]));
+  }
+}
+
+double LinkMonitor::estimate(NetLabel kind) const {
+  return sketches_[static_cast<std::size_t>(kind)].estimate();
+}
+
+const F0Estimator& LinkMonitor::sketch(NetLabel kind) const {
+  return sketches_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<std::uint8_t> LinkMonitor::report() const {
+  ByteWriter w;
+  w.u8(kReportVersion);
+  for (const auto& s : sketches_) s.serialize(w);
+  return w.take();
+}
+
+MonitoringCenter::MonitoringCenter(std::size_t links, const EstimatorParams& params)
+    : params_(params),
+      merged_{F0Estimator(params), F0Estimator(params), F0Estimator(params),
+              F0Estimator(params)},
+      channel_(links) {}
+
+void MonitoringCenter::receive(std::size_t link, const std::vector<std::uint8_t>& report_bytes) {
+  channel_.send(link, report_bytes);
+  for (const auto& payload : channel_.drain()) {
+    ByteReader r{std::span<const std::uint8_t>{payload}};
+    if (r.u8() != kReportVersion) throw SerializationError("bad monitor report version");
+    for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
+      F0Estimator sketch = F0Estimator::deserialize(r);
+      naive_sum_[q] += sketch.estimate();
+      merged_[q].merge(sketch);
+    }
+    if (!r.done()) throw SerializationError("trailing bytes in monitor report");
+  }
+  ++reports_received_;
+}
+
+void MonitoringCenter::collect(const std::vector<LinkMonitor>& monitors) {
+  for (std::size_t link = 0; link < monitors.size(); ++link) {
+    receive(link, monitors[link].report());
+  }
+}
+
+UnionQueryAnswer MonitoringCenter::query(NetLabel kind) const {
+  const auto q = static_cast<std::size_t>(kind);
+  return UnionQueryAnswer{merged_[q].estimate(), naive_sum_[q]};
+}
+
+}  // namespace ustream

@@ -1,0 +1,67 @@
+// Per-link monitors and the central collector: the application layer that
+// the paper's abstract describes. Each LinkMonitor keeps one coordinated
+// F0 sketch per query kind while observing only its own link; the
+// MonitoringCenter collects the (serialized) sketches once and answers
+// union queries — alongside the naive per-link-sum answer whose overcount
+// the union estimate corrects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/f0_estimator.h"
+#include "core/params.h"
+#include "distributed/channel.h"
+#include "netmon/packet.h"
+#include "netmon/trace_gen.h"
+
+namespace ustream {
+
+class LinkMonitor {
+ public:
+  explicit LinkMonitor(const EstimatorParams& params);
+
+  void observe(const Packet& packet);
+
+  // Per-link estimate for a query kind.
+  double estimate(NetLabel kind) const;
+  const F0Estimator& sketch(NetLabel kind) const;
+
+  // Serialized bundle of all four sketches (one report message).
+  std::vector<std::uint8_t> report() const;
+
+  std::uint64_t packets_observed() const noexcept { return packets_; }
+
+ private:
+  std::array<F0Estimator, 4> sketches_;
+  std::uint64_t packets_ = 0;
+};
+
+struct UnionQueryAnswer {
+  double union_estimate = 0.0;
+  double naive_sum = 0.0;  // sum of per-link estimates (the wrong answer)
+};
+
+class MonitoringCenter {
+ public:
+  MonitoringCenter(std::size_t links, const EstimatorParams& params);
+
+  // Ingest one link's report (consumes channel-accounted bytes).
+  void receive(std::size_t link, const std::vector<std::uint8_t>& report_bytes);
+
+  // Convenience: collect every monitor in one pass.
+  void collect(const std::vector<LinkMonitor>& monitors);
+
+  UnionQueryAnswer query(NetLabel kind) const;
+  ChannelStats channel_stats() const { return channel_.stats(); }
+
+ private:
+  EstimatorParams params_;
+  std::array<F0Estimator, 4> merged_;
+  std::array<double, 4> naive_sum_{};
+  std::size_t reports_received_ = 0;
+  Channel channel_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,182 @@
+#include "netmon/superspreader.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "hash/level.h"
+#include "hash/mix.h"
+
+namespace ustream {
+
+SuperspreaderDetector::SuperspreaderDetector(const SuperspreaderConfig& config)
+    : config_(config),
+      admission_hash_(SeedSequence(config.seed).child(0xad)),
+      table_(config.table_capacity + 1) {
+  USTREAM_REQUIRE(config.table_capacity >= 1, "table capacity must be >= 1");
+  USTREAM_REQUIRE(config.sampler_capacity >= 1, "sampler capacity must be >= 1");
+  USTREAM_REQUIRE(config.admission_level >= 0 && config.admission_level < 32,
+                  "admission level out of range");
+  samplers_.reserve(config.table_capacity);
+  slot_source_.reserve(config.table_capacity);
+}
+
+SuperspreaderDetector::Sampler SuperspreaderDetector::make_sampler() const {
+  // One shared seed for every per-source sampler across all monitors: the
+  // coordination that makes cross-link merges exact.
+  return Sampler(config_.sampler_capacity, SeedSequence(config_.seed).child(0x5a));
+}
+
+void SuperspreaderDetector::evict_smallest() {
+  std::size_t victim = 0;
+  double victim_estimate = -1.0;
+  for (std::size_t slot = 0; slot < samplers_.size(); ++slot) {
+    if (slot_source_[slot] == ~std::uint64_t{0}) continue;  // already free
+    const double est = samplers_[slot].estimate_distinct();
+    if (victim_estimate < 0.0 || est < victim_estimate) {
+      victim_estimate = est;
+      victim = slot;
+    }
+  }
+  USTREAM_REQUIRE(victim_estimate >= 0.0, "evict from empty table");
+  table_.filter([&](const auto& e) { return e.value != victim; });
+  slot_source_[victim] = ~std::uint64_t{0};
+  free_slots_.push_back(static_cast<std::uint32_t>(victim));
+}
+
+void SuperspreaderDetector::admit(std::uint64_t source, std::uint64_t destination) {
+  if (table_.size() >= config_.table_capacity) evict_smallest();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    samplers_[slot] = make_sampler();
+    slot_source_[slot] = source;
+  } else {
+    slot = static_cast<std::uint32_t>(samplers_.size());
+    samplers_.push_back(make_sampler());
+    slot_source_.push_back(source);
+  }
+  table_.try_emplace(source, slot);
+  samplers_[slot].add(destination);
+}
+
+void SuperspreaderDetector::observe(std::uint64_t source, std::uint64_t destination) {
+  if (auto* entry = table_.find(source)) {
+    samplers_[entry->value].add(destination);
+    return;
+  }
+  // Admission: a deterministic coordinated coin on the (source, dst) pair —
+  // duplicates re-flip the SAME coin, so only distinct contacts count.
+  const std::uint64_t pair_key = murmur_mix64(source) ^ destination;
+  if (hash_level(admission_hash_(pair_key), PairwiseHash::kBits) >=
+      config_.admission_level) {
+    admit(source, destination);
+  }
+}
+
+double SuperspreaderDetector::estimate(std::uint64_t source) const {
+  const auto* entry = table_.find(source);
+  return entry == nullptr ? 0.0 : samplers_[entry->value].estimate_distinct();
+}
+
+std::vector<SuperspreaderReport> SuperspreaderDetector::report(double threshold) const {
+  std::vector<SuperspreaderReport> out;
+  for (const auto& e : table_) {
+    const double est = samplers_[e.value].estimate_distinct();
+    if (est >= threshold) out.push_back({e.key, est});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.distinct_destinations > b.distinct_destinations;
+  });
+  return out;
+}
+
+std::size_t SuperspreaderDetector::bytes_used() const noexcept {
+  std::size_t bytes = sizeof(*this) + table_.bytes_used() +
+                      slot_source_.capacity() * sizeof(std::uint64_t) +
+                      free_slots_.capacity() * sizeof(std::uint32_t);
+  for (const auto& s : samplers_) bytes += s.bytes_used();
+  return bytes;
+}
+
+void SuperspreaderDetector::merge(const SuperspreaderDetector& other) {
+  USTREAM_REQUIRE(can_merge_with(other),
+                  "merge requires detectors with identical seed and sampler config");
+  for (const auto& e : other.table_) {
+    const Sampler& theirs = other.samplers_[e.value];
+    if (auto* mine = table_.find(e.key)) {
+      samplers_[mine->value].merge(theirs);
+    } else {
+      if (table_.size() >= config_.table_capacity) evict_smallest();
+      std::uint32_t slot;
+      if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        samplers_[slot] = theirs;
+        slot_source_[slot] = e.key;
+      } else {
+        slot = static_cast<std::uint32_t>(samplers_.size());
+        samplers_.push_back(theirs);
+        slot_source_.push_back(e.key);
+      }
+      table_.try_emplace(e.key, slot);
+    }
+  }
+}
+
+void SuperspreaderDetector::serialize(ByteWriter& w) const {
+  w.u8(kWireVersion);
+  w.u64(config_.seed);
+  w.varint(config_.table_capacity);
+  w.varint(config_.sampler_capacity);
+  w.u8(static_cast<std::uint8_t>(config_.admission_level));
+  w.varint(table_.size());
+  for (const auto& e : table_) {
+    w.varint(e.key);
+    samplers_[e.value].serialize(w);
+  }
+}
+
+std::vector<std::uint8_t> SuperspreaderDetector::serialize() const {
+  ByteWriter w;
+  serialize(w);
+  return w.take();
+}
+
+SuperspreaderDetector SuperspreaderDetector::deserialize(ByteReader& r) {
+  if (r.u8() != kWireVersion) throw SerializationError("bad superspreader version");
+  SuperspreaderConfig config;
+  config.seed = r.u64();
+  config.table_capacity = r.varint();
+  config.sampler_capacity = r.varint();
+  config.admission_level = r.u8();
+  if (config.table_capacity == 0 || config.admission_level >= 32) {
+    throw SerializationError("bad superspreader config");
+  }
+  SuperspreaderDetector d(config);
+  const std::uint64_t count = r.varint();
+  if (count > config.table_capacity) throw SerializationError("superspreader table overfull");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t source = r.varint();
+    Sampler sampler = Sampler::deserialize(r);
+    if (!sampler.can_merge_with(d.make_sampler())) {
+      throw SerializationError("superspreader sampler config mismatch");
+    }
+    const auto slot = static_cast<std::uint32_t>(d.samplers_.size());
+    d.samplers_.push_back(std::move(sampler));
+    d.slot_source_.push_back(source);
+    if (!d.table_.try_emplace(source, slot).second) {
+      throw SerializationError("duplicate source in superspreader table");
+    }
+  }
+  return d;
+}
+
+SuperspreaderDetector SuperspreaderDetector::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto d = deserialize(r);
+  if (!r.done()) throw SerializationError("trailing bytes after superspreader");
+  return d;
+}
+
+}  // namespace ustream

@@ -1,0 +1,93 @@
+// Superspreader detection: find sources that contact MANY DISTINCT
+// destinations (scanners, worms, crawlers) — the per-source version of the
+// paper's distinct counting, and a classic application of small-space F0
+// sketches in network monitoring.
+//
+// Design: a bounded table of per-source coordinated samplers.
+//   * Admission: a source gets a tracked sampler only once it has been
+//     seen with >= `admit_after` distinct-ish contacts, approximated by a
+//     shared coordinated admission test (hash(source, dst) level >= a):
+//     heavy sources pass quickly, one-destination chatter mostly never
+//     allocates state. False negatives below the report threshold are the
+//     accepted trade (we only need the heavy tail to be right).
+//   * Per-source distinct-destination counts come from small
+//     CoordinatedSamplers (shared seed!), so per-source states from many
+//     LINKS merge — the detector works over the union of links exactly
+//     like the scalar estimators do.
+//   * Capacity bound: if the table is full, new sources are admitted only
+//     by evicting the tracked source with the smallest current estimate
+//     (min-replacement, space-saving style).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+#include "common/serialize.h"
+#include "core/coordinated_sampler.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+struct SuperspreaderConfig {
+  std::size_t table_capacity = 1024;   // max sources tracked
+  std::size_t sampler_capacity = 64;   // per-source F0 sampler capacity
+  int admission_level = 3;             // admit after ~2^level distinct contacts
+  std::uint64_t seed = 0xfeedULL;      // shared across all monitors
+};
+
+struct SuperspreaderReport {
+  std::uint64_t source = 0;
+  double distinct_destinations = 0.0;
+};
+
+class SuperspreaderDetector {
+ public:
+  explicit SuperspreaderDetector(const SuperspreaderConfig& config);
+
+  void observe(std::uint64_t source, std::uint64_t destination);
+
+  // Sources whose estimated distinct-destination count is >= threshold,
+  // sorted descending by estimate.
+  std::vector<SuperspreaderReport> report(double threshold) const;
+
+  // Estimated distinct destinations for one source (0 if not tracked).
+  double estimate(std::uint64_t source) const;
+
+  std::size_t tracked_sources() const noexcept { return table_.size(); }
+  const SuperspreaderConfig& config() const noexcept { return config_; }
+  std::size_t bytes_used() const noexcept;
+
+  // Merge another detector (same config/seed): per-source samplers merge
+  // coordinately; the table is re-trimmed to capacity by estimate.
+  void merge(const SuperspreaderDetector& other);
+  bool can_merge_with(const SuperspreaderDetector& other) const noexcept {
+    return config_.seed == other.config_.seed &&
+           config_.sampler_capacity == other.config_.sampler_capacity &&
+           config_.admission_level == other.config_.admission_level;
+  }
+
+  void serialize(ByteWriter& w) const;
+  std::vector<std::uint8_t> serialize() const;
+  static SuperspreaderDetector deserialize(ByteReader& r);
+  static SuperspreaderDetector deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  static constexpr std::uint8_t kWireVersion = 1;
+  using Sampler = CoordinatedSampler<PairwiseHash, Unit>;
+
+  Sampler make_sampler() const;
+  void admit(std::uint64_t source, std::uint64_t destination);
+  void evict_smallest();
+
+  SuperspreaderConfig config_;
+  PairwiseHash admission_hash_;
+  // source -> index into samplers_ (stable storage; freed slots reused).
+  DenseMap<std::uint32_t> table_;
+  std::vector<Sampler> samplers_;
+  std::vector<std::uint64_t> slot_source_;  // reverse map
+  std::vector<std::uint32_t> free_slots_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,155 @@
+#include "netmon/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "stream/zipf.h"
+
+namespace ustream {
+
+std::string to_string(NetLabel label) {
+  switch (label) {
+    case NetLabel::kDstIp: return "dst-ip";
+    case NetLabel::kSrcIp: return "src-ip";
+    case NetLabel::kFlow: return "flow";
+    case NetLabel::kSrcDstPair: return "src-dst-pair";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::array<NetLabel, 4> kAllLabels = {NetLabel::kDstIp, NetLabel::kSrcIp,
+                                                NetLabel::kFlow, NetLabel::kSrcDstPair};
+
+struct FlowSpec {
+  Packet prototype;
+  std::uint64_t packets;
+};
+
+std::uint32_t pick_host(Xoshiro256& rng, std::size_t population) {
+  // Hosts are drawn from a mixed RFC1918-ish space; identity only matters
+  // up to distinctness, so a dense index mapped through a mixer suffices.
+  const auto idx = rng.below(population);
+  return static_cast<std::uint32_t>(murmur_mix64(idx) >> 32) | 0x0a000000u;
+}
+
+}  // namespace
+
+NetworkWorkload make_network_workload(const NetworkConfig& config) {
+  USTREAM_REQUIRE(config.links >= 1, "need at least one link");
+  USTREAM_REQUIRE(config.flows_per_link >= 1, "need at least one flow per link");
+  USTREAM_REQUIRE(config.packets_per_flow >= 1.0, "need at least one packet per flow");
+  USTREAM_REQUIRE(config.link_overlap >= 0.0 && config.link_overlap <= 1.0,
+                  "overlap must be in [0,1]");
+  USTREAM_REQUIRE(config.scan_fraction >= 0.0 && config.scan_fraction < 1.0,
+                  "scan_fraction must be in [0,1)");
+
+  Xoshiro256 rng(SplitMix64::mix(config.seed ^ 0x6e65746d6f6eULL));
+  NetworkWorkload out;
+  out.link_traces.resize(config.links);
+  out.truth.per_link_distinct.assign(config.links, {});
+
+  // Exact truth accumulators.
+  std::array<DenseSet, 4> union_sets;
+  std::vector<std::array<DenseSet, 4>> link_sets(config.links);
+
+  // Shared flow pool for overlap: flows generated for one link are re-used
+  // on other links with probability link_overlap.
+  std::vector<FlowSpec> shared_pool;
+
+  const ZipfDistribution size_zipf(1000, config.flow_zipf_alpha);
+  const double mean_zipf =
+      [&] {  // empirical mean of the size law, to scale to packets_per_flow
+        Xoshiro256 r(1);
+        double s = 0;
+        constexpr int kProbe = 4096;
+        for (int i = 0; i < kProbe; ++i) s += static_cast<double>(size_zipf.sample(r));
+        return s / kProbe;
+      }();
+
+  std::uint64_t timestamp = 0;
+  for (std::size_t link = 0; link < config.links; ++link) {
+    auto& trace = out.link_traces[link];
+    std::vector<FlowSpec> flows;
+    flows.reserve(config.flows_per_link);
+    for (std::size_t f = 0; f < config.flows_per_link; ++f) {
+      if (!shared_pool.empty() && rng.bernoulli(config.link_overlap)) {
+        flows.push_back(shared_pool[rng.below(shared_pool.size())]);
+        continue;
+      }
+      FlowSpec spec;
+      spec.prototype.src_ip = pick_host(rng, config.host_population);
+      spec.prototype.dst_ip = pick_host(rng, config.host_population);
+      spec.prototype.src_port = static_cast<std::uint16_t>(1024 + rng.below(64511));
+      spec.prototype.dst_port =
+          rng.bernoulli(0.7) ? static_cast<std::uint16_t>(rng.bernoulli(0.5) ? 443 : 80)
+                             : static_cast<std::uint16_t>(rng.below(65536));
+      spec.prototype.protocol = rng.bernoulli(0.9) ? std::uint8_t{6} : std::uint8_t{17};
+      const double raw = static_cast<double>(size_zipf.sample(rng));
+      spec.packets = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(raw / mean_zipf * config.packets_per_flow)));
+      flows.push_back(spec);
+      shared_pool.push_back(spec);
+    }
+
+    // Emit the flows' packets.
+    for (const FlowSpec& spec : flows) {
+      for (std::uint64_t k = 0; k < spec.packets; ++k) {
+        Packet p = spec.prototype;
+        p.size_bytes = static_cast<std::uint16_t>(64 + rng.below(1436));
+        p.timestamp = timestamp++;
+        trace.push_back(p);
+      }
+    }
+
+    // Scan episodes: single source, one SYN-sized probe per random dst.
+    if (config.scan_fraction > 0.0) {
+      const auto scan_packets = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(trace.size()) * config.scan_fraction /
+                    (1.0 - config.scan_fraction)));
+      const std::uint32_t scanner = pick_host(rng, config.host_population);
+      for (std::size_t k = 0; k < scan_packets; ++k) {
+        Packet p;
+        p.src_ip = scanner;
+        // Scan targets beyond the normal host population (fresh dsts).
+        p.dst_ip = static_cast<std::uint32_t>(murmur_mix64(rng.next()) | 0xc0000000u);
+        p.src_port = static_cast<std::uint16_t>(1024 + rng.below(64511));
+        p.dst_port = static_cast<std::uint16_t>(rng.below(1024));
+        p.protocol = 6;
+        p.size_bytes = 60;
+        p.timestamp = timestamp++;
+        trace.push_back(p);
+      }
+    }
+
+    // Shuffle the link's packets (flows interleave on the wire).
+    for (std::size_t i = trace.size(); i > 1; --i) {
+      std::swap(trace[i - 1], trace[rng.below(i)]);
+    }
+
+    // Truth accounting.
+    for (const Packet& p : trace) {
+      for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
+        const std::uint64_t label = extract_label(p, kAllLabels[q]);
+        union_sets[q].insert(label);
+        link_sets[link][q].insert(label);
+      }
+    }
+    out.total_packets += trace.size();
+  }
+
+  for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
+    out.truth.union_distinct[q] = union_sets[q].size();
+    for (std::size_t link = 0; link < config.links; ++link) {
+      out.truth.per_link_distinct[link][q] = link_sets[link][q].size();
+      out.truth.naive_sum[q] += link_sets[link][q].size();
+    }
+  }
+  return out;
+}
+
+}  // namespace ustream

@@ -1,0 +1,50 @@
+// Synthetic packet-trace generation (substitution for proprietary traffic
+// traces; see DESIGN.md). Produces per-link traces with:
+//   * a flow population whose packet counts follow a zipf law (the
+//     canonical heavy-tailed flow-size behaviour of Internet traffic),
+//   * host populations shared across links with controllable overlap
+//     (the same server is seen on many links -> naive per-link addition
+//     overcounts, the union estimate must not),
+//   * optional scan episodes: one source touching many destinations once
+//     each — high distinct-count impact at negligible volume, which is
+//     what makes F0-type monitoring operationally interesting.
+// Ground truth (exact distinct counts per link and for the union, per
+// label kind) is computed during generation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netmon/packet.h"
+
+namespace ustream {
+
+struct NetworkConfig {
+  std::size_t links = 4;
+  std::size_t flows_per_link = 20'000;
+  double packets_per_flow = 5.0;     // mean; zipf-skewed across flows
+  double flow_zipf_alpha = 1.1;      // flow-size skew
+  std::size_t host_population = 50'000;
+  double link_overlap = 0.3;         // probability a flow's hosts repeat across links
+  double scan_fraction = 0.0;        // fraction of packets that are scan probes
+  std::uint64_t seed = 42;
+};
+
+struct NetworkTruth {
+  // Indexed by static_cast<size_t>(NetLabel).
+  std::array<std::uint64_t, 4> union_distinct{};
+  std::vector<std::array<std::uint64_t, 4>> per_link_distinct;
+  // Sum over links of per-link distinct (what naive addition reports).
+  std::array<std::uint64_t, 4> naive_sum{};
+};
+
+struct NetworkWorkload {
+  std::vector<std::vector<Packet>> link_traces;
+  NetworkTruth truth;
+  std::size_t total_packets = 0;
+};
+
+NetworkWorkload make_network_workload(const NetworkConfig& config);
+
+}  // namespace ustream

@@ -1,0 +1,112 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+#include "hash/mix.h"
+
+namespace ustream {
+
+double label_value(std::uint64_t label, std::uint64_t value_seed, double lo, double hi) {
+  const std::uint64_t h = murmur_mix64_seeded(label, value_seed);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo + (hi - lo) * u;
+}
+
+std::vector<std::uint64_t> make_label_pool(std::size_t count, LabelKind kind,
+                                           std::uint64_t seed) {
+  std::vector<std::uint64_t> pool;
+  pool.reserve(count);
+  Xoshiro256 rng(seed);
+  switch (kind) {
+    case LabelKind::kRandom64: {
+      DenseSet seen(count);
+      while (pool.size() < count) {
+        const std::uint64_t label = rng.next();
+        if (seen.insert(label)) pool.push_back(label);
+      }
+      break;
+    }
+    case LabelKind::kSequential: {
+      for (std::size_t i = 0; i < count; ++i) pool.push_back(i);
+      break;
+    }
+    case LabelKind::kClustered: {
+      // Runs of 256 consecutive labels around random bases, mimicking
+      // address blocks. Bases are spaced so runs never collide.
+      constexpr std::uint64_t kRun = 256;
+      DenseSet bases(count / kRun + 2);
+      std::uint64_t base = 0;
+      std::size_t in_run = kRun;  // force a fresh base on first iteration
+      while (pool.size() < count) {
+        if (in_run == kRun) {
+          do {
+            base = (rng.next() << 8);  // aligned to run size
+          } while (!bases.insert(base));
+          in_run = 0;
+        }
+        pool.push_back(base + in_run);
+        ++in_run;
+      }
+      break;
+    }
+  }
+  return pool;
+}
+
+SyntheticStream::SyntheticStream(const StreamConfig& config)
+    : config_(config),
+      pool_(make_label_pool(config.distinct, config.label_kind, config.seed)),
+      zipf_(config.distinct, config.zipf_alpha),
+      rng_(SplitMix64::mix(config.seed ^ 0x9d2c5680a7c83b11ULL)),
+      value_seed_(SplitMix64::mix(config.seed ^ 0x2545f4914f6cdd1dULL)) {
+  USTREAM_REQUIRE(config.distinct >= 1, "stream needs at least one distinct label");
+  USTREAM_REQUIRE(config.total_items >= config.distinct,
+                  "total_items must cover every distinct label at least once");
+  USTREAM_REQUIRE(config.value_hi >= config.value_lo, "value range must be nonempty");
+  for (std::uint64_t label : pool_) {
+    true_sum_ += label_value(label, value_seed_, config.value_lo, config.value_hi);
+  }
+  // Randomize pool order so the guaranteed-coverage prefix isn't sorted by
+  // construction kind.
+  for (std::size_t i = pool_.size(); i > 1; --i) {
+    std::swap(pool_[i - 1], pool_[rng_.below(i)]);
+  }
+}
+
+Item SyntheticStream::item_for(std::uint64_t label) const {
+  return Item{label, label_value(label, value_seed_, config_.value_lo, config_.value_hi)};
+}
+
+Item SyntheticStream::next() {
+  USTREAM_REQUIRE(!done(), "stream exhausted");
+  std::uint64_t label;
+  if (emitted_ < pool_.size()) {
+    label = pool_[emitted_];  // coverage prefix: every label at least once
+  } else {
+    label = pool_[zipf_.sample(rng_) - 1];
+  }
+  ++emitted_;
+  return item_for(label);
+}
+
+void SyntheticStream::reset() {
+  // Re-derive the occurrence RNG so replays are identical.
+  rng_ = Xoshiro256(SplitMix64::mix(config_.seed ^ 0x9d2c5680a7c83b11ULL));
+  // Note: the pool shuffle consumed RNG draws at construction; replay them.
+  std::vector<std::uint64_t> scratch(pool_.size());
+  for (std::size_t i = scratch.size(); i > 1; --i) (void)rng_.below(i);
+  emitted_ = 0;
+}
+
+std::vector<Item> SyntheticStream::to_vector() {
+  reset();
+  std::vector<Item> out;
+  out.reserve(size());
+  while (!done()) out.push_back(next());
+  reset();
+  return out;
+}
+
+}  // namespace ustream

@@ -1,0 +1,83 @@
+// Synthetic stream generators with KNOWN ground truth.
+//
+// Accuracy experiments need the true answer: every generator first fixes an
+// explicit set of distinct labels (the ground truth for F0 / SumDistinct),
+// then emits a stream in which those labels occur with a configurable
+// multiplicity profile (uniform duplication, zipf skew, exactly-once).
+// Since all estimators in the library are duplicate-insensitive by design,
+// the multiplicity profile is exactly the knob experiment E7 turns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "stream/item.h"
+#include "stream/zipf.h"
+
+namespace ustream {
+
+// How the ground-truth distinct labels are chosen from the 64-bit universe.
+enum class LabelKind {
+  kRandom64,    // uniform random 64-bit labels (generic)
+  kSequential,  // 0,1,2,... (worst case for weak hashes: dense low entropy)
+  kClustered,   // runs of consecutive labels around random bases (CIDR-like)
+};
+
+// Deterministic per-label attribute in [lo, hi): the same label always
+// carries the same value, as the SumDistinct model requires.
+double label_value(std::uint64_t label, std::uint64_t value_seed, double lo, double hi);
+
+// Generates `count` distinct labels of the given kind.
+std::vector<std::uint64_t> make_label_pool(std::size_t count, LabelKind kind,
+                                           std::uint64_t seed);
+
+struct StreamConfig {
+  std::size_t distinct = 10'000;     // ground-truth F0
+  std::size_t total_items = 50'000;  // stream length (>= distinct)
+  double zipf_alpha = 0.0;           // skew of the multiplicity profile
+  LabelKind label_kind = LabelKind::kRandom64;
+  std::uint64_t seed = 1;
+  double value_lo = 0.0;  // per-label value range (SumDistinct workloads)
+  double value_hi = 1.0;
+};
+
+// A fully materializable synthetic stream: the first `distinct` emissions
+// cover the pool once (so the ground truth is exact), the remaining
+// `total_items - distinct` emissions re-draw labels from the pool with the
+// configured zipf skew. Emission order is pseudo-random.
+class SyntheticStream {
+ public:
+  explicit SyntheticStream(const StreamConfig& config);
+
+  // Emits the next item; wraps the occurrence pattern deterministically.
+  // Streams are conceptually finite: callers should stop at size().
+  Item next();
+
+  bool done() const noexcept { return emitted_ >= config_.total_items; }
+  std::size_t size() const noexcept { return config_.total_items; }
+  void reset();
+
+  // Ground truth.
+  const std::vector<std::uint64_t>& labels() const noexcept { return pool_; }
+  std::size_t true_distinct() const noexcept { return pool_.size(); }
+  double true_sum_distinct() const noexcept { return true_sum_; }
+
+  const StreamConfig& config() const noexcept { return config_; }
+
+  // Materialize the whole stream (tests and small experiments).
+  std::vector<Item> to_vector();
+
+ private:
+  Item item_for(std::uint64_t label) const;
+
+  StreamConfig config_;
+  std::vector<std::uint64_t> pool_;
+  ZipfDistribution zipf_;
+  Xoshiro256 rng_;
+  std::size_t emitted_ = 0;
+  double true_sum_ = 0.0;
+  std::uint64_t value_seed_ = 0;
+};
+
+}  // namespace ustream

@@ -1,0 +1,17 @@
+// The unit of data in a stream: a label (the identity that distinct-count
+// semantics care about) plus an optional per-label numeric attribute used
+// by SumDistinct-style aggregates.
+#pragma once
+
+#include <cstdint>
+
+namespace ustream {
+
+struct Item {
+  std::uint64_t label = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+}  // namespace ustream

@@ -1,0 +1,70 @@
+#include "stream/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace ustream {
+
+DistributedWorkload make_distributed_workload(const DistributedConfig& config) {
+  USTREAM_REQUIRE(config.sites >= 1, "need at least one site");
+  USTREAM_REQUIRE(config.overlap >= 0.0 && config.overlap <= 1.0, "overlap must be in [0,1]");
+  USTREAM_REQUIRE(config.duplication >= 1.0, "duplication must be >= 1");
+  USTREAM_REQUIRE(config.union_distinct >= 1, "need at least one label");
+
+  const auto pool = make_label_pool(config.union_distinct, config.label_kind, config.seed);
+  Xoshiro256 rng(SplitMix64::mix(config.seed ^ 0xd1b54a32d192ed03ULL));
+  const std::uint64_t value_seed = SplitMix64::mix(config.seed ^ 0x2545f4914f6cdd1dULL);
+
+  DistributedWorkload out;
+  out.site_streams.resize(config.sites);
+  out.site_distinct.assign(config.sites, 0);
+  out.union_distinct = pool.size();
+
+  // Assign each label to a home site plus overlap replicas; collect each
+  // site's distinct label list.
+  std::vector<std::vector<std::uint64_t>> site_labels(config.sites);
+  for (std::uint64_t label : pool) {
+    out.union_sum_distinct += label_value(label, value_seed, config.value_lo, config.value_hi);
+    const std::size_t home = static_cast<std::size_t>(rng.below(config.sites));
+    site_labels[home].push_back(label);
+    if (config.overlap > 0.0) {
+      for (std::size_t s = 0; s < config.sites; ++s) {
+        if (s != home && rng.bernoulli(config.overlap)) site_labels[s].push_back(label);
+      }
+    }
+  }
+
+  // Emit each site's stream: full coverage pass + skewed re-draws, shuffled.
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    auto& labels = site_labels[s];
+    out.site_distinct[s] = labels.size();
+    if (labels.empty()) continue;
+    auto& stream = out.site_streams[s];
+    const auto total =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(labels.size()) * config.duplication));
+    stream.reserve(total);
+    for (std::uint64_t label : labels) {
+      stream.push_back(
+          Item{label, label_value(label, value_seed, config.value_lo, config.value_hi)});
+    }
+    if (total > labels.size()) {
+      ZipfDistribution zipf(labels.size(), config.zipf_alpha);
+      for (std::size_t i = labels.size(); i < total; ++i) {
+        const std::uint64_t label = labels[zipf.sample(rng) - 1];
+        stream.push_back(
+            Item{label, label_value(label, value_seed, config.value_lo, config.value_hi)});
+      }
+    }
+    // Shuffle so coverage items and duplicates interleave.
+    for (std::size_t i = stream.size(); i > 1; --i) {
+      std::swap(stream[i - 1], stream[rng.below(i)]);
+    }
+    out.total_items += stream.size();
+  }
+  return out;
+}
+
+}  // namespace ustream

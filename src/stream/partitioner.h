@@ -1,0 +1,46 @@
+// Distributed workload construction: split a logical label population
+// across t sites with controllable overlap, producing one physical stream
+// per site plus exact ground truth for the union (and per-site truths).
+//
+// Overlap is the parameter that makes the union problem interesting:
+//   overlap = 0    -> sites see disjoint label sets; the union's F0 is the
+//                     sum of per-site F0s and naive addition would work;
+//   overlap = 1    -> every label is seen by every site; naive addition
+//                     overcounts by a factor of t while the union estimate
+//                     must stay flat. (E4 sweeps exactly this.)
+// Each label is assigned to one home site plus each other site
+// independently with probability `overlap`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/generators.h"
+#include "stream/item.h"
+
+namespace ustream {
+
+struct DistributedConfig {
+  std::size_t sites = 4;
+  std::size_t union_distinct = 100'000;  // ground-truth F0 of the union
+  double overlap = 0.0;                  // in [0, 1]
+  // Total emitted items per site = (distinct at site) * duplication.
+  double duplication = 2.0;  // >= 1
+  double zipf_alpha = 0.0;   // multiplicity skew within each site
+  LabelKind label_kind = LabelKind::kRandom64;
+  std::uint64_t seed = 7;
+  double value_lo = 0.0;
+  double value_hi = 1.0;
+};
+
+struct DistributedWorkload {
+  std::vector<std::vector<Item>> site_streams;  // one stream per site
+  std::vector<std::size_t> site_distinct;       // ground truth per site
+  std::size_t union_distinct = 0;               // ground truth for the union
+  double union_sum_distinct = 0.0;              // SumDistinct over the union
+  std::size_t total_items = 0;
+};
+
+DistributedWorkload make_distributed_workload(const DistributedConfig& config);
+
+}  // namespace ustream

@@ -1,0 +1,70 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace ustream {
+
+namespace {
+constexpr std::uint8_t kTraceVersion = 1;
+constexpr std::uint32_t kMagic = 0x52545355;  // "USTR" little-endian
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+void write_trace(const std::string& path, const std::vector<Item>& items) {
+  ByteWriter w(16 + items.size() * 10);
+  w.u32(kMagic);
+  w.u8(kTraceVersion);
+  w.varint(items.size());
+  std::uint64_t prev = 0;
+  for (const Item& item : items) {
+    w.varint(item.label ^ prev);
+    prev = item.label;
+    w.f64(item.value);
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  USTREAM_REQUIRE(f != nullptr, "cannot open trace file for writing: " + path);
+  const auto& buf = w.data();
+  if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    throw SerializationError("short write to trace file: " + path);
+  }
+}
+
+std::vector<Item> read_trace(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  USTREAM_REQUIRE(f != nullptr, "cannot open trace file for reading: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  USTREAM_REQUIRE(size >= 0, "cannot stat trace file: " + path);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    throw SerializationError("short read from trace file: " + path);
+  }
+  ByteReader r(buf);
+  if (r.u32() != kMagic) throw SerializationError("not a ustream trace: " + path);
+  if (r.u8() != kTraceVersion) throw SerializationError("unsupported trace version");
+  const std::uint64_t count = r.varint();
+  std::vector<Item> items;
+  items.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t label = r.varint() ^ prev;
+    prev = label;
+    const double value = r.f64();
+    items.push_back(Item{label, value});
+  }
+  if (!r.done()) throw SerializationError("trailing bytes in trace file");
+  return items;
+}
+
+}  // namespace ustream

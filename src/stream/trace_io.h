@@ -1,0 +1,20 @@
+// Binary trace files: persistent streams for reproducible cross-run
+// experiments and for feeding the examples from saved data.
+//
+// Format: magic "USTR", u8 version, varint item count, then per item a
+// delta-unfriendly raw encoding (varint label XOR-folded against the
+// previous label to exploit clustered label spaces, f64 value).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/item.h"
+
+namespace ustream {
+
+void write_trace(const std::string& path, const std::vector<Item>& items);
+std::vector<Item> read_trace(const std::string& path);
+
+}  // namespace ustream

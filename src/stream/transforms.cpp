@@ -1,0 +1,56 @@
+#include "stream/transforms.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace ustream {
+
+std::vector<Item> duplicate_stream(const std::vector<Item>& stream, std::size_t factor,
+                                   std::uint64_t seed) {
+  USTREAM_REQUIRE(factor >= 1, "duplication factor must be >= 1");
+  std::vector<Item> out;
+  out.reserve(stream.size() * factor);
+  for (std::size_t f = 0; f < factor; ++f) {
+    out.insert(out.end(), stream.begin(), stream.end());
+  }
+  return shuffle_stream(std::move(out), seed);
+}
+
+std::vector<Item> shuffle_stream(std::vector<Item> stream, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (std::size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.below(i)]);
+  }
+  return stream;
+}
+
+std::vector<Item> sort_stream(std::vector<Item> stream, bool ascending) {
+  if (ascending) {
+    std::sort(stream.begin(), stream.end(),
+              [](const Item& a, const Item& b) { return a.label < b.label; });
+  } else {
+    std::sort(stream.begin(), stream.end(),
+              [](const Item& a, const Item& b) { return a.label > b.label; });
+  }
+  return stream;
+}
+
+std::vector<Item> interleave_streams(const std::vector<std::vector<Item>>& streams) {
+  std::vector<Item> out;
+  std::size_t total = 0, longest = 0;
+  for (const auto& s : streams) {
+    total += s.size();
+    longest = std::max(longest, s.size());
+  }
+  out.reserve(total);
+  for (std::size_t i = 0; i < longest; ++i) {
+    for (const auto& s : streams) {
+      if (i < s.size()) out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ustream

@@ -1,0 +1,29 @@
+// Stream transforms used by robustness experiments: duplication (tests
+// duplicate-insensitivity), shuffling (tests order-insensitivity), and
+// adversarial orderings (sorted / reverse-sorted by label).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/item.h"
+
+namespace ustream {
+
+// Returns the stream with every item repeated `factor` times, interleaved
+// pseudo-randomly. factor >= 1.
+std::vector<Item> duplicate_stream(const std::vector<Item>& stream, std::size_t factor,
+                                   std::uint64_t seed);
+
+// Fisher-Yates shuffle.
+std::vector<Item> shuffle_stream(std::vector<Item> stream, std::uint64_t seed);
+
+// Sorted ascending / descending by label (adversarial arrival orders).
+std::vector<Item> sort_stream(std::vector<Item> stream, bool ascending);
+
+// Interleaves several streams round-robin into one (what a single central
+// observer of all links would see) — used by exactness tests comparing a
+// merged distributed sketch against a single sketch of the concatenation.
+std::vector<Item> interleave_streams(const std::vector<std::vector<Item>>& streams);
+
+}  // namespace ustream

@@ -1,0 +1,51 @@
+#include "stream/zipf.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ustream {
+
+// Rejection sampler with the continuous envelope t^-alpha on
+// [1/2, n + 1/2]. For the convex decreasing envelope, the bucket
+// [k-1/2, k+1/2] carries at least k^-alpha mass (midpoint rule), so
+// accepting x with probability (2/3)^alpha * (x/k)^alpha — which is <= 1
+// because x/k <= (k+1/2)/k <= 3/2 — leaves every integer k with accepted
+// mass exactly proportional to k^-alpha.
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
+  USTREAM_REQUIRE(n >= 1, "zipf needs n >= 1");
+  USTREAM_REQUIRE(alpha >= 0.0, "zipf needs alpha >= 0");
+  one_minus_alpha_ = 1.0 - alpha_;
+  inv_one_minus_alpha_ = one_minus_alpha_ != 0.0 ? 1.0 / one_minus_alpha_ : 0.0;
+  const double hi = static_cast<double>(n_) + 0.5;
+  if (alpha_ == 1.0) {
+    t_ = std::log(2.0 * hi);  // F(x) = ln(2x)
+  } else {
+    // F(x) = (x^(1-a) - (1/2)^(1-a)) / (1-a); t_ = F(n + 1/2).
+    t_ = (std::pow(hi, one_minus_alpha_) - std::pow(0.5, one_minus_alpha_)) *
+         inv_one_minus_alpha_;
+  }
+}
+
+std::size_t ZipfDistribution::sample(Xoshiro256& rng) const {
+  if (n_ == 1) return 1;
+  const double accept_scale = std::pow(2.0 / 3.0, alpha_);
+  while (true) {
+    const double u = rng.uniform01() * t_;
+    double x;
+    if (alpha_ == 1.0) {
+      x = 0.5 * std::exp(u);
+    } else {
+      x = std::pow(std::pow(0.5, one_minus_alpha_) + u * one_minus_alpha_,
+                   inv_one_minus_alpha_);
+    }
+    auto k = static_cast<std::size_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double r = accept_scale * std::pow(x / static_cast<double>(k), alpha_);
+    if (rng.uniform01() <= r) return k;
+  }
+}
+
+}  // namespace ustream

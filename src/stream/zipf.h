@@ -1,0 +1,34 @@
+// Bounded Zipf (zeta) distribution: Pr[k] proportional to 1/k^alpha over
+// k in {1..n}, sampled in O(1) expected time by rejection from the
+// continuous envelope (Devroye, Non-Uniform Random Variate Generation).
+// alpha = 0 degenerates to uniform; alpha >~ 1 is the heavy skew typical of
+// network flow-size and popularity distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace ustream {
+
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double alpha);
+
+  // Samples k in [1, n].
+  std::size_t sample(Xoshiro256& rng) const;
+
+  std::size_t n() const noexcept { return n_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  // Precomputed envelope constants (Devroye's method):
+  double t_;  // total envelope mass
+  double one_minus_alpha_;
+  double inv_one_minus_alpha_;
+};
+
+}  // namespace ustream

@@ -1,0 +1,154 @@
+// Shared property suite over every distinct counter behind the common
+// interface (parameterized), plus the factory sizing rules.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/factory.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace ustream {
+namespace {
+
+struct CounterCase {
+  CounterKind kind;
+  double accuracy_band;  // generous acceptance band, 100k-distinct stream
+  double small_band;     // band at 100 distinct (some baselines have known
+                         // small-range bias; GT/KMV are exact there)
+};
+
+void PrintTo(const CounterCase& c, std::ostream* os) { *os << to_string(c.kind); }
+
+class EveryCounter : public ::testing::TestWithParam<CounterCase> {
+ protected:
+  std::unique_ptr<DistinctCounter> make(std::uint64_t seed = 77) const {
+    return make_counter_for_epsilon(GetParam().kind, 0.1, seed, 1 << 20);
+  }
+};
+
+TEST_P(EveryCounter, SmallCountsAreTight) {
+  auto c = make();
+  for (std::uint64_t x = 0; x < 100; ++x) c->add(x * 1'000'003);
+  EXPECT_NEAR(c->estimate(), 100.0, 100.0 * GetParam().small_band) << c->name();
+}
+
+TEST_P(EveryCounter, LargeStreamWithinBand) {
+  auto c = make();
+  Xoshiro256 rng(1);
+  constexpr std::size_t kDistinct = 100'000;
+  for (std::size_t i = 0; i < kDistinct; ++i) c->add(rng.next());
+  EXPECT_LT(relative_error(c->estimate(), kDistinct), GetParam().accuracy_band) << c->name();
+}
+
+TEST_P(EveryCounter, DuplicateInsensitive) {
+  auto once = make(33);
+  auto many = make(33);
+  Xoshiro256 rng(2);
+  std::vector<std::uint64_t> labels;
+  for (int i = 0; i < 20'000; ++i) labels.push_back(rng.next());
+  for (auto x : labels) once->add(x);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (auto x : labels) many->add(x);
+  }
+  EXPECT_DOUBLE_EQ(once->estimate(), many->estimate()) << once->name();
+}
+
+TEST_P(EveryCounter, MergeIsUnion) {
+  auto a = make(44);
+  auto b = a->clone_empty();
+  auto whole = a->clone_empty();
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t x = rng.next();
+    whole->add(x);
+    (i % 2 ? *a : *b).add(x);
+  }
+  a->merge(*b);
+  EXPECT_DOUBLE_EQ(a->estimate(), whole->estimate()) << a->name();
+}
+
+TEST_P(EveryCounter, MergeRejectsWrongType) {
+  auto c = make(55);
+  // Merge with a counter of a different concrete type must throw.
+  auto other = make_counter_for_epsilon(GetParam().kind == CounterKind::kKmv
+                                            ? CounterKind::kHyperLogLog
+                                            : CounterKind::kKmv,
+                                        0.1, 55);
+  EXPECT_THROW(c->merge(*other), InvalidArgument);
+}
+
+TEST_P(EveryCounter, CloneEmptyIsEmptyAndCompatible) {
+  auto c = make(66);
+  for (std::uint64_t x = 0; x < 1000; ++x) c->add(x);
+  auto fresh = c->clone_empty();
+  EXPECT_DOUBLE_EQ(fresh->estimate(), 0.0);
+  fresh->merge(*c);  // compatible lineage
+  EXPECT_DOUBLE_EQ(fresh->estimate(), c->estimate());
+}
+
+TEST_P(EveryCounter, BytesUsedIsPositive) {
+  auto c = make();
+  EXPECT_GT(c->bytes_used(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, EveryCounter,
+    ::testing::Values(CounterCase{CounterKind::kGibbonsTirthapura, 0.10, 0.001},
+                      CounterCase{CounterKind::kFmPcsa, 0.25, 1.2},
+                      CounterCase{CounterKind::kAmsF0, 4.0, 4.0},
+                      CounterCase{CounterKind::kBjkst, 0.20, 0.35},
+                      CounterCase{CounterKind::kKmv, 0.20, 0.001},
+                      CounterCase{CounterKind::kLinearCounting, 0.10, 0.05},
+                      CounterCase{CounterKind::kHyperLogLog, 0.15, 0.35}),
+    [](const auto& param_info) {
+      std::string name = to_string(param_info.param.kind);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Factory, ExactCounterIsExact) {
+  auto c = make_counter_for_epsilon(CounterKind::kExact, 0.1, 1);
+  for (std::uint64_t x = 0; x < 12'345; ++x) c->add(x);
+  for (std::uint64_t x = 0; x < 1000; ++x) c->add(x);  // duplicates
+  EXPECT_DOUBLE_EQ(c->estimate(), 12'345.0);
+}
+
+TEST(Factory, SpaceBudgetRoughlyRespected) {
+  for (CounterKind kind : all_sketch_kinds()) {
+    for (std::size_t budget : {1u << 12, 1u << 16}) {
+      auto c = make_counter_for_space(kind, budget, 2);
+      // Within 8x of budget in either direction (sketch granularity).
+      EXPECT_LT(c->bytes_used(), budget * 8) << to_string(kind) << " @" << budget;
+      EXPECT_GT(c->bytes_used(), budget / 8) << to_string(kind) << " @" << budget;
+    }
+  }
+}
+
+TEST(Factory, NamesRoundTrip) {
+  for (CounterKind kind : all_sketch_kinds()) {
+    auto c = make_counter_for_epsilon(kind, 0.2, 3);
+    EXPECT_EQ(c->name(), to_string(kind));
+  }
+}
+
+TEST(Factory, EpsilonTightensSketches) {
+  // Smaller epsilon must not shrink the sketch.
+  for (CounterKind kind : all_sketch_kinds()) {
+    auto loose = make_counter_for_epsilon(kind, 0.2, 4);
+    auto tight = make_counter_for_epsilon(kind, 0.02, 4);
+    EXPECT_GE(tight->bytes_used(), loose->bytes_used()) << to_string(kind);
+  }
+}
+
+TEST(Factory, RejectsBadArguments) {
+  EXPECT_THROW(make_counter_for_epsilon(CounterKind::kKmv, 0.0, 1), InvalidArgument);
+  EXPECT_THROW(make_counter_for_epsilon(CounterKind::kKmv, 1.0, 1), InvalidArgument);
+  EXPECT_THROW(make_counter_for_space(CounterKind::kKmv, 16, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

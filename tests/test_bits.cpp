@@ -1,0 +1,92 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ustream {
+namespace {
+
+TEST(Bits, TrailingZerosBasics) {
+  EXPECT_EQ(trailing_zeros(1), 0);
+  EXPECT_EQ(trailing_zeros(2), 1);
+  EXPECT_EQ(trailing_zeros(3), 0);
+  EXPECT_EQ(trailing_zeros(8), 3);
+  EXPECT_EQ(trailing_zeros(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Bits, TrailingZerosOfZeroIsWidth) {
+  EXPECT_EQ(trailing_zeros(0), 64);
+  EXPECT_EQ(trailing_zeros(0, 61), 61);
+  EXPECT_EQ(trailing_zeros(0, 1), 1);
+}
+
+TEST(Bits, TrailingZerosIgnoresHighBitsAboveValue) {
+  // Width only matters for the zero case; any set bit dominates.
+  EXPECT_EQ(trailing_zeros(4, 61), 2);
+}
+
+TEST(Bits, LeadingZeros) {
+  EXPECT_EQ(leading_zeros(0), 64);
+  EXPECT_EQ(leading_zeros(1), 63);
+  EXPECT_EQ(leading_zeros(std::uint64_t{1} << 63), 0);
+  EXPECT_EQ(leading_zeros(1, 8), 7);
+  EXPECT_EQ(leading_zeros(0x80, 8), 0);
+  EXPECT_EQ(leading_zeros(0, 8), 8);
+}
+
+TEST(Bits, LsbRank) {
+  EXPECT_EQ(lsb_rank(0), 0);
+  EXPECT_EQ(lsb_rank(1), 1);
+  EXPECT_EQ(lsb_rank(2), 2);
+  EXPECT_EQ(lsb_rank(12), 3);
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+  EXPECT_EQ(ceil_pow2(1024), 1024u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Bits, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b1, 4), 0b1000u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  EXPECT_EQ(reverse_bits(reverse_bits(0xdeadbeefULL, 64), 64), 0xdeadbeefULL);
+}
+
+TEST(Bits, TrailingZerosGeometricLaw) {
+  // Over all 16-bit values, exactly 2^(15-l) values have trailing_zeros == l.
+  int counts[17] = {};
+  for (std::uint64_t v = 0; v < (1u << 16); ++v) {
+    ++counts[trailing_zeros(v, 16)];
+  }
+  for (int l = 0; l < 16; ++l) {
+    EXPECT_EQ(counts[l], 1 << (15 - l)) << "level " << l;
+  }
+  EXPECT_EQ(counts[16], 1);  // only v == 0
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,147 @@
+// The CLI end to end, driven in-process: generate -> sketch per site ->
+// merge -> estimate, plus error handling.
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cli/args.h"
+#include "common/error.h"
+
+namespace ustream::cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::string dir_ = ::testing::TempDir();
+  std::vector<std::string> files_;
+
+  std::string path(const std::string& name) {
+    files_.push_back(dir_ + "/" + name);
+    return files_.back();
+  }
+
+  void TearDown() override {
+    for (const auto& f : files_) std::remove(f.c_str());
+  }
+
+  static std::pair<int, std::string> invoke(const std::vector<std::string>& argv) {
+    std::string out;
+    const int code = run(argv, out);
+    return {code, out};
+  }
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  auto [code, out] = invoke({"help"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  auto [code2, out2] = invoke({"frobnicate"});
+  EXPECT_EQ(code2, 2);
+  EXPECT_NE(out2.find("unknown command"), std::string::npos);
+  auto [code3, out3] = invoke({});
+  EXPECT_EQ(code3, 2);
+}
+
+TEST_F(CliTest, FullPipelineMatchesExact) {
+  const auto t0 = path("site0.trace");
+  const auto t1 = path("site1.trace");
+  const auto s0 = path("site0.sk");
+  const auto s1 = path("site1.sk");
+  const auto merged = path("union.sk");
+
+  for (const auto& [trace, seed] : {std::pair{t0, "1"}, std::pair{t1, "2"}}) {
+    auto [code, out] = invoke({"generate", "--distinct", "20000", "--items", "60000",
+                               "--seed", seed, "--out", trace});
+    ASSERT_EQ(code, 0) << out;
+  }
+  for (const auto& [trace, sketch] : {std::pair{t0, s0}, std::pair{t1, s1}}) {
+    auto [code, out] = invoke({"sketch", "--in", trace, "--eps", "0.1", "--delta", "0.05",
+                               "--seed", "42", "--out", sketch});
+    ASSERT_EQ(code, 0) << out;
+  }
+  auto [mcode, mout] = invoke({"merge", "--out", merged, s0, s1});
+  ASSERT_EQ(mcode, 0) << mout;
+
+  auto [ecode, eout] = invoke({"estimate", merged});
+  ASSERT_EQ(ecode, 0) << eout;
+
+  // Streams were generated with independent random64 label pools: union
+  // truth ~ 40000 (collision probability over 2^64 negligible).
+  const F0Estimator est = read_sketch_file(merged);
+  EXPECT_NEAR(est.estimate(), 40'000.0, 4000.0);
+
+  auto [xcode, xout] = invoke({"exact", "--in", t0});
+  EXPECT_EQ(xcode, 0);
+  EXPECT_NE(xout.find("20000 distinct"), std::string::npos) << xout;
+}
+
+TEST_F(CliTest, InfoIdentifiesFileKinds) {
+  const auto trace = path("x.trace");
+  const auto sketch = path("x.sk");
+  invoke({"generate", "--distinct", "100", "--items", "100", "--out", trace});
+  invoke({"sketch", "--in", trace, "--out", sketch});
+  auto [code, out] = invoke({"info", trace, sketch});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("trace"), std::string::npos);
+  EXPECT_NE(out.find("sketch"), std::string::npos);
+}
+
+TEST_F(CliTest, MergeRejectsMismatchedSeeds) {
+  const auto trace = path("y.trace");
+  const auto a = path("a.sk");
+  const auto b = path("b.sk");
+  const auto merged = path("m.sk");
+  invoke({"generate", "--distinct", "1000", "--items", "1000", "--out", trace});
+  invoke({"sketch", "--in", trace, "--seed", "1", "--out", a});
+  invoke({"sketch", "--in", trace, "--seed", "2", "--out", b});
+  auto [code, out] = invoke({"merge", "--out", merged, a, b});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsAreReportedNotThrown) {
+  auto [code, out] = invoke({"sketch", "--in", dir_ + "/missing.trace", "--out", path("z.sk")});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  auto [code2, out2] = invoke({"generate", "--distinct", "abc", "--out", path("w.trace")});
+  EXPECT_EQ(code2, 1);
+  auto [code3, out3] = invoke({"generate", "--distnict", "10", "--out", path("v.trace")});
+  EXPECT_EQ(code3, 1);  // typo caught by reject_unknown
+  EXPECT_NE(out3.find("--distnict"), std::string::npos);
+}
+
+TEST_F(CliTest, SketchFileRoundtripHelpers) {
+  F0Estimator est(EstimatorParams{.capacity = 64, .copies = 3, .seed = 5});
+  for (std::uint64_t x = 0; x < 1000; ++x) est.add(x);
+  const auto file = path("direct.sk");
+  write_sketch_file(file, est);
+  const F0Estimator back = read_sketch_file(file);
+  EXPECT_DOUBLE_EQ(back.estimate(), est.estimate());
+  EXPECT_THROW(read_sketch_file(dir_ + "/nope.sk"), InvalidArgument);
+}
+
+TEST(CliArgs, ParsingBasics) {
+  // Flags greedily take the following token as their value; a flag at the
+  // end of the line is boolean.
+  Args args({"--a", "1", "--b", "hello", "pos1", "pos2", "--c"});
+  EXPECT_EQ(args.u64("a", 0), 1u);
+  EXPECT_EQ(args.str("b", ""), "hello");
+  EXPECT_TRUE(args.has("c"));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+  EXPECT_EQ(args.u64("missing", 9), 9u);
+  EXPECT_THROW(args.required_str("missing"), InvalidArgument);
+}
+
+TEST(CliArgs, TypeErrors) {
+  Args args({"--n", "12x", "--f", "oops"});
+  EXPECT_THROW(args.u64("n", 0), InvalidArgument);
+  EXPECT_THROW(args.f64("f", 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream::cli

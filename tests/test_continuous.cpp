@@ -1,0 +1,86 @@
+// The continuous-monitoring extension: periodic snapshot pushes.
+#include "distributed/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "stream/partitioner.h"
+
+namespace ustream {
+namespace {
+
+TEST(Continuous, EmptyMonitorEstimatesZero) {
+  ContinuousUnionMonitor mon(3, 100, EstimatorParams::for_guarantee(0.2, 0.1, 1));
+  EXPECT_DOUBLE_EQ(mon.estimate(), 0.0);
+}
+
+TEST(Continuous, FlushedEstimateMatchesOneShot) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 2);
+  const auto w = make_distributed_workload(
+      {.sites = 4, .union_distinct = 30'000, .overlap = 0.3, .duplication = 1.5, .seed = 1});
+  ContinuousUnionMonitor mon(4, 500, params);
+  F0Estimator central(params);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (const Item& item : w.site_streams[s]) {
+      mon.observe(s, item.label);
+      central.add(item.label);
+    }
+  }
+  mon.flush();
+  EXPECT_DOUBLE_EQ(mon.estimate(), central.estimate());
+}
+
+TEST(Continuous, EstimateNeverExceedsFinalByMuch) {
+  // Before the flush, the referee only knows prefixes: the live estimate
+  // must track below/at the flushed value (up to estimator noise).
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 3);
+  ContinuousUnionMonitor mon(2, 1000, params);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 50'000; ++i) mon.observe(static_cast<std::size_t>(i % 2), rng.next());
+  const double live = mon.estimate();
+  mon.flush();
+  const double final_est = mon.estimate();
+  EXPECT_LE(live, final_est * 1.15);
+  EXPECT_LT(relative_error(final_est, 50'000.0), 0.1);
+}
+
+TEST(Continuous, SnapshotCountMatchesInterval) {
+  const auto params = EstimatorParams::for_guarantee(0.3, 0.2, 4);
+  ContinuousUnionMonitor mon(1, 100, params);
+  for (int i = 0; i < 1000; ++i) mon.observe(0, static_cast<std::uint64_t>(i));
+  EXPECT_EQ(mon.snapshots_received(), 10u);
+  mon.flush();                                  // nothing pending
+  EXPECT_EQ(mon.snapshots_received(), 10u);
+  mon.observe(0, 9999);
+  mon.flush();
+  EXPECT_EQ(mon.snapshots_received(), 11u);
+}
+
+TEST(Continuous, SmallerIntervalCostsMoreBytes) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 5);
+  std::uint64_t bytes_fine = 0, bytes_coarse = 0;
+  for (std::uint64_t interval : {std::uint64_t{100}, std::uint64_t{2000}}) {
+    ContinuousUnionMonitor mon(2, interval, params);
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 20'000; ++i) mon.observe(static_cast<std::size_t>(i % 2), rng.next());
+    mon.flush();
+    (interval == 100 ? bytes_fine : bytes_coarse) = mon.channel_stats().total_bytes;
+  }
+  EXPECT_GT(bytes_fine, 5 * bytes_coarse);
+}
+
+TEST(Continuous, RejectsBadConstruction) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 6);
+  EXPECT_THROW(ContinuousUnionMonitor(0, 10, params), InvalidArgument);
+  EXPECT_THROW(ContinuousUnionMonitor(2, 0, params), InvalidArgument);
+}
+
+TEST(Continuous, ObserveOutOfRangeSiteThrows) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 7);
+  ContinuousUnionMonitor mon(2, 10, params);
+  EXPECT_THROW(mon.observe(5, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,187 @@
+// Unit tests of the CoordinatedSampler's structural invariants — the
+// properties the paper's analysis rests on.
+#include "core/coordinated_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "hash/hash_family.h"
+
+namespace ustream {
+namespace {
+
+using Sampler = CoordinatedSampler<PairwiseHash, Unit>;
+
+TEST(CoordinatedSampler, ExactInSmallRegime) {
+  // While distinct count <= capacity, level stays 0 and the estimate is
+  // exactly the distinct count.
+  Sampler s(128, 1);
+  for (std::uint64_t x = 0; x < 100; ++x) s.add(x * 977);
+  EXPECT_EQ(s.level(), 0);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(), 100.0);
+}
+
+TEST(CoordinatedSampler, DuplicateInsensitiveStateEquality) {
+  // Re-adding seen labels must leave the ENTIRE state unchanged, even
+  // across level raises — stronger than just estimate equality.
+  Sampler once(64, 2);
+  Sampler thrice(64, 2);
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> labels;
+  for (int i = 0; i < 5000; ++i) labels.push_back(rng.next());
+  for (auto x : labels) once.add(x);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (auto x : labels) thrice.add(x);
+  }
+  EXPECT_EQ(once.level(), thrice.level());
+  EXPECT_EQ(once.size(), thrice.size());
+  auto a = once.sample_labels(), b = thrice.sample_labels();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(CoordinatedSampler, CapacityInvariantHolds) {
+  Sampler s(50, 3);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 20'000; ++i) {
+    s.add(rng.next());
+    ASSERT_LE(s.size(), 50u);
+  }
+  EXPECT_GT(s.level(), 0);
+}
+
+TEST(CoordinatedSampler, SampleContainsOnlyHighLevelLabels) {
+  Sampler s(32, 4);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.next());
+  for (auto label : s.sample_labels()) {
+    EXPECT_GE(s.level_of(label), s.level());
+  }
+}
+
+TEST(CoordinatedSampler, SampleIsCompleteAtItsLevel) {
+  // Every inserted label whose level >= current threshold must be present:
+  // the sample is exactly the survivor set, not an arbitrary subset.
+  Sampler s(32, 8);
+  Xoshiro256 rng(8);
+  std::vector<std::uint64_t> labels;
+  for (int i = 0; i < 5000; ++i) labels.push_back(rng.next());
+  for (auto x : labels) s.add(x);
+  std::set<std::uint64_t> expected;
+  for (auto x : labels) {
+    if (s.level_of(x) >= s.level()) expected.insert(x);
+  }
+  auto got = s.sample_labels();
+  EXPECT_EQ(got.size(), expected.size());
+  for (auto x : got) EXPECT_TRUE(expected.count(x)) << x;
+}
+
+TEST(CoordinatedSampler, DeterministicAcrossInstances) {
+  Sampler a(64, 99), b(64, 99);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t x = rng.next();
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.level(), b.level());
+  auto la = a.sample_labels(), lb = b.sample_labels();
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  EXPECT_EQ(la, lb);
+}
+
+TEST(CoordinatedSampler, SeedChangesSample) {
+  Sampler a(64, 1), b(64, 2);
+  for (std::uint64_t x = 0; x < 10'000; ++x) {
+    a.add(x);
+    b.add(x);
+  }
+  auto la = a.sample_labels(), lb = b.sample_labels();
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  EXPECT_NE(la, lb);
+}
+
+TEST(CoordinatedSampler, ValueFirstWins) {
+  CoordinatedSampler<PairwiseHash, double> s(16, 5);
+  s.add(42, 1.5);
+  s.add(42, 99.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.estimate_sum(), 1.5);
+}
+
+TEST(CoordinatedSampler, EstimateSumSmallRegimeExact) {
+  CoordinatedSampler<PairwiseHash, double> s(128, 5);
+  double want = 0.0;
+  for (std::uint64_t x = 1; x <= 100; ++x) {
+    s.add(x * 31, static_cast<double>(x));
+    want += static_cast<double>(x);
+  }
+  EXPECT_DOUBLE_EQ(s.estimate_sum(), want);
+}
+
+TEST(CoordinatedSampler, CountIfSmallRegimeExact) {
+  Sampler s(256, 6);
+  for (std::uint64_t x = 0; x < 200; ++x) s.add(x);
+  EXPECT_DOUBLE_EQ(s.estimate_count_if([](std::uint64_t x) { return x % 2 == 0; }), 100.0);
+  EXPECT_DOUBLE_EQ(s.estimate_count_if([](std::uint64_t x) { return x < 50; }), 50.0);
+}
+
+TEST(CoordinatedSampler, ItemsProcessedCounts) {
+  Sampler s(16, 7);
+  for (int i = 0; i < 123; ++i) s.add(static_cast<std::uint64_t>(i % 10));
+  EXPECT_EQ(s.items_processed(), 123u);
+}
+
+TEST(CoordinatedSampler, RejectsZeroCapacity) {
+  EXPECT_THROW(Sampler(0, 1), InvalidArgument);
+}
+
+TEST(CoordinatedSampler, ContainsReflectsSample) {
+  Sampler s(1024, 10);
+  s.add(5);
+  s.add(6);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(6));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(CoordinatedSampler, BytesUsedScalesWithCapacity) {
+  // Storage is preallocated at capacity (no data-dependent growth on the
+  // hot path); footprint must scale with the capacity parameter.
+  Sampler small(64, 11), big(8192, 11);
+  EXPECT_GT(big.bytes_used(), small.bytes_used());
+  // And streaming items must not change the footprint (O(capacity) space
+  // regardless of stream length).
+  const auto before = big.bytes_used();
+  for (std::uint64_t x = 0; x < 100'000; ++x) big.add(x);
+  EXPECT_EQ(big.bytes_used(), before);
+}
+
+TEST(CoordinatedSampler, WorksWithAlternativeHashes) {
+  CoordinatedSampler<TabulationHash, Unit> tab(128, 12);
+  CoordinatedSampler<MurmurMixHash, Unit> mm(128, 12);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    tab.add(x);
+    mm.add(x);
+  }
+  EXPECT_DOUBLE_EQ(tab.estimate_distinct(), 100.0);
+  EXPECT_DOUBLE_EQ(mm.estimate_distinct(), 100.0);
+}
+
+TEST(CoordinatedSampler, LevelRaisesRecorded) {
+  Sampler s(8, 13);
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.next());
+  EXPECT_GT(s.level_raises(), 0u);
+  EXPECT_GE(s.level_raises(), static_cast<std::uint64_t>(s.level()));
+}
+
+}  // namespace
+}  // namespace ustream

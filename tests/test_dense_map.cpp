@@ -1,0 +1,127 @@
+#include "common/dense_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ustream {
+namespace {
+
+TEST(DenseMap, InsertAndFind) {
+  DenseMap<int> m;
+  auto [e1, ins1] = m.try_emplace(42, 7);
+  EXPECT_TRUE(ins1);
+  EXPECT_EQ(e1->value, 7);
+  auto [e2, ins2] = m.try_emplace(42, 99);
+  EXPECT_FALSE(ins2);
+  EXPECT_EQ(e2->value, 7);  // first value wins
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_NE(m.find(42), nullptr);
+  EXPECT_EQ(m.find(43), nullptr);
+}
+
+TEST(DenseMap, ZeroAndMaxKeys) {
+  DenseMap<int> m;
+  m.try_emplace(0, 1);
+  m.try_emplace(~std::uint64_t{0}, 2);
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_TRUE(m.contains(~std::uint64_t{0}));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(DenseMap, GrowthKeepsAllKeys) {
+  DenseMap<std::uint64_t> m;
+  Xoshiro256 rng(1);
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t k = rng.next();
+    keys.insert(k);
+    m.try_emplace(k, k * 2);
+  }
+  EXPECT_EQ(m.size(), keys.size());
+  for (std::uint64_t k : keys) {
+    auto* e = m.find(k);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, k * 2);
+  }
+}
+
+TEST(DenseMap, FilterKeepsPredicate) {
+  DenseMap<std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 1000; ++i) m.try_emplace(i, i);
+  m.filter([](const auto& e) { return e.key % 3 == 0; });
+  EXPECT_EQ(m.size(), 334u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(m.contains(i), i % 3 == 0) << i;
+  }
+  // Map still functions after filter (reindex correct).
+  m.try_emplace(2000, 1);
+  EXPECT_TRUE(m.contains(2000));
+}
+
+TEST(DenseMap, FilterAll) {
+  DenseMap<int> m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.try_emplace(i, 0);
+  m.filter([](const auto&) { return false; });
+  EXPECT_TRUE(m.empty());
+  m.try_emplace(5, 1);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMap, IterationSeesEveryEntryOnce) {
+  DenseMap<int> m;
+  for (std::uint64_t i = 100; i < 200; ++i) m.try_emplace(i, 1);
+  std::set<std::uint64_t> seen;
+  for (const auto& e : m) EXPECT_TRUE(seen.insert(e.key).second);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(DenseMap, ClearResets) {
+  DenseMap<int> m;
+  for (std::uint64_t i = 0; i < 50; ++i) m.try_emplace(i, 0);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(3));
+}
+
+TEST(DenseMap, BytesUsedGrows) {
+  DenseMap<int> small;
+  DenseMap<int> big;
+  for (std::uint64_t i = 0; i < 10'000; ++i) big.try_emplace(i, 0);
+  EXPECT_GT(big.bytes_used(), small.bytes_used());
+}
+
+TEST(DenseMap, AdversarialCollidingKeys) {
+  // Keys differing only in high bits; the internal mixer must spread them.
+  DenseMap<int> m;
+  for (std::uint64_t i = 0; i < 4096; ++i) m.try_emplace(i << 52, 0);
+  EXPECT_EQ(m.size(), 4096u);
+  for (std::uint64_t i = 0; i < 4096; ++i) EXPECT_TRUE(m.contains(i << 52));
+}
+
+TEST(DenseSet, InsertSemantics) {
+  DenseSet s;
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_FALSE(s.insert(10));
+  EXPECT_TRUE(s.insert(11));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(12));
+}
+
+TEST(DenseSet, ForEachVisitsAll) {
+  DenseSet s;
+  for (std::uint64_t i = 0; i < 500; ++i) s.insert(i * 7);
+  std::vector<std::uint64_t> seen;
+  s.for_each([&](std::uint64_t k) { seen.push_back(k); });
+  EXPECT_EQ(seen.size(), 500u);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i * 7);
+}
+
+}  // namespace
+}  // namespace ustream

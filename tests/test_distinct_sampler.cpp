@@ -1,0 +1,153 @@
+// BottomKSampler: the "sample of the union" capability.
+#include "core/distinct_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "stream/generators.h"
+
+namespace ustream {
+namespace {
+
+TEST(BottomK, ExactBelowK) {
+  BottomKSampler s(100, 1);
+  for (std::uint64_t x = 0; x < 50; ++x) s.add(x * 3, 1.0);
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_FALSE(s.saturated());
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(), 50.0);
+}
+
+TEST(BottomK, DuplicateInsensitive) {
+  BottomKSampler once(64, 2), thrice(64, 2);
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> labels;
+  for (int i = 0; i < 10'000; ++i) labels.push_back(rng.next());
+  for (auto x : labels) once.add(x, 1.0);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (auto x : labels) thrice.add(x, 1.0);
+  }
+  ASSERT_EQ(once.size(), thrice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once.entries()[i].label, thrice.entries()[i].label);
+  }
+}
+
+TEST(BottomK, FirstValueWins) {
+  BottomKSampler s(16, 3);
+  s.add(7, 1.5);
+  s.add(7, 99.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].value, 1.5);
+}
+
+TEST(BottomK, DistinctEstimateAccuracy) {
+  constexpr std::size_t kDistinct = 200'000;
+  Sample errors;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    BottomKSampler s(1024, seed + 100);
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < kDistinct; ++i) s.add(rng.next(), 0.0);
+    errors.add(relative_error(s.estimate_distinct(), kDistinct));
+  }
+  // KMV stderr ~ 1/sqrt(k) ~ 3.1%; mean over 10 trials well under 3 sigma.
+  EXPECT_LT(errors.mean(), 0.06);
+}
+
+TEST(BottomK, MergeEqualsConcat) {
+  BottomKSampler whole(256, 5), a(256, 5), b(256, 5);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t x = rng.next();
+    const double v = rng.uniform01();
+    whole.add(x, v);
+    (i % 2 ? a : b).add(x, v);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.size(), whole.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].label, whole.entries()[i].label);
+    EXPECT_DOUBLE_EQ(a.entries()[i].value, whole.entries()[i].value);
+  }
+}
+
+TEST(BottomK, MergeMismatchRejected) {
+  BottomKSampler a(16, 1), b(16, 2), c(32, 1);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW(a.merge(c), InvalidArgument);
+}
+
+TEST(BottomK, ValueStatisticsOverDistinctLabels) {
+  // Values uniform in [0, 10] per label; 20x duplication must not bias the
+  // plug-in mean/median (a per-ITEM average would be skew-weighted).
+  SyntheticStream stream({.distinct = 100'000, .total_items = 2'000'000, .zipf_alpha = 1.5,
+                          .seed = 4, .value_lo = 0.0, .value_hi = 10.0});
+  BottomKSampler s(4096, 7);
+  while (!stream.done()) {
+    const Item item = stream.next();
+    s.add(item.label, item.value);
+  }
+  EXPECT_NEAR(s.estimate_value_mean(), 5.0, 0.3);
+  EXPECT_NEAR(s.estimate_value_quantile(0.5), 5.0, 0.4);
+  EXPECT_NEAR(s.estimate_value_quantile(0.9), 9.0, 0.4);
+  EXPECT_NEAR(s.estimate_fraction_if([](std::uint64_t, double v) { return v < 2.5; }), 0.25,
+              0.04);
+}
+
+TEST(BottomK, EntriesSortedByHash) {
+  BottomKSampler s(128, 8);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) s.add(rng.next(), 0.0);
+  EXPECT_TRUE(std::is_sorted(s.entries().begin(), s.entries().end(),
+                             [](const auto& a, const auto& b) { return a.hash < b.hash; }));
+  EXPECT_EQ(s.size(), 128u);
+}
+
+TEST(BottomK, SerializeRoundtrip) {
+  BottomKSampler s(64, 9);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.next(), rng.uniform01());
+  auto restored = BottomKSampler::deserialize(s.serialize());
+  ASSERT_EQ(restored.size(), s.size());
+  EXPECT_DOUBLE_EQ(restored.estimate_distinct(), s.estimate_distinct());
+  EXPECT_DOUBLE_EQ(restored.estimate_value_mean(), s.estimate_value_mean());
+  // Restored sampler remains mergeable and updatable.
+  restored.add(rng.next(), 0.5);
+  restored.merge(s);
+}
+
+TEST(BottomK, SerializeRejectsCorruption) {
+  BottomKSampler s(32, 10);
+  for (std::uint64_t x = 0; x < 1000; ++x) s.add(x, 0.0);
+  auto bytes = s.serialize();
+  bytes[0] = 0x7e;
+  EXPECT_THROW(BottomKSampler::deserialize(bytes), SerializationError);
+  auto truncated = s.serialize();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(BottomKSampler::deserialize(truncated), SerializationError);
+}
+
+TEST(BottomK, RejectsBadParameters) {
+  EXPECT_THROW(BottomKSampler(1, 1), InvalidArgument);
+  BottomKSampler s(4, 1);
+  s.add(1, 0.0);
+  EXPECT_THROW(s.estimate_value_quantile(1.5), InvalidArgument);
+}
+
+TEST(BottomK, SampleIsUnbiasedOverLabelClasses) {
+  // Labels 0..99999; predicate "label < 30000" must hold for ~30% of the
+  // sample regardless of how often each label occurs.
+  BottomKSampler s(2048, 11);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500'000; ++i) {
+    const std::uint64_t label = rng.below(100'000);
+    s.add(label, 0.0);  // heavy duplication, uneven multiplicities
+  }
+  EXPECT_NEAR(s.estimate_fraction_if([](std::uint64_t label, double) { return label < 30'000; }),
+              0.3, 0.04);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,159 @@
+// The distributed-streams model (Theorem T2): per-site observation, one
+// message per site, referee answers on the union.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "distributed/channel.h"
+#include "distributed/protocols.h"
+#include "distributed/runtime.h"
+#include "stream/partitioner.h"
+
+namespace ustream {
+namespace {
+
+TEST(Channel, AccountsMessagesAndBytes) {
+  Channel ch(3);
+  ch.send(0, std::vector<std::uint8_t>(10));
+  ch.send(1, std::vector<std::uint8_t>(20));
+  ch.send(1, std::vector<std::uint8_t>(5));
+  const auto stats = ch.stats();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.total_bytes, 35u);
+  EXPECT_EQ(stats.max_message_bytes, 20u);
+  EXPECT_EQ(stats.bytes_per_site[0], 10u);
+  EXPECT_EQ(stats.bytes_per_site[1], 25u);
+  EXPECT_EQ(stats.bytes_per_site[2], 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_message_bytes(), 35.0 / 3.0);
+}
+
+TEST(Channel, DrainEmptiesMailbox) {
+  Channel ch(1);
+  ch.send(0, {1, 2, 3});
+  EXPECT_EQ(ch.drain().size(), 1u);
+  EXPECT_TRUE(ch.drain().empty());
+  // Stats survive the drain.
+  EXPECT_EQ(ch.stats().messages, 1u);
+}
+
+TEST(DistributedRun, RefereeEqualsCentralObserver) {
+  // The fundamental soundness property: the referee's merged sketch equals
+  // (in estimate, deterministically) a single estimator that saw all items.
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 5);
+  const auto w = make_distributed_workload(
+      {.sites = 6, .union_distinct = 40'000, .overlap = 0.3, .duplication = 2.0, .seed = 1});
+  DistributedRun<F0Estimator> run(6, [&params] { return F0Estimator(params); });
+  F0Estimator central(params);
+  for (std::size_t s = 0; s < 6; ++s) {
+    for (const Item& item : w.site_streams[s]) {
+      run.site(s).add(item.label);
+      central.add(item.label);
+    }
+  }
+  EXPECT_DOUBLE_EQ(run.collect().estimate(), central.estimate());
+}
+
+TEST(DistributedRun, OneMessagePerSite) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 6);
+  DistributedRun<F0Estimator> run(5, [&params] { return F0Estimator(params); });
+  for (std::size_t s = 0; s < 5; ++s) run.site(s).add(s);
+  run.collect();
+  const auto stats = run.channel_stats();
+  EXPECT_EQ(stats.messages, 5u);
+  for (auto b : stats.bytes_per_site) EXPECT_GT(b, 0u);
+}
+
+TEST(DistributedRun, CollectIsIdempotentAndLatching) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 7);
+  DistributedRun<F0Estimator> run(2, [&params] { return F0Estimator(params); });
+  run.site(0).add(1);
+  run.site(1).add(2);
+  const double first = run.collect().estimate();
+  EXPECT_DOUBLE_EQ(run.collect().estimate(), first);
+  EXPECT_EQ(run.channel_stats().messages, 2u);  // no re-send
+  EXPECT_THROW(run.site(0), InvalidArgument);   // observation phase over
+}
+
+TEST(DistributedRun, ParallelFeedMatchesSequential) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 8);
+  const auto w = make_distributed_workload(
+      {.sites = 8, .union_distinct = 20'000, .overlap = 0.5, .duplication = 1.5, .seed = 2});
+  const auto seq = run_f0_union(w, params, /*parallel_sites=*/false);
+  const auto par = run_f0_union(w, params, /*parallel_sites=*/true);
+  EXPECT_DOUBLE_EQ(seq.estimate, par.estimate);
+  EXPECT_EQ(seq.channel.messages, par.channel.messages);
+}
+
+TEST(F0UnionProtocol, AccurateAcrossOverlaps) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 9);
+  for (double overlap : {0.0, 0.5, 1.0}) {
+    const auto w = make_distributed_workload({.sites = 4, .union_distinct = 50'000,
+                                              .overlap = overlap, .duplication = 2.0,
+                                              .seed = 3});
+    const auto res = run_f0_union(w, params);
+    EXPECT_LT(res.relative_error, 0.1) << "overlap " << overlap;
+  }
+}
+
+TEST(F0UnionProtocol, NaiveSumOvercountsButUnionDoesNot) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 10);
+  const auto w = make_distributed_workload(
+      {.sites = 5, .union_distinct = 30'000, .overlap = 1.0, .duplication = 1.0, .seed = 4});
+  // Naive: sum of per-site estimates ~ 5x the union truth.
+  double naive = 0.0;
+  DistributedRun<F0Estimator> run(5, [&params] { return F0Estimator(params); });
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (const Item& item : w.site_streams[s]) run.site(s).add(item.label);
+  }
+  // Per-site estimates before collection.
+  DistributedRun<F0Estimator> run2(5, [&params] { return F0Estimator(params); });
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (const Item& item : w.site_streams[s]) run2.site(s).add(item.label);
+    naive += run2.site(s).estimate();
+  }
+  const double union_est = run.collect().estimate();
+  EXPECT_GT(naive, 4.0 * static_cast<double>(w.union_distinct));
+  EXPECT_LT(relative_error(union_est, static_cast<double>(w.union_distinct)), 0.1);
+}
+
+TEST(F0UnionProtocol, MessageSizeIndependentOfStreamLength) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 11);
+  ChannelStats small_stats, big_stats;
+  for (bool big : {false, true}) {
+    const auto w = make_distributed_workload(
+        {.sites = 3, .union_distinct = big ? std::size_t{200'000} : std::size_t{50'000},
+         .overlap = 0.0, .duplication = big ? 4.0 : 1.0, .seed = 5});
+    const auto res = run_f0_union(w, params);
+    (big ? big_stats : small_stats) = res.channel;
+  }
+  // 4x the distinct labels and 16x the items: messages stay within 2x
+  // (both sketches saturated at capacity; only varint widths drift).
+  EXPECT_LT(static_cast<double>(big_stats.total_bytes),
+            2.0 * static_cast<double>(small_stats.total_bytes));
+}
+
+TEST(DistinctSumUnionProtocol, AccurateOnUnion) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 12);
+  const auto w = make_distributed_workload(
+      {.sites = 4, .union_distinct = 40'000, .overlap = 0.4, .duplication = 2.5,
+       .zipf_alpha = 1.0, .seed = 6, .value_lo = 1.0, .value_hi = 2.0});
+  const auto res = run_distinct_sum_union(w, params);
+  EXPECT_LT(res.relative_error, 0.1);
+}
+
+TEST(DistributedRun, SingleSiteDegeneratesToLocal) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 13);
+  DistributedRun<F0Estimator> run(1, [&params] { return F0Estimator(params); });
+  F0Estimator local(params);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t x = rng.next();
+    run.site(0).add(x);
+    local.add(x);
+  }
+  EXPECT_DOUBLE_EQ(run.collect().estimate(), local.estimate());
+}
+
+}  // namespace
+}  // namespace ustream

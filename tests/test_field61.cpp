@@ -1,0 +1,107 @@
+#include "hash/field61.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace ustream {
+namespace {
+
+using field61::kPrime;
+
+// Slow reference reduction via native 128-bit modulo.
+std::uint64_t ref_mod(unsigned __int128 v) { return static_cast<std::uint64_t>(v % kPrime); }
+
+TEST(Field61, PrimeValue) {
+  EXPECT_EQ(kPrime, (std::uint64_t{1} << 61) - 1);
+}
+
+TEST(Field61, ReduceMatchesReferenceOnEdges) {
+  const unsigned __int128 cases[] = {
+      0,
+      1,
+      kPrime - 1,
+      kPrime,
+      kPrime + 1,
+      2 * static_cast<unsigned __int128>(kPrime),
+      static_cast<unsigned __int128>(kPrime) * kPrime,          // max a*b
+      static_cast<unsigned __int128>(kPrime) * kPrime + kPrime - 1,  // max a*b + c
+  };
+  for (auto v : cases) {
+    EXPECT_EQ(field61::reduce(v), ref_mod(v));
+  }
+}
+
+TEST(Field61, ReduceMatchesReferenceRandom) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100'000; ++i) {
+    const std::uint64_t a = rng.next() % kPrime;
+    const std::uint64_t b = rng.next() % kPrime;
+    const std::uint64_t c = rng.next() % kPrime;
+    const unsigned __int128 v = static_cast<unsigned __int128>(a) * b + c;
+    ASSERT_EQ(field61::reduce(v), ref_mod(v));
+  }
+}
+
+TEST(Field61, MulAddAgreesWithComposition) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t a = rng.next() % kPrime;
+    const std::uint64_t b = rng.next() % kPrime;
+    const std::uint64_t c = rng.next() % kPrime;
+    ASSERT_EQ(field61::mul_add(a, b, c), field61::add(field61::mul(a, b), c));
+  }
+}
+
+TEST(Field61, AddWrapsCorrectly) {
+  EXPECT_EQ(field61::add(kPrime - 1, 1), 0u);
+  EXPECT_EQ(field61::add(kPrime - 1, kPrime - 1), kPrime - 2);
+  EXPECT_EQ(field61::add(0, 0), 0u);
+}
+
+TEST(Field61, MulIdentityAndZero) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next() % kPrime;
+    EXPECT_EQ(field61::mul(a, 1), a);
+    EXPECT_EQ(field61::mul(a, 0), 0u);
+  }
+}
+
+TEST(Field61, MulCommutativeAssociative) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next() % kPrime;
+    const std::uint64_t b = rng.next() % kPrime;
+    const std::uint64_t c = rng.next() % kPrime;
+    ASSERT_EQ(field61::mul(a, b), field61::mul(b, a));
+    ASSERT_EQ(field61::mul(field61::mul(a, b), c), field61::mul(a, field61::mul(b, c)));
+  }
+}
+
+TEST(Field61, CanonMapsIntoRange) {
+  EXPECT_EQ(field61::canon(kPrime), 0u);
+  EXPECT_EQ(field61::canon(kPrime - 1), kPrime - 1);
+  EXPECT_EQ(field61::canon(~std::uint64_t{0}), ref_mod(~std::uint64_t{0}));
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.next();
+    const std::uint64_t c = field61::canon(v);
+    ASSERT_LT(c, kPrime);
+    ASSERT_EQ(c, ref_mod(v));
+  }
+}
+
+TEST(Field61, MulIsBijectiveForNonzeroA) {
+  // a * x runs over all residues as x does (a != 0): sample and check no
+  // collisions among distinct x.
+  const std::uint64_t a = 0x123456789abcdefULL % kPrime;
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 4096; ++x) outs.insert(field61::mul(a, x));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace ustream

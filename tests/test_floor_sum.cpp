@@ -1,0 +1,102 @@
+// The counting oracle behind the range sampler.
+#include "core/floor_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "hash/field61.h"
+
+namespace ustream {
+namespace {
+
+unsigned __int128 brute_floor_sum(std::uint64_t n, std::uint64_t m, std::uint64_t a,
+                                  std::uint64_t b) {
+  unsigned __int128 s = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s += (static_cast<unsigned __int128>(a) * i + b) / m;
+  }
+  return s;
+}
+
+std::uint64_t brute_count_below(std::uint64_t n, std::uint64_t p, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t t) {
+  std::uint64_t c = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * i + b) % p);
+    if (v < t) ++c;
+  }
+  return c;
+}
+
+TEST(FloorSum, SmallExactCases) {
+  EXPECT_EQ(floor_sum(0, 5, 3, 1), 0u);
+  EXPECT_EQ(floor_sum(1, 5, 3, 1), 0u);   // floor(1/5)
+  EXPECT_EQ(floor_sum(5, 1, 0, 0), 0u);
+  EXPECT_EQ(floor_sum(4, 10, 6, 3), static_cast<unsigned __int128>(0 + 0 + 1 + 2));
+}
+
+TEST(FloorSum, MatchesBruteForceRandom) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t n = 1 + rng.below(2000);
+    const std::uint64_t m = 1 + rng.below(1 << 20);
+    const std::uint64_t a = rng.below(1 << 21);  // also exercises a >= m
+    const std::uint64_t b = rng.below(1 << 21);
+    ASSERT_EQ(floor_sum(n, m, a, b), brute_floor_sum(n, m, a, b))
+        << n << " " << m << " " << a << " " << b;
+  }
+}
+
+TEST(FloorSum, LargeFieldParametersRun) {
+  // Smoke: field-sized parameters terminate and are self-consistent
+  // (monotone in n).
+  const std::uint64_t p = field61::kPrime;
+  const std::uint64_t a = 0x1234567890abcdefULL % p;
+  const std::uint64_t b = 0x0fedcba098765432ULL % p;
+  const auto s1 = floor_sum(1'000'000, p, a, b);
+  const auto s2 = floor_sum(2'000'000, p, a, b);
+  EXPECT_LT(s1, s2);
+}
+
+TEST(CountBelowThreshold, MatchesBruteForceRandom) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t p = 97 + rng.below(1 << 16);
+    const std::uint64_t n = 1 + rng.below(3000);
+    const std::uint64_t a = rng.below(p);
+    const std::uint64_t b = rng.below(p);
+    const std::uint64_t t = rng.below(p + 1);
+    ASSERT_EQ(count_below_threshold(n, p, a, b, t), brute_count_below(n, p, a, b, t))
+        << p << " " << n << " " << a << " " << b << " " << t;
+  }
+}
+
+TEST(CountBelowThreshold, Extremes) {
+  const std::uint64_t p = 101;
+  EXPECT_EQ(count_below_threshold(50, p, 13, 7, 0), 0u);
+  EXPECT_EQ(count_below_threshold(50, p, 13, 7, p), 50u);
+  EXPECT_EQ(count_below_threshold(0, p, 13, 7, 50), 0u);
+}
+
+TEST(CountBelowThreshold, FieldScaleAgainstSampling) {
+  // At p = 2^61-1, count over a wide range with threshold p/8 must land
+  // near n/8 for a generic affine map.
+  const std::uint64_t p = field61::kPrime;
+  const std::uint64_t a = 0x0badc0ffee123457ULL % p;
+  const std::uint64_t b = 42;
+  const std::uint64_t n = 10'000'000;
+  const std::uint64_t t = p >> 3;
+  const std::uint64_t c = count_below_threshold(n, p, a, b, t);
+  EXPECT_NEAR(static_cast<double>(c), static_cast<double>(n) / 8.0,
+              6.0 * std::sqrt(static_cast<double>(n) / 8.0) + 16.0);
+}
+
+TEST(CountBelowThreshold, RejectsThresholdAboveModulus) {
+  EXPECT_THROW(count_below_threshold(10, 101, 3, 5, 102), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

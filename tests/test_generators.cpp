@@ -1,0 +1,134 @@
+#include "stream/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+
+namespace ustream {
+namespace {
+
+TEST(LabelPool, RandomLabelsAreDistinct) {
+  const auto pool = make_label_pool(50'000, LabelKind::kRandom64, 1);
+  std::set<std::uint64_t> s(pool.begin(), pool.end());
+  EXPECT_EQ(s.size(), 50'000u);
+}
+
+TEST(LabelPool, SequentialIsIota) {
+  const auto pool = make_label_pool(100, LabelKind::kSequential, 2);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(pool[i], i);
+}
+
+TEST(LabelPool, ClusteredHasRuns) {
+  const auto pool = make_label_pool(1000, LabelKind::kClustered, 3);
+  std::set<std::uint64_t> s(pool.begin(), pool.end());
+  EXPECT_EQ(s.size(), 1000u);
+  // Consecutive members within a run differ by 1.
+  int consecutive = 0;
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    if (pool[i] == pool[i - 1] + 1) ++consecutive;
+  }
+  EXPECT_GT(consecutive, 900);
+}
+
+TEST(LabelPool, DeterministicPerSeed) {
+  EXPECT_EQ(make_label_pool(1000, LabelKind::kRandom64, 7),
+            make_label_pool(1000, LabelKind::kRandom64, 7));
+  EXPECT_NE(make_label_pool(1000, LabelKind::kRandom64, 7),
+            make_label_pool(1000, LabelKind::kRandom64, 8));
+}
+
+TEST(LabelValue, DeterministicAndInRange) {
+  for (std::uint64_t label : {0ull, 1ull, 42ull, ~0ull}) {
+    const double v = label_value(label, 5, 2.0, 10.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 10.0);
+    EXPECT_DOUBLE_EQ(v, label_value(label, 5, 2.0, 10.0));
+  }
+  EXPECT_NE(label_value(1, 5, 0.0, 1.0), label_value(2, 5, 0.0, 1.0));
+  EXPECT_NE(label_value(1, 5, 0.0, 1.0), label_value(1, 6, 0.0, 1.0));
+}
+
+TEST(SyntheticStream, TruthMatchesEmission) {
+  SyntheticStream stream({.distinct = 5000, .total_items = 30'000, .zipf_alpha = 1.0,
+                          .seed = 9});
+  DenseSet seen;
+  std::size_t count = 0;
+  while (!stream.done()) {
+    seen.insert(stream.next().label);
+    ++count;
+  }
+  EXPECT_EQ(count, 30'000u);
+  EXPECT_EQ(seen.size(), 5000u);
+  EXPECT_EQ(stream.true_distinct(), 5000u);
+}
+
+TEST(SyntheticStream, EveryPoolLabelAppears) {
+  SyntheticStream stream({.distinct = 1000, .total_items = 1000, .seed = 10});
+  DenseSet seen;
+  while (!stream.done()) seen.insert(stream.next().label);
+  for (std::uint64_t label : stream.labels()) EXPECT_TRUE(seen.contains(label));
+}
+
+TEST(SyntheticStream, ValuesAreConsistentPerLabel) {
+  SyntheticStream stream({.distinct = 200, .total_items = 5000, .zipf_alpha = 1.5,
+                          .seed = 11, .value_lo = 1.0, .value_hi = 3.0});
+  DenseMap<double> first_value;
+  while (!stream.done()) {
+    const Item item = stream.next();
+    auto [entry, inserted] = first_value.try_emplace(item.label, item.value);
+    if (!inserted) {
+      EXPECT_DOUBLE_EQ(entry->value, item.value);
+    }
+  }
+}
+
+TEST(SyntheticStream, TrueSumMatchesManualSum) {
+  SyntheticStream stream({.distinct = 300, .total_items = 300, .seed = 12,
+                          .value_lo = 0.5, .value_hi = 2.5});
+  double sum = 0.0;
+  while (!stream.done()) sum += stream.next().value;
+  EXPECT_NEAR(sum, stream.true_sum_distinct(), 1e-9);
+}
+
+TEST(SyntheticStream, ResetReplaysIdentically) {
+  SyntheticStream stream({.distinct = 500, .total_items = 5000, .zipf_alpha = 0.8,
+                          .seed = 13});
+  std::vector<Item> first;
+  while (!stream.done()) first.push_back(stream.next());
+  stream.reset();
+  for (const Item& want : first) {
+    ASSERT_FALSE(stream.done());
+    EXPECT_EQ(stream.next(), want);
+  }
+}
+
+TEST(SyntheticStream, ToVectorMatchesStreaming) {
+  SyntheticStream stream({.distinct = 100, .total_items = 700, .zipf_alpha = 1.0,
+                          .seed = 14});
+  const auto vec = stream.to_vector();
+  EXPECT_EQ(vec.size(), 700u);
+  stream.reset();
+  for (const Item& want : vec) EXPECT_EQ(stream.next(), want);
+}
+
+TEST(SyntheticStream, RejectsBadConfig) {
+  EXPECT_THROW(SyntheticStream({.distinct = 0, .total_items = 10}), InvalidArgument);
+  EXPECT_THROW(SyntheticStream({.distinct = 100, .total_items = 50}), InvalidArgument);
+  EXPECT_THROW(SyntheticStream({.distinct = 10, .total_items = 10, .value_lo = 2.0,
+                                .value_hi = 1.0}),
+               InvalidArgument);
+}
+
+TEST(SyntheticStream, ExhaustionThrows) {
+  SyntheticStream stream({.distinct = 2, .total_items = 2, .seed = 15});
+  stream.next();
+  stream.next();
+  EXPECT_TRUE(stream.done());
+  EXPECT_THROW(stream.next(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,158 @@
+// Functional tests of every hash family: determinism, seeding, output
+// range, level extraction, and the runtime-dispatch wrapper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hash/field61.h"
+#include "hash/hash_family.h"
+#include "hash/kwise.h"
+#include "hash/level.h"
+#include "hash/mix.h"
+#include "hash/multiply_shift.h"
+#include "hash/pairwise.h"
+#include "hash/tabulation.h"
+
+namespace ustream {
+namespace {
+
+TEST(PairwiseHash, DeterministicPerSeed) {
+  PairwiseHash a(5), b(5), c(6);
+  for (std::uint64_t x : {0ull, 1ull, 42ull, ~0ull}) {
+    EXPECT_EQ(a(x), b(x));
+    EXPECT_NE(a(x), c(x)) << x;  // different seeds disagree w.h.p.
+  }
+}
+
+TEST(PairwiseHash, OutputBelowPrime) {
+  PairwiseHash h(7);
+  for (std::uint64_t x = 0; x < 10'000; ++x) {
+    ASSERT_LT(h(x), field61::kPrime);
+  }
+}
+
+TEST(PairwiseHash, NonzeroSlope) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    EXPECT_NE(PairwiseHash(seed).a(), 0u);
+  }
+}
+
+TEST(PairwiseHash, IsAffine) {
+  // h(x) must equal a*x + b over the field — the structure the coordinated
+  // analysis (and the range sampler's counting oracle) depends on.
+  PairwiseHash h(11);
+  for (std::uint64_t x : {0ull, 1ull, 1000ull, (1ull << 60)}) {
+    EXPECT_EQ(h(x), field61::mul_add(h.a(), field61::canon(x), h.b()));
+  }
+}
+
+TEST(PairwiseHash, InjectiveOnField) {
+  // Affine maps with a != 0 are bijections on GF(p): no collisions among
+  // distinct canonical inputs.
+  PairwiseHash h(13);
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 8192; ++x) outs.insert(h(x));
+  EXPECT_EQ(outs.size(), 8192u);
+}
+
+TEST(KWiseHash, DegreeAndDeterminism) {
+  KWiseHash h4(3, 4);
+  EXPECT_EQ(h4.independence(), 4u);
+  KWiseHash h4b(3, 4);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h4(x), h4b(x));
+}
+
+TEST(KWiseHash, K1IsConstant) {
+  KWiseHash h(9, 1);
+  const std::uint64_t c = h(0);
+  for (std::uint64_t x = 1; x < 100; ++x) EXPECT_EQ(h(x), c);
+}
+
+TEST(KWiseHash, RejectsKZero) { EXPECT_THROW(KWiseHash(1, 0), InvalidArgument); }
+
+TEST(KWiseHash, MatchesPairwiseStructureAtK2) {
+  // A degree-1 polynomial is an affine map; outputs stay in the field.
+  KWiseHash h(21, 2);
+  for (std::uint64_t x = 0; x < 1000; ++x) ASSERT_LT(h(x), field61::kPrime);
+}
+
+TEST(TabulationHash, DeterminismAndSpread) {
+  TabulationHash a(1), b(1), c(2);
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(a(x), b(x));
+    outs.insert(a(x));
+  }
+  EXPECT_EQ(outs.size(), 1000u);  // no collisions on small input
+  EXPECT_NE(a(12345), c(12345));
+}
+
+TEST(TabulationHash, SingleByteChangesOutput) {
+  TabulationHash h(3);
+  for (int byte = 0; byte < 8; ++byte) {
+    EXPECT_NE(h(0), h(std::uint64_t{1} << (8 * byte)));
+  }
+}
+
+TEST(MultiplyShiftHash, DeterministicAndOddMultiplier) {
+  MultiplyShiftHash a(4), b(4);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(MurmurMix, Bijectivity) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 10'000; ++x) outs.insert(murmur_mix64(x));
+  EXPECT_EQ(outs.size(), 10'000u);
+}
+
+TEST(MurmurMix, SeededVariantDiffers) {
+  EXPECT_NE(murmur_mix64_seeded(42, 1), murmur_mix64_seeded(42, 2));
+}
+
+TEST(XxMix, Bijectivity) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 10'000; ++x) outs.insert(xx_mix64(x));
+  EXPECT_EQ(outs.size(), 10'000u);
+}
+
+TEST(LevelFunction, MatchesManualComputation) {
+  PairwiseHash h(8);
+  LevelFunction<PairwiseHash> level(h);
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(level(x), hash_level(h(x), PairwiseHash::kBits));
+  }
+  EXPECT_EQ(LevelFunction<PairwiseHash>::max_level(), 61);
+}
+
+TEST(HashLevel, ZeroValueCapsAtBits) {
+  EXPECT_EQ(hash_level(0, 61), 61);
+  EXPECT_EQ(hash_level(1, 61), 0);
+  EXPECT_EQ(hash_level(1ULL << 60, 61), 60);
+}
+
+TEST(AnyLabelHash, MatchesConcreteFamilies) {
+  const std::uint64_t seed = 77;
+  AnyLabelHash pw(HashKind::kPairwise, seed);
+  PairwiseHash pw_ref(seed);
+  AnyLabelHash tab(HashKind::kTabulation, seed);
+  TabulationHash tab_ref(seed);
+  AnyLabelHash mm(HashKind::kMurmurMix, seed);
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    EXPECT_EQ(pw.value(x), pw_ref(x));
+    EXPECT_EQ(tab.value(x), tab_ref(x));
+    EXPECT_EQ(mm.value(x), murmur_mix64_seeded(x, seed));
+  }
+  EXPECT_EQ(pw.bits(), 61);
+  EXPECT_EQ(tab.bits(), 64);
+}
+
+TEST(HashKind, StringRoundtrip) {
+  for (HashKind k : {HashKind::kPairwise, HashKind::kFourWise, HashKind::kTabulation,
+                     HashKind::kMultiplyShift, HashKind::kMurmurMix}) {
+    EXPECT_EQ(hash_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(hash_kind_from_string("nope"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

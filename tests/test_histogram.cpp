@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ustream {
+namespace {
+
+TEST(Histogram, BinPlacement) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(Log2Histogram, Buckets) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  EXPECT_EQ(h.bucket(0), 1u);  // value 0
+  EXPECT_EQ(h.bucket(1), 1u);  // [1,2)
+  EXPECT_EQ(h.bucket(2), 2u);  // [2,4)
+  EXPECT_EQ(h.bucket(3), 1u);  // [4,8)
+  EXPECT_EQ(h.bucket(10), 1u);  // [512,1024)
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.max_bucket(), 10);
+}
+
+TEST(Log2Histogram, EmptyHasNoBuckets) {
+  Log2Histogram h;
+  EXPECT_EQ(h.max_bucket(), -1);
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,137 @@
+// The motivating application: per-link monitors, central union queries.
+#include <gtest/gtest.h>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "netmon/monitor.h"
+#include "netmon/trace_gen.h"
+
+namespace ustream {
+namespace {
+
+TEST(TraceGen, TruthMatchesRecount) {
+  const auto w = make_network_workload({.links = 3, .flows_per_link = 5000, .seed = 1});
+  for (NetLabel kind : {NetLabel::kDstIp, NetLabel::kSrcIp, NetLabel::kFlow,
+                        NetLabel::kSrcDstPair}) {
+    DenseSet u;
+    for (const auto& trace : w.link_traces) {
+      for (const Packet& p : trace) u.insert(extract_label(p, kind));
+    }
+    EXPECT_EQ(u.size(), w.truth.union_distinct[static_cast<std::size_t>(kind)])
+        << to_string(kind);
+  }
+}
+
+TEST(TraceGen, OverlapInflatesNaiveSum) {
+  const auto disjoint = make_network_workload(
+      {.links = 4, .flows_per_link = 5000, .link_overlap = 0.0, .seed = 2});
+  const auto shared = make_network_workload(
+      {.links = 4, .flows_per_link = 5000, .link_overlap = 0.8, .seed = 2});
+  const auto q = static_cast<std::size_t>(NetLabel::kFlow);
+  const double ratio_disjoint = static_cast<double>(disjoint.truth.naive_sum[q]) /
+                                static_cast<double>(disjoint.truth.union_distinct[q]);
+  const double ratio_shared = static_cast<double>(shared.truth.naive_sum[q]) /
+                              static_cast<double>(shared.truth.union_distinct[q]);
+  EXPECT_NEAR(ratio_disjoint, 1.0, 0.01);
+  EXPECT_GT(ratio_shared, 1.5);
+}
+
+TEST(TraceGen, ScanEpisodeInflatesDistinctDsts) {
+  const auto quiet = make_network_workload(
+      {.links = 1, .flows_per_link = 3000, .scan_fraction = 0.0, .seed = 3});
+  const auto scanned = make_network_workload(
+      {.links = 1, .flows_per_link = 3000, .scan_fraction = 0.3, .seed = 3});
+  const auto dst = static_cast<std::size_t>(NetLabel::kDstIp);
+  EXPECT_GT(scanned.truth.union_distinct[dst], 2 * quiet.truth.union_distinct[dst]);
+  // Scans add packets, but only modestly to volume relative to the distinct
+  // blowup (they are one-packet flows).
+  EXPECT_LT(scanned.total_packets, 2 * quiet.total_packets);
+}
+
+TEST(TraceGen, FlowSizesAreSkewed) {
+  const auto w = make_network_workload(
+      {.links = 1, .flows_per_link = 5000, .packets_per_flow = 8.0, .flow_zipf_alpha = 1.2,
+       .seed = 4});
+  // Count per-flow packet totals; the top flow must far exceed the mean.
+  DenseMap<std::uint64_t> per_flow;
+  for (const Packet& p : w.link_traces[0]) {
+    auto [e, inserted] = per_flow.try_emplace(extract_label(p, NetLabel::kFlow), 0);
+    ++e->value;
+  }
+  std::uint64_t max_packets = 0, total = 0;
+  for (const auto& e : per_flow) {
+    max_packets = std::max(max_packets, e.value);
+    total += e.value;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(per_flow.size());
+  EXPECT_GT(static_cast<double>(max_packets), 10.0 * mean);
+}
+
+TEST(TraceGen, RejectsBadConfig) {
+  EXPECT_THROW(make_network_workload({.links = 0}), InvalidArgument);
+  EXPECT_THROW(make_network_workload({.links = 1, .flows_per_link = 0}), InvalidArgument);
+  EXPECT_THROW(make_network_workload({.links = 1, .link_overlap = 1.5}), InvalidArgument);
+  EXPECT_THROW(make_network_workload({.links = 1, .scan_fraction = 1.0}), InvalidArgument);
+}
+
+TEST(Monitor, EndToEndUnionQueries) {
+  const auto w = make_network_workload(
+      {.links = 4, .flows_per_link = 10'000, .link_overlap = 0.5, .seed = 5});
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 6);
+  std::vector<LinkMonitor> monitors(w.link_traces.size(), LinkMonitor(params));
+  for (std::size_t link = 0; link < w.link_traces.size(); ++link) {
+    for (const Packet& p : w.link_traces[link]) monitors[link].observe(p);
+  }
+  MonitoringCenter center(monitors.size(), params);
+  center.collect(monitors);
+  for (NetLabel kind : {NetLabel::kDstIp, NetLabel::kSrcIp, NetLabel::kFlow,
+                        NetLabel::kSrcDstPair}) {
+    const auto q = static_cast<std::size_t>(kind);
+    const auto ans = center.query(kind);
+    EXPECT_LT(relative_error(ans.union_estimate,
+                             static_cast<double>(w.truth.union_distinct[q])),
+              0.1)
+        << to_string(kind);
+    // The naive sum should track the (overcounted) naive truth, not the union.
+    EXPECT_LT(relative_error(ans.naive_sum, static_cast<double>(w.truth.naive_sum[q])), 0.1)
+        << to_string(kind);
+  }
+}
+
+TEST(Monitor, PerLinkEstimatesAreLocal) {
+  const auto w = make_network_workload({.links = 2, .flows_per_link = 8000, .seed = 7});
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 8);
+  LinkMonitor mon(params);
+  for (const Packet& p : w.link_traces[0]) mon.observe(p);
+  EXPECT_EQ(mon.packets_observed(), w.link_traces[0].size());
+  const auto q = static_cast<std::size_t>(NetLabel::kFlow);
+  EXPECT_LT(relative_error(mon.estimate(NetLabel::kFlow),
+                           static_cast<double>(w.truth.per_link_distinct[0][q])),
+            0.1);
+}
+
+TEST(Monitor, ReportBytesAreAccounted) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 9);
+  const auto w = make_network_workload({.links = 2, .flows_per_link = 2000, .seed = 10});
+  std::vector<LinkMonitor> monitors(2, LinkMonitor(params));
+  for (std::size_t link = 0; link < 2; ++link) {
+    for (const Packet& p : w.link_traces[link]) monitors[link].observe(p);
+  }
+  MonitoringCenter center(2, params);
+  center.collect(monitors);
+  const auto stats = center.channel_stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_GT(stats.total_bytes, 0u);
+  EXPECT_EQ(stats.bytes_per_site[0], monitors[0].report().size());
+}
+
+TEST(Monitor, CorruptReportRejected) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 11);
+  MonitoringCenter center(1, params);
+  std::vector<std::uint8_t> junk = {0x42, 1, 2, 3};
+  EXPECT_THROW(center.receive(0, junk), SerializationError);
+}
+
+}  // namespace
+}  // namespace ustream

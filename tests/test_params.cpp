@@ -1,0 +1,56 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ustream {
+namespace {
+
+TEST(Params, CapacityScalesInverseSquare) {
+  const auto c10 = EstimatorParams::capacity_for_epsilon(0.10);
+  const auto c05 = EstimatorParams::capacity_for_epsilon(0.05);
+  const auto c01 = EstimatorParams::capacity_for_epsilon(0.01);
+  EXPECT_EQ(c10, 3600u);
+  EXPECT_EQ(c05, 14400u);
+  EXPECT_EQ(c01, 360000u);
+}
+
+TEST(Params, CapacityConstantKnob) {
+  EXPECT_EQ(EstimatorParams::capacity_for_epsilon(0.1, 12.0), 1200u);
+  EXPECT_EQ(EstimatorParams::capacity_for_epsilon(0.1, 48.0), 4800u);
+}
+
+TEST(Params, CapacityHasFloor) {
+  EXPECT_GE(EstimatorParams::capacity_for_epsilon(0.99), 4u);
+}
+
+TEST(Params, CopiesAreOddAndMonotone) {
+  const auto r1 = EstimatorParams::copies_for_delta(0.3);
+  const auto r2 = EstimatorParams::copies_for_delta(0.05);
+  const auto r3 = EstimatorParams::copies_for_delta(0.001);
+  EXPECT_EQ(r1 % 2, 1u);
+  EXPECT_EQ(r2 % 2, 1u);
+  EXPECT_EQ(r3 % 2, 1u);
+  EXPECT_LE(r1, r2);
+  EXPECT_LT(r2, r3);
+}
+
+TEST(Params, ForGuaranteeComposes) {
+  const auto p = EstimatorParams::for_guarantee(0.1, 0.05, 999);
+  EXPECT_EQ(p.capacity, EstimatorParams::capacity_for_epsilon(0.1));
+  EXPECT_EQ(p.copies, EstimatorParams::copies_for_delta(0.05));
+  EXPECT_EQ(p.seed, 999u);
+}
+
+TEST(Params, RejectsBadInputs) {
+  EXPECT_THROW(EstimatorParams::capacity_for_epsilon(0.0), InvalidArgument);
+  EXPECT_THROW(EstimatorParams::capacity_for_epsilon(1.0), InvalidArgument);
+  EXPECT_THROW(EstimatorParams::capacity_for_epsilon(-0.5), InvalidArgument);
+  EXPECT_THROW(EstimatorParams::capacity_for_epsilon(0.1, 0.0), InvalidArgument);
+  EXPECT_THROW(EstimatorParams::copies_for_delta(0.0), InvalidArgument);
+  EXPECT_THROW(EstimatorParams::copies_for_delta(1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,129 @@
+#include "stream/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/dense_map.h"
+#include "common/error.h"
+
+namespace ustream {
+namespace {
+
+std::size_t recount_union(const DistributedWorkload& w) {
+  DenseSet u;
+  for (const auto& stream : w.site_streams) {
+    for (const Item& item : stream) u.insert(item.label);
+  }
+  return u.size();
+}
+
+TEST(Partitioner, UnionTruthMatchesRecount) {
+  const auto w = make_distributed_workload(
+      {.sites = 6, .union_distinct = 20'000, .overlap = 0.4, .duplication = 3.0,
+       .zipf_alpha = 1.0, .seed = 1});
+  EXPECT_EQ(w.union_distinct, 20'000u);
+  EXPECT_EQ(recount_union(w), 20'000u);
+}
+
+TEST(Partitioner, PerSiteTruthMatchesRecount) {
+  const auto w = make_distributed_workload(
+      {.sites = 4, .union_distinct = 10'000, .overlap = 0.25, .duplication = 2.0, .seed = 2});
+  for (std::size_t s = 0; s < 4; ++s) {
+    DenseSet set;
+    for (const Item& item : w.site_streams[s]) set.insert(item.label);
+    EXPECT_EQ(set.size(), w.site_distinct[s]) << s;
+  }
+}
+
+TEST(Partitioner, ZeroOverlapPartitions) {
+  const auto w = make_distributed_workload(
+      {.sites = 8, .union_distinct = 30'000, .overlap = 0.0, .duplication = 1.5, .seed = 3});
+  const auto sum = std::accumulate(w.site_distinct.begin(), w.site_distinct.end(),
+                                   std::size_t{0});
+  EXPECT_EQ(sum, w.union_distinct);
+}
+
+TEST(Partitioner, FullOverlapReplicatesEverywhere) {
+  const auto w = make_distributed_workload(
+      {.sites = 5, .union_distinct = 5000, .overlap = 1.0, .duplication = 1.0, .seed = 4});
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(w.site_distinct[s], 5000u) << s;
+  }
+}
+
+TEST(Partitioner, OverlapInterpolates) {
+  const auto lo = make_distributed_workload(
+      {.sites = 4, .union_distinct = 20'000, .overlap = 0.1, .duplication = 1.0, .seed = 5});
+  const auto hi = make_distributed_workload(
+      {.sites = 4, .union_distinct = 20'000, .overlap = 0.7, .duplication = 1.0, .seed = 5});
+  const auto sum_lo =
+      std::accumulate(lo.site_distinct.begin(), lo.site_distinct.end(), std::size_t{0});
+  const auto sum_hi =
+      std::accumulate(hi.site_distinct.begin(), hi.site_distinct.end(), std::size_t{0});
+  EXPECT_LT(sum_lo, sum_hi);  // more overlap -> more naive double counting
+  EXPECT_GT(sum_lo, lo.union_distinct);
+  EXPECT_LT(sum_hi, 4u * hi.union_distinct + 1);
+}
+
+TEST(Partitioner, DuplicationScalesStreamLength) {
+  const auto w1 = make_distributed_workload(
+      {.sites = 2, .union_distinct = 10'000, .overlap = 0.0, .duplication = 1.0, .seed = 6});
+  const auto w4 = make_distributed_workload(
+      {.sites = 2, .union_distinct = 10'000, .overlap = 0.0, .duplication = 4.0, .seed = 6});
+  EXPECT_NEAR(static_cast<double>(w4.total_items) / static_cast<double>(w1.total_items), 4.0,
+              0.1);
+}
+
+TEST(Partitioner, SumDistinctTruthMatchesManual) {
+  const auto w = make_distributed_workload(
+      {.sites = 3, .union_distinct = 3000, .overlap = 0.5, .duplication = 2.0, .seed = 7,
+       .value_lo = 1.0, .value_hi = 5.0});
+  DenseMap<double> values;
+  for (const auto& stream : w.site_streams) {
+    for (const Item& item : stream) values.try_emplace(item.label, item.value);
+  }
+  double sum = 0.0;
+  for (const auto& e : values) sum += e.value;
+  EXPECT_NEAR(sum, w.union_sum_distinct, 1e-6 * sum);
+}
+
+TEST(Partitioner, ValuesConsistentAcrossSites) {
+  // A shared label must carry the same value at every site that sees it.
+  const auto w = make_distributed_workload(
+      {.sites = 4, .union_distinct = 2000, .overlap = 0.8, .duplication = 1.0, .seed = 8,
+       .value_lo = 0.0, .value_hi = 1.0});
+  DenseMap<double> seen;
+  for (const auto& stream : w.site_streams) {
+    for (const Item& item : stream) {
+      auto [entry, inserted] = seen.try_emplace(item.label, item.value);
+      if (!inserted) {
+        ASSERT_DOUBLE_EQ(entry->value, item.value);
+      }
+    }
+  }
+}
+
+TEST(Partitioner, DeterministicPerSeed) {
+  const DistributedConfig cfg{.sites = 3, .union_distinct = 1000, .overlap = 0.2,
+                              .duplication = 2.0, .seed = 9};
+  const auto a = make_distributed_workload(cfg);
+  const auto b = make_distributed_workload(cfg);
+  ASSERT_EQ(a.site_streams.size(), b.site_streams.size());
+  for (std::size_t s = 0; s < a.site_streams.size(); ++s) {
+    EXPECT_EQ(a.site_streams[s], b.site_streams[s]);
+  }
+}
+
+TEST(Partitioner, RejectsBadConfig) {
+  EXPECT_THROW(make_distributed_workload({.sites = 0}), InvalidArgument);
+  EXPECT_THROW(make_distributed_workload({.sites = 2, .union_distinct = 10, .overlap = 1.5}),
+               InvalidArgument);
+  EXPECT_THROW(
+      make_distributed_workload({.sites = 2, .union_distinct = 10, .duplication = 0.5}),
+      InvalidArgument);
+  EXPECT_THROW(make_distributed_workload({.sites = 2, .union_distinct = 0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,177 @@
+// Parameterized property sweeps across the workload space — the paper's
+// guarantees exercised as statistical invariants over many configurations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/f0_estimator.h"
+#include "distributed/protocols.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "stream/transforms.h"
+
+namespace ustream {
+namespace {
+
+// --- Accuracy is insensitive to workload shape (duplication, skew, label
+// --- structure, arrival order): F0 only depends on the SET of labels.
+
+struct ShapeCase {
+  std::size_t distinct;
+  std::size_t total_items;
+  double zipf_alpha;
+  LabelKind kind;
+};
+
+void PrintTo(const ShapeCase& c, std::ostream* os) {
+  *os << "distinct=" << c.distinct << " items=" << c.total_items << " alpha=" << c.zipf_alpha
+      << " kind=" << static_cast<int>(c.kind);
+}
+
+class WorkloadShape : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(WorkloadShape, EstimateWithinEpsilon) {
+  const auto p = GetParam();
+  SyntheticStream stream({.distinct = p.distinct, .total_items = p.total_items,
+                          .zipf_alpha = p.zipf_alpha, .label_kind = p.kind, .seed = 1234});
+  F0Estimator est(0.1, 0.01, 777);  // delta small enough for a sweep
+  while (!stream.done()) est.add(stream.next().label);
+  EXPECT_LT(relative_error(est.estimate(), static_cast<double>(p.distinct)), 0.1);
+}
+
+TEST_P(WorkloadShape, ArrivalOrderIrrelevant) {
+  const auto p = GetParam();
+  SyntheticStream stream({.distinct = p.distinct, .total_items = p.total_items,
+                          .zipf_alpha = p.zipf_alpha, .label_kind = p.kind, .seed = 4321});
+  const auto items = stream.to_vector();
+  F0Estimator natural(0.1, 0.05, 88), sorted(0.1, 0.05, 88), reversed(0.1, 0.05, 88);
+  for (const Item& item : items) natural.add(item.label);
+  for (const Item& item : sort_stream(items, true)) sorted.add(item.label);
+  for (const Item& item : sort_stream(items, false)) reversed.add(item.label);
+  EXPECT_DOUBLE_EQ(natural.estimate(), sorted.estimate());
+  EXPECT_DOUBLE_EQ(natural.estimate(), reversed.estimate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadShape,
+    ::testing::Values(ShapeCase{20'000, 20'000, 0.0, LabelKind::kRandom64},
+                      ShapeCase{20'000, 200'000, 0.0, LabelKind::kRandom64},
+                      ShapeCase{20'000, 200'000, 1.0, LabelKind::kRandom64},
+                      ShapeCase{20'000, 200'000, 2.0, LabelKind::kRandom64},
+                      ShapeCase{20'000, 100'000, 1.2, LabelKind::kSequential},
+                      ShapeCase{20'000, 100'000, 1.2, LabelKind::kClustered},
+                      ShapeCase{100'000, 300'000, 0.8, LabelKind::kRandom64},
+                      ShapeCase{5'000, 500'000, 1.5, LabelKind::kSequential}));
+
+// --- The union protocol meets the guarantee across (sites, overlap). ---
+
+struct UnionCase {
+  std::size_t sites;
+  double overlap;
+};
+
+void PrintTo(const UnionCase& c, std::ostream* os) {
+  *os << c.sites << " sites, overlap " << c.overlap;
+}
+
+class UnionSweep : public ::testing::TestWithParam<UnionCase> {};
+
+TEST_P(UnionSweep, UnionEstimateWithinEpsilon) {
+  const auto p = GetParam();
+  const auto w = make_distributed_workload({.sites = p.sites, .union_distinct = 30'000,
+                                            .overlap = p.overlap, .duplication = 2.0,
+                                            .zipf_alpha = 1.0, .seed = 99});
+  const auto res = run_f0_union(w, EstimatorParams::for_guarantee(0.1, 0.01, 55));
+  EXPECT_LT(res.relative_error, 0.1);
+  EXPECT_EQ(res.channel.messages, p.sites);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnionSweep,
+                         ::testing::Values(UnionCase{1, 0.0}, UnionCase{2, 0.0},
+                                           UnionCase{2, 1.0}, UnionCase{4, 0.25},
+                                           UnionCase{8, 0.5}, UnionCase{16, 0.75},
+                                           UnionCase{32, 0.1}, UnionCase{3, 0.9}));
+
+// --- Failure probability: across many independent seeds at a LOOSE eps,
+// --- failures must be rare (checks the (eps, delta) calculus end to end).
+
+TEST(FailureProbability, BoundHoldsAcrossSeeds) {
+  constexpr double kEps = 0.2, kDelta = 0.05;
+  constexpr int kTrials = 40;
+  constexpr std::size_t kDistinct = 30'000;
+  int failures = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    F0Estimator est(kEps, kDelta, 10'000 + static_cast<std::uint64_t>(t) * 13);
+    Xoshiro256 rng(static_cast<std::uint64_t>(t) * 31 + 7);
+    for (std::size_t i = 0; i < kDistinct; ++i) est.add(rng.next());
+    if (relative_error(est.estimate(), static_cast<double>(kDistinct)) > kEps) ++failures;
+  }
+  EXPECT_LE(failures, 7);  // Binomial(40, .05): P[>7] < 1e-4
+}
+
+// --- Capacity-constant ablation: the error shrinks as the constant grows.
+
+TEST(CapacityConstant, LargerConstantGivesSmallerError) {
+  constexpr std::size_t kDistinct = 200'000;
+  double err_small = 0.0, err_large = 0.0;
+  for (double constant : {4.0, 64.0}) {
+    Sample errors;
+    for (int t = 0; t < 8; ++t) {
+      EstimatorParams p;
+      p.capacity = EstimatorParams::capacity_for_epsilon(0.1, constant);
+      p.copies = 5;
+      p.seed = 500 + static_cast<std::uint64_t>(t);
+      F0Estimator est(p);
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (std::size_t i = 0; i < kDistinct; ++i) est.add(rng.next());
+      errors.add(relative_error(est.estimate(), static_cast<double>(kDistinct)));
+    }
+    (constant < 10.0 ? err_small : err_large) = errors.mean();
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+// --- Serialization fuzz: random sampler states survive the wire. ---
+
+TEST(SerializationFuzz, ManyRandomStatesRoundtrip) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t capacity = 1 + rng.below(300);
+    const std::uint64_t seed = rng.next();
+    CoordinatedSampler<PairwiseHash, Unit> s(capacity, seed);
+    const std::uint64_t items = rng.below(20'000);
+    for (std::uint64_t i = 0; i < items; ++i) s.add(rng.next());
+    auto restored = CoordinatedSampler<PairwiseHash, Unit>::deserialize(s.serialize());
+    ASSERT_EQ(restored.level(), s.level());
+    ASSERT_EQ(restored.size(), s.size());
+    ASSERT_DOUBLE_EQ(restored.estimate_distinct(), s.estimate_distinct());
+  }
+}
+
+// --- Random split/merge fuzz at the estimator level. ---
+
+TEST(MergeFuzz, RandomSplitsAlwaysMatchCentral) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto params = EstimatorParams{.capacity = 64 + rng.below(512),
+                                        .copies = 3,
+                                        .seed = rng.next()};
+    const std::size_t sites = 2 + rng.below(9);
+    std::vector<F0Estimator> parts(sites, F0Estimator(params));
+    F0Estimator central(params);
+    const std::uint64_t items = 1000 + rng.below(50'000);
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const std::uint64_t x = rng.below(items / 2 + 1);  // force duplicates
+      central.add(x);
+      parts[rng.below(sites)].add(x);
+    }
+    F0Estimator merged = parts[0];
+    for (std::size_t s = 1; s < sites; ++s) merged.merge(parts[s]);
+    ASSERT_DOUBLE_EQ(merged.estimate(), central.estimate()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ustream

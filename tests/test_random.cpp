@@ -1,0 +1,91 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ustream {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 (from the public-domain reference code).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(SplitMix64, MixIsBijectiveOnSamples) {
+  // Distinct inputs must map to distinct outputs (mix is invertible).
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) outs.insert(SplitMix64::mix(i));
+  EXPECT_EQ(outs.size(), 10'000u);
+}
+
+TEST(Xoshiro256, Determinism) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 62)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowCoversSmallRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, Uniform01Range) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20'000, 0.3, 0.02);
+}
+
+TEST(Xoshiro256, JumpDecorrelates) {
+  Xoshiro256 a(77);
+  Xoshiro256 b(77);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SeedSequence, ChildrenAreDistinctAndStable) {
+  SeedSequence seq(99);
+  std::set<std::uint64_t> children;
+  for (std::uint64_t i = 0; i < 1000; ++i) children.insert(seq.child(i));
+  EXPECT_EQ(children.size(), 1000u);
+  EXPECT_EQ(seq.child(5), SeedSequence(99).child(5));
+  EXPECT_NE(seq.child(5), SeedSequence(100).child(5));
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,170 @@
+// Range-efficient coordinated sampling (extension E11).
+#include "core/range_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace ustream {
+namespace {
+
+TEST(RangeSampler, SinglePointsMatchSurvivalRule) {
+  RangeSampler s(1 << 14, 3);
+  for (std::uint64_t x = 0; x < 2000; ++x) s.add(x);
+  EXPECT_EQ(s.level(), 0);
+  EXPECT_EQ(s.size(), 2000u);
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(), 2000.0);
+}
+
+TEST(RangeSampler, IntervalEqualsPointInserts) {
+  // Feeding [lo, hi] as one interval or as hi-lo+1 points must yield the
+  // same sample (state equivalence of the range-efficient path).
+  RangeSampler by_range(64, 7);
+  RangeSampler by_points(64, 7);
+  constexpr std::uint64_t kLo = 1'000'000, kHi = 1'020'000;
+  by_range.add_range(kLo, kHi);
+  for (std::uint64_t x = kLo; x <= kHi; ++x) by_points.add(x);
+  EXPECT_EQ(by_range.level(), by_points.level());
+  auto a = by_range.sample_labels(), b = by_points.sample_labels();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RangeSampler, SampleHoldsExactlyTheSurvivors) {
+  RangeSampler s(128, 11);
+  s.add_range(5'000'000, 5'500'000);
+  for (auto x : s.sample_labels()) {
+    EXPECT_TRUE(s.survives(x));
+    EXPECT_GE(x, 5'000'000u);
+    EXPECT_LE(x, 5'500'000u);
+  }
+  EXPECT_EQ(s.size(), static_cast<std::size_t>(
+                          s.count_survivors(5'000'000, 5'500'000, s.threshold())));
+}
+
+TEST(RangeSampler, WideIntervalAccuracy) {
+  // One interval of width 10M: estimate within a loose band (single
+  // sampler, no median boosting -> allow 3 sigma-ish slack).
+  RangeSampler s(4096, 13);
+  constexpr std::uint64_t kWidth = 10'000'000;
+  s.add_range(123'456'789, 123'456'789 + kWidth - 1);
+  EXPECT_LT(relative_error(s.estimate_distinct(), static_cast<double>(kWidth)), 0.1);
+}
+
+TEST(RangeSampler, OverlappingIntervalsDoNotDoubleCount) {
+  RangeSampler once(512, 17);
+  RangeSampler twice(512, 17);
+  once.add_range(1000, 200'000);
+  twice.add_range(1000, 200'000);
+  twice.add_range(1000, 200'000);            // identical
+  twice.add_range(50'000, 150'000);          // contained
+  EXPECT_EQ(once.level(), twice.level());
+  auto a = once.sample_labels(), b = twice.sample_labels();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RangeSampler, ManySmallIntervalsAccuracy) {
+  // Disjoint intervals of width 100 -> F0 = 100 * count.
+  RangeSampler s(2048, 19);
+  constexpr int kIntervals = 2000;
+  for (int i = 0; i < kIntervals; ++i) {
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * 1000 + 5;
+    s.add_range(base, base + 99);
+  }
+  EXPECT_LT(relative_error(s.estimate_distinct(), 100.0 * kIntervals), 0.15);
+}
+
+TEST(RangeSampler, CapacityInvariant) {
+  RangeSampler s(100, 23);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t lo = rng.below(RangeSampler::kDomain - 1'000'000);
+    s.add_range(lo, lo + rng.below(1'000'000));
+    ASSERT_LE(s.size(), 100u);
+  }
+}
+
+TEST(RangeSampler, MergeEqualsConcat) {
+  RangeSampler whole(128, 29), a(128, 29), b(128, 29);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t lo = rng.below(1ull << 40);
+    const std::uint64_t hi = lo + rng.below(1 << 20);
+    whole.add_range(lo, hi);
+    ((i % 2) ? a : b).add_range(lo, hi);
+  }
+  a.merge(b);
+  // Both paths implement "minimal level at which the covered set fits", so
+  // the states agree exactly.
+  EXPECT_EQ(a.level(), whole.level());
+  auto la = a.sample_labels(), lw = whole.sample_labels();
+  std::sort(la.begin(), la.end());
+  std::sort(lw.begin(), lw.end());
+  EXPECT_EQ(la, lw);
+}
+
+TEST(RangeSampler, MismatchedMergeRejected) {
+  RangeSampler a(64, 1), b(64, 2), c(32, 1);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW(a.merge(c), InvalidArgument);
+}
+
+TEST(RangeSampler, SerializeRoundtrip) {
+  RangeSampler s(256, 31);
+  s.add_range(10'000, 3'000'000);
+  auto restored = RangeSampler::deserialize(s.serialize());
+  EXPECT_EQ(restored.level(), s.level());
+  EXPECT_EQ(restored.size(), s.size());
+  auto a = s.sample_labels(), b = restored.sample_labels();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RangeSampler, SerializeRejectsCorruption) {
+  RangeSampler s(64, 37);
+  s.add_range(0, 1'000'000);
+  auto bytes = s.serialize();
+  bytes[0] = 0x7f;
+  EXPECT_THROW(RangeSampler::deserialize(bytes), SerializationError);
+}
+
+TEST(RangeSampler, RejectsBadIntervals) {
+  RangeSampler s(64, 41);
+  EXPECT_THROW(s.add_range(10, 9), InvalidArgument);
+  EXPECT_THROW(s.add_range(0, RangeSampler::kDomain), InvalidArgument);
+}
+
+TEST(RangeF0Estimator, MedianBoostedAccuracy) {
+  RangeF0Estimator est(0.1, 0.05, 43);
+  constexpr std::uint64_t kWidth = 5'000'000;
+  est.add_range(1ull << 35, (1ull << 35) + kWidth - 1);
+  EXPECT_LT(relative_error(est.estimate(), static_cast<double>(kWidth)), 0.1);
+}
+
+TEST(RangeF0Estimator, AgreesWithPointEstimatorOnPointStreams) {
+  // Same inputs as points: both paths estimate the same truth well.
+  RangeF0Estimator ranged(0.1, 0.05, 47);
+  Xoshiro256 rng(3);
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) ranged.add(rng.below(RangeSampler::kDomain));
+  EXPECT_LT(relative_error(ranged.estimate(), kN), 0.1);
+}
+
+TEST(RangeF0Estimator, MergeAcrossSites) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 53);
+  RangeF0Estimator a(params), b(params);
+  a.add_range(0, 2'000'000);
+  b.add_range(1'000'000, 3'000'000);  // overlaps a
+  a.merge(b);
+  EXPECT_LT(relative_error(a.estimate(), 3'000'001.0), 0.1);
+}
+
+}  // namespace
+}  // namespace ustream

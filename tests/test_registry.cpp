@@ -1,0 +1,107 @@
+// SketchRegistry: subset-union queries and group comparisons at the referee.
+#include "distributed/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/dense_map.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "stream/partitioner.h"
+
+namespace ustream {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  EstimatorParams params_ = EstimatorParams::for_guarantee(0.1, 0.05, 404);
+  DistributedWorkload workload_ = make_distributed_workload(
+      {.sites = 6, .union_distinct = 60'000, .overlap = 0.4, .duplication = 2.0, .seed = 3});
+  SketchRegistry registry_{params_};
+
+  void SetUp() override {
+    for (std::size_t s = 0; s < 6; ++s) {
+      F0Estimator sketch(params_);
+      for (const Item& item : workload_.site_streams[s]) sketch.add(item.label);
+      registry_.put("site" + std::to_string(s), std::move(sketch));
+    }
+  }
+
+  std::size_t exact_union(std::span<const std::size_t> sites) const {
+    DenseSet u;
+    for (std::size_t s : sites) {
+      for (const Item& item : workload_.site_streams[s]) u.insert(item.label);
+    }
+    return u.size();
+  }
+};
+
+TEST_F(RegistryTest, BasicBookkeeping) {
+  EXPECT_EQ(registry_.size(), 6u);
+  EXPECT_TRUE(registry_.contains("site0"));
+  EXPECT_FALSE(registry_.contains("site9"));
+  EXPECT_EQ(registry_.site_names().size(), 6u);
+}
+
+TEST_F(RegistryTest, WholeUnionMatchesTruth) {
+  EXPECT_LT(relative_error(registry_.estimate_union_all(),
+                           static_cast<double>(workload_.union_distinct)),
+            0.1);
+}
+
+TEST_F(RegistryTest, SubsetUnionsMatchExactRecounts) {
+  const std::vector<std::vector<std::size_t>> groups = {{0}, {1, 2}, {0, 3, 5}, {2, 4}};
+  for (const auto& group : groups) {
+    std::vector<std::string> names;
+    for (auto s : group) names.push_back("site" + std::to_string(s));
+    const double truth = static_cast<double>(exact_union(group));
+    EXPECT_LT(relative_error(registry_.estimate_union(names), truth), 0.1)
+        << names.size() << " sites";
+  }
+}
+
+TEST_F(RegistryTest, SingleSiteMatchesDirectEstimate) {
+  const std::vector<std::string> one = {"site2"};
+  EXPECT_DOUBLE_EQ(registry_.estimate_union(one), registry_.estimate_site("site2"));
+}
+
+TEST_F(RegistryTest, GroupComparisonTracksOverlap) {
+  const std::vector<std::string> a = {"site0", "site1", "site2"};
+  const std::vector<std::string> b = {"site3", "site4", "site5"};
+  const auto cmp = registry_.compare_groups(a, b);
+  // With overlap = 0.4 the two halves share a large label population.
+  const std::size_t ga[] = {0, 1, 2}, gb[] = {3, 4, 5};
+  DenseSet sa, sb;
+  for (auto s : ga) {
+    for (const Item& item : workload_.site_streams[s]) sa.insert(item.label);
+  }
+  for (auto s : gb) {
+    for (const Item& item : workload_.site_streams[s]) sb.insert(item.label);
+  }
+  std::size_t inter = 0;
+  sa.for_each([&](std::uint64_t x) {
+    if (sb.contains(x)) ++inter;
+  });
+  EXPECT_LT(relative_error(cmp.intersection_size, static_cast<double>(inter)), 0.25);
+  EXPECT_LT(relative_error(cmp.union_size, static_cast<double>(workload_.union_distinct)),
+            0.1);
+}
+
+TEST_F(RegistryTest, PutSerializedAndReplace) {
+  F0Estimator fresh(params_);
+  fresh.add(1);
+  const auto bytes = fresh.serialize();
+  registry_.put_serialized("site0", bytes);  // replaces
+  EXPECT_EQ(registry_.size(), 6u);
+  EXPECT_DOUBLE_EQ(registry_.estimate_site("site0"), 1.0);
+}
+
+TEST_F(RegistryTest, Errors) {
+  const std::vector<std::string> unknown = {"nope"};
+  EXPECT_THROW(registry_.estimate_union(unknown), InvalidArgument);
+  EXPECT_THROW(registry_.estimate_union({}), InvalidArgument);
+  F0Estimator wrong(EstimatorParams{.capacity = 8, .copies = 3, .seed = 1});
+  EXPECT_THROW(registry_.put("bad", std::move(wrong)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

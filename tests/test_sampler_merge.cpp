@@ -1,0 +1,163 @@
+// The merge laws — what makes the referee's union computation sound.
+// The strongest property (and the one the distributed model needs) is
+// EXACT state equivalence: merging per-site samplers yields bit-for-bit
+// the state of one sampler that saw the concatenation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "core/coordinated_sampler.h"
+
+namespace ustream {
+namespace {
+
+using Sampler = CoordinatedSampler<PairwiseHash, Unit>;
+
+std::vector<std::uint64_t> sorted_labels(const Sampler& s) {
+  auto v = s.sample_labels();
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void expect_same_state(const Sampler& a, const Sampler& b) {
+  EXPECT_EQ(a.level(), b.level());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(sorted_labels(a), sorted_labels(b));
+}
+
+// Parameterized over (capacity, #streams, labels per stream, overlap seed).
+struct MergeCase {
+  std::size_t capacity;
+  std::size_t streams;
+  std::size_t labels_per_stream;
+  std::uint64_t seed;
+};
+
+class MergeEqualsConcat : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MergeEqualsConcat, StateEquivalence) {
+  const auto p = GetParam();
+  const std::uint64_t shared_seed = SplitMix64::mix(p.seed);
+  Xoshiro256 rng(p.seed);
+
+  // Build t per-stream label lists with some cross-stream repetition.
+  std::vector<std::vector<std::uint64_t>> streams(p.streams);
+  std::vector<std::uint64_t> shared;
+  for (std::size_t i = 0; i < p.labels_per_stream / 4 + 1; ++i) shared.push_back(rng.next());
+  for (auto& st : streams) {
+    for (std::size_t i = 0; i < p.labels_per_stream; ++i) {
+      st.push_back(rng.bernoulli(0.3) ? shared[rng.below(shared.size())] : rng.next());
+    }
+  }
+
+  Sampler concat(p.capacity, shared_seed);
+  std::vector<Sampler> parts;
+  for (const auto& st : streams) {
+    Sampler s(p.capacity, shared_seed);
+    for (auto x : st) {
+      s.add(x);
+      concat.add(x);
+    }
+    parts.push_back(std::move(s));
+  }
+  Sampler merged = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) merged.merge(parts[i]);
+  expect_same_state(merged, concat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeEqualsConcat,
+    ::testing::Values(MergeCase{8, 2, 100, 1}, MergeCase{8, 2, 5000, 2},
+                      MergeCase{64, 4, 2000, 3}, MergeCase{64, 16, 500, 4},
+                      MergeCase{256, 3, 20'000, 5}, MergeCase{16, 8, 3000, 6},
+                      MergeCase{1024, 2, 800, 7},   // under-capacity merge
+                      MergeCase{4, 4, 10'000, 8},   // extreme pressure
+                      MergeCase{128, 32, 300, 9}, MergeCase{512, 5, 8000, 10}));
+
+TEST(SamplerMerge, Commutative) {
+  Xoshiro256 rng(21);
+  Sampler a(32, 77), b(32, 77);
+  for (int i = 0; i < 3000; ++i) a.add(rng.next());
+  for (int i = 0; i < 3000; ++i) b.add(rng.next());
+  Sampler ab = a;
+  ab.merge(b);
+  Sampler ba = b;
+  ba.merge(a);
+  expect_same_state(ab, ba);
+}
+
+TEST(SamplerMerge, Associative) {
+  Xoshiro256 rng(22);
+  Sampler a(32, 78), b(32, 78), c(32, 78);
+  for (int i = 0; i < 2000; ++i) a.add(rng.next());
+  for (int i = 0; i < 2000; ++i) b.add(rng.next());
+  for (int i = 0; i < 2000; ++i) c.add(rng.next());
+  Sampler left = a;
+  left.merge(b);
+  left.merge(c);
+  Sampler bc = b;
+  bc.merge(c);
+  Sampler right = a;
+  right.merge(bc);
+  expect_same_state(left, right);
+}
+
+TEST(SamplerMerge, IdempotentOnSelf) {
+  Xoshiro256 rng(23);
+  Sampler a(32, 79);
+  for (int i = 0; i < 5000; ++i) a.add(rng.next());
+  Sampler twice = a;
+  twice.merge(a);
+  expect_same_state(twice, a);
+}
+
+TEST(SamplerMerge, WithEmptyIsIdentity) {
+  Xoshiro256 rng(24);
+  Sampler a(32, 80);
+  for (int i = 0; i < 5000; ++i) a.add(rng.next());
+  Sampler empty(32, 80);
+  Sampler m = a;
+  m.merge(empty);
+  expect_same_state(m, a);
+  Sampler m2 = empty;
+  m2.merge(a);
+  expect_same_state(m2, a);
+}
+
+TEST(SamplerMerge, MismatchedSeedRejected) {
+  Sampler a(32, 1), b(32, 2);
+  EXPECT_FALSE(a.can_merge_with(b));
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+TEST(SamplerMerge, MismatchedCapacityRejected) {
+  Sampler a(32, 1), b(64, 1);
+  EXPECT_FALSE(a.can_merge_with(b));
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+TEST(SamplerMerge, ItemsProcessedAccumulates) {
+  Sampler a(32, 5), b(32, 5);
+  for (std::uint64_t i = 0; i < 10; ++i) a.add(i);
+  for (std::uint64_t i = 0; i < 20; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.items_processed(), 30u);
+}
+
+TEST(SamplerMerge, ValueCarryingMergePreservesValues) {
+  CoordinatedSampler<PairwiseHash, double> a(128, 9), b(128, 9);
+  a.add(1, 10.0);
+  b.add(2, 20.0);
+  b.add(1, 999.0);  // duplicate with different value: a's copy also exists
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  // Sum = 10 + 20 (the label-1 value in `a` wins; b's 999 for label 1 is a
+  // duplicate of an existing entry).
+  EXPECT_DOUBLE_EQ(a.estimate_sum(), 30.0);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,136 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace ustream {
+namespace {
+
+TEST(Serialize, FixedWidthRoundtrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.141592653589793);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintEdgeCases) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 129,
+                                 16383,
+                                 16384,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  ByteWriter w;
+  for (auto v : cases) w.varint(v);
+  ByteReader r(w.data());
+  for (auto v : cases) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintSizes) {
+  ByteWriter w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+  ByteWriter w3;
+  w3.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w3.size(), 10u);
+}
+
+TEST(Serialize, SignedVarintRoundtrip) {
+  const std::int64_t cases[] = {0, 1, -1, 63, -64, 64, -65,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  ByteWriter w;
+  for (auto v : cases) w.svarint(v);
+  ByteReader r(w.data());
+  for (auto v : cases) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(Serialize, StringRoundtrip) {
+  ByteWriter w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string(1000, 'x'));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(Serialize, BytesRoundtrip) {
+  std::vector<std::uint8_t> payload = {1, 2, 3, 255, 0};
+  ByteWriter w;
+  w.bytes(payload);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.bytes(5), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedReadsThrow) {
+  ByteWriter w;
+  w.u32(5);
+  {
+    ByteReader r(w.data());
+    EXPECT_THROW(r.u64(), SerializationError);
+  }
+  {
+    ByteReader r(std::span<const std::uint8_t>{});
+    EXPECT_THROW(r.u8(), SerializationError);
+  }
+  {
+    // Varint whose continuation bit never ends.
+    const std::vector<std::uint8_t> bad(3, 0x80);
+    ByteReader r(bad);
+    EXPECT_THROW(r.varint(), SerializationError);
+  }
+}
+
+TEST(Serialize, OverlongVarintThrows) {
+  // 11 continuation bytes exceed the 64-bit capacity.
+  std::vector<std::uint8_t> bad(10, 0xff);
+  bad.push_back(0x01);
+  ByteReader r(bad);
+  EXPECT_THROW(r.varint(), SerializationError);
+}
+
+TEST(Serialize, RemainingAndPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.position(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+  ByteWriter w;
+  w.u8(7);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 7);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,64 @@
+// Parallel sharding: merge == concat makes thread-parallel sketching exact.
+#include "distributed/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distinct_sum.h"
+#include "stream/generators.h"
+
+namespace ustream {
+namespace {
+
+std::vector<Item> workload() {
+  SyntheticStream stream({.distinct = 40'000, .total_items = 200'000, .zipf_alpha = 1.1,
+                          .seed = 77});
+  return stream.to_vector();
+}
+
+TEST(Sharding, ParallelEqualsSequential) {
+  const auto items = workload();
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 5);
+  F0Estimator sequential(params);
+  for (const Item& item : items) sequential.add(item.label);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{7}}) {
+    const F0Estimator parallel = sketch_in_parallel(items, params, threads);
+    EXPECT_DOUBLE_EQ(parallel.estimate(), sequential.estimate()) << threads;
+  }
+}
+
+TEST(Sharding, GenericShardAndMergeWithDistinctSum) {
+  const auto items = workload();
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 6);
+  DistinctSumEstimator sequential(params);
+  for (const Item& item : items) sequential.add(item.label, item.value);
+  const auto parallel = shard_and_merge<DistinctSumEstimator>(
+      items, 4, [&params] { return DistinctSumEstimator(params); },
+      [](DistinctSumEstimator& sketch, const Item& item) {
+        sketch.add(item.label, item.value);
+      });
+  EXPECT_DOUBLE_EQ(parallel.estimate_distinct(), sequential.estimate_distinct());
+  EXPECT_NEAR(parallel.estimate_sum(), sequential.estimate_sum(),
+              1e-9 * sequential.estimate_sum());
+}
+
+TEST(Sharding, MoreThreadsThanItems) {
+  std::vector<Item> tiny = {{1, 0}, {2, 0}, {3, 0}};
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 7);
+  const F0Estimator est = sketch_in_parallel(tiny, params, 16);
+  EXPECT_DOUBLE_EQ(est.estimate(), 3.0);
+}
+
+TEST(Sharding, EmptyInput) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 8);
+  const F0Estimator est = sketch_in_parallel({}, params, 4);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+}
+
+TEST(Sharding, RejectsZeroThreads) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 9);
+  EXPECT_THROW(sketch_in_parallel({}, params, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace ustream {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(3);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Sample, QuantilesAndMedian) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+}
+
+TEST(Sample, SingleElement) {
+  Sample s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(Sample, ErrorsOnEmptyOrBadQ) {
+  Sample s;
+  EXPECT_THROW(s.quantile(0.5), InvalidArgument);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), InvalidArgument);
+  EXPECT_THROW(s.quantile(1.1), InvalidArgument);
+}
+
+TEST(Sample, FractionAbove) {
+  Sample s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.fraction_above(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 1.0);
+}
+
+TEST(Sample, MeanAndStddev) {
+  Sample s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MedianOf, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW(median_of({}), InvalidArgument);
+}
+
+TEST(MedianOf, U64) {
+  EXPECT_EQ(median_of_u64({5, 1, 9}), 5u);
+  EXPECT_EQ(median_of_u64({1}), 1u);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(signed_relative_error(90, 100), -0.1);
+  EXPECT_DOUBLE_EQ(signed_relative_error(110, 100), 0.1);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,178 @@
+// Superspreader detection over one link and over the union of links.
+#include "netmon/superspreader.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace ustream {
+namespace {
+
+SuperspreaderConfig test_config() {
+  SuperspreaderConfig c;
+  c.table_capacity = 256;
+  c.sampler_capacity = 128;
+  c.admission_level = 3;
+  c.seed = 99;
+  return c;
+}
+
+// Workload: a few heavy scanners among many light sources.
+struct Contact {
+  std::uint64_t src, dst;
+};
+
+std::vector<Contact> scanner_workload(std::uint64_t seed, std::size_t scanners,
+                                      std::size_t scan_width, std::size_t light_sources) {
+  std::vector<Contact> out;
+  Xoshiro256 rng(seed);
+  for (std::size_t s = 0; s < scanners; ++s) {
+    const std::uint64_t src = 0xbad0000 + s;
+    for (std::size_t d = 0; d < scan_width; ++d) {
+      out.push_back({src, rng.next()});
+    }
+  }
+  for (std::size_t s = 0; s < light_sources; ++s) {
+    const std::uint64_t src = 0x900d0000 + s;
+    // 1-4 destinations, each contacted several times.
+    const std::size_t dsts = 1 + rng.below(4);
+    for (std::size_t d = 0; d < dsts; ++d) {
+      const std::uint64_t dst = rng.next();
+      for (int rep = 0; rep < 5; ++rep) out.push_back({src, dst});
+    }
+  }
+  // Shuffle.
+  for (std::size_t i = out.size(); i > 1; --i) std::swap(out[i - 1], out[rng.below(i)]);
+  return out;
+}
+
+TEST(Superspreader, FindsScannersNotChatter) {
+  SuperspreaderDetector det(test_config());
+  for (const auto& c : scanner_workload(1, 5, 2000, 3000)) det.observe(c.src, c.dst);
+  const auto reports = det.report(500.0);
+  ASSERT_EQ(reports.size(), 5u);
+  for (const auto& r : reports) {
+    EXPECT_GE(r.source, 0xbad0000u);
+    EXPECT_LT(r.source, 0xbad0000u + 5);
+    // Admission loses ~2^admission_level early contacts; estimates land
+    // within a loose band of the 2000 truth.
+    EXPECT_NEAR(r.distinct_destinations, 2000.0, 600.0);
+  }
+}
+
+TEST(Superspreader, ReportSortedDescending) {
+  SuperspreaderDetector det(test_config());
+  Xoshiro256 rng(2);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    for (std::uint64_t d = 0; d < 300 * (s + 1); ++d) det.observe(s, rng.next());
+  }
+  const auto reports = det.report(100.0);
+  ASSERT_GE(reports.size(), 3u);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GE(reports[i - 1].distinct_destinations, reports[i].distinct_destinations);
+  }
+}
+
+TEST(Superspreader, DuplicateContactsDoNotAdmitOrInflate) {
+  SuperspreaderDetector det(test_config());
+  // One source contacting ONE destination a million times: the admission
+  // coin for the pair is flipped once (deterministic), so either it is
+  // never admitted, or admitted with estimate 1. Never a superspreader.
+  for (int i = 0; i < 1'000'000; ++i) det.observe(7, 1234);
+  EXPECT_LE(det.estimate(7), 1.0);
+  EXPECT_TRUE(det.report(10.0).empty());
+}
+
+TEST(Superspreader, TableCapacityEnforced) {
+  auto config = test_config();
+  config.table_capacity = 32;
+  config.admission_level = 0;  // admit everything
+  SuperspreaderDetector det(config);
+  Xoshiro256 rng(3);
+  for (std::uint64_t s = 0; s < 1000; ++s) det.observe(s, rng.next());
+  EXPECT_LE(det.tracked_sources(), 32u);
+}
+
+TEST(Superspreader, EvictionKeepsHeavySources) {
+  auto config = test_config();
+  config.table_capacity = 16;
+  config.admission_level = 0;
+  SuperspreaderDetector det(config);
+  Xoshiro256 rng(4);
+  // One heavy source interleaved with hundreds of one-shot sources.
+  for (int round = 0; round < 500; ++round) {
+    det.observe(42, rng.next());  // heavy: 500 distinct dsts
+    det.observe(1000 + static_cast<std::uint64_t>(round), rng.next());  // one-shot
+  }
+  EXPECT_GT(det.estimate(42), 200.0);
+}
+
+TEST(Superspreader, MergeAcrossLinksMatchesCentral) {
+  const auto config = test_config();
+  SuperspreaderDetector central(config), link_a(config), link_b(config);
+  const auto contacts = scanner_workload(5, 3, 1500, 1000);
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    central.observe(contacts[i].src, contacts[i].dst);
+    ((i % 2) ? link_a : link_b).observe(contacts[i].src, contacts[i].dst);
+  }
+  link_a.merge(link_b);
+  // Same shared coins everywhere: tracked scanners' per-source samplers
+  // merge coordinately; estimates for scanners agree with central exactly
+  // (same survivor sets) up to admission timing of the FIRST contact.
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const double merged = link_a.estimate(0xbad0000 + s);
+    const double direct = central.estimate(0xbad0000 + s);
+    EXPECT_NEAR(merged, direct, 0.15 * direct + 20.0) << s;
+    EXPECT_GT(merged, 700.0) << s;
+  }
+}
+
+TEST(Superspreader, MergeMismatchRejected) {
+  auto a_config = test_config();
+  auto b_config = test_config();
+  b_config.seed = 123;
+  SuperspreaderDetector a(a_config), b(b_config);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+TEST(Superspreader, SerializeRoundtrip) {
+  SuperspreaderDetector det(test_config());
+  for (const auto& c : scanner_workload(6, 2, 800, 500)) det.observe(c.src, c.dst);
+  auto restored = SuperspreaderDetector::deserialize(det.serialize());
+  EXPECT_EQ(restored.tracked_sources(), det.tracked_sources());
+  const auto want = det.report(100.0);
+  const auto got = restored.report(100.0);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].source, want[i].source);
+    EXPECT_DOUBLE_EQ(got[i].distinct_destinations, want[i].distinct_destinations);
+  }
+  // Restored detector keeps observing and merging.
+  restored.observe(1, 2);
+  restored.merge(det);
+}
+
+TEST(Superspreader, SerializeRejectsCorruption) {
+  SuperspreaderDetector det(test_config());
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) det.observe(rng.below(50), rng.next());
+  auto bytes = det.serialize();
+  bytes[0] = 0x7d;
+  EXPECT_THROW(SuperspreaderDetector::deserialize(bytes), SerializationError);
+  auto truncated = det.serialize();
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(SuperspreaderDetector::deserialize(truncated), SerializationError);
+}
+
+TEST(Superspreader, RejectsBadConfig) {
+  SuperspreaderConfig bad;
+  bad.table_capacity = 0;
+  EXPECT_THROW(SuperspreaderDetector{bad}, InvalidArgument);
+  SuperspreaderConfig bad2;
+  bad2.admission_level = 40;
+  EXPECT_THROW(SuperspreaderDetector{bad2}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

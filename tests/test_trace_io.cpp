@@ -1,0 +1,87 @@
+#include "stream/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "stream/generators.h"
+
+namespace ustream {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/ustream_trace_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TraceIoTest, RoundtripEmpty) {
+  write_trace(path_, {});
+  EXPECT_TRUE(read_trace(path_).empty());
+}
+
+TEST_F(TraceIoTest, RoundtripTypical) {
+  SyntheticStream s({.distinct = 2000, .total_items = 10'000, .zipf_alpha = 1.1, .seed = 1,
+                     .value_lo = 0.0, .value_hi = 100.0});
+  const auto items = s.to_vector();
+  write_trace(path_, items);
+  EXPECT_EQ(read_trace(path_), items);
+}
+
+TEST_F(TraceIoTest, RoundtripExtremeValues) {
+  std::vector<Item> items = {
+      {0, 0.0}, {~std::uint64_t{0}, -1.5e300}, {1, 1e-300}, {42, 0.0}};
+  write_trace(path_, items);
+  EXPECT_EQ(read_trace(path_), items);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace(::testing::TempDir() + "/definitely_missing_ustream.bin"),
+               InvalidArgument);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTATRACEFILE_____";
+  out.close();
+  EXPECT_THROW(read_trace(path_), SerializationError);
+}
+
+TEST_F(TraceIoTest, TruncatedFileThrows) {
+  SyntheticStream s({.distinct = 100, .total_items = 500, .seed = 2});
+  write_trace(path_, s.to_vector());
+  // Truncate in the middle.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<long>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(read_trace(path_), SerializationError);
+}
+
+TEST_F(TraceIoTest, TrailingGarbageThrows) {
+  write_trace(path_, {{1, 2.0}});
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out << "x";
+  out.close();
+  EXPECT_THROW(read_trace(path_), SerializationError);
+}
+
+TEST_F(TraceIoTest, ClusteredLabelsCompressWell) {
+  // XOR-delta coding should make consecutive labels tiny on disk.
+  std::vector<Item> clustered;
+  for (std::uint64_t i = 0; i < 10'000; ++i) clustered.push_back({i + (1ull << 40), 0.0});
+  write_trace(path_, clustered);
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  // 8 bytes of value + ~2 bytes of label per item, plus header.
+  EXPECT_LT(size, 10'000u * 11);
+}
+
+}  // namespace
+}  // namespace ustream

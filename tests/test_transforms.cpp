@@ -1,0 +1,93 @@
+#include "stream/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "stream/generators.h"
+
+namespace ustream {
+namespace {
+
+std::map<std::uint64_t, std::size_t> label_multiset(const std::vector<Item>& items) {
+  std::map<std::uint64_t, std::size_t> m;
+  for (const Item& item : items) ++m[item.label];
+  return m;
+}
+
+std::vector<Item> small_stream() {
+  SyntheticStream s({.distinct = 200, .total_items = 1000, .zipf_alpha = 1.0, .seed = 3});
+  return s.to_vector();
+}
+
+TEST(Transforms, DuplicateMultipliesMultiplicities) {
+  const auto base = small_stream();
+  const auto dup = duplicate_stream(base, 3, 7);
+  EXPECT_EQ(dup.size(), base.size() * 3);
+  const auto mb = label_multiset(base);
+  const auto md = label_multiset(dup);
+  ASSERT_EQ(mb.size(), md.size());
+  for (const auto& [label, count] : mb) {
+    EXPECT_EQ(md.at(label), count * 3);
+  }
+}
+
+TEST(Transforms, DuplicateFactorOneIsPermutation) {
+  const auto base = small_stream();
+  const auto out = duplicate_stream(base, 1, 8);
+  EXPECT_EQ(label_multiset(out), label_multiset(base));
+}
+
+TEST(Transforms, DuplicateRejectsZeroFactor) {
+  EXPECT_THROW(duplicate_stream(small_stream(), 0, 1), InvalidArgument);
+}
+
+TEST(Transforms, ShufflePreservesMultiset) {
+  const auto base = small_stream();
+  const auto shuffled = shuffle_stream(base, 11);
+  EXPECT_EQ(label_multiset(shuffled), label_multiset(base));
+  EXPECT_NE(shuffled, base);  // overwhelmingly likely to move something
+}
+
+TEST(Transforms, ShuffleDeterministicPerSeed) {
+  const auto base = small_stream();
+  EXPECT_EQ(shuffle_stream(base, 5), shuffle_stream(base, 5));
+  EXPECT_NE(shuffle_stream(base, 5), shuffle_stream(base, 6));
+}
+
+TEST(Transforms, SortAscendingDescending) {
+  const auto base = small_stream();
+  const auto asc = sort_stream(base, true);
+  const auto desc = sort_stream(base, false);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end(),
+                             [](const Item& a, const Item& b) { return a.label < b.label; }));
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end(),
+                             [](const Item& a, const Item& b) { return a.label > b.label; }));
+  EXPECT_EQ(label_multiset(asc), label_multiset(base));
+}
+
+TEST(Transforms, InterleavePreservesEverything) {
+  std::vector<std::vector<Item>> streams;
+  streams.push_back({{1, 0}, {2, 0}, {3, 0}});
+  streams.push_back({{10, 0}});
+  streams.push_back({{20, 0}, {21, 0}});
+  const auto inter = interleave_streams(streams);
+  EXPECT_EQ(inter.size(), 6u);
+  // Round-robin order: 1,10,20,2,21,3.
+  EXPECT_EQ(inter[0].label, 1u);
+  EXPECT_EQ(inter[1].label, 10u);
+  EXPECT_EQ(inter[2].label, 20u);
+  EXPECT_EQ(inter[3].label, 2u);
+  EXPECT_EQ(inter[4].label, 21u);
+  EXPECT_EQ(inter[5].label, 3u);
+}
+
+TEST(Transforms, InterleaveEmptyInputs) {
+  EXPECT_TRUE(interleave_streams({}).empty());
+  EXPECT_TRUE(interleave_streams({{}, {}}).empty());
+}
+
+}  // namespace
+}  // namespace ustream

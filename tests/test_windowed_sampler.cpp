@@ -1,0 +1,150 @@
+// Sliding-window distinct counting (extension E12).
+#include "core/windowed_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/dense_map.h"
+#include "common/random.h"
+
+namespace ustream {
+namespace {
+
+// Brute-force reference: distinct labels among items with ts >= start.
+class ExactWindow {
+ public:
+  void add(std::uint64_t label, std::uint64_t ts) { items_.push_back({label, ts}); }
+  std::size_t distinct_since(std::uint64_t start) const {
+    DenseSet s;
+    for (const auto& [label, ts] : items_) {
+      if (ts >= start) s.insert(label);
+    }
+    return s.size();
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items_;
+};
+
+TEST(WindowedSampler, ExactInSmallRegime) {
+  WindowedF0Sampler s(1024, 3);
+  ExactWindow exact;
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    const std::uint64_t label = (t * 7) % 200;  // duplicates within window
+    s.add(label, t);
+    exact.add(label, t);
+  }
+  for (std::uint64_t start : {0ull, 100ull, 250ull, 499ull, 500ull}) {
+    EXPECT_EQ(s.level_for_window(start), 0) << start;
+    EXPECT_DOUBLE_EQ(s.estimate_distinct(start),
+                     static_cast<double>(exact.distinct_since(start)))
+        << start;
+  }
+}
+
+TEST(WindowedSampler, ReArrivalRefreshesRecency) {
+  WindowedF0Sampler s(1024, 4);
+  s.add(42, 10);
+  s.add(42, 100);
+  // Window starting after the first arrival still contains the label.
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(50), 1.0);
+  // Window starting after the latest arrival does not.
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(101), 0.0);
+}
+
+TEST(WindowedSampler, WindowSemanticsUnderEviction) {
+  // Small capacity: old windows must fall back to higher levels, recent
+  // windows stay near-exact; the estimate is always within the statistical
+  // band of the truth.
+  constexpr std::size_t kCapacity = 512;
+  WindowedF0Sampler s(kCapacity, 5);
+  ExactWindow exact;
+  Xoshiro256 rng(1);
+  constexpr std::uint64_t kItems = 50'000;
+  for (std::uint64_t t = 0; t < kItems; ++t) {
+    const std::uint64_t label = rng.below(20'000);
+    s.add(label, t);
+    exact.add(label, t);
+  }
+  // Recent small window: level 0, exact.
+  {
+    const std::uint64_t start = kItems - 300;
+    EXPECT_EQ(s.level_for_window(start), 0);
+    EXPECT_DOUBLE_EQ(s.estimate_distinct(start),
+                     static_cast<double>(exact.distinct_since(start)));
+  }
+  // Large window: higher level, approximate.
+  {
+    const std::uint64_t start = kItems / 2;
+    const double truth = static_cast<double>(exact.distinct_since(start));
+    EXPECT_GT(s.level_for_window(start), 0);
+    EXPECT_NEAR(s.estimate_distinct(start), truth, 0.35 * truth);
+  }
+}
+
+TEST(WindowedSampler, LevelStructureInvariants) {
+  WindowedF0Sampler s(64, 6);
+  Xoshiro256 rng(2);
+  for (std::uint64_t t = 0; t < 20'000; ++t) s.add(rng.next(), t);
+  for (int l = 0; l <= 12; ++l) {
+    ASSERT_LE(s.level_size(l), 64u) << l;
+  }
+  // Horizons are (weakly) decreasing in level: higher levels see fewer
+  // labels, so they evict older material later.
+  for (int l = 1; l <= 12; ++l) {
+    EXPECT_LE(s.level_horizon(l), s.level_horizon(l - 1)) << l;
+  }
+}
+
+TEST(WindowedSampler, NonMonotoneTimestampsRejected) {
+  WindowedF0Sampler s(16, 7);
+  s.add(1, 100);
+  EXPECT_THROW(s.add(2, 99), InvalidArgument);
+  s.add(3, 100);  // ties are fine
+}
+
+TEST(WindowedSampler, WholeStreamWindowMatchesPlainF0Shape) {
+  // Window covering everything behaves like ordinary F0 estimation.
+  WindowedF0Estimator est(0.15, 0.05, 8);
+  Xoshiro256 rng(3);
+  constexpr std::size_t kDistinct = 30'000;
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < kDistinct; ++i) est.add(rng.next(), t++);
+  EXPECT_NEAR(est.estimate_distinct(0), static_cast<double>(kDistinct), 0.15 * kDistinct);
+}
+
+TEST(WindowedSampler, QueryAnyWindowAfterTheFact) {
+  // One pass, then many window queries of different sizes — the selling
+  // point over one-sketch-per-window designs.
+  WindowedF0Estimator est(0.15, 0.05, 9);
+  ExactWindow exact;
+  Xoshiro256 rng(4);
+  constexpr std::uint64_t kItems = 60'000;
+  for (std::uint64_t t = 0; t < kItems; ++t) {
+    const std::uint64_t label = rng.below(30'000);
+    est.add(label, t);
+    exact.add(label, t);
+  }
+  for (std::uint64_t window : {500ull, 5000ull, 20'000ull, 60'000ull}) {
+    const std::uint64_t start = kItems - window;
+    const double truth = static_cast<double>(exact.distinct_since(start));
+    EXPECT_NEAR(est.estimate_distinct(start), truth, 0.2 * truth + 2.0) << window;
+  }
+}
+
+TEST(WindowedSampler, BytesBoundedByCapacityTimesLevels) {
+  WindowedF0Sampler s(256, 10);
+  Xoshiro256 rng(5);
+  for (std::uint64_t t = 0; t < 200'000; ++t) s.add(rng.next(), t);
+  // Generous structural bound: levels * capacity * (node overheads).
+  EXPECT_LT(s.bytes_used(),
+            static_cast<std::size_t>(WindowedF0Sampler::kMaxLevel + 1) * 256 * 200);
+}
+
+TEST(WindowedSampler, RejectsZeroCapacity) {
+  EXPECT_THROW(WindowedF0Sampler(0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,100 @@
+// Parameterized wire-format and merge-law matrix: every (hash family x
+// value payload) combination the library instantiates goes through the
+// same roundtrip + merge-law battery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/coordinated_sampler.h"
+#include "hash/hash_family.h"
+
+namespace ustream {
+namespace {
+
+template <typename Hash, typename V>
+struct Combo {
+  using HashT = Hash;
+  using ValueT = V;
+};
+
+template <typename C>
+class WireMatrix : public ::testing::Test {};
+
+using Combos = ::testing::Types<
+    Combo<PairwiseHash, Unit>, Combo<PairwiseHash, double>,
+    Combo<PairwiseHash, std::uint64_t>, Combo<TabulationHash, Unit>,
+    Combo<MurmurMixHash, Unit>, Combo<MultiplyShiftHash, Unit>>;
+TYPED_TEST_SUITE(WireMatrix, Combos, );
+
+template <typename S>
+S loaded(std::size_t capacity, std::uint64_t seed, int items, std::uint64_t rng_seed) {
+  S s(capacity, seed);
+  Xoshiro256 rng(rng_seed);
+  for (int i = 0; i < items; ++i) {
+    if constexpr (S::kHasValue) {
+      s.add(rng.next(), typename S::Slot{}.value + 1);
+    } else {
+      s.add(rng.next());
+    }
+  }
+  return s;
+}
+
+TYPED_TEST(WireMatrix, RoundtripPreservesState) {
+  using S = CoordinatedSampler<typename TypeParam::HashT, typename TypeParam::ValueT>;
+  for (int items : {0, 10, 5000}) {
+    S s = loaded<S>(48, 7, items, 1);
+    S restored = S::deserialize(s.serialize());
+    ASSERT_EQ(restored.level(), s.level());
+    ASSERT_EQ(restored.size(), s.size());
+    auto a = s.sample_labels(), b = restored.sample_labels();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+  }
+}
+
+TYPED_TEST(WireMatrix, MergeEqualsConcat) {
+  using S = CoordinatedSampler<typename TypeParam::HashT, typename TypeParam::ValueT>;
+  S whole(32, 9), a(32, 9), b(32, 9);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t x = rng.next();
+    if constexpr (S::kHasValue) {
+      whole.add(x, {});
+      ((i % 2) ? a : b).add(x, {});
+    } else {
+      whole.add(x);
+      ((i % 2) ? a : b).add(x);
+    }
+  }
+  a.merge(b);
+  ASSERT_EQ(a.level(), whole.level());
+  ASSERT_EQ(a.size(), whole.size());
+}
+
+TYPED_TEST(WireMatrix, MergeAfterRoundtripEqualsDirect) {
+  using S = CoordinatedSampler<typename TypeParam::HashT, typename TypeParam::ValueT>;
+  S a = loaded<S>(24, 11, 4000, 3);
+  S b = loaded<S>(24, 11, 6000, 4);
+  S direct = a;
+  direct.merge(b);
+  S via_wire = S::deserialize(a.serialize());
+  via_wire.merge(S::deserialize(b.serialize()));
+  ASSERT_EQ(via_wire.level(), direct.level());
+  ASSERT_EQ(via_wire.size(), direct.size());
+}
+
+TYPED_TEST(WireMatrix, CrossHashMessagesRejected) {
+  // A message produced under one value payload must not deserialize as
+  // another (tag mismatch), and corrupt headers throw.
+  using S = CoordinatedSampler<typename TypeParam::HashT, typename TypeParam::ValueT>;
+  S s = loaded<S>(16, 13, 100, 5);
+  auto bytes = s.serialize();
+  bytes[1] = static_cast<std::uint8_t>(bytes[1] + 1);  // flip the value tag
+  ASSERT_THROW(S::deserialize(bytes), SerializationError);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,115 @@
+#include "stream/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace ustream {
+namespace {
+
+std::vector<double> empirical_pmf(const ZipfDistribution& z, std::size_t samples,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::size_t> counts(z.n() + 1, 0);
+  for (std::size_t i = 0; i < samples; ++i) ++counts[z.sample(rng)];
+  std::vector<double> pmf(z.n() + 1, 0.0);
+  for (std::size_t k = 1; k <= z.n(); ++k) {
+    pmf[k] = static_cast<double>(counts[k]) / static_cast<double>(samples);
+  }
+  return pmf;
+}
+
+std::vector<double> exact_pmf(std::size_t n, double alpha) {
+  std::vector<double> pmf(n + 1, 0.0);
+  double z = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) z += std::pow(static_cast<double>(k), -alpha);
+  for (std::size_t k = 1; k <= n; ++k) {
+    pmf[k] = std::pow(static_cast<double>(k), -alpha) / z;
+  }
+  return pmf;
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution z(100, 1.2);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = z.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(Zipf, NEqualsOneIsDegenerate) {
+  ZipfDistribution z(1, 2.0);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 1u);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  constexpr std::size_t kN = 20;
+  constexpr std::size_t kSamples = 200'000;
+  const auto pmf = empirical_pmf(ZipfDistribution(kN, 0.0), kSamples, 3);
+  for (std::size_t k = 1; k <= kN; ++k) {
+    EXPECT_NEAR(pmf[k], 1.0 / kN, 0.006) << k;
+  }
+}
+
+TEST(Zipf, MatchesExactPmfAlpha1) {
+  constexpr std::size_t kN = 50;
+  const auto emp = empirical_pmf(ZipfDistribution(kN, 1.0), 400'000, 4);
+  const auto exact = exact_pmf(kN, 1.0);
+  for (std::size_t k = 1; k <= kN; ++k) {
+    EXPECT_NEAR(emp[k], exact[k], 0.004 + exact[k] * 0.1) << k;
+  }
+}
+
+TEST(Zipf, MatchesExactPmfAlpha2) {
+  constexpr std::size_t kN = 30;
+  const auto emp = empirical_pmf(ZipfDistribution(kN, 2.0), 400'000, 5);
+  const auto exact = exact_pmf(kN, 2.0);
+  for (std::size_t k = 1; k <= kN; ++k) {
+    EXPECT_NEAR(emp[k], exact[k], 0.004 + exact[k] * 0.1) << k;
+  }
+}
+
+TEST(Zipf, MatchesExactPmfFractionalAlpha) {
+  constexpr std::size_t kN = 40;
+  const auto emp = empirical_pmf(ZipfDistribution(kN, 0.7), 400'000, 6);
+  const auto exact = exact_pmf(kN, 0.7);
+  for (std::size_t k = 1; k <= kN; ++k) {
+    EXPECT_NEAR(emp[k], exact[k], 0.004 + exact[k] * 0.1) << k;
+  }
+}
+
+TEST(Zipf, HeavySkewConcentratesOnHead) {
+  ZipfDistribution z(10'000, 1.5);
+  Xoshiro256 rng(7);
+  std::size_t head = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (z.sample(rng) <= 10) ++head;
+  }
+  EXPECT_GT(static_cast<double>(head) / kSamples, 0.6);
+}
+
+TEST(Zipf, LargeNWorks) {
+  ZipfDistribution z(10'000'000, 1.1);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = z.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 10'000'000u);
+  }
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ustream
