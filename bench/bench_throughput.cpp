@@ -3,7 +3,16 @@
 // vs copies (linear — each copy is an independent sampler), vs hash family,
 // and the level-raise amortization (fresh stream of all-distinct labels,
 // the worst case for eviction work).
+//
+// The Ingest* pairs compare the scalar add() path against the batched
+// threshold-form add_batch() path across capacity and level regimes; they
+// are the rows bench/run_bench.sh records in BENCH_throughput.json and
+// bench/check_regression.py gates on (including the >= 2x batch-speedup
+// floor in the saturated regime).
 #include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
 
 #include "common/random.h"
 #include "core/coordinated_sampler.h"
@@ -12,6 +21,108 @@
 
 namespace {
 using namespace ustream;
+
+// --- scalar vs batch ingestion ---------------------------------------------
+//
+// Args: {capacity, saturated}.
+//   saturated == 0: the stream draws from a pool of capacity/2 distinct
+//     labels, so the level stays 0 and every add survives to a map probe
+//     (the insert/lookup-bound regime).
+//   saturated == 1: the sampler is pre-filled with 1M distinct labels so
+//     the level sits around log2(1M/capacity) >= 1; nearly every add dies
+//     on the threshold compare (the reject-bound regime the paper's O(1)
+//     amortized claim lives in).
+constexpr std::size_t kStreamLen = 1 << 16;  // pre-generated, RNG out of loop
+constexpr std::size_t kBatchSpan = 256;      // labels per add_batch call
+
+std::vector<std::uint64_t> ingest_stream(std::size_t capacity, bool saturated) {
+  std::vector<std::uint64_t> labels(kStreamLen);
+  Xoshiro256 rng(99);
+  if (saturated) {
+    for (auto& l : labels) l = rng.next();
+  } else {
+    const std::size_t pool = capacity < 4 ? 2 : capacity / 2;
+    std::vector<std::uint64_t> distinct(pool);
+    for (auto& l : distinct) l = rng.next();
+    for (auto& l : labels) l = distinct[rng.next() % pool];
+  }
+  return labels;
+}
+
+CoordinatedSampler<PairwiseHash, Unit> ingest_sampler(std::size_t capacity, bool saturated) {
+  CoordinatedSampler<PairwiseHash, Unit> sampler(capacity, 42);
+  if (saturated) {
+    std::uint64_t x = 0;
+    for (int i = 0; i < 1'000'000; ++i) sampler.add(SplitMix64::mix(++x));
+  }
+  return sampler;
+}
+
+void BM_IngestScalar(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  const bool saturated = state.range(1) != 0;
+  auto sampler = ingest_sampler(capacity, saturated);
+  const auto labels = ingest_stream(capacity, saturated);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.add(labels[i++ & (kStreamLen - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["final_level"] = sampler.level();
+}
+BENCHMARK(BM_IngestScalar)
+    ->Args({64, 0})->Args({1024, 0})->Args({16384, 0})
+    ->Args({64, 1})->Args({1024, 1})->Args({16384, 1});
+
+void BM_IngestBatch(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  const bool saturated = state.range(1) != 0;
+  auto sampler = ingest_sampler(capacity, saturated);
+  const auto labels = ingest_stream(capacity, saturated);
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    sampler.add_batch(std::span<const std::uint64_t>(labels.data() + offset, kBatchSpan));
+    offset = (offset + kBatchSpan) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatchSpan));
+  state.counters["final_level"] = sampler.level();
+}
+BENCHMARK(BM_IngestBatch)
+    ->Args({64, 0})->Args({1024, 0})->Args({16384, 0})
+    ->Args({64, 1})->Args({1024, 1})->Args({16384, 1});
+
+// Same pair at the estimator layer (9 copies): the batch path loops
+// copies-outer so each copy's hash constants stay in registers.
+void BM_EstimatorIngestScalar(benchmark::State& state) {
+  EstimatorParams params;
+  params.capacity = 1024;
+  params.copies = 9;
+  params.seed = 7;
+  F0Estimator est(params);
+  const auto labels = ingest_stream(1024, true);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    est.add(labels[i++ & (kStreamLen - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EstimatorIngestScalar);
+
+void BM_EstimatorIngestBatch(benchmark::State& state) {
+  EstimatorParams params;
+  params.capacity = 1024;
+  params.copies = 9;
+  params.seed = 7;
+  F0Estimator est(params);
+  const auto labels = ingest_stream(1024, true);
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    est.add_batch(std::span<const std::uint64_t>(labels.data() + offset, kBatchSpan));
+    offset = (offset + kBatchSpan) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatchSpan));
+}
+BENCHMARK(BM_EstimatorIngestBatch);
 
 // Single-sampler update throughput vs capacity. Labels are pre-generated
 // so the RNG is out of the measured loop.

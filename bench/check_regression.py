@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the batched ingestion path.
+
+Reads two google-benchmark JSON files (the checked-in baseline
+bench/BENCH_throughput.json and a fresh run from bench/run_bench.sh) and
+fails if:
+
+  * any benchmark present in both regressed in items_per_second by more
+    than --tolerance (fractional; generous by default because the CI
+    machines are noisy single-core VMs), or
+  * the batched path is not at least --speedup-floor times faster than the
+    scalar path in the saturated regime (BM_IngestBatch/1024/1 vs
+    BM_IngestScalar/1024/1) — the ISSUE's >= 2x acceptance floor.
+
+Exit status 0 on pass, 1 on any failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate:
+            rates[bench["name"]] = float(rate)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    parser.add_argument("--current", required=True, help="fresh benchmark JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional items/sec slowdown vs baseline (default 0.30)")
+    parser.add_argument(
+        "--speedup-floor", type=float, default=2.0,
+        help="required batch/scalar speedup in the saturated regime")
+    parser.add_argument(
+        "--scalar", default="BM_IngestScalar/1024/1",
+        help="scalar side of the speedup pair")
+    parser.add_argument(
+        "--batch", default="BM_IngestBatch/1024/1",
+        help="batched side of the speedup pair")
+    args = parser.parse_args()
+
+    baseline = load_items_per_second(args.baseline)
+    current = load_items_per_second(args.current)
+    failures = []
+
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"SKIP        {name}: not in current run")
+            continue
+        ratio = current[name] / baseline[name]
+        ok = ratio >= 1.0 - args.tolerance
+        print(f"{'OK' if ok else 'REGRESSION':11s} {name}: "
+              f"{current[name] / 1e6:8.1f} M items/s "
+              f"(baseline {baseline[name] / 1e6:8.1f}, {ratio:.2f}x)")
+        if not ok:
+            failures.append(f"{name} regressed to {ratio:.2f}x of baseline")
+
+    if args.scalar in current and args.batch in current:
+        speedup = current[args.batch] / current[args.scalar]
+        ok = speedup >= args.speedup_floor
+        print(f"{'OK' if ok else 'TOO SLOW':11s} batch speedup "
+              f"({args.batch} / {args.scalar}): {speedup:.2f}x "
+              f"(floor {args.speedup_floor:.1f}x)")
+        if not ok:
+            failures.append(
+                f"batch speedup {speedup:.2f}x below floor {args.speedup_floor:.1f}x")
+    else:
+        failures.append(
+            f"speedup pair {args.scalar} / {args.batch} missing from current run")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nPASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

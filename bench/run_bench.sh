@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the scalar-vs-batch ingestion rows of bench_throughput with JSON
+# output and gates them against the checked-in baseline
+# (bench/BENCH_throughput.json) via check_regression.py — including the
+# >= 2x batched-vs-scalar floor in the saturated capacity-1024 regime.
+#
+# Usage:
+#   bench/run_bench.sh [build-dir]            # measure + gate
+#   bench/run_bench.sh --update [build-dir]   # also refresh the baseline
+set -euo pipefail
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/bench/BENCH_throughput.json"
+current="$(mktemp --suffix=.json)"
+trap 'rm -f "$current"' EXIT
+
+cmake --build "$build" --target bench_throughput -j >/dev/null
+
+# 0.2s per measurement keeps the full grid under a minute; the Ingest*
+# filter selects exactly the rows the regression gate understands.
+"$build/bench/bench_throughput" \
+  --benchmark_filter='Ingest' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$current" \
+  --benchmark_out_format=json
+
+if [[ -f "$baseline" ]]; then
+  python3 "$repo/bench/check_regression.py" \
+    --baseline "$baseline" --current "$current"
+else
+  echo "no baseline at $baseline yet; skipping regression gate"
+fi
+
+if [[ "$update" == 1 || ! -f "$baseline" ]]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $baseline"
+fi

@@ -25,6 +25,20 @@ void AmsF0Counter::add(std::uint64_t label) {
   }
 }
 
+void AmsF0Counter::add_batch(std::span<const std::uint64_t> labels) {
+  // Copies-outer: each copy scans the block with its hash coefficients and
+  // running max in registers; the single writeback replaces a read-modify-
+  // write of rho_[i] per item.
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    const PairwiseHash hash = hashes_[i];
+    int r = rho_[i];
+    for (const std::uint64_t label : labels) {
+      r = std::max(r, hash_level(hash(label), PairwiseHash::kBits));
+    }
+    rho_[i] = r;
+  }
+}
+
 double AmsF0Counter::estimate() const {
   std::vector<double> ests;
   ests.reserve(rho_.size());

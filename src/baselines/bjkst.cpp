@@ -1,5 +1,6 @@
 #include "baselines/bjkst.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -27,6 +28,25 @@ void BjkstCounter::add(std::uint64_t label) {
   const std::uint64_t fp = fingerprint_hash_(label) & 0xffffffffULL;
   map_.try_emplace(fp, static_cast<std::uint8_t>(lvl));
   if (map_.size() > capacity_) raise_level();
+}
+
+void BjkstCounter::add_batch(std::span<const std::uint64_t> labels) {
+  constexpr std::size_t kBlock = 32;
+  std::uint64_t h[kBlock];
+  const PairwiseHash hash = level_hash_;
+  for (std::size_t i = 0; i < labels.size(); i += kBlock) {
+    const std::size_t n = std::min(kBlock, labels.size() - i);
+    for (std::size_t j = 0; j < n; ++j) h[j] = hash(labels[i + j]);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Threshold-form reject (mask recomputed from level_ each item, so a
+      // mid-block raise is honored): equivalent to hash_level(h) >= level_.
+      if ((h[j] & ((std::uint64_t{1} << level_) - 1)) != 0) continue;
+      const int lvl = hash_level(h[j], PairwiseHash::kBits);
+      const std::uint64_t fp = fingerprint_hash_(labels[i + j]) & 0xffffffffULL;
+      map_.try_emplace(fp, static_cast<std::uint8_t>(lvl));
+      if (map_.size() > capacity_) raise_level();
+    }
+  }
 }
 
 void BjkstCounter::raise_level() {

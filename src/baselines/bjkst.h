@@ -23,6 +23,7 @@ class BjkstCounter final : public DistinctCounter {
   BjkstCounter(std::size_t capacity, std::uint64_t seed);
 
   void add(std::uint64_t label) override;
+  void add_batch(std::span<const std::uint64_t> labels) override;
   double estimate() const override;
   void merge(const DistinctCounter& other) override;
   std::size_t bytes_used() const override;

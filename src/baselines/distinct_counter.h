@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace ustream {
@@ -19,6 +20,15 @@ class DistinctCounter {
   virtual ~DistinctCounter() = default;
 
   virtual void add(std::uint64_t label) = 0;
+
+  // Batched ingestion: must be observably identical to calling add() per
+  // label in order (same estimate, same internal state). The default just
+  // loops; concrete counters override with hash-block implementations so
+  // the throughput harness can compare every sketch on the same API.
+  virtual void add_batch(std::span<const std::uint64_t> labels) {
+    for (const std::uint64_t label : labels) add(label);
+  }
+
   virtual double estimate() const = 0;
 
   // Folds `other` (which must be the same concrete type, built with the

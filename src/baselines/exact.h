@@ -15,6 +15,11 @@ class ExactDistinctCounter final : public DistinctCounter {
   ExactDistinctCounter() = default;
 
   void add(std::uint64_t label) override { set_.insert(label); }
+  // No hashing to batch here — the override only skips the virtual call
+  // per label.
+  void add_batch(std::span<const std::uint64_t> labels) override {
+    for (const std::uint64_t label : labels) set_.insert(label);
+  }
   double estimate() const override { return static_cast<double>(set_.size()); }
   void merge(const DistinctCounter& other) override;
   std::size_t bytes_used() const override { return sizeof(*this) + set_.bytes_used(); }

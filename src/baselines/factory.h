@@ -36,6 +36,9 @@ class GtCounter final : public DistinctCounter {
   explicit GtCounter(const EstimatorParams& params) : est_(params) {}
 
   void add(std::uint64_t label) override { est_.add(label); }
+  void add_batch(std::span<const std::uint64_t> labels) override {
+    est_.add_batch(labels);
+  }
   double estimate() const override { return est_.estimate(); }
   void merge(const DistinctCounter& other) override;
   std::size_t bytes_used() const override { return est_.bytes_used(); }

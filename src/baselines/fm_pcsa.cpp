@@ -1,5 +1,6 @@
 #include "baselines/fm_pcsa.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.h"
@@ -24,6 +25,23 @@ void FmPcsaCounter::add(std::uint64_t label) {
   const std::uint64_t rest = h >> index_bits_;
   const int rho = trailing_zeros(rest, 64 - index_bits_);
   bitmaps_[bucket] |= (std::uint64_t{1} << rho);
+}
+
+void FmPcsaCounter::add_batch(std::span<const std::uint64_t> labels) {
+  constexpr std::size_t kBlock = 32;
+  std::uint64_t h[kBlock];
+  const std::uint64_t seed = seed_;
+  const std::uint64_t bucket_mask = bitmaps_.size() - 1;
+  for (std::size_t i = 0; i < labels.size(); i += kBlock) {
+    const std::size_t n = std::min(kBlock, labels.size() - i);
+    for (std::size_t j = 0; j < n; ++j) h[j] = murmur_mix64_seeded(labels[i + j], seed);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto bucket = static_cast<std::size_t>(h[j] & bucket_mask);
+      const std::uint64_t rest = h[j] >> index_bits_;
+      const int rho = trailing_zeros(rest, 64 - index_bits_);
+      bitmaps_[bucket] |= (std::uint64_t{1} << rho);
+    }
+  }
 }
 
 double FmPcsaCounter::estimate() const {

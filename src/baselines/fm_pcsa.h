@@ -24,6 +24,7 @@ class FmPcsaCounter final : public DistinctCounter {
   FmPcsaCounter(std::size_t num_bitmaps, std::uint64_t seed);
 
   void add(std::uint64_t label) override;
+  void add_batch(std::span<const std::uint64_t> labels) override;
   double estimate() const override;
   void merge(const DistinctCounter& other) override;
   std::size_t bytes_used() const override;

@@ -24,6 +24,23 @@ void HyperLogLogCounter::add(std::uint64_t label) {
   registers_[bucket] = std::max(registers_[bucket], static_cast<std::uint8_t>(rho));
 }
 
+void HyperLogLogCounter::add_batch(std::span<const std::uint64_t> labels) {
+  constexpr std::size_t kBlock = 32;
+  std::uint64_t h[kBlock];
+  const std::uint64_t seed = seed_;
+  const int precision = precision_;
+  for (std::size_t i = 0; i < labels.size(); i += kBlock) {
+    const std::size_t n = std::min(kBlock, labels.size() - i);
+    for (std::size_t j = 0; j < n; ++j) h[j] = murmur_mix64_seeded(labels[i + j], seed);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto bucket = static_cast<std::size_t>(h[j] >> (64 - precision));
+      const std::uint64_t rest = h[j] << precision;
+      const int rho = rest == 0 ? (64 - precision + 1) : std::countl_zero(rest) + 1;
+      registers_[bucket] = std::max(registers_[bucket], static_cast<std::uint8_t>(rho));
+    }
+  }
+}
+
 double HyperLogLogCounter::estimate() const {
   const auto m = static_cast<double>(registers_.size());
   double inv_sum = 0.0;

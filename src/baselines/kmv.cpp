@@ -1,5 +1,6 @@
 #include "baselines/kmv.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
@@ -51,6 +52,22 @@ void KmvCounter::push(std::uint64_t hv) {
 }
 
 void KmvCounter::add(std::uint64_t label) { push(murmur_mix64_seeded(label, seed_)); }
+
+void KmvCounter::add_batch(std::span<const std::uint64_t> labels) {
+  constexpr std::size_t kBlock = 32;
+  std::uint64_t h[kBlock];
+  const std::uint64_t seed = seed_;
+  for (std::size_t i = 0; i < labels.size(); i += kBlock) {
+    const std::size_t n = std::min(kBlock, labels.size() - i);
+    for (std::size_t j = 0; j < n; ++j) h[j] = murmur_mix64_seeded(labels[i + j], seed);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Once the sketch is warm, one compare against the k-th minimum
+      // rejects without touching the heap or the membership set.
+      if (heap_.size() == k_ && h[j] >= heap_.front()) continue;
+      push(h[j]);
+    }
+  }
+}
 
 double KmvCounter::estimate() const {
   if (heap_.size() < k_) return static_cast<double>(heap_.size());  // exact regime

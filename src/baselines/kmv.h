@@ -19,6 +19,7 @@ class KmvCounter final : public DistinctCounter {
   KmvCounter(std::size_t k, std::uint64_t seed);
 
   void add(std::uint64_t label) override;
+  void add_batch(std::span<const std::uint64_t> labels) override;
   double estimate() const override;
   void merge(const DistinctCounter& other) override;
   std::size_t bytes_used() const override;

@@ -1,5 +1,6 @@
 #include "baselines/linear_counting.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -20,6 +21,27 @@ void LinearCountingCounter::add(std::uint64_t label) {
   if (!(word & mask)) {
     word |= mask;
     ++set_bits_;
+  }
+}
+
+void LinearCountingCounter::add_batch(std::span<const std::uint64_t> labels) {
+  constexpr std::size_t kBlock = 32;
+  std::uint64_t h[kBlock];
+  const std::uint64_t seed = seed_;
+  const std::uint64_t bits = bits_;
+  for (std::size_t i = 0; i < labels.size(); i += kBlock) {
+    const std::size_t n = std::min(kBlock, labels.size() - i);
+    for (std::size_t j = 0; j < n; ++j) {
+      h[j] = murmur_mix64_seeded(labels[i + j], seed) % bits;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t mask = std::uint64_t{1} << (h[j] & 63);
+      std::uint64_t& word = words_[h[j] >> 6];
+      if (!(word & mask)) {
+        word |= mask;
+        ++set_bits_;
+      }
+    }
   }
 }
 

@@ -18,6 +18,7 @@ class LinearCountingCounter final : public DistinctCounter {
   LinearCountingCounter(std::size_t bits, std::uint64_t seed);
 
   void add(std::uint64_t label) override;
+  void add_batch(std::span<const std::uint64_t> labels) override;
   double estimate() const override;
   void merge(const DistinctCounter& other) override;
   std::size_t bytes_used() const override;

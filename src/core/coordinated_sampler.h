@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -32,6 +33,7 @@
 #include "common/dense_map.h"
 #include "common/error.h"
 #include "common/serialize.h"
+#include "hash/batch.h"
 #include "hash/level.h"
 #include "hash/pairwise.h"
 
@@ -46,9 +48,12 @@ namespace detail {
 template <typename V>
 struct ValueCodec;
 
+// kMaxBytes is the worst-case encoded size of one value; serialize() sizes
+// its buffer from it, so every codec must keep it in sync with write().
 template <>
 struct ValueCodec<Unit> {
   static constexpr std::uint8_t kTag = 0;
+  static constexpr std::size_t kMaxBytes = 0;
   static void write(ByteWriter&, Unit) {}
   static Unit read(ByteReader&) { return {}; }
 };
@@ -56,6 +61,7 @@ struct ValueCodec<Unit> {
 template <>
 struct ValueCodec<double> {
   static constexpr std::uint8_t kTag = 1;
+  static constexpr std::size_t kMaxBytes = 8;  // fixed-width f64
   static void write(ByteWriter& w, double v) { w.f64(v); }
   static double read(ByteReader& r) { return r.f64(); }
 };
@@ -63,6 +69,7 @@ struct ValueCodec<double> {
 template <>
 struct ValueCodec<std::uint64_t> {
   static constexpr std::uint8_t kTag = 2;
+  static constexpr std::size_t kMaxBytes = 10;  // LEB128 worst case
   static void write(ByteWriter& w, std::uint64_t v) { w.varint(v); }
   static std::uint64_t read(ByteReader& r) { return r.varint(); }
 };
@@ -91,14 +98,59 @@ class CoordinatedSampler {
   // Adds (label, value). The value is a per-label attribute: re-insertions
   // of the same label keep the first value (duplicate-insensitive); streams
   // where a label's value varies are outside the SumDistinct model.
+  //
+  // Survival is tested in threshold form: `(h & reject_mask_) == 0` with
+  // reject_mask_ = 2^level - 1 is the single-compare equivalent of
+  // `trailing_zeros(h) >= level` (docs/ALGORITHM.md §6), so rejected items
+  // never pay the trailing-zeros extraction or a map probe.
   void add(std::uint64_t label, V value) {
     ++items_processed_;
-    const int lvl = level_of(label);
-    if (lvl < level_) return;  // below the sampling threshold: not in S
-    auto [entry, inserted] =
-        map_.try_emplace(label, Slot{value, static_cast<std::uint8_t>(lvl)});
-    (void)entry;
-    if (inserted && map_.size() > capacity_) raise_level();
+    const std::uint64_t h = hash_(label);
+    if ((h & reject_mask_) != 0) return;  // below the sampling threshold
+    add_survivor(label, value, h);
+  }
+
+  // Batched ingestion. Bit-identical to calling add() per label in order —
+  // property-tested via serialized-bytes equality — but hashes a 64-label
+  // block into a stack buffer via hash_block() (SIMD for PairwiseHash) and
+  // gets the threshold test back as a survivor bitmask. Once the level is
+  // >= 1 most blocks come back all-rejected and the loop advances 64 items
+  // on a single compare, never touching sampler memory.
+  void add_batch(std::span<const std::uint64_t> labels)
+    requires(!kHasValue)
+  {
+    items_processed_ += labels.size();
+    std::uint64_t h[kBatchBlock];
+    for (std::size_t i = 0; i < labels.size(); i += kBatchBlock) {
+      const std::size_t n = std::min(kBatchBlock, labels.size() - i);
+      std::uint64_t survivors = hash_block(hash_, labels.data() + i, h, n, reject_mask_);
+      while (survivors != 0) {
+        const auto j = static_cast<std::size_t>(std::countr_zero(survivors));
+        survivors &= survivors - 1;
+        // A level raise earlier in this block leaves stale bits behind;
+        // add_survivor re-derives the exact level and drops them.
+        add_survivor(labels[i + j], V{}, h[j]);
+      }
+    }
+  }
+
+  // Valued batch: labels[i] carries values[i]; spans must be equal length.
+  void add_batch(std::span<const std::uint64_t> labels, std::span<const V> values)
+    requires(kHasValue)
+  {
+    USTREAM_REQUIRE(labels.size() == values.size(),
+                    "add_batch requires one value per label");
+    items_processed_ += labels.size();
+    std::uint64_t h[kBatchBlock];
+    for (std::size_t i = 0; i < labels.size(); i += kBatchBlock) {
+      const std::size_t n = std::min(kBatchBlock, labels.size() - i);
+      std::uint64_t survivors = hash_block(hash_, labels.data() + i, h, n, reject_mask_);
+      while (survivors != 0) {
+        const auto j = static_cast<std::size_t>(std::countr_zero(survivors));
+        survivors &= survivors - 1;
+        add_survivor(labels[i + j], values[i + j], h[j]);
+      }
+    }
   }
 
   // --- the paper's estimators ----------------------------------------------
@@ -152,7 +204,7 @@ class CoordinatedSampler {
     USTREAM_REQUIRE(can_merge_with(other),
                     "merge requires samplers with identical seed and capacity");
     if (other.level_ > level_) {
-      level_ = other.level_;
+      set_level(other.level_);
       map_.filter([this](const Entry& e) { return e.value.level >= level_; });
     }
     for (const auto& e : other.map_) {
@@ -166,6 +218,9 @@ class CoordinatedSampler {
   // --- introspection ---------------------------------------------------------
 
   int level() const noexcept { return level_; }
+  // Labels whose hash has any of these low bits set are below the current
+  // level (the branchless survival test `(h & reject_mask()) == 0`).
+  std::uint64_t reject_mask() const noexcept { return reject_mask_; }
   std::size_t size() const noexcept { return map_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t seed() const noexcept { return seed_; }
@@ -212,7 +267,10 @@ class CoordinatedSampler {
   }
 
   std::vector<std::uint8_t> serialize() const {
-    ByteWriter w(16 + map_.size() * 10);
+    // Worst case per entry: 10-byte label delta + 1-byte level + the
+    // codec's own bound (8 for double payloads — sized from ValueCodec so
+    // valued samplers don't under-reserve and reallocate mid-write).
+    ByteWriter w(16 + map_.size() * (11 + detail::ValueCodec<V>::kMaxBytes));
     serialize(w);
     return w.take();
   }
@@ -229,7 +287,7 @@ class CoordinatedSampler {
     const std::uint64_t count = r.varint();
     if (count > capacity) throw SerializationError("sampler overfull");
     CoordinatedSampler s(static_cast<std::size_t>(capacity), seed);
-    s.level_ = level;
+    s.set_level(level);
     std::uint64_t label = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
       label += r.varint();
@@ -252,10 +310,33 @@ class CoordinatedSampler {
 
  private:
   static constexpr std::uint8_t kWireVersion = 1;
+  // Hash-block size for add_batch: exactly one survivor-bitmask word, and
+  // small enough that the hash buffer stays in L1.
+  static constexpr std::size_t kBatchBlock = 64;
+
+  // Survivor of the threshold test: compute the exact level and insert.
+  // Re-checks the level against level_ because a batch caller may hold a
+  // mask that predates a level raise earlier in the same block.
+  void add_survivor(std::uint64_t label, V value, std::uint64_t h) {
+    const int lvl = hash_level(h, Hash::kBits);
+    if (lvl < level_) return;
+    auto [entry, inserted] =
+        map_.try_emplace(label, Slot{value, static_cast<std::uint8_t>(lvl)});
+    (void)entry;
+    if (inserted && map_.size() > capacity_) raise_level();
+  }
+
+  // Every level_ mutation goes through here so the cached reject mask can
+  // never go stale. (h & mask) != 0  <=>  trailing_zeros(h) < level.
+  void set_level(int level) noexcept {
+    level_ = level;
+    reject_mask_ = level >= 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << level) - 1;
+  }
 
   void raise_level() {
     while (map_.size() > capacity_) {
-      ++level_;
+      set_level(level_ + 1);
       ++level_raises_;
       map_.filter([this](const Entry& e) { return e.value.level >= level_; });
       // Safety valve: if the hash has fewer usable bits than needed the
@@ -269,6 +350,7 @@ class CoordinatedSampler {
   std::uint64_t seed_;
   std::size_t capacity_;
   int level_ = 0;
+  std::uint64_t reject_mask_ = 0;  // (1 << level_) - 1, cached
   DenseMap<Slot> map_;
   std::uint64_t items_processed_ = 0;
   std::uint64_t level_raises_ = 0;

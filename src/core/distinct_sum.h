@@ -47,6 +47,12 @@ class BasicDistinctSumEstimator {
     for (auto& c : copies_) c.add(label, value);
   }
 
+  // Batched ingestion (values[i] belongs to labels[i]); bit-identical to
+  // per-item add(). Copies-outer so each copy's hash stays in registers.
+  void add_batch(std::span<const std::uint64_t> labels, std::span<const V> values) {
+    for (auto& c : copies_) c.add_batch(labels, values);
+  }
+
   // Median-of-copies estimate of Sum over distinct labels of v(label).
   double estimate_sum() const {
     std::vector<double> ests;

@@ -48,6 +48,14 @@ class BasicF0Estimator {
     for (auto& c : copies_) c.add(label);
   }
 
+  // Batched ingestion, bit-identical to per-item add(). Copies are the
+  // OUTER loop: each copy streams the whole block with its own hash
+  // constants held in registers, instead of reloading every copy's state
+  // per item as the scalar path does.
+  void add_batch(std::span<const std::uint64_t> labels) {
+    for (auto& c : copies_) c.add_batch(labels);
+  }
+
   // Median-of-copies estimate of F0.
   double estimate() const {
     std::vector<double> ests;

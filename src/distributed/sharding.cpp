@@ -6,7 +6,17 @@ F0Estimator sketch_in_parallel(std::span<const Item> items, const EstimatorParam
                                std::size_t threads) {
   return shard_and_merge<F0Estimator>(
       items, threads, [&params] { return F0Estimator(params); },
-      [](F0Estimator& sketch, const Item& item) { sketch.add(item.label); });
+      [](F0Estimator& sketch, std::span<const Item> chunk) {
+        // Strip labels into a dense block, then batch-ingest: the sampler's
+        // hash loop wants contiguous uint64s, not strided Item fields.
+        constexpr std::size_t kBlock = 256;
+        std::uint64_t labels[kBlock];
+        for (std::size_t i = 0; i < chunk.size(); i += kBlock) {
+          const std::size_t n = std::min(kBlock, chunk.size() - i);
+          for (std::size_t j = 0; j < n; ++j) labels[j] = chunk[i + j].label;
+          sketch.add_batch(std::span<const std::uint64_t>(labels, n));
+        }
+      });
 }
 
 }  // namespace ustream

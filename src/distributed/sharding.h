@@ -3,10 +3,19 @@
 // EXACT: shard the input across threads, sketch each shard with the same
 // parameters, merge. The result is identical (not just statistically
 // equivalent) to sequential processing, because merge == concat.
+//
+// Two perf properties are load-bearing here:
+//   * each shard lives in its own cache-line-aligned slot (ShardSlot), so
+//     threads mutating adjacent shards never false-share a line;
+//   * workers receive their whole contiguous chunk as a span and feed it
+//     through the sketches' batch API — no per-item std::function call.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <new>
 #include <span>
 #include <thread>
 #include <vector>
@@ -24,29 +33,48 @@ namespace ustream {
 F0Estimator sketch_in_parallel(std::span<const Item> items, const EstimatorParams& params,
                                std::size_t threads);
 
-// Generic version: `sketch_shard(shard_index, item)` semantics via a
-// factory + feeder, merged left to right.
+namespace detail {
+// Two cache lines: one line prevents classic false sharing, the second
+// keeps the adjacent-line (spatial) prefetcher on common x86 parts from
+// coupling neighboring shards. Fixed rather than
+// hardware_destructive_interference_size so the layout is ABI-stable
+// across compilers (and free of -Winterference-size noise).
+inline constexpr std::size_t kShardAlign = 128;
+
+// One shard per cache line (or more): adjacent slots can never share a
+// line, so concurrent shard mutation stays free of false sharing even for
+// sketches smaller than a line.
+template <typename Sketch>
+struct alignas(kShardAlign) ShardSlot {
+  Sketch sketch;
+};
+}  // namespace detail
+
+// Generic version: shard `items` into `threads` contiguous index-local
+// chunks, build one sketch per shard with `make`, hand each worker its
+// whole chunk via `feed_chunk(sketch, chunk)` (feeders should forward to
+// the sketch's add_batch), then merge left to right.
 template <typename Sketch>
 Sketch shard_and_merge(std::span<const Item> items, std::size_t threads,
                        const std::function<Sketch()>& make,
-                       const std::function<void(Sketch&, const Item&)>& feed) {
+                       const std::function<void(Sketch&, std::span<const Item>)>& feed_chunk) {
   USTREAM_REQUIRE(threads >= 1, "need at least one thread");
-  std::vector<Sketch> shards;
+  std::vector<detail::ShardSlot<Sketch>> shards;
   shards.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) shards.push_back(make());
+  for (std::size_t i = 0; i < threads; ++i) shards.push_back({make()});
   std::vector<std::thread> workers;
   workers.reserve(threads);
   const std::size_t chunk = (items.size() + threads - 1) / threads;
   for (std::size_t i = 0; i < threads; ++i) {
-    workers.emplace_back([&, i] {
-      const std::size_t begin = i * chunk;
-      const std::size_t end = std::min(items.size(), begin + chunk);
-      for (std::size_t j = begin; j < end; ++j) feed(shards[i], items[j]);
+    const std::size_t begin = std::min(items.size(), i * chunk);
+    const std::size_t end = std::min(items.size(), begin + chunk);
+    workers.emplace_back([&feed_chunk, &shards, items, i, begin, end] {
+      feed_chunk(shards[i].sketch, items.subspan(begin, end - begin));
     });
   }
   for (auto& w : workers) w.join();
-  Sketch merged = std::move(shards[0]);
-  for (std::size_t i = 1; i < shards.size(); ++i) merged.merge(shards[i]);
+  Sketch merged = std::move(shards[0].sketch);
+  for (std::size_t i = 1; i < shards.size(); ++i) merged.merge(shards[i].sketch);
   return merged;
 }
 

@@ -1,0 +1,44 @@
+// Block hashing for the batched ingestion path (CoordinatedSampler::
+// add_batch and friends): hash up to 64 labels into a caller-provided
+// buffer and report which of them survive the threshold-form rejection
+// test `(h & reject_mask) == 0` as a bitmask.
+//
+// Returning the survivor set as a bitmask (instead of letting the caller
+// re-scan the hash buffer) matters in the saturated regime: when the
+// sampler's level is high, almost every block returns 0 and the caller
+// touches no per-item state at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+// Hashes labels[0..n) into out[0..n) (requires n <= 64) and returns the
+// bitmask whose bit j is set iff (out[j] & reject_mask) == 0, i.e. label j
+// survives the sampling threshold encoded by reject_mask.
+template <typename H>
+inline std::uint64_t hash_block(const H& hash, const std::uint64_t* labels,
+                                std::uint64_t* out, std::size_t n,
+                                std::uint64_t reject_mask) noexcept {
+  std::uint64_t survivors = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t h = hash(labels[j]);
+    out[j] = h;
+    survivors |= static_cast<std::uint64_t>((h & reject_mask) == 0) << j;
+  }
+  return survivors;
+}
+
+// PairwiseHash overload: runtime-dispatches to an 8-lane AVX-512 kernel on
+// x86-64 parts that have it (scalar fallback otherwise). The vector kernel
+// reduces to the same canonical GF(2^61 - 1) representative as
+// field61::mul_add, so the hashes — and therefore all sampler state built
+// from them — are bit-identical to the scalar path.
+std::uint64_t hash_block(const PairwiseHash& hash, const std::uint64_t* labels,
+                         std::uint64_t* out, std::size_t n,
+                         std::uint64_t reject_mask) noexcept;
+
+}  // namespace ustream

@@ -1,0 +1,116 @@
+// SIMD block kernel for the pairwise field-61 hash.
+//
+// h(x) = a * canon(x) + b mod p, p = 2^61 - 1, eight lanes per vector.
+// The 61x61-bit product is assembled from four 32x32->64 multiplies
+// (VPMULUDQ); the Mersenne reduction is the same fold-twice-then-subtract
+// sequence as field61::reduce. Every step lands on the canonical
+// representative in [0, p), so the vector kernel's output is bit-identical
+// to the scalar field61::mul_add — which is what lets the batched sampler
+// path keep its "same state as scalar ingestion" guarantee.
+//
+// Dispatch is at runtime (one cached __builtin_cpu_supports probe): the
+// library still builds and runs on generic x86-64 and non-x86 hosts, it
+// just takes the scalar loop there.
+#include "hash/batch.h"
+
+#include "hash/field61.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define USTREAM_HAS_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define USTREAM_HAS_X86_DISPATCH 0
+#endif
+
+namespace ustream {
+namespace {
+
+std::uint64_t hash_block_scalar(std::uint64_t a, std::uint64_t b,
+                                const std::uint64_t* labels, std::uint64_t* out,
+                                std::size_t n, std::uint64_t reject_mask) noexcept {
+  std::uint64_t survivors = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t h = field61::mul_add(a, field61::canon(labels[j]), b);
+    out[j] = h;
+    survivors |= static_cast<std::uint64_t>((h & reject_mask) == 0) << j;
+  }
+  return survivors;
+}
+
+#if USTREAM_HAS_X86_DISPATCH
+#if !defined(__clang__)
+// GCC's unmasked AVX-512 intrinsics pass _mm512_undefined_epi32() as the
+// merge operand, which trips -Wmaybe-uninitialized when they inline here
+// (GCC PR105593). The value is never read; silence the false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+__attribute__((target("avx512f"))) std::uint64_t hash_block_avx512(
+    std::uint64_t a, std::uint64_t b, const std::uint64_t* labels,
+    std::uint64_t* out, std::size_t n, std::uint64_t reject_mask) noexcept {
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(field61::kPrime));
+  const __m512i vlow32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i va_lo = _mm512_set1_epi64(static_cast<long long>(a & 0xffffffffu));
+  const __m512i va_hi = _mm512_set1_epi64(static_cast<long long>(a >> 32));
+  const __m512i vb = _mm512_set1_epi64(static_cast<long long>(b));
+  const __m512i vone = _mm512_set1_epi64(1);
+  const __m512i vreject = _mm512_set1_epi64(static_cast<long long>(reject_mask));
+  std::uint64_t survivors = 0;
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i x = _mm512_loadu_si512(labels + j);
+    // t = canon(x): fold the top 3 bits in, subtract p once if needed. The
+    // min trick replaces the branch: t - p wraps above 2^63 when t < p.
+    __m512i t = _mm512_add_epi64(_mm512_and_si512(x, vp), _mm512_srli_epi64(x, 61));
+    t = _mm512_min_epu64(t, _mm512_sub_epi64(t, vp));
+    // a * t as a 128-bit (hi, lo) pair from 32-bit limbs. With a, t < 2^61
+    // the cross terms are < 2^61 each, so mid = p1 + p2 cannot overflow.
+    const __m512i t_lo = _mm512_and_si512(t, vlow32);
+    const __m512i t_hi = _mm512_srli_epi64(t, 32);
+    const __m512i p0 = _mm512_mul_epu32(va_lo, t_lo);
+    const __m512i p1 = _mm512_mul_epu32(va_lo, t_hi);
+    const __m512i p2 = _mm512_mul_epu32(va_hi, t_lo);
+    const __m512i p3 = _mm512_mul_epu32(va_hi, t_hi);
+    const __m512i mid = _mm512_add_epi64(p1, p2);
+    const __m512i lo = _mm512_add_epi64(p0, _mm512_slli_epi64(mid, 32));
+    const __mmask8 carry = _mm512_cmplt_epu64_mask(lo, p0);
+    __m512i hi = _mm512_add_epi64(p3, _mm512_srli_epi64(mid, 32));
+    hi = _mm512_mask_add_epi64(hi, carry, hi, vone);
+    // (a*t + b) mod p: fold (v & p) + (v >> 61) with v = hi:lo (hi < 2^58,
+    // so v >> 61 = lo >> 61 | hi << 3), add b, fold once more, subtract.
+    __m512i r = _mm512_add_epi64(
+        _mm512_and_si512(lo, vp),
+        _mm512_or_si512(_mm512_srli_epi64(lo, 61), _mm512_slli_epi64(hi, 3)));
+    r = _mm512_add_epi64(r, vb);  // < 3 * 2^61, still folds in one step
+    r = _mm512_add_epi64(_mm512_and_si512(r, vp), _mm512_srli_epi64(r, 61));
+    r = _mm512_min_epu64(r, _mm512_sub_epi64(r, vp));
+    _mm512_storeu_si512(out + j, r);
+    const __mmask8 alive = _mm512_testn_epi64_mask(r, vreject);
+    survivors |= static_cast<std::uint64_t>(alive) << j;
+  }
+  // Sub-vector tail (at most 7 labels, only on a batch's final block).
+  if (j < n) {
+    survivors |= hash_block_scalar(a, b, labels + j, out + j, n - j, reject_mask) << j;
+  }
+  return survivors;
+}
+#if !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif  // USTREAM_HAS_X86_DISPATCH
+
+}  // namespace
+
+std::uint64_t hash_block(const PairwiseHash& hash, const std::uint64_t* labels,
+                         std::uint64_t* out, std::size_t n,
+                         std::uint64_t reject_mask) noexcept {
+#if USTREAM_HAS_X86_DISPATCH
+  static const bool kHasAvx512 = __builtin_cpu_supports("avx512f") > 0;
+  if (kHasAvx512) {
+    return hash_block_avx512(hash.a(), hash.b(), labels, out, n, reject_mask);
+  }
+#endif
+  return hash_block_scalar(hash.a(), hash.b(), labels, out, n, reject_mask);
+}
+
+}  // namespace ustream

@@ -1,5 +1,7 @@
 #include "netmon/monitor.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/serialize.h"
 
@@ -19,6 +21,26 @@ void LinkMonitor::observe(const Packet& packet) {
   ++packets_;
   for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
     sketches_[q].add(extract_label(packet, kAllLabels[q]));
+  }
+}
+
+void LinkMonitor::observe_batch(std::span<const Packet> packets) {
+  packets_ += packets.size();
+  constexpr std::size_t kBlock = 256;
+  std::uint64_t labels[kBlock];
+  // Kind-outer: one pass per query kind, so each sketch ingests one dense
+  // label block at a time instead of four interleaved scalar adds per
+  // packet.
+  for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
+    F0Estimator& sketch = sketches_[q];
+    const NetLabel kind = kAllLabels[q];
+    for (std::size_t i = 0; i < packets.size(); i += kBlock) {
+      const std::size_t n = std::min(kBlock, packets.size() - i);
+      for (std::size_t j = 0; j < n; ++j) {
+        labels[j] = extract_label(packets[i + j], kind);
+      }
+      sketch.add_batch(std::span<const std::uint64_t>(labels, n));
+    }
   }
 }
 

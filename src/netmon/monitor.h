@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/f0_estimator.h"
@@ -23,6 +24,11 @@ class LinkMonitor {
   explicit LinkMonitor(const EstimatorParams& params);
 
   void observe(const Packet& packet);
+
+  // Batched observation: extracts each query kind's labels into a
+  // contiguous block and feeds the sketches through the batch API.
+  // State-identical to calling observe() per packet in order.
+  void observe_batch(std::span<const Packet> packets);
 
   // Per-link estimate for a query kind.
   double estimate(NetLabel kind) const;

@@ -1,0 +1,302 @@
+// Exact-equivalence contract of the batched ingestion path: add_batch must
+// produce BIT-IDENTICAL sampler state to per-item add(), for every hash
+// family, capacity, stream shape, and chunking — including chunks that
+// straddle level raises — and the equivalence must survive merges and
+// thread-parallel sharding. Checked by serializing both states and
+// comparing the bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/ams_f0.h"
+#include "baselines/bjkst.h"
+#include "baselines/exact.h"
+#include "baselines/factory.h"
+#include "baselines/fm_pcsa.h"
+#include "baselines/hyperloglog.h"
+#include "baselines/kmv.h"
+#include "baselines/linear_counting.h"
+#include "common/random.h"
+#include "core/coordinated_sampler.h"
+#include "core/distinct_sum.h"
+#include "core/f0_estimator.h"
+#include "distributed/sharding.h"
+#include "hash/batch.h"
+#include "hash/field61.h"
+#include "hash/hash_family.h"
+#include "netmon/monitor.h"
+#include "netmon/trace_gen.h"
+#include "stream/generators.h"
+
+namespace ustream {
+namespace {
+
+std::vector<std::uint64_t> uniform_labels(std::size_t count, std::uint64_t seed) {
+  std::vector<std::uint64_t> labels(count);
+  Xoshiro256 rng(seed);
+  for (auto& l : labels) l = rng.next();
+  return labels;
+}
+
+std::vector<std::uint64_t> zipf_labels(std::size_t distinct, std::size_t total,
+                                       std::uint64_t seed) {
+  SyntheticStream stream({.distinct = distinct, .total_items = total, .zipf_alpha = 1.2,
+                          .seed = seed});
+  std::vector<std::uint64_t> labels;
+  labels.reserve(total);
+  for (const Item& item : stream.to_vector()) labels.push_back(item.label);
+  return labels;
+}
+
+// Feeds `labels` into `fn` as consecutive chunks of (ragged) size `chunk`.
+template <typename Fn>
+void in_chunks(std::span<const std::uint64_t> labels, std::size_t chunk, Fn fn) {
+  for (std::size_t i = 0; i < labels.size(); i += chunk) {
+    fn(labels.subspan(i, std::min(chunk, labels.size() - i)));
+  }
+}
+
+template <typename Hash>
+void expect_sampler_batch_equivalence(std::size_t capacity,
+                                      const std::vector<std::uint64_t>& labels) {
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{32},
+                            std::size_t{1000}, labels.size()}) {
+    CoordinatedSampler<Hash, Unit> scalar(capacity, 42);
+    CoordinatedSampler<Hash, Unit> batched(capacity, 42);
+    for (std::uint64_t l : labels) scalar.add(l);
+    in_chunks(labels, chunk, [&](auto span) { batched.add_batch(span); });
+    ASSERT_EQ(scalar.serialize(), batched.serialize())
+        << "capacity=" << capacity << " chunk=" << chunk;
+    ASSERT_EQ(scalar.items_processed(), batched.items_processed());
+    ASSERT_EQ(scalar.level_raises(), batched.level_raises());
+  }
+}
+
+TEST(BatchEquivalence, SamplerAcrossHashFamiliesAndCapacities) {
+  const auto uniform = uniform_labels(20'000, 7);
+  const auto zipf = zipf_labels(5'000, 20'000, 8);
+  for (std::size_t capacity : {std::size_t{4}, std::size_t{64}, std::size_t{1024}}) {
+    expect_sampler_batch_equivalence<PairwiseHash>(capacity, uniform);
+    expect_sampler_batch_equivalence<PairwiseHash>(capacity, zipf);
+    expect_sampler_batch_equivalence<TabulationHash>(capacity, uniform);
+    expect_sampler_batch_equivalence<MurmurMixHash>(capacity, zipf);
+    expect_sampler_batch_equivalence<MultiplyShiftHash>(capacity, uniform);
+  }
+}
+
+TEST(BatchEquivalence, SamplerMidBatchLevelRaises) {
+  // Tiny capacity + all-distinct stream: the level climbs repeatedly inside
+  // a single add_batch call, exercising the stale-mask re-check path.
+  const auto labels = uniform_labels(30'000, 11);
+  CoordinatedSampler<PairwiseHash, Unit> scalar(8, 3);
+  CoordinatedSampler<PairwiseHash, Unit> batched(8, 3);
+  for (std::uint64_t l : labels) scalar.add(l);
+  batched.add_batch(labels);  // one giant batch
+  EXPECT_GT(scalar.level(), 8);  // the stream really does climb
+  EXPECT_EQ(scalar.serialize(), batched.serialize());
+}
+
+TEST(BatchEquivalence, ValuedSamplerCarriesValues) {
+  const auto labels = uniform_labels(10'000, 13);
+  std::vector<double> values(labels.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = label_value(labels[i], 99, 0.5, 2.0);
+  }
+  CoordinatedSampler<PairwiseHash, double> scalar(128, 5);
+  CoordinatedSampler<PairwiseHash, double> batched(128, 5);
+  for (std::size_t i = 0; i < labels.size(); ++i) scalar.add(labels[i], values[i]);
+  for (std::size_t i = 0; i < labels.size(); i += 333) {
+    const std::size_t n = std::min<std::size_t>(333, labels.size() - i);
+    batched.add_batch(std::span<const std::uint64_t>(labels).subspan(i, n),
+                      std::span<const double>(values).subspan(i, n));
+  }
+  EXPECT_EQ(scalar.serialize(), batched.serialize());
+  EXPECT_DOUBLE_EQ(scalar.estimate_sum(), batched.estimate_sum());
+}
+
+TEST(BatchEquivalence, SurvivesMerges) {
+  const auto a = uniform_labels(15'000, 17);
+  const auto b = zipf_labels(4'000, 15'000, 19);
+  auto scalar_fed = [](const std::vector<std::uint64_t>& labels) {
+    CoordinatedSampler<PairwiseHash, Unit> s(64, 23);
+    for (std::uint64_t l : labels) s.add(l);
+    return s;
+  };
+  auto batch_fed = [](const std::vector<std::uint64_t>& labels) {
+    CoordinatedSampler<PairwiseHash, Unit> s(64, 23);
+    in_chunks(labels, 97, [&](auto span) { s.add_batch(span); });
+    return s;
+  };
+  auto s1 = scalar_fed(a), s2 = scalar_fed(b);
+  auto b1 = batch_fed(a), b2 = batch_fed(b);
+  s1.merge(s2);
+  b1.merge(b2);
+  EXPECT_EQ(s1.serialize(), b1.serialize());
+  // Merged-then-batched continues identically to merged-then-scalar.
+  const auto tail = uniform_labels(5'000, 29);
+  for (std::uint64_t l : tail) s1.add(l);
+  b1.add_batch(tail);
+  EXPECT_EQ(s1.serialize(), b1.serialize());
+}
+
+TEST(BatchEquivalence, F0EstimatorAllCopies) {
+  const auto labels = zipf_labels(30'000, 60'000, 31);
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 37);
+  F0Estimator scalar(params);
+  F0Estimator batched(params);
+  for (std::uint64_t l : labels) scalar.add(l);
+  in_chunks(labels, 513, [&](auto span) { batched.add_batch(span); });
+  EXPECT_EQ(scalar.serialize(), batched.serialize());
+  EXPECT_DOUBLE_EQ(scalar.estimate(), batched.estimate());
+}
+
+TEST(BatchEquivalence, DistinctSumEstimator) {
+  const auto params = EstimatorParams::for_guarantee(0.15, 0.1, 41);
+  SyntheticStream stream({.distinct = 8'000, .total_items = 30'000, .zipf_alpha = 0.8,
+                          .seed = 43, .value_lo = 1.0, .value_hi = 10.0});
+  const auto items = stream.to_vector();
+  std::vector<std::uint64_t> labels;
+  std::vector<double> values;
+  for (const Item& item : items) {
+    labels.push_back(item.label);
+    values.push_back(item.value);
+  }
+  DistinctSumEstimator scalar(params);
+  DistinctSumEstimator batched(params);
+  for (const Item& item : items) scalar.add(item.label, item.value);
+  for (std::size_t i = 0; i < labels.size(); i += 777) {
+    const std::size_t n = std::min<std::size_t>(777, labels.size() - i);
+    batched.add_batch(std::span<const std::uint64_t>(labels).subspan(i, n),
+                      std::span<const double>(values).subspan(i, n));
+  }
+  EXPECT_EQ(scalar.serialize(), batched.serialize());
+  EXPECT_DOUBLE_EQ(scalar.estimate_sum(), batched.estimate_sum());
+}
+
+TEST(BatchEquivalence, ParallelShardingIsDeterministic) {
+  SyntheticStream stream({.distinct = 40'000, .total_items = 120'000, .zipf_alpha = 1.1,
+                          .seed = 47});
+  const auto items = stream.to_vector();
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 53);
+  F0Estimator sequential(params);
+  for (const Item& item : items) sequential.add(item.label);
+  const auto expected = sequential.serialize();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const F0Estimator parallel = sketch_in_parallel(items, params, threads);
+    EXPECT_EQ(expected, parallel.serialize()) << "threads=" << threads;
+  }
+}
+
+TEST(BatchEquivalence, BaselinesMatchScalarState) {
+  const auto uniform = uniform_labels(25'000, 59);
+  const auto zipf = zipf_labels(6'000, 25'000, 61);
+  for (const auto* labels : {&uniform, &zipf}) {
+    std::vector<std::pair<std::unique_ptr<DistinctCounter>,
+                          std::unique_ptr<DistinctCounter>>> pairs;
+    auto make_pair = [&pairs](auto factory) {
+      pairs.emplace_back(factory(), factory());
+    };
+    make_pair([] { return std::make_unique<ExactDistinctCounter>(); });
+    make_pair([] { return std::make_unique<FmPcsaCounter>(64, 7); });
+    make_pair([] { return std::make_unique<AmsF0Counter>(9, 7); });
+    make_pair([] { return std::make_unique<BjkstCounter>(256, 7); });
+    make_pair([] { return std::make_unique<KmvCounter>(512, 7); });
+    make_pair([] { return std::make_unique<LinearCountingCounter>(1 << 16, 7); });
+    make_pair([] { return std::make_unique<HyperLogLogCounter>(12, 7); });
+    make_pair([] {
+      return std::make_unique<GtCounter>(EstimatorParams::for_guarantee(0.1, 0.1, 7));
+    });
+    for (auto& [scalar, batched] : pairs) {
+      for (std::uint64_t l : *labels) scalar->add(l);
+      in_chunks(*labels, 129, [&](auto span) { batched->add_batch(span); });
+      // Identical internal state implies exactly identical estimates.
+      EXPECT_EQ(scalar->estimate(), batched->estimate()) << scalar->name();
+    }
+  }
+}
+
+TEST(BatchEquivalence, DefaultAddBatchFallback) {
+  // A counter that does NOT override add_batch must still match: the
+  // interface default loops over add().
+  class LoopCounter final : public DistinctCounter {
+   public:
+    void add(std::uint64_t label) override { inner_.add(label); }
+    double estimate() const override { return inner_.estimate(); }
+    void merge(const DistinctCounter&) override {}
+    std::size_t bytes_used() const override { return inner_.bytes_used(); }
+    std::string name() const override { return "loop"; }
+    std::unique_ptr<DistinctCounter> clone_empty() const override {
+      return std::make_unique<LoopCounter>();
+    }
+
+   private:
+    ExactDistinctCounter inner_;
+  };
+  const auto labels = uniform_labels(5'000, 67);
+  LoopCounter scalar, batched;
+  for (std::uint64_t l : labels) scalar.add(l);
+  batched.add_batch(labels);
+  EXPECT_EQ(scalar.estimate(), batched.estimate());
+}
+
+// Pins the PairwiseHash hash_block kernel (SIMD on hosts that have it)
+// against the scalar field evaluation, lane by lane, including the inputs
+// that stress the Mersenne reduction: values at and around p = 2^61 - 1,
+// all-ones words, and every sub-vector tail length.
+TEST(BatchEquivalence, PairwiseHashBlockMatchesScalarExactly) {
+  constexpr std::uint64_t p = field61::kPrime;
+  std::vector<std::uint64_t> labels = {0,     1,      2,          p - 1, p,
+                                       p + 1, 2 * p,  2 * p + 1,  ~0ull, ~0ull - 1,
+                                       1ull << 61,    (1ull << 61) - 1,  1ull << 63,
+                                       (1ull << 63) + p};
+  Xoshiro256 rng(2027);
+  for (int i = 0; i < 500; ++i) labels.push_back(rng.next());
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const PairwiseHash hash(seed);
+    for (std::uint64_t reject_mask : {0ull, 1ull, 0xffull, (1ull << 20) - 1}) {
+      // Cover every tail length 1..64 plus full blocks.
+      for (std::size_t n = 1; n <= 64; ++n) {
+        for (std::size_t start = 0; start + n <= labels.size();
+             start += 97) {  // a stride, to vary alignment and content
+          std::uint64_t out[64];
+          const std::uint64_t survivors =
+              hash_block(hash, labels.data() + start, out, n, reject_mask);
+          for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t expected = hash(labels[start + j]);
+            ASSERT_EQ(out[j], expected)
+                << "seed " << seed << " label " << labels[start + j];
+            ASSERT_EQ((survivors >> j) & 1,
+                      std::uint64_t{(expected & reject_mask) == 0});
+          }
+          if (n < 64) {
+            ASSERT_EQ(survivors >> n, 0u);  // no bits beyond the block
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, LinkMonitorObserveBatch) {
+  const auto params = EstimatorParams::for_guarantee(0.15, 0.1, 71);
+  NetworkConfig config;
+  config.links = 1;
+  config.flows_per_link = 5'000;
+  config.seed = 73;
+  const auto packets = make_network_workload(config).link_traces.front();
+  LinkMonitor scalar(params);
+  LinkMonitor batched(params);
+  for (const Packet& p : packets) scalar.observe(p);
+  for (std::size_t i = 0; i < packets.size(); i += 700) {
+    const std::size_t n = std::min<std::size_t>(700, packets.size() - i);
+    batched.observe_batch(std::span<const Packet>(packets).subspan(i, n));
+  }
+  EXPECT_EQ(scalar.packets_observed(), batched.packets_observed());
+  EXPECT_EQ(scalar.report(), batched.report());
+}
+
+}  // namespace
+}  // namespace ustream

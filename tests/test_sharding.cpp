@@ -34,8 +34,8 @@ TEST(Sharding, GenericShardAndMergeWithDistinctSum) {
   for (const Item& item : items) sequential.add(item.label, item.value);
   const auto parallel = shard_and_merge<DistinctSumEstimator>(
       items, 4, [&params] { return DistinctSumEstimator(params); },
-      [](DistinctSumEstimator& sketch, const Item& item) {
-        sketch.add(item.label, item.value);
+      [](DistinctSumEstimator& sketch, std::span<const Item> chunk) {
+        for (const Item& item : chunk) sketch.add(item.label, item.value);
       });
   EXPECT_DOUBLE_EQ(parallel.estimate_distinct(), sequential.estimate_distinct());
   EXPECT_NEAR(parallel.estimate_sum(), sequential.estimate_sum(),
