@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The combined pre-merge gate: performance AND robustness in one command.
+#
+#   1. performance — bench/run_bench.sh measures the batched ingestion
+#      rows and gates them against bench/BENCH_throughput.json via
+#      check_regression.py (including the >= 2x batch-vs-scalar floor).
+#      This gate runs first: benchmarks want a quiet machine, and the
+#      soak suite below would leave the cores hot.
+#   2. robustness — `ctest -L soak` runs the fault-injection matrix
+#      (drop x duplicate x corrupt at p in {0.05, 0.2, 0.5}): collection
+#      must converge via retries to a referee bit-identical to a
+#      fault-free run, with honest CollectReport accounting.
+#
+# Usage:
+#   bench/run_gates.sh [build-dir]            # both gates
+#   bench/run_gates.sh --update [build-dir]   # also refresh the perf baseline
+set -euo pipefail
+
+update_flag=()
+if [[ "${1:-}" == "--update" ]]; then
+  update_flag=(--update)
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [[ ! -d "$build" ]]; then
+  echo "build directory $build not found; run cmake -B build -S . first" >&2
+  exit 2
+fi
+
+echo "== gate 1/2: ingestion perf regression (bench/run_bench.sh) =="
+"$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 2/2: fault-injection soak (ctest -L soak) =="
+cmake --build "$build" --target test_soak -j >/dev/null
+ctest --test-dir "$build" -L soak --output-on-failure
+
+echo "all gates passed"

@@ -1,22 +1,31 @@
 #include "cli/commands.h"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <exception>
 #include <memory>
 
+#include "common/random.h"
+
 #include "baselines/exact.h"
 #include "cli/args.h"
+#include "common/frame.h"
 #include "common/serialize.h"
 #include "core/params.h"
+#include "distributed/faulty_channel.h"
+#include "distributed/runtime.h"
 #include "stream/generators.h"
+#include "stream/partitioner.h"
 #include "stream/trace_io.h"
 
 namespace ustream::cli {
 
 namespace {
 
-constexpr std::uint32_t kSketchMagic = 0x454b5355;  // "USKE"
+// Pre-frame sketch files ("USKE" + bare estimator, wire v0) are still
+// readable; new files are CRC32C-framed (common/frame.h).
+constexpr std::uint32_t kLegacySketchMagic = 0x454b5355;  // "USKE"
 
 void append(std::string& out, const char* format, ...) {
   char buf[512];
@@ -127,12 +136,23 @@ int cmd_info(const Args& args, std::string& out) {
   USTREAM_REQUIRE(!args.positional().empty(), "info needs at least one file");
   for (const auto& path : args.positional()) {
     const auto bytes = read_file(path);
+    if (looks_like_frame(bytes)) {
+      const Frame frame = frame_decode(bytes);  // validates CRC before parsing
+      const F0Estimator est = read_sketch_file(path);
+      append(out,
+             "%s: framed sketch (%s, site %u, epoch %u, crc ok), %zu bytes "
+             "(%zu payload), %zu copies x capacity %zu, seed %llu",
+             path.c_str(), payload_kind_name(frame.header.kind), frame.header.site,
+             frame.header.epoch, bytes.size(), frame.payload.size(), est.params().copies,
+             est.params().capacity, static_cast<unsigned long long>(est.params().seed));
+      continue;
+    }
     if (bytes.size() >= 4) {
       ByteReader r(bytes);
       const std::uint32_t magic = r.u32();
-      if (magic == kSketchMagic) {
+      if (magic == kLegacySketchMagic) {
         const F0Estimator est = read_sketch_file(path);
-        append(out, "%s: sketch, %zu bytes, %zu copies x capacity %zu, seed %llu",
+        append(out, "%s: legacy (v0) sketch, %zu bytes, %zu copies x capacity %zu, seed %llu",
                path.c_str(), bytes.size(), est.params().copies, est.params().capacity,
                static_cast<unsigned long long>(est.params().seed));
         continue;
@@ -149,19 +169,85 @@ int cmd_info(const Args& args, std::string& out) {
   return 0;
 }
 
+// Runs the fault-tolerant distributed collection end to end on a synthetic
+// workload: t sites sketch their partitions, ship framed sketches through a
+// FaultyChannel with the requested drop/duplicate/reorder/corrupt mix, and
+// the referee retries/dedups/quarantines — then prints the union estimate
+// next to ground truth and the full CollectReport.
+int cmd_collect(const Args& args, std::string& out) {
+  DistributedConfig config;
+  config.sites = args.u64("sites", 8);
+  config.union_distinct = args.u64("distinct", 100'000);
+  config.overlap = args.f64("overlap", 0.3);
+  config.seed = args.u64("seed", 1);
+  FaultSpec faults;
+  faults.drop = args.f64("drop", 0.0);
+  faults.duplicate = args.f64("duplicate", 0.0);
+  faults.reorder = args.f64("reorder", 0.0);
+  const double corrupt = args.f64("corrupt", 0.0);
+  faults.truncate = corrupt / 2;
+  faults.bit_flip = corrupt / 2;
+  RetryPolicy policy;
+  policy.max_attempts_per_site = static_cast<std::uint32_t>(args.u64("attempts", 6));
+  const double eps = args.f64("eps", 0.1);
+  const double delta = args.f64("delta", 0.05);
+  args.reject_unknown();
+
+  const auto workload = make_distributed_workload(config);
+  const auto params = EstimatorParams::for_guarantee(eps, delta, config.seed);
+  auto channel =
+      std::make_unique<FaultyChannel>(config.sites, faults, SplitMix64::mix(config.seed));
+  FaultyChannel* channel_view = channel.get();
+  DistributedRun<F0Estimator> run(config.sites, [&params] { return F0Estimator(params); },
+                                  std::move(channel));
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    for (const Item& item : workload.site_streams[s]) run.site(s).add(item.label);
+  }
+  const double estimate = run.collect(policy).estimate();
+  const CollectReport& report = run.collect_report();
+  const FaultStats fstats = channel_view->fault_stats();
+  const ChannelStats cstats = run.channel_stats();
+
+  append(out, "union estimate %.0f (truth %zu, rel.err %.4f)%s", estimate,
+         workload.union_distinct,
+         std::abs(estimate - static_cast<double>(workload.union_distinct)) /
+             static_cast<double>(workload.union_distinct),
+         report.degraded() ? " [DEGRADED: lower bound]" : "");
+  out += report.summary();
+  out += '\n';
+  append(out, "transport: %llu sends, %llu bytes (mean %.0f/frame)",
+         static_cast<unsigned long long>(cstats.messages),
+         static_cast<unsigned long long>(cstats.total_bytes), cstats.mean_message_bytes());
+  append(out,
+         "faults injected: %llu dropped, %llu duplicated, %llu reordered, "
+         "%llu truncated, %llu bit-flipped",
+         static_cast<unsigned long long>(fstats.dropped),
+         static_cast<unsigned long long>(fstats.duplicated),
+         static_cast<unsigned long long>(fstats.reordered),
+         static_cast<unsigned long long>(fstats.truncated),
+         static_cast<unsigned long long>(fstats.bit_flipped));
+  return report.complete() ? 0 : 3;
+}
+
 }  // namespace
 
 void write_sketch_file(const std::string& path, const F0Estimator& estimator) {
-  ByteWriter w;
-  w.u32(kSketchMagic);
-  estimator.serialize(w);
-  write_file(path, w.data());
+  write_file(path, frame_encode({PayloadKind::kF0Estimator, 0, 0}, estimator.serialize()));
 }
 
 F0Estimator read_sketch_file(const std::string& path) {
   const auto bytes = read_file(path);
+  if (looks_like_frame(bytes)) {
+    const Frame frame = frame_decode(bytes);
+    if (frame.header.kind != PayloadKind::kF0Estimator) {
+      throw SerializationError(std::string("sketch file ") + path + " carries a " +
+                               payload_kind_name(frame.header.kind) + " frame");
+    }
+    return F0Estimator::deserialize(std::span<const std::uint8_t>(frame.payload));
+  }
+  // Legacy v0 layout: bare magic + estimator, no checksum.
   ByteReader r(bytes);
-  if (r.remaining() < 4 || r.u32() != kSketchMagic) {
+  if (r.remaining() < 4 || r.u32() != kLegacySketchMagic) {
     throw SerializationError("not a ustream sketch file: " + path);
   }
   F0Estimator est = F0Estimator::deserialize(r);
@@ -177,7 +263,11 @@ std::string usage() {
          "  merge    --out SKETCH IN1 IN2 ...\n"
          "  estimate SKETCH...\n"
          "  exact    --in TRACE\n"
-         "  info     FILE...\n";
+         "  info     FILE...\n"
+         "  collect  [--sites T] [--distinct N] [--overlap F] [--seed S]\n"
+         "           [--drop P] [--duplicate P] [--reorder P] [--corrupt P]\n"
+         "           [--attempts K] [--eps E] [--delta D]\n"
+         "           (fault-injected distributed collection demo; exit 3 if degraded)\n";
 }
 
 int run(const std::vector<std::string>& argv, std::string& out) {
@@ -194,6 +284,7 @@ int run(const std::vector<std::string>& argv, std::string& out) {
     if (command == "estimate") return cmd_estimate(args, out);
     if (command == "exact") return cmd_exact(args, out);
     if (command == "info") return cmd_info(args, out);
+    if (command == "collect") return cmd_collect(args, out);
     out += "unknown command: " + command + "\n" + usage();
     return 2;
   } catch (const std::exception& e) {

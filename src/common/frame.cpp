@@ -1,0 +1,105 @@
+#include "common/frame.h"
+
+#include <string>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+
+namespace ustream {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool valid_kind(std::uint8_t k) noexcept {
+  return k >= static_cast<std::uint8_t>(PayloadKind::kF0Estimator) &&
+         k <= static_cast<std::uint8_t>(PayloadKind::kOpaque);
+}
+
+}  // namespace
+
+const char* payload_kind_name(PayloadKind kind) noexcept {
+  switch (kind) {
+    case PayloadKind::kF0Estimator: return "f0-estimator";
+    case PayloadKind::kDistinctSum: return "distinct-sum";
+    case PayloadKind::kRangeF0: return "range-f0";
+    case PayloadKind::kBottomK: return "bottom-k";
+    case PayloadKind::kCoordinatedSampler: return "coordinated-sampler";
+    case PayloadKind::kMonitorReport: return "monitor-report";
+    case PayloadKind::kOpaque: return "opaque";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    throw SerializationError("frame payload exceeds 4 GiB");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(header.kind));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  put_u32(out, header.site);
+  put_u32(out, header.epoch);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  // CRC covers the header prefix [0,20) plus the payload; the crc field
+  // itself is the only byte range outside its own protection.
+  std::uint32_t crc = crc32c(std::span<const std::uint8_t>(out.data(), out.size()));
+  crc = crc32c(payload, crc);
+  put_u32(out, crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Frame frame_decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw SerializationError("frame too short: " + std::to_string(bytes.size()) + " bytes");
+  }
+  const std::uint8_t* p = bytes.data();
+  if (get_u32(p) != kFrameMagic) throw SerializationError("bad frame magic");
+  const std::uint8_t version = p[4];
+  if (version < kFrameVersionMin || version > kFrameVersion) {
+    throw SerializationError("unsupported frame version " + std::to_string(version) +
+                             " (supported: " + std::to_string(kFrameVersionMin) + ".." +
+                             std::to_string(kFrameVersion) + ")");
+  }
+  if (!valid_kind(p[5])) {
+    throw SerializationError("unknown frame payload kind " + std::to_string(p[5]));
+  }
+  if (p[6] != 0 || p[7] != 0) throw SerializationError("nonzero reserved frame bits");
+  const std::uint32_t payload_len = get_u32(p + 16);
+  if (bytes.size() - kFrameHeaderBytes != payload_len) {
+    throw SerializationError("frame length mismatch: header says " +
+                             std::to_string(payload_len) + ", buffer carries " +
+                             std::to_string(bytes.size() - kFrameHeaderBytes));
+  }
+  std::uint32_t crc = crc32c(bytes.subspan(0, 20));
+  crc = crc32c(bytes.subspan(kFrameHeaderBytes), crc);
+  if (crc != get_u32(p + 20)) throw SerializationError("frame CRC32C mismatch");
+  Frame f;
+  f.header.kind = static_cast<PayloadKind>(p[5]);
+  f.header.site = get_u32(p + 8);
+  f.header.epoch = get_u32(p + 12);
+  f.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes),
+                   bytes.end());
+  return f;
+}
+
+bool looks_like_frame(std::span<const std::uint8_t> bytes) noexcept {
+  return bytes.size() >= 4 && get_u32(bytes.data()) == kFrameMagic;
+}
+
+}  // namespace ustream

@@ -1,0 +1,77 @@
+// The wire frame every serialized sketch travels in.
+//
+// The paper's model charges for ONE message per party; this frame is that
+// message's envelope. A sketch payload on its own is only parseable by the
+// sketch-specific deserializer, which cannot distinguish "truncated in
+// flight" from "attacker-shaped garbage" until it is knee-deep in varints.
+// The frame makes corruption a *frame-layer* verdict: magic, version,
+// payload-kind tag, site id, epoch, payload length, and a CRC32C over
+// header+payload are all checked before any sketch bytes are touched.
+//
+// Layout (little-endian, fixed 24-byte header):
+//
+//   offset  size  field
+//        0     4  magic        "USFR" (0x52465355)
+//        4     1  version      kFrameVersion (bump on incompatible change)
+//        5     1  kind         PayloadKind tag of the payload
+//        6     2  reserved     must be zero (future flags)
+//        8     4  site         sender's site/link id
+//       12     4  epoch        snapshot sequence number (0 = one-shot)
+//       16     4  payload_len  byte length of the payload
+//       20     4  crc          CRC32C over bytes [0,20) ++ payload
+//       24     …  payload      sketch-specific bytes (ByteWriter format)
+//
+// Version-bump path: decoders accept kFrameVersionMin..kFrameVersion.
+// To change the wire format, add the new layout under version N+1, keep
+// decoding N during the transition, then raise kFrameVersionMin once no
+// N-framed artifacts remain (DESIGN.md "Fault-tolerant collection").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ustream {
+
+enum class PayloadKind : std::uint8_t {
+  kF0Estimator = 1,
+  kDistinctSum = 2,
+  kRangeF0 = 3,
+  kBottomK = 4,
+  kCoordinatedSampler = 5,
+  kMonitorReport = 6,  // netmon bundle: four F0 sketches
+  kOpaque = 7,         // framed bytes with no registered sketch type
+};
+
+const char* payload_kind_name(PayloadKind kind) noexcept;
+
+inline constexpr std::uint32_t kFrameMagic = 0x52465355u;  // "USFR"
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersionMin = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+struct FrameHeader {
+  PayloadKind kind = PayloadKind::kOpaque;
+  std::uint32_t site = 0;
+  std::uint32_t epoch = 0;  // per-site snapshot sequence; 0 for one-shot sends
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+// Wraps `payload` in a checksummed frame.
+std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
+                                       std::span<const std::uint8_t> payload);
+
+// Validates and unwraps a frame; throws SerializationError on short input,
+// bad magic, unsupported version, nonzero reserved bits, unknown kind,
+// length mismatch, or CRC failure — before any payload parsing.
+Frame frame_decode(std::span<const std::uint8_t> bytes);
+
+// Cheap dispatch probe (magic only) — does NOT validate the frame.
+bool looks_like_frame(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace ustream

@@ -7,53 +7,57 @@
 // party" column reads ChannelStats. (Substitution note in DESIGN.md: a real
 // monitor deployment is replaced by this accounted in-process transport,
 // which preserves the model's observable: message count and size.)
+//
+// Channel delivers perfectly and in order. For a transport that drops,
+// duplicates, reorders and corrupts, see distributed/faulty_channel.h —
+// both implement the Transport interface the protocols are written against.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
+#include "distributed/transport.h"
+
 namespace ustream {
 
-struct ChannelStats {
-  std::uint64_t messages = 0;
-  std::uint64_t total_bytes = 0;
-  std::uint64_t max_message_bytes = 0;
-  std::vector<std::uint64_t> bytes_per_site;
-
-  double mean_message_bytes() const noexcept {
-    return messages == 0 ? 0.0
-                         : static_cast<double>(total_bytes) / static_cast<double>(messages);
-  }
-};
-
-class Channel {
+class Channel : public Transport {
  public:
   explicit Channel(std::size_t sites) { stats_.bytes_per_site.assign(sites, 0); }
 
-  // Site -> referee. Thread-safe: sites may finish concurrently.
-  void send(std::size_t from_site, std::vector<std::uint8_t> payload) {
+  // Site -> referee. Thread-safe: sites may finish concurrently. A sender
+  // outside the registered site set is a protocol violation — rejecting it
+  // keeps per-site byte attribution exact instead of silently counting the
+  // bytes against nobody.
+  void send(std::size_t from_site, std::vector<std::uint8_t> payload) override {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (from_site >= stats_.bytes_per_site.size()) {
+      throw ProtocolError("send from unregistered site " + std::to_string(from_site) +
+                          " (channel has " + std::to_string(stats_.bytes_per_site.size()) +
+                          " sites)");
+    }
     stats_.messages += 1;
     stats_.total_bytes += payload.size();
     if (payload.size() > stats_.max_message_bytes) stats_.max_message_bytes = payload.size();
-    if (from_site < stats_.bytes_per_site.size()) {
-      stats_.bytes_per_site[from_site] += payload.size();
-    }
+    stats_.bytes_per_site[from_site] += payload.size();
     mailbox_.push_back(std::move(payload));
   }
 
   // Referee side: take all pending messages.
-  std::vector<std::vector<std::uint8_t>> drain() {
+  std::vector<std::vector<std::uint8_t>> drain() override {
     const std::lock_guard<std::mutex> lock(mu_);
     return std::exchange(mailbox_, {});
   }
 
-  ChannelStats stats() const {
+  ChannelStats stats() const override {
     const std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
+
+  std::size_t num_sites() const noexcept override { return stats_.bytes_per_site.size(); }
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,119 @@
+#include "distributed/collect.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+
+namespace ustream {
+
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy,
+                                        std::uint32_t round) noexcept {
+  if (round == 0) return std::chrono::microseconds{0};
+  const std::uint32_t shift = std::min<std::uint32_t>(round - 1, 20);
+  const auto scaled = policy.base_backoff * (1u << shift);
+  return std::min(scaled, policy.max_backoff);
+}
+
+void apply_backoff(const RetryPolicy& policy, std::uint32_t round) {
+  const auto delay = backoff_delay(policy, round);
+  if (policy.sleep_on_backoff && delay.count() > 0) {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+std::vector<std::size_t> CollectReport::missing_sites() const {
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < per_site.size(); ++i) {
+    if (!per_site[i].reported) missing.push_back(i);
+  }
+  return missing;
+}
+
+std::string CollectReport::summary() const {
+  std::string s = "collected " + std::to_string(sites_reported) + "/" +
+                  std::to_string(sites_total) + " sites" +
+                  (degraded() ? " (DEGRADED: union estimate is a lower bound)" : "") + ", " +
+                  std::to_string(retries) + " retries, " +
+                  std::to_string(frames_quarantined) + " quarantined, " +
+                  std::to_string(duplicates_dropped) + " duplicates, " +
+                  std::to_string(stale_dropped) + " stale";
+  const auto missing = missing_sites();
+  if (!missing.empty()) {
+    s += "\nmissing sites:";
+    for (auto site : missing) {
+      s += " " + std::to_string(site);
+      if (per_site[site].exhausted) {
+        s += "(exhausted after " + std::to_string(per_site[site].attempts) + " attempts)";
+      }
+    }
+  }
+  return s;
+}
+
+CollectState::CollectState(std::size_t sites, PayloadKind expected_kind, DedupMode mode)
+    : expected_kind_(expected_kind), mode_(mode) {
+  report_.sites_total = sites;
+  report_.per_site.resize(sites);
+}
+
+std::optional<CollectState::Accepted> CollectState::ingest(
+    std::span<const std::uint8_t> frame_bytes) {
+  Frame frame;
+  try {
+    frame = frame_decode(frame_bytes);
+  } catch (const SerializationError&) {
+    report_.frames_quarantined += 1;
+    return std::nullopt;
+  }
+  // Structurally sound frame, but from the wrong protocol or an unknown
+  // sender: also quarantine — the CRC protects integrity, not intent.
+  if (frame.header.kind != expected_kind_ || frame.header.site >= report_.per_site.size()) {
+    report_.frames_quarantined += 1;
+    return std::nullopt;
+  }
+  SiteCollectStatus& status = report_.per_site[frame.header.site];
+  if (status.reported) {
+    if (mode_ == DedupMode::kExactlyOnce || frame.header.epoch == status.accepted_epoch) {
+      report_.duplicates_dropped += 1;
+      return std::nullopt;
+    }
+    if (frame.header.epoch < status.accepted_epoch) {
+      report_.stale_dropped += 1;
+      return std::nullopt;
+    }
+  } else {
+    report_.sites_reported += 1;
+    status.reported = true;
+  }
+  status.accepted_epoch = frame.header.epoch;
+  return Accepted{frame.header.site, frame.header.epoch, std::move(frame.payload)};
+}
+
+void CollectState::record_send(std::size_t site) {
+  SiteCollectStatus& status = report_.per_site[site];
+  if (status.attempts > 0) report_.retries += 1;
+  status.attempts += 1;
+}
+
+void CollectState::record_fresh_send(std::size_t site) {
+  report_.per_site[site].attempts += 1;
+}
+
+void CollectState::reject_accepted(std::size_t site) {
+  SiteCollectStatus& status = report_.per_site[site];
+  if (status.reported) {
+    status.reported = false;
+    report_.sites_reported -= 1;
+  }
+  status.accepted_epoch = 0;
+  report_.frames_quarantined += 1;
+}
+
+void CollectState::finalize(std::uint32_t max_attempts) {
+  for (auto& status : report_.per_site) {
+    status.exhausted = !status.reported && status.attempts >= max_attempts;
+  }
+}
+
+}  // namespace ustream

@@ -1,0 +1,116 @@
+// The referee's fault-tolerance toolkit: retry policy, frame validation /
+// dedup state, and the CollectReport that makes degraded mode quantifiable.
+//
+// Mergeable sketches give graceful degradation for free — a missing site's
+// sketch lowers the union estimate by a bounded, one-sided amount — but
+// only if the referee can SAY which sites are missing. CollectReport is
+// that statement: callers still get an estimate from a partial union, plus
+// the evidence needed to reason about its bias.
+//
+// Dedup contract: a frame is identified by (site, epoch). One-shot
+// collection (DistributedRun) uses kExactlyOnce — the first valid frame
+// per site wins, every later one (retransmit or network duplicate) is
+// dropped, so the referee merges each site exactly once. Continuous
+// monitoring uses kLatestWins — newer epochs replace older snapshots,
+// stale reordered deliveries are discarded, so the per-site prefix only
+// moves forward and the union estimate never overcounts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/frame.h"
+
+namespace ustream {
+
+// Ack/retry shape for collection rounds. Backoff between rounds is capped
+// exponential: base * 2^round, clamped to max. The defaults keep an
+// in-process soak run fast while still exercising the schedule; a real
+// deployment would scale these to network RTTs.
+struct RetryPolicy {
+  std::uint32_t max_attempts_per_site = 6;
+  std::chrono::microseconds base_backoff{50};
+  std::chrono::microseconds max_backoff{2000};
+  bool sleep_on_backoff = true;  // tests may disable the actual sleep
+};
+
+// Backoff before retry round `round` (round counts from 1).
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy, std::uint32_t round) noexcept;
+void apply_backoff(const RetryPolicy& policy, std::uint32_t round);
+
+struct SiteCollectStatus {
+  std::uint32_t attempts = 0;       // frames sent on this site's behalf
+  bool reported = false;            // a valid frame was accepted
+  bool exhausted = false;           // budget spent without acceptance
+  std::uint32_t accepted_epoch = 0; // epoch of the accepted/latest snapshot
+};
+
+struct CollectReport {
+  std::size_t sites_total = 0;
+  std::size_t sites_reported = 0;
+  std::uint64_t retries = 0;             // sends beyond each site's first
+  std::uint64_t frames_quarantined = 0;  // failed CRC/decode/validation
+  std::uint64_t duplicates_dropped = 0;  // same (site, epoch) seen again
+  std::uint64_t stale_dropped = 0;       // older epoch than already accepted
+  std::vector<SiteCollectStatus> per_site;
+
+  bool complete() const noexcept { return sites_reported == sites_total; }
+  bool degraded() const noexcept { return !complete(); }
+  std::vector<std::size_t> missing_sites() const;
+  // One line per fact, e.g. for the CLI:
+  //   collected 7/8 sites (DEGRADED), 5 retries, 3 quarantined, 2 duplicates
+  //   missing sites: 4 (exhausted after 6 attempts)
+  std::string summary() const;
+};
+
+enum class DedupMode { kExactlyOnce, kLatestWins };
+
+// Validates drained frames and maintains the per-site dedup state plus the
+// running CollectReport. The payload of an accepted frame is handed back to
+// the caller; everything else lands in a report counter.
+class CollectState {
+ public:
+  CollectState(std::size_t sites, PayloadKind expected_kind, DedupMode mode);
+
+  struct Accepted {
+    std::size_t site = 0;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  // Frame-layer verdict on one drained message. Returns the payload iff
+  // this (site, epoch) is accepted under the dedup mode; otherwise updates
+  // quarantine/duplicate/stale counters and returns nullopt. Never throws
+  // on bad bytes — corruption is data here, not an error.
+  std::optional<Accepted> ingest(std::span<const std::uint8_t> frame_bytes);
+
+  // Attempt accounting. record_send counts a retransmission (retry) when
+  // the site was already sent on behalf of; record_fresh_send never does —
+  // continuous monitors use it for periodic pushes of NEW epochs, which are
+  // fresh messages, not retries.
+  void record_send(std::size_t site);
+  void record_fresh_send(std::size_t site);
+  // Un-accepts a frame whose CRC passed but whose payload failed to
+  // deserialize (a 2^-32 CRC collision): quarantines it and reopens the
+  // site so the retry loop can try again.
+  void reject_accepted(std::size_t site);
+  void finalize(std::uint32_t max_attempts);  // marks exhausted sites
+
+  bool site_reported(std::size_t site) const { return report_.per_site[site].reported; }
+  std::uint32_t site_attempts(std::size_t site) const { return report_.per_site[site].attempts; }
+  bool all_reported() const noexcept { return report_.sites_reported == report_.sites_total; }
+
+  CollectReport& report() noexcept { return report_; }
+  const CollectReport& report() const noexcept { return report_; }
+
+ private:
+  PayloadKind expected_kind_;
+  DedupMode mode_;
+  CollectReport report_;
+};
+
+}  // namespace ustream

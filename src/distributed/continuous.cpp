@@ -1,42 +1,115 @@
 #include "distributed/continuous.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace ustream {
 
 ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
                                                const EstimatorParams& params)
+    : ContinuousUnionMonitor(sites, report_interval, params, nullptr) {}
+
+ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
+                                               const EstimatorParams& params,
+                                               std::unique_ptr<Transport> transport,
+                                               const RetryPolicy& policy)
     : params_(params),
       report_interval_(report_interval),
+      policy_(policy),
       since_report_(sites, 0),
+      observed_(sites, 0),
+      epoch_(sites, 0),
+      pending_items_(sites),
+      acked_items_(sites, 0),
       referee_snapshots_(sites),
-      channel_(sites) {
+      transport_(transport ? std::move(transport) : std::make_unique<Channel>(sites)),
+      state_(sites, PayloadKind::kF0Estimator, DedupMode::kLatestWins) {
   USTREAM_REQUIRE(sites >= 1, "need at least one site");
   USTREAM_REQUIRE(report_interval >= 1, "report interval must be >= 1");
+  USTREAM_REQUIRE(transport_->num_sites() == sites,
+                  "transport site count does not match the monitor");
   site_sketches_.reserve(sites);
   for (std::size_t i = 0; i < sites; ++i) site_sketches_.emplace_back(params);
 }
 
 void ContinuousUnionMonitor::observe(std::size_t site, std::uint64_t label) {
   site_sketches_.at(site).add(label);
+  ++observed_[site];
   if (++since_report_[site] >= report_interval_) push(site);
 }
 
 void ContinuousUnionMonitor::push(std::size_t site) {
   since_report_[site] = 0;
-  auto payload = site_sketches_[site].serialize();
-  channel_.send(site, std::move(payload));
-  // The referee consumes immediately in this in-process simulation.
-  for (auto& bytes : channel_.drain()) {
-    ++snapshots_;
-    referee_snapshots_[site] = F0Estimator::deserialize(std::span<const std::uint8_t>(bytes));
+  const std::uint32_t epoch = ++epoch_[site];
+  pending_items_[site].emplace_back(epoch, observed_[site]);
+  state_.record_fresh_send(site);
+  transport_->send(site,
+                   frame_encode({PayloadKind::kF0Estimator, static_cast<std::uint32_t>(site),
+                                 epoch},
+                                site_sketches_[site].serialize()));
+  drain_into_referee();
+}
+
+void ContinuousUnionMonitor::drain_into_referee() {
+  for (const auto& message : transport_->drain()) {
+    if (auto acc = state_.ingest(message)) {
+      accept(acc->site, acc->epoch, std::span<const std::uint8_t>(acc->payload));
+    }
   }
 }
 
-void ContinuousUnionMonitor::flush() {
+void ContinuousUnionMonitor::accept(std::size_t site, std::uint32_t epoch,
+                                    std::span<const std::uint8_t> payload) {
+  try {
+    referee_snapshots_[site] = F0Estimator::deserialize(payload);
+  } catch (const SerializationError&) {
+    // CRC passed yet the payload would not parse — a 2^-32 collision on a
+    // corrupted frame. Keep the previous snapshot; count the quarantine.
+    state_.report().frames_quarantined += 1;
+    return;
+  }
+  ++snapshots_;
+  // Attribute the ack to the prefix that snapshot covered.
+  auto& pending = pending_items_[site];
+  for (const auto& [e, items] : pending) {
+    if (e == epoch) {
+      acked_items_[site] = items;
+      break;
+    }
+  }
+  std::erase_if(pending, [epoch](const auto& entry) { return entry.first <= epoch; });
+}
+
+const CollectReport& ContinuousUnionMonitor::flush() {
   for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
     if (since_report_[i] > 0 || !referee_snapshots_[i].has_value()) push(i);
   }
+  // Ack/retry until every site's LATEST epoch is at the referee or the
+  // per-site attempt budget is spent. Retransmissions reuse the site's
+  // current epoch, so the latest-wins dedup merges each snapshot once.
+  const auto converged = [this](std::size_t i) {
+    return state_.report().per_site[i].reported &&
+           state_.report().per_site[i].accepted_epoch == epoch_[i];
+  };
+  for (std::uint32_t round = 1; round < policy_.max_attempts_per_site; ++round) {
+    bool missing = false;
+    for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+      if (!converged(i)) missing = true;
+    }
+    if (!missing) break;
+    apply_backoff(policy_, round);
+    for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+      if (converged(i)) continue;
+      state_.record_send(i);
+      transport_->send(i, frame_encode({PayloadKind::kF0Estimator,
+                                        static_cast<std::uint32_t>(i), epoch_[i]},
+                                       site_sketches_[i].serialize()));
+    }
+    drain_into_referee();
+  }
+  state_.finalize(policy_.max_attempts_per_site);
+  return state_.report();
 }
 
 double ContinuousUnionMonitor::estimate() const {
@@ -50,6 +123,14 @@ double ContinuousUnionMonitor::estimate() const {
     }
   }
   return merged ? merged->estimate() : 0.0;
+}
+
+std::vector<std::uint64_t> ContinuousUnionMonitor::staleness() const {
+  std::vector<std::uint64_t> lag(observed_.size(), 0);
+  for (std::size_t i = 0; i < observed_.size(); ++i) {
+    lag[i] = observed_[i] - acked_items_[i];
+  }
+  return lag;
 }
 
 }  // namespace ustream

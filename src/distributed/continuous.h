@@ -10,45 +10,83 @@
 // and the communication/staleness tradeoff is exactly report_interval.
 // (This is the direction later formalized in the continuous distributed
 // monitoring literature; here it is the natural corollary of mergeability.)
+//
+// Fault tolerance: snapshots travel as checksummed frames tagged with
+// (site, epoch), epoch increasing per site. The referee quarantines frames
+// that fail CRC or decode, drops duplicates, and ignores snapshots older
+// than the one it holds (latest-wins), so a dropping/duplicating/reordering
+// transport only ever makes the estimate STALER, never wrong: the answer
+// stays a prefix-union estimate, and staleness() quantifies the lag.
+// flush() adds ack/retry with capped backoff so end-of-stream state
+// converges even through a lossy transport.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/f0_estimator.h"
 #include "core/params.h"
 #include "distributed/channel.h"
+#include "distributed/collect.h"
+#include "distributed/transport.h"
 
 namespace ustream {
 
 class ContinuousUnionMonitor {
  public:
+  // Perfect in-process transport (the original model).
   ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
                          const EstimatorParams& params);
+  // Custom transport (e.g. FaultyChannel) and retry policy for flush().
+  ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
+                         const EstimatorParams& params, std::unique_ptr<Transport> transport,
+                         const RetryPolicy& policy = RetryPolicy{});
 
   // Site observes one label; may trigger a snapshot push.
   void observe(std::size_t site, std::uint64_t label);
 
-  // Force every site to push its current state (end-of-stream flush).
-  void flush();
+  // Force every site to push its current state (end-of-stream flush) and
+  // retry per policy until each site's final snapshot is acked or its
+  // attempt budget is exhausted. Returns the collection status.
+  const CollectReport& flush();
 
   // Union estimate from the snapshots currently at the referee.
   double estimate() const;
 
-  ChannelStats channel_stats() const { return channel_.stats(); }
+  // Per-site lag: items observed at the site but not yet reflected in the
+  // snapshot the referee holds. Grows with drop probability.
+  std::vector<std::uint64_t> staleness() const;
+
+  // Live collection status: which sites have a snapshot at the referee,
+  // their epochs, quarantine/duplicate/stale counters.
+  const CollectReport& status() const noexcept { return state_.report(); }
+
+  ChannelStats channel_stats() const { return transport_->stats(); }
   std::uint64_t snapshots_received() const noexcept { return snapshots_; }
 
  private:
   void push(std::size_t site);
+  void drain_into_referee();
+  void accept(std::size_t site, std::uint32_t epoch, std::span<const std::uint8_t> payload);
 
   EstimatorParams params_;
   std::uint64_t report_interval_;
+  RetryPolicy policy_;
   std::vector<F0Estimator> site_sketches_;
   std::vector<std::uint64_t> since_report_;
+  std::vector<std::uint64_t> observed_;   // items seen per site
+  std::vector<std::uint32_t> epoch_;      // last pushed epoch per site
+  // (epoch, items-observed-at-push) per site, pruned once acked: lets
+  // staleness() attribute an accepted epoch to the prefix it covered.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> pending_items_;
+  std::vector<std::uint64_t> acked_items_;  // items covered by referee snapshot
   std::vector<std::optional<F0Estimator>> referee_snapshots_;
-  Channel channel_;
+  std::unique_ptr<Transport> transport_;
+  CollectState state_;
   std::uint64_t snapshots_ = 0;
 };
 

@@ -1,0 +1,88 @@
+#include "distributed/faulty_channel.h"
+
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ustream {
+
+FaultyChannel::FaultyChannel(std::size_t sites, const FaultSpec& spec, std::uint64_t seed)
+    : site_specs_(sites, spec), rng_(seed) {
+  stats_.bytes_per_site.assign(sites, 0);
+}
+
+void FaultyChannel::set_site_faults(std::size_t site, const FaultSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (site >= site_specs_.size()) {
+    throw ProtocolError("fault config for unregistered site " + std::to_string(site));
+  }
+  site_specs_[site] = spec;
+}
+
+void FaultyChannel::send(std::size_t from_site, std::vector<std::uint8_t> payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (from_site >= site_specs_.size()) {
+    throw ProtocolError("send from unregistered site " + std::to_string(from_site) +
+                        " (channel has " + std::to_string(site_specs_.size()) + " sites)");
+  }
+  // The attempt is charged whether or not the network eats it — a dropped
+  // packet still crossed the sender's NIC.
+  stats_.messages += 1;
+  stats_.total_bytes += payload.size();
+  if (payload.size() > stats_.max_message_bytes) stats_.max_message_bytes = payload.size();
+  stats_.bytes_per_site[from_site] += payload.size();
+  faults_.sends += 1;
+
+  const FaultSpec& spec = site_specs_[from_site];
+  if (rng_.bernoulli(spec.drop)) {
+    faults_.dropped += 1;
+    return;
+  }
+  const bool duplicate = rng_.bernoulli(spec.duplicate);
+  if (duplicate) faults_.duplicated += 1;
+  for (int copy = 0; copy < (duplicate ? 2 : 1); ++copy) {
+    auto bytes = payload;  // each copy is corrupted independently
+    if (!bytes.empty() && rng_.bernoulli(spec.truncate)) {
+      faults_.truncated += 1;
+      bytes.resize(rng_.below(bytes.size()));
+    }
+    if (!bytes.empty() && rng_.bernoulli(spec.bit_flip)) {
+      faults_.bit_flipped += 1;
+      const std::uint64_t flips = 1 + rng_.below(8);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        bytes[rng_.below(bytes.size())] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+      }
+    }
+    const bool reorder = rng_.bernoulli(spec.reorder);
+    if (reorder) faults_.reordered += 1;
+    deliver(std::move(bytes), reorder);
+  }
+}
+
+void FaultyChannel::deliver(std::vector<std::uint8_t> payload, bool reordered) {
+  faults_.delivered += 1;
+  if (reordered && !mailbox_.empty()) {
+    const std::size_t pos = rng_.below(mailbox_.size() + 1);
+    mailbox_.insert(mailbox_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(payload));
+  } else {
+    mailbox_.push_back(std::move(payload));
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> FaultyChannel::drain() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(mailbox_, {});
+}
+
+ChannelStats FaultyChannel::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FaultStats FaultyChannel::fault_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+}  // namespace ustream

@@ -1,0 +1,82 @@
+// FaultyChannel — the in-process mailbox with a hostile network inside.
+//
+// Same Transport interface as Channel, but every send() rolls seeded,
+// per-site-configurable dice and may drop, duplicate, reorder, truncate or
+// bit-flip the message before it reaches the referee's mailbox. All
+// randomness comes from one Xoshiro256 seeded at construction, so a soak
+// run is exactly reproducible from (workload seed, fault seed).
+//
+// Accounting: ChannelStats counts every send() attempt (what the model
+// pays); FaultStats counts what the "network" did to those attempts. A
+// message can suffer several faults at once (truncated AND reordered); each
+// injected fault increments its own counter.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "distributed/transport.h"
+
+namespace ustream {
+
+// Independent per-fault probabilities, each in [0, 1].
+struct FaultSpec {
+  double drop = 0.0;       // message vanishes
+  double duplicate = 0.0;  // a second copy is delivered
+  double reorder = 0.0;    // delivered at a random mailbox position
+  double truncate = 0.0;   // delivered with a random-length tail cut off
+  double bit_flip = 0.0;   // delivered with 1..8 random bits flipped
+
+  // Uniform corruption-style shorthand used by the soak matrix.
+  static FaultSpec dropping(double p) { return {.drop = p}; }
+  static FaultSpec duplicating(double p) { return {.duplicate = p}; }
+  static FaultSpec corrupting(double p) { return {.truncate = p / 2, .bit_flip = p / 2}; }
+  static FaultSpec chaos(double p) {
+    return {.drop = p, .duplicate = p, .reorder = p, .truncate = p / 2, .bit_flip = p / 2};
+  }
+};
+
+struct FaultStats {
+  std::uint64_t sends = 0;       // attempts observed
+  std::uint64_t delivered = 0;   // copies that reached the mailbox (incl. duplicates)
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t bit_flipped = 0;
+
+  std::uint64_t injected() const noexcept {
+    return dropped + duplicated + reordered + truncated + bit_flipped;
+  }
+  std::uint64_t corrupted() const noexcept { return truncated + bit_flipped; }
+};
+
+class FaultyChannel final : public Transport {
+ public:
+  FaultyChannel(std::size_t sites, const FaultSpec& spec, std::uint64_t seed);
+
+  // Overrides the fault mix for one site (e.g. one flaky monitor in an
+  // otherwise healthy fleet).
+  void set_site_faults(std::size_t site, const FaultSpec& spec);
+
+  void send(std::size_t from_site, std::vector<std::uint8_t> payload) override;
+  std::vector<std::vector<std::uint8_t>> drain() override;
+  ChannelStats stats() const override;
+  std::size_t num_sites() const noexcept override { return site_specs_.size(); }
+
+  FaultStats fault_stats() const;
+
+ private:
+  void deliver(std::vector<std::uint8_t> payload, bool reordered);
+
+  mutable std::mutex mu_;
+  std::vector<FaultSpec> site_specs_;
+  Xoshiro256 rng_;
+  std::vector<std::vector<std::uint8_t>> mailbox_;
+  ChannelStats stats_;
+  FaultStats faults_;
+};
+
+}  // namespace ustream

@@ -23,6 +23,16 @@ void SketchRegistry::put_serialized(const std::string& site,
   put(site, F0Estimator::deserialize(bytes));
 }
 
+void SketchRegistry::put_framed(const std::string& site,
+                                std::span<const std::uint8_t> frame_bytes) {
+  const Frame frame = frame_decode(frame_bytes);
+  if (frame.header.kind != PayloadKind::kF0Estimator) {
+    throw SerializationError(std::string("registry expects an f0-estimator frame, got ") +
+                             payload_kind_name(frame.header.kind));
+  }
+  put(site, F0Estimator::deserialize(std::span<const std::uint8_t>(frame.payload)));
+}
+
 bool SketchRegistry::contains(const std::string& site) const {
   return std::any_of(sites_.begin(), sites_.end(),
                      [&](const auto& entry) { return entry.first == site; });

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/frame.h"
 #include "core/f0_estimator.h"
 #include "core/set_ops.h"
 
@@ -26,7 +27,11 @@ class SketchRegistry {
   // Registers (or replaces) a site's sketch. The sketch must be mergeable
   // with the registry's parameters.
   void put(const std::string& site, F0Estimator sketch);
+  // Raw estimator payload (trusted, e.g. produced in-process).
   void put_serialized(const std::string& site, std::span<const std::uint8_t> bytes);
+  // A framed message as received off a transport: validates magic, version,
+  // payload kind and CRC32C before any sketch parsing (common/frame.h).
+  void put_framed(const std::string& site, std::span<const std::uint8_t> frame_bytes);
 
   bool contains(const std::string& site) const;
   std::size_t size() const noexcept { return sites_.size(); }

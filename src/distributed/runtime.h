@@ -3,11 +3,17 @@
 //
 //   1. each of t sites owns a private sketch built from the SAME root seed
 //      (the coordination contract) and observes only its own stream;
-//   2. when a site's stream ends, it serializes its sketch and sends the
-//      bytes to the referee over the accounted Channel — one message per
-//      site, nothing before that;
-//   3. the referee deserializes and merges all t sketches and answers
-//      queries about the UNION of the streams.
+//   2. when a site's stream ends, it serializes its sketch, wraps it in a
+//      checksummed wire frame (common/frame.h) and sends it to the referee
+//      over the Transport — one LOGICAL message per site; the transport may
+//      require retransmissions, and the referee dedups by (site, epoch) so
+//      each site is merged exactly once;
+//   3. the referee validates frames (quarantining any that fail CRC or
+//      decode), merges the accepted sketches in site order, and answers
+//      queries about the UNION of the streams. If some sites never get a
+//      frame through within the retry budget, the merge proceeds without
+//      them: the estimate is then a certified lower bound and the
+//      CollectReport says exactly which prefixes are missing.
 //
 // Sketch requirements (concept UnionSketch): add-like mutators (left to the
 // caller), serialize() -> bytes, static deserialize(span), merge(Sketch).
@@ -16,13 +22,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "common/frame.h"
+#include "core/distinct_sum.h"
+#include "core/f0_estimator.h"
 #include "distributed/channel.h"
+#include "distributed/collect.h"
+#include "distributed/transport.h"
 
 namespace ustream {
 
@@ -33,54 +46,140 @@ concept UnionSketch = requires(S s, const S cs, std::span<const std::uint8_t> by
   s.merge(cs);
 };
 
+// Frame-layer type tag for a sketch, so a frame of one protocol cannot be
+// fed to another even when both payloads happen to parse. Unregistered
+// sketch types travel as kOpaque (still CRC-protected, just untyped).
+template <typename Sketch>
+struct FrameKindOf {
+  static constexpr PayloadKind value = PayloadKind::kOpaque;
+};
+template <typename Hash>
+struct FrameKindOf<BasicF0Estimator<Hash>> {
+  static constexpr PayloadKind value = PayloadKind::kF0Estimator;
+};
+template <typename Hash, typename V>
+struct FrameKindOf<BasicDistinctSumEstimator<Hash, V>> {
+  static constexpr PayloadKind value = PayloadKind::kDistinctSum;
+};
+
 template <UnionSketch Sketch>
 class DistributedRun {
  public:
   // `make_sketch` must produce identically-parameterized sketches (same
   // root seed) — sites clone the referee's configuration, never invent
   // their own, mirroring how a deployment ships one config to all monitors.
-  DistributedRun(std::size_t sites, const std::function<Sketch()>& make_sketch)
-      : channel_(sites) {
+  // The default transport is the perfect in-process Channel; pass a
+  // FaultyChannel to soak the collection protocol.
+  DistributedRun(std::size_t sites, const std::function<Sketch()>& make_sketch,
+                 std::unique_ptr<Transport> transport = nullptr)
+      : make_sketch_(make_sketch),
+        transport_(transport ? std::move(transport) : std::make_unique<Channel>(sites)) {
     USTREAM_REQUIRE(sites >= 1, "need at least one site");
+    USTREAM_REQUIRE(transport_->num_sites() == sites,
+                    "transport site count does not match the run");
     sites_.reserve(sites);
-    for (std::size_t i = 0; i < sites; ++i) sites_.push_back(make_sketch());
+    for (std::size_t i = 0; i < sites; ++i) sites_.push_back(make_sketch_());
   }
 
   std::size_t num_sites() const noexcept { return sites_.size(); }
 
   // Mutable access to site i's sketch during the observation phase.
   Sketch& site(std::size_t i) {
-    USTREAM_REQUIRE(!collected_, "observation phase is over");
+    if (collected_) {
+      throw ProtocolError("observation phase is over: site sketches are sealed after collect()");
+    }
     return sites_.at(i);
   }
 
-  // Ends the observation phase: every site ships its sketch; the referee
-  // merges. Idempotent via the collected_ latch.
-  const Sketch& collect() {
-    if (!collected_) {
-      for (std::size_t i = 0; i < sites_.size(); ++i) {
-        channel_.send(i, sites_[i].serialize());
-      }
-      for (auto& payload : channel_.drain()) {
-        Sketch s = Sketch::deserialize(std::span<const std::uint8_t>(payload));
-        if (!referee_) {
-          referee_.emplace(std::move(s));
-        } else {
-          referee_->merge(s);
+  // Ends the observation phase: every site ships its framed sketch; the
+  // referee retries per policy, dedups by (site, epoch), quarantines
+  // corrupt frames and merges whatever arrived in site order. Idempotent
+  // via the collected_ latch (the report of the first collect() stands).
+  const Sketch& collect(const RetryPolicy& policy = RetryPolicy{}) {
+    if (collected_) return *referee_;
+    CollectState state(sites_.size(), FrameKindOf<Sketch>::value, DedupMode::kExactlyOnce);
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.reserve(sites_.size());
+    for (const Sketch& s : sites_) payloads.push_back(s.serialize());
+    std::vector<std::optional<Sketch>> accepted(sites_.size());
+    const auto ingest_drained = [&] {
+      for (const auto& message : transport_->drain()) {
+        auto acc = state.ingest(message);
+        if (!acc) continue;
+        try {
+          accepted[acc->site].emplace(
+              Sketch::deserialize(std::span<const std::uint8_t>(acc->payload)));
+        } catch (const SerializationError&) {
+          // CRC passed but the payload would not parse (a 2^-32 CRC
+          // collision on a corrupted frame): quarantine and let the retry
+          // loop reopen the site rather than poisoning the merge.
+          state.reject_accepted(acc->site);
         }
       }
-      collected_ = true;
+    };
+
+    for (std::uint32_t round = 0; round < policy.max_attempts_per_site; ++round) {
+      if (round > 0) apply_backoff(policy, round);
+      bool sent_any = false;
+      for (std::size_t i = 0; i < sites_.size(); ++i) {
+        if (state.site_reported(i)) continue;
+        state.record_send(i);
+        transport_->send(i, frame_encode({FrameKindOf<Sketch>::value,
+                                          static_cast<std::uint32_t>(i), /*epoch=*/0},
+                                         payloads[i]));
+        sent_any = true;
+      }
+      if (!sent_any) break;
+      ingest_drained();
+      if (state.all_reported()) break;
+    }
+    state.finalize(policy.max_attempts_per_site);
+
+    // Merge in site order so the referee state is bit-identical to a
+    // fault-free run regardless of delivery order.
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      if (!accepted[i]) continue;
+      if (!referee_) {
+        referee_.emplace(std::move(*accepted[i]));
+      } else {
+        referee_->merge(*accepted[i]);
+      }
+    }
+    // Total loss still yields a queryable (empty) referee — maximally
+    // degraded, and the report says so.
+    if (!referee_) referee_.emplace(make_sketch_());
+    report_ = std::move(state.report());
+    collected_ = true;
+    return *referee_;
+  }
+
+  // The merged union sketch; referee state only exists after collect().
+  const Sketch& referee() const {
+    if (!collected_) {
+      throw ProtocolError("referee queried before collection: call collect() first");
     }
     return *referee_;
   }
 
+  // How collection went: reported/missing sites, retries, quarantined and
+  // deduplicated frames. Only meaningful after collect().
+  const CollectReport& collect_report() const {
+    if (!collected_) {
+      throw ProtocolError("collect report requested before collection");
+    }
+    return report_;
+  }
+
   bool collected() const noexcept { return collected_; }
-  ChannelStats channel_stats() const { return channel_.stats(); }
+  ChannelStats channel_stats() const { return transport_->stats(); }
+  Transport& transport() noexcept { return *transport_; }
 
  private:
+  std::function<Sketch()> make_sketch_;
   std::vector<Sketch> sites_;
-  Channel channel_;
+  std::unique_ptr<Transport> transport_;
   std::optional<Sketch> referee_;
+  CollectReport report_;
   bool collected_ = false;
 };
 

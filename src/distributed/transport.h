@@ -1,0 +1,44 @@
+// Transport — the seam between the protocol layer and whatever carries the
+// bytes. The referee-side protocols (DistributedRun, ContinuousUnionMonitor)
+// talk only to this interface; Channel is the perfect in-process mailbox the
+// paper's model assumes, FaultyChannel is the same mailbox with seeded
+// drop/duplicate/reorder/truncate/bit-flip faults for soak testing.
+//
+// Stats account every send() ATTEMPT (a retry is a real transmission the
+// model must pay for), so E4's "message cost per party" stays honest under
+// retransmission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ustream {
+
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t max_message_bytes = 0;
+  std::vector<std::uint64_t> bytes_per_site;
+
+  double mean_message_bytes() const noexcept {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(total_bytes) / static_cast<double>(messages);
+  }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Site -> referee. Thread-safe: sites may finish concurrently. Throws
+  // ProtocolError if from_site is not a registered site.
+  virtual void send(std::size_t from_site, std::vector<std::uint8_t> message) = 0;
+
+  // Referee side: take all pending messages.
+  virtual std::vector<std::vector<std::uint8_t>> drain() = 0;
+
+  virtual ChannelStats stats() const = 0;
+  virtual std::size_t num_sites() const noexcept = 0;
+};
+
+}  // namespace ustream

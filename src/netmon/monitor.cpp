@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/frame.h"
 #include "common/serialize.h"
 
 namespace ustream {
@@ -52,23 +53,39 @@ const F0Estimator& LinkMonitor::sketch(NetLabel kind) const {
   return sketches_[static_cast<std::size_t>(kind)];
 }
 
-std::vector<std::uint8_t> LinkMonitor::report() const {
+std::vector<std::uint8_t> LinkMonitor::report(std::uint32_t link, std::uint32_t epoch) const {
   ByteWriter w;
   w.u8(kReportVersion);
   for (const auto& s : sketches_) s.serialize(w);
-  return w.take();
+  return frame_encode({PayloadKind::kMonitorReport, link, epoch}, w.data());
 }
 
 MonitoringCenter::MonitoringCenter(std::size_t links, const EstimatorParams& params)
     : params_(params),
       merged_{F0Estimator(params), F0Estimator(params), F0Estimator(params),
               F0Estimator(params)},
+      seen_epoch_(links),
       channel_(links) {}
 
 void MonitoringCenter::receive(std::size_t link, const std::vector<std::uint8_t>& report_bytes) {
   channel_.send(link, report_bytes);
-  for (const auto& payload : channel_.drain()) {
-    ByteReader r{std::span<const std::uint8_t>{payload}};
+  for (const auto& message : channel_.drain()) {
+    // Frame first: corruption is detected by CRC before any sketch parsing.
+    const Frame frame = frame_decode(std::span<const std::uint8_t>(message));
+    if (frame.header.kind != PayloadKind::kMonitorReport) {
+      throw SerializationError("frame is not a monitor report");
+    }
+    if (frame.header.site != link) {
+      throw SerializationError("monitor report frame from link " +
+                               std::to_string(frame.header.site) + " arrived on link " +
+                               std::to_string(link));
+    }
+    // Retransmit of an already-merged report: drop, never double-merge.
+    if (seen_epoch_[link].has_value() && *seen_epoch_[link] == frame.header.epoch) {
+      ++duplicates_dropped_;
+      continue;
+    }
+    ByteReader r{std::span<const std::uint8_t>{frame.payload}};
     if (r.u8() != kReportVersion) throw SerializationError("bad monitor report version");
     for (std::size_t q = 0; q < kAllLabels.size(); ++q) {
       F0Estimator sketch = F0Estimator::deserialize(r);
@@ -76,13 +93,14 @@ void MonitoringCenter::receive(std::size_t link, const std::vector<std::uint8_t>
       merged_[q].merge(sketch);
     }
     if (!r.done()) throw SerializationError("trailing bytes in monitor report");
+    seen_epoch_[link] = frame.header.epoch;
+    ++reports_received_;
   }
-  ++reports_received_;
 }
 
 void MonitoringCenter::collect(const std::vector<LinkMonitor>& monitors) {
   for (std::size_t link = 0; link < monitors.size(); ++link) {
-    receive(link, monitors[link].report());
+    receive(link, monitors[link].report(static_cast<std::uint32_t>(link)));
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -34,8 +35,10 @@ class LinkMonitor {
   double estimate(NetLabel kind) const;
   const F0Estimator& sketch(NetLabel kind) const;
 
-  // Serialized bundle of all four sketches (one report message).
-  std::vector<std::uint8_t> report() const;
+  // Serialized bundle of all four sketches (one report message), wrapped
+  // in a checksummed wire frame tagged with the sending link and a report
+  // epoch (for retransmit dedup at the center).
+  std::vector<std::uint8_t> report(std::uint32_t link = 0, std::uint32_t epoch = 0) const;
 
   std::uint64_t packets_observed() const noexcept { return packets_; }
 
@@ -53,7 +56,10 @@ class MonitoringCenter {
  public:
   MonitoringCenter(std::size_t links, const EstimatorParams& params);
 
-  // Ingest one link's report (consumes channel-accounted bytes).
+  // Ingest one link's framed report (consumes channel-accounted bytes).
+  // Throws SerializationError on a corrupt/truncated/mistagged frame; a
+  // retransmitted report (same link+epoch as one already merged) is
+  // dropped silently and counted in duplicates_dropped().
   void receive(std::size_t link, const std::vector<std::uint8_t>& report_bytes);
 
   // Convenience: collect every monitor in one pass.
@@ -61,12 +67,16 @@ class MonitoringCenter {
 
   UnionQueryAnswer query(NetLabel kind) const;
   ChannelStats channel_stats() const { return channel_.stats(); }
+  std::size_t reports_received() const noexcept { return reports_received_; }
+  std::uint64_t duplicates_dropped() const noexcept { return duplicates_dropped_; }
 
  private:
   EstimatorParams params_;
   std::array<F0Estimator, 4> merged_;
   std::array<double, 4> naive_sum_{};
   std::size_t reports_received_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::vector<std::optional<std::uint32_t>> seen_epoch_;  // per link
   Channel channel_;
 };
 

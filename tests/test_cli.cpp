@@ -9,6 +9,7 @@
 
 #include "cli/args.h"
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace ustream::cli {
 namespace {
@@ -111,6 +112,85 @@ TEST_F(CliTest, ErrorsAreReportedNotThrown) {
   auto [code3, out3] = invoke({"generate", "--distnict", "10", "--out", path("v.trace")});
   EXPECT_EQ(code3, 1);  // typo caught by reject_unknown
   EXPECT_NE(out3.find("--distnict"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoShowsFrameMetadataForSketchFiles) {
+  F0Estimator est(EstimatorParams{.capacity = 64, .copies = 3, .seed = 5});
+  est.add(1);
+  const auto file = path("framed.sk");
+  write_sketch_file(file, est);
+  auto [code, out] = invoke({"info", file});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("framed sketch"), std::string::npos) << out;
+  EXPECT_NE(out.find("crc ok"), std::string::npos) << out;
+  EXPECT_NE(out.find("f0-estimator"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, LegacyV0SketchFilesStayReadable) {
+  // Files written before the framed format (bare "USKE" magic + payload,
+  // no checksum) must keep working: the version-bump path is additive.
+  F0Estimator est(EstimatorParams{.capacity = 64, .copies = 3, .seed = 6});
+  for (std::uint64_t x = 0; x < 500; ++x) est.add(x);
+  const auto file = path("legacy.sk");
+  {
+    ByteWriter w;
+    w.u32(0x454b5355);  // legacy "USKE"
+    est.serialize(w);
+    const auto& bytes = w.data();
+    std::FILE* f = std::fopen(file.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  const F0Estimator back = read_sketch_file(file);
+  EXPECT_DOUBLE_EQ(back.estimate(), est.estimate());
+  auto [code, out] = invoke({"info", file});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("legacy (v0) sketch"), std::string::npos) << out;
+  auto [ecode, eout] = invoke({"estimate", file});
+  EXPECT_EQ(ecode, 0) << eout;
+}
+
+TEST_F(CliTest, CorruptedSketchFileIsRejectedByChecksum) {
+  F0Estimator est(EstimatorParams{.capacity = 64, .copies = 3, .seed = 7});
+  est.add(1);
+  const auto file = path("corrupt.sk");
+  write_sketch_file(file, est);
+  {
+    std::FILE* f = std::fopen(file.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 30, SEEK_SET);  // inside the payload
+    const char x = 0x7F;
+    std::fwrite(&x, 1, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_sketch_file(file), SerializationError);
+  auto [code, out] = invoke({"estimate", file});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, CollectCommandReportsRecovery) {
+  // Clean transport: complete, no retries.
+  auto [code, out] = invoke({"collect", "--sites", "4", "--distinct", "20000", "--seed", "3"});
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("union estimate"), std::string::npos) << out;
+  EXPECT_NE(out.find("collected 4/4 sites"), std::string::npos) << out;
+  EXPECT_NE(out.find("0 retries"), std::string::npos) << out;
+
+  // Lossy transport: still complete (exit 0), but via retries.
+  auto [fcode, fout] = invoke({"collect", "--sites", "4", "--distinct", "20000", "--seed", "3",
+                               "--drop", "0.5", "--attempts", "16"});
+  EXPECT_EQ(fcode, 0) << fout;
+  EXPECT_NE(fout.find("collected 4/4 sites"), std::string::npos) << fout;
+  EXPECT_NE(fout.find("dropped"), std::string::npos) << fout;
+
+  // Dead transport: degraded lower bound, distinct exit code.
+  auto [dcode, dout] = invoke({"collect", "--sites", "4", "--distinct", "20000", "--seed", "3",
+                               "--drop", "1.0", "--attempts", "2"});
+  EXPECT_EQ(dcode, 3) << dout;
+  EXPECT_NE(dout.find("DEGRADED"), std::string::npos) << dout;
+  EXPECT_NE(dout.find("missing sites"), std::string::npos) << dout;
 }
 
 TEST_F(CliTest, SketchFileRoundtripHelpers) {

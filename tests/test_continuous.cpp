@@ -1,10 +1,17 @@
-// The continuous-monitoring extension: periodic snapshot pushes.
+// The continuous-monitoring extension: periodic snapshot pushes, including
+// behaviour over a faulty transport (drops make the estimate STALE, never
+// wrong: it remains a prefix-union estimate that cannot overcount).
 #include "distributed/continuous.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <numeric>
+
+#include "baselines/exact.h"
 #include "common/error.h"
 #include "common/stats.h"
+#include "distributed/faulty_channel.h"
 #include "stream/partitioner.h"
 
 namespace ustream {
@@ -80,6 +87,124 @@ TEST(Continuous, ObserveOutOfRangeSiteThrows) {
   const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 7);
   ContinuousUnionMonitor mon(2, 10, params);
   EXPECT_THROW(mon.observe(5, 1), std::out_of_range);
+}
+
+TEST(Continuous, DroppedSnapshotsNeverOvercount) {
+  // Under any drop probability the live answer is an estimate of a UNION
+  // OF PREFIXES of what was truly observed — so up to estimator noise
+  // (eps = 0.1, plus slack) it can never exceed the exact distinct count.
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 8);
+  for (double p : {0.05, 0.2, 0.5}) {
+    ContinuousUnionMonitor mon(
+        4, 250, params, std::make_unique<FaultyChannel>(4, FaultSpec::dropping(p), 81));
+    ExactDistinctCounter exact;
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 40'000; ++i) {
+      const std::uint64_t label = rng.below(30'000);
+      mon.observe(static_cast<std::size_t>(i % 4), label);
+      exact.add(label);
+      if (i % 5000 == 4999) {
+        EXPECT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count()))
+            << "p=" << p << " at item " << i;
+      }
+    }
+    EXPECT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count())) << "p=" << p;
+  }
+}
+
+TEST(Continuous, StalenessGrowsWithDropProbabilityAsPredicted) {
+  // With drop probability p and report interval I, the tail of each site's
+  // stream waits for a successful push: the referee's lag beyond the
+  // no-fault residual is ~ I * p/(1-p) items on average (consecutive
+  // dropped pushes are geometric). Check monotonicity and a loose band.
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 10);
+  const std::size_t sites = 16;
+  const std::uint64_t interval = 200;
+  const int items = 60'000;
+  double base_mean = 0.0;
+  std::vector<double> means;
+  for (double p : {0.0, 0.3, 0.6}) {
+    ContinuousUnionMonitor mon(
+        sites, interval, params,
+        std::make_unique<FaultyChannel>(sites, FaultSpec::dropping(p), 82));
+    Xoshiro256 rng(11);
+    for (int i = 0; i < items; ++i) {
+      mon.observe(static_cast<std::size_t>(i) % sites, rng.next());
+    }
+    const auto lag = mon.staleness();
+    const double mean =
+        std::accumulate(lag.begin(), lag.end(), 0.0) / static_cast<double>(sites);
+    if (p == 0.0) base_mean = mean;
+    means.push_back(mean);
+    if (p > 0.0) {
+      const double predicted_extra = static_cast<double>(interval) * p / (1.0 - p);
+      const double extra = mean - base_mean;
+      EXPECT_GT(extra, 0.2 * predicted_extra) << "p=" << p;
+      EXPECT_LT(extra, 5.0 * predicted_extra) << "p=" << p;
+    }
+  }
+  EXPECT_LT(means[0], means[1]);
+  EXPECT_LT(means[1], means[2]);
+}
+
+TEST(Continuous, FlushRetriesThroughHeavyDrops) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 12);
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 16;
+  policy.sleep_on_backoff = false;
+  ContinuousUnionMonitor faulty(
+      3, 500, params, std::make_unique<FaultyChannel>(3, FaultSpec::dropping(0.5), 83),
+      policy);
+  ContinuousUnionMonitor clean(3, 500, params);
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t label = rng.next();
+    faulty.observe(static_cast<std::size_t>(i % 3), label);
+    clean.observe(static_cast<std::size_t>(i % 3), label);
+  }
+  clean.flush();
+  const CollectReport& report = faulty.flush();
+  EXPECT_TRUE(report.complete()) << report.summary();
+  EXPECT_GT(report.retries, 0u);
+  // Converged flush == the no-fault answer: retries recovered every drop.
+  EXPECT_DOUBLE_EQ(faulty.estimate(), clean.estimate());
+  for (auto lag : faulty.staleness()) EXPECT_EQ(lag, 0u);
+}
+
+TEST(Continuous, DuplicatedSnapshotsMergeOnce) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 14);
+  ContinuousUnionMonitor noisy(
+      2, 400, params,
+      std::make_unique<FaultyChannel>(2, FaultSpec{.duplicate = 1.0, .reorder = 0.5}, 84));
+  ContinuousUnionMonitor clean(2, 400, params);
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t label = rng.next();
+    noisy.observe(static_cast<std::size_t>(i % 2), label);
+    clean.observe(static_cast<std::size_t>(i % 2), label);
+  }
+  noisy.flush();
+  clean.flush();
+  EXPECT_DOUBLE_EQ(noisy.estimate(), clean.estimate());
+  EXPECT_GT(noisy.status().duplicates_dropped, 0u);
+  EXPECT_EQ(noisy.status().frames_quarantined, 0u);
+}
+
+TEST(Continuous, CorruptedSnapshotsAreQuarantinedNotMerged) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 16);
+  ContinuousUnionMonitor mon(
+      2, 300, params,
+      std::make_unique<FaultyChannel>(2, FaultSpec::corrupting(0.5), 85));
+  ExactDistinctCounter exact;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t label = rng.below(15'000);
+    mon.observe(static_cast<std::size_t>(i % 2), label);
+    exact.add(label);
+  }
+  EXPECT_GT(mon.status().frames_quarantined, 0u);
+  // Quarantine means the estimate stays a sane prefix-union answer.
+  EXPECT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count()));
 }
 
 }  // namespace

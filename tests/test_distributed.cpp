@@ -37,6 +37,19 @@ TEST(Channel, DrainEmptiesMailbox) {
   EXPECT_EQ(ch.stats().messages, 1u);
 }
 
+TEST(Channel, SendFromUnregisteredSiteIsAProtocolError) {
+  // Regression: this used to be silently accepted — the message was
+  // counted but its bytes were attributed to no site, skewing E4's
+  // per-party cost. Now it is rejected outright.
+  Channel ch(2);
+  EXPECT_THROW(ch.send(2, {1, 2, 3}), ProtocolError);
+  EXPECT_THROW(ch.send(999, {}), ProtocolError);
+  const auto stats = ch.stats();
+  EXPECT_EQ(stats.messages, 0u);  // the rejected sends left no trace
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_TRUE(ch.drain().empty());
+}
+
 TEST(DistributedRun, RefereeEqualsCentralObserver) {
   // The fundamental soundness property: the referee's merged sketch equals
   // (in estimate, deterministically) a single estimator that saw all items.
@@ -72,7 +85,37 @@ TEST(DistributedRun, CollectIsIdempotentAndLatching) {
   const double first = run.collect().estimate();
   EXPECT_DOUBLE_EQ(run.collect().estimate(), first);
   EXPECT_EQ(run.channel_stats().messages, 2u);  // no re-send
-  EXPECT_THROW(run.site(0), InvalidArgument);   // observation phase over
+  EXPECT_THROW(run.site(0), ProtocolError);     // observation phase over
+}
+
+TEST(DistributedRun, ProtocolMisuseThrowsProtocolError) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 7);
+  DistributedRun<F0Estimator> run(2, [&params] { return F0Estimator(params); });
+  run.site(0).add(1);
+  // Querying the referee (or its report) before collection is the misuse
+  // error.h promises ProtocolError for.
+  EXPECT_THROW(run.referee(), ProtocolError);
+  EXPECT_THROW(run.collect_report(), ProtocolError);
+  run.collect();
+  EXPECT_NO_THROW(run.referee());
+  EXPECT_NO_THROW(run.collect_report());
+  EXPECT_THROW(run.site(0), ProtocolError);  // double-phase misuse
+}
+
+TEST(DistributedRun, CollectReportOnCleanTransport) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 7);
+  DistributedRun<F0Estimator> run(3, [&params] { return F0Estimator(params); });
+  for (std::size_t s = 0; s < 3; ++s) run.site(s).add(s);
+  run.collect();
+  const CollectReport& report = run.collect_report();
+  EXPECT_TRUE(report.complete());
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.sites_reported, 3u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.frames_quarantined, 0u);
+  EXPECT_EQ(report.duplicates_dropped, 0u);
+  EXPECT_TRUE(report.missing_sites().empty());
+  for (const auto& site : report.per_site) EXPECT_EQ(site.attempts, 1u);
 }
 
 TEST(DistributedRun, ParallelFeedMatchesSequential) {

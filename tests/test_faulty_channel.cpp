@@ -1,0 +1,103 @@
+// FaultyChannel: seeded fault injection must be deterministic, honest in
+// its accounting, and degrade to a perfect Channel at p = 0.
+#include "distributed/faulty_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ustream {
+namespace {
+
+std::vector<std::uint8_t> message(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(FaultyChannel, NoFaultsBehavesLikeChannel) {
+  FaultyChannel ch(2, FaultSpec{}, 1);
+  ch.send(0, message(10, 0xAA));
+  ch.send(1, message(20, 0xBB));
+  const auto delivered = ch.drain();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], message(10, 0xAA));
+  EXPECT_EQ(delivered[1], message(20, 0xBB));
+  const auto stats = ch.stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.total_bytes, 30u);
+  EXPECT_EQ(stats.bytes_per_site[0], 10u);
+  EXPECT_EQ(stats.bytes_per_site[1], 20u);
+  EXPECT_EQ(ch.fault_stats().injected(), 0u);
+}
+
+TEST(FaultyChannel, CertainDropDeliversNothingButChargesBytes) {
+  FaultyChannel ch(1, FaultSpec::dropping(1.0), 2);
+  for (int i = 0; i < 50; ++i) ch.send(0, message(100, 1));
+  EXPECT_TRUE(ch.drain().empty());
+  // The sender still paid for every attempt.
+  EXPECT_EQ(ch.stats().messages, 50u);
+  EXPECT_EQ(ch.stats().total_bytes, 5000u);
+  EXPECT_EQ(ch.fault_stats().dropped, 50u);
+  EXPECT_EQ(ch.fault_stats().delivered, 0u);
+}
+
+TEST(FaultyChannel, CertainDuplicationDeliversTwoCopies) {
+  FaultyChannel ch(1, FaultSpec::duplicating(1.0), 3);
+  for (int i = 0; i < 20; ++i) ch.send(0, message(8, static_cast<std::uint8_t>(i)));
+  EXPECT_EQ(ch.drain().size(), 40u);
+  EXPECT_EQ(ch.fault_stats().duplicated, 20u);
+  EXPECT_EQ(ch.fault_stats().delivered, 40u);
+  // Duplicates are a network artifact: the site sent (and paid for) 20.
+  EXPECT_EQ(ch.stats().messages, 20u);
+}
+
+TEST(FaultyChannel, CorruptionMutatesBytesButKeepsDelivery) {
+  FaultyChannel ch(1, FaultSpec::corrupting(1.0), 4);
+  const auto original = message(64, 0x5A);
+  int mutated = 0;
+  for (int i = 0; i < 100; ++i) {
+    ch.send(0, original);
+    for (const auto& got : ch.drain()) {
+      if (got != original) ++mutated;
+    }
+  }
+  const auto fs = ch.fault_stats();
+  EXPECT_EQ(fs.delivered, 100u);
+  EXPECT_EQ(fs.corrupted(), fs.truncated + fs.bit_flipped);
+  EXPECT_GT(fs.corrupted(), 0u);
+  EXPECT_GT(mutated, 0);
+}
+
+TEST(FaultyChannel, SameSeedSameFaults) {
+  for (int round = 0; round < 2; ++round) {
+    FaultyChannel a(3, FaultSpec::chaos(0.3), 99);
+    FaultyChannel b(3, FaultSpec::chaos(0.3), 99);
+    for (int i = 0; i < 200; ++i) {
+      a.send(static_cast<std::size_t>(i % 3), message(32, static_cast<std::uint8_t>(i)));
+      b.send(static_cast<std::size_t>(i % 3), message(32, static_cast<std::uint8_t>(i)));
+    }
+    EXPECT_EQ(a.drain(), b.drain());
+    EXPECT_EQ(a.fault_stats().injected(), b.fault_stats().injected());
+  }
+}
+
+TEST(FaultyChannel, PerSiteConfigIsolatesTheFlakySite) {
+  FaultyChannel ch(2, FaultSpec{}, 5);
+  ch.set_site_faults(1, FaultSpec::dropping(1.0));
+  for (int i = 0; i < 30; ++i) {
+    ch.send(0, message(4, 0));
+    ch.send(1, message(4, 1));
+  }
+  const auto delivered = ch.drain();
+  ASSERT_EQ(delivered.size(), 30u);  // only site 0's messages arrive
+  for (const auto& m : delivered) EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(ch.fault_stats().dropped, 30u);
+}
+
+TEST(FaultyChannel, RejectsUnregisteredSites) {
+  FaultyChannel ch(2, FaultSpec{}, 6);
+  EXPECT_THROW(ch.send(2, message(1, 0)), ProtocolError);
+  EXPECT_THROW(ch.set_site_faults(7, FaultSpec{}), ProtocolError);
+}
+
+}  // namespace
+}  // namespace ustream

@@ -1,0 +1,134 @@
+// The frame layer: CRC32C known-answer vectors, frame roundtrip, and the
+// guarantee the referee leans on — EVERY single-bit corruption and every
+// truncation of a framed message is detected before payload parsing.
+#include "common/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+#include "common/random.h"
+
+namespace ustream {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // RFC 3720 / standard CRC32C test vectors.
+  EXPECT_EQ(crc32c({}), 0x00000000u);
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(std::vector<std::uint8_t>(32, 0x00)), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(std::vector<std::uint8_t>(32, 0xFF)), 0x62A8AB43u);
+}
+
+TEST(Crc32c, ChainingComposes) {
+  const auto all = bytes_of("the quick brown fox jumps over the lazy dog");
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{13}, all.size()}) {
+    const std::span<const std::uint8_t> span(all);
+    EXPECT_EQ(crc32c(span.subspan(cut), crc32c(span.subspan(0, cut))), crc32c(all));
+  }
+}
+
+TEST(Frame, RoundtripPreservesHeaderAndPayload) {
+  Xoshiro256 rng(1);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{100},
+                        std::size_t{4096}}) {
+    std::vector<std::uint8_t> payload(n);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+    const FrameHeader header{PayloadKind::kDistinctSum, 42, 7};
+    const auto framed = frame_encode(header, payload);
+    ASSERT_EQ(framed.size(), kFrameHeaderBytes + n);
+    const Frame decoded = frame_decode(framed);
+    EXPECT_EQ(decoded.header.kind, PayloadKind::kDistinctSum);
+    EXPECT_EQ(decoded.header.site, 42u);
+    EXPECT_EQ(decoded.header.epoch, 7u);
+    EXPECT_EQ(decoded.payload, payload);
+  }
+}
+
+TEST(Frame, EverySingleBitFlipIsDetected) {
+  // Exhaustive, not sampled: flip each bit of a framed message and demand
+  // a SerializationError. This is the "zero undetected corruptions" pillar
+  // of the soak acceptance criterion, proven at the smallest scale.
+  Xoshiro256 rng(2);
+  std::vector<std::uint8_t> payload(96);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto framed = frame_encode({PayloadKind::kF0Estimator, 3, 9}, payload);
+  for (std::size_t byte = 0; byte < framed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto copy = framed;
+      copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW((void)frame_decode(copy), SerializationError)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Frame, EveryTruncationIsDetected) {
+  const auto framed = frame_encode({PayloadKind::kBottomK, 1, 1},
+                                   std::vector<std::uint8_t>(257, 0xAB));
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    auto copy = framed;
+    copy.resize(len);
+    EXPECT_THROW((void)frame_decode(copy), SerializationError) << "length " << len;
+  }
+  // Trailing garbage is a length mismatch, not a parse of extra payload.
+  auto extended = framed;
+  extended.push_back(0);
+  EXPECT_THROW((void)frame_decode(extended), SerializationError);
+}
+
+TEST(Frame, VersionGateRejectsFutureAndAncientVersions) {
+  auto framed = frame_encode({PayloadKind::kF0Estimator, 0, 0}, bytes_of("payload"));
+  for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{kFrameVersion + 1},
+                         std::uint8_t{255}}) {
+    auto copy = framed;
+    copy[4] = v;  // even with a recomputed CRC the version gate must hold
+    std::uint32_t crc = crc32c(std::span<const std::uint8_t>(copy).subspan(0, 20));
+    crc = crc32c(std::span<const std::uint8_t>(copy).subspan(kFrameHeaderBytes), crc);
+    copy[20] = static_cast<std::uint8_t>(crc);
+    copy[21] = static_cast<std::uint8_t>(crc >> 8);
+    copy[22] = static_cast<std::uint8_t>(crc >> 16);
+    copy[23] = static_cast<std::uint8_t>(crc >> 24);
+    EXPECT_THROW((void)frame_decode(copy), SerializationError) << "version " << int(v);
+  }
+}
+
+TEST(Frame, UnknownKindAndReservedBitsRejected) {
+  const auto payload = bytes_of("x");
+  const auto reframe = [&](std::size_t offset, std::uint8_t value) {
+    auto copy = frame_encode({PayloadKind::kOpaque, 0, 0}, payload);
+    copy[offset] = value;
+    std::uint32_t crc = crc32c(std::span<const std::uint8_t>(copy).subspan(0, 20));
+    crc = crc32c(std::span<const std::uint8_t>(copy).subspan(kFrameHeaderBytes), crc);
+    copy[20] = static_cast<std::uint8_t>(crc);
+    copy[21] = static_cast<std::uint8_t>(crc >> 8);
+    copy[22] = static_cast<std::uint8_t>(crc >> 16);
+    copy[23] = static_cast<std::uint8_t>(crc >> 24);
+    return copy;
+  };
+  EXPECT_THROW((void)frame_decode(reframe(5, 0)), SerializationError);     // kind 0
+  EXPECT_THROW((void)frame_decode(reframe(5, 200)), SerializationError);   // kind 200
+  EXPECT_THROW((void)frame_decode(reframe(6, 1)), SerializationError);     // reserved
+  EXPECT_THROW((void)frame_decode(reframe(7, 0x80)), SerializationError);  // reserved
+}
+
+TEST(Frame, LooksLikeFrameIsAProbeNotAValidator) {
+  const auto framed = frame_encode({PayloadKind::kOpaque, 0, 0}, bytes_of("p"));
+  EXPECT_TRUE(looks_like_frame(framed));
+  EXPECT_FALSE(looks_like_frame(bytes_of("USKE....")));
+  EXPECT_FALSE(looks_like_frame({}));
+  auto corrupt = framed;
+  corrupt.back() ^= 0xFF;
+  EXPECT_TRUE(looks_like_frame(corrupt));  // magic intact; decode still throws
+  EXPECT_THROW((void)frame_decode(corrupt), SerializationError);
+}
+
+}  // namespace
+}  // namespace ustream

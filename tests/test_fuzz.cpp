@@ -10,9 +10,11 @@
 
 #include "cli/commands.h"
 #include "common/dense_map.h"
+#include "common/frame.h"
 #include "common/random.h"
 #include "core/coordinated_sampler.h"
 #include "core/distinct_sampler.h"
+#include "core/distinct_sum.h"
 #include "core/f0_estimator.h"
 #include "core/range_sampler.h"
 
@@ -80,6 +82,77 @@ TEST(WireFuzz, BottomKSurvivesCorruption) {
   corruption_sweep(s.serialize(),
                    [](const std::vector<std::uint8_t>& b) { (void)BottomKSampler::deserialize(b); },
                    14);
+}
+
+// The frame layer upgrades the corruption contract from "reject or decode
+// benignly" to "REJECT, full stop": with a CRC32C over header+payload,
+// every truncation and bit-flip of a framed buffer must throw
+// SerializationError before any sketch-specific parsing runs. 600 seeded
+// corruptions per sketch type; zero undetected corruptions tolerated.
+void framed_corruption_sweep(const std::vector<std::uint8_t>& payload, PayloadKind kind,
+                             std::uint64_t seed) {
+  const auto framed = frame_encode({kind, 1, 1}, payload);
+  ASSERT_NO_THROW((void)frame_decode(framed));  // the pristine frame is fine
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 600; ++trial) {
+    auto copy = framed;
+    const int mode = static_cast<int>(rng.below(4));
+    if (mode == 0) {
+      copy[rng.below(copy.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    } else if (mode == 1) {
+      copy.resize(rng.below(copy.size()));  // strict truncation
+    } else if (mode == 2) {
+      const auto extra = 1 + rng.below(16);
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        copy.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      }
+    } else {  // multi-bit burst, the classic CRC stress
+      const auto flips = 1 + rng.below(32);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        copy[rng.below(copy.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+    }
+    ASSERT_THROW((void)frame_decode(copy), SerializationError)
+        << "undetected corruption, trial " << trial << " mode " << mode;
+  }
+}
+
+TEST(WireFuzz, FramedF0EstimatorCorruptionAlwaysDetected) {
+  F0Estimator est(EstimatorParams{.capacity = 32, .copies = 5, .seed = 20});
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) est.add(rng.next());
+  framed_corruption_sweep(est.serialize(), PayloadKind::kF0Estimator, 21);
+}
+
+TEST(WireFuzz, FramedDistinctSumCorruptionAlwaysDetected) {
+  DistinctSumEstimator est(EstimatorParams{.capacity = 32, .copies = 5, .seed = 22});
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 10'000; ++i) est.add(rng.next(), rng.uniform01());
+  framed_corruption_sweep(est.serialize(), PayloadKind::kDistinctSum, 23);
+}
+
+TEST(WireFuzz, FramedRangeSamplerCorruptionAlwaysDetected) {
+  RangeSampler s(128, 24);
+  s.add_range(1000, 5'000'000);
+  framed_corruption_sweep(s.serialize(), PayloadKind::kRangeF0, 25);
+}
+
+TEST(WireFuzz, FramedBottomKCorruptionAlwaysDetected) {
+  BottomKSampler s(64, 26);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.next(), rng.uniform01());
+  framed_corruption_sweep(s.serialize(), PayloadKind::kBottomK, 27);
+}
+
+TEST(WireFuzz, FramedCoordinatedSamplerCorruptionAlwaysDetected) {
+  CoordinatedSampler<PairwiseHash, Unit> s(64, 28);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 20'000; ++i) s.add(rng.next());
+  framed_corruption_sweep(s.serialize(), PayloadKind::kCoordinatedSampler, 29);
+}
+
+TEST(WireFuzz, FramedEmptyPayloadCorruptionAlwaysDetected) {
+  framed_corruption_sweep({}, PayloadKind::kOpaque, 30);
 }
 
 TEST(WireFuzz, CliRejectsJunkFiles) {

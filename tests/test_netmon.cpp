@@ -133,5 +133,40 @@ TEST(Monitor, CorruptReportRejected) {
   EXPECT_THROW(center.receive(0, junk), SerializationError);
 }
 
+TEST(Monitor, RetransmittedReportIsMergedOnce) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 12);
+  const auto w = make_network_workload({.links = 2, .flows_per_link = 4000, .seed = 13});
+  std::vector<LinkMonitor> monitors(2, LinkMonitor(params));
+  for (std::size_t link = 0; link < 2; ++link) {
+    for (const Packet& p : w.link_traces[link]) monitors[link].observe(p);
+  }
+  MonitoringCenter center(2, params);
+  center.collect(monitors);
+  const double before = center.query(NetLabel::kFlow).naive_sum;
+  // A network retransmit replays link 1's framed report verbatim: the
+  // center must drop it (same link+epoch) rather than double-merge —
+  // visible in the naive sum, which WOULD double if merged twice.
+  center.receive(1, monitors[1].report(1, 0));
+  EXPECT_DOUBLE_EQ(center.query(NetLabel::kFlow).naive_sum, before);
+  EXPECT_EQ(center.reports_received(), 2u);
+  EXPECT_EQ(center.duplicates_dropped(), 1u);
+  // A NEW epoch from the same link is not a duplicate.
+  center.receive(1, monitors[1].report(1, 1));
+  EXPECT_EQ(center.reports_received(), 3u);
+  EXPECT_EQ(center.duplicates_dropped(), 1u);
+}
+
+TEST(Monitor, MistaggedReportRejected) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 14);
+  const auto w = make_network_workload({.links = 2, .flows_per_link = 1000, .seed = 15});
+  LinkMonitor mon(params);
+  for (const Packet& p : w.link_traces[0]) mon.observe(p);
+  MonitoringCenter center(2, params);
+  // Frame says link 1, receive says link 0: a routing bug, not corruption —
+  // but it must still be refused before touching the merged state.
+  EXPECT_THROW(center.receive(0, mon.report(1, 0)), SerializationError);
+  EXPECT_EQ(center.reports_received(), 0u);
+}
+
 }  // namespace
 }  // namespace ustream

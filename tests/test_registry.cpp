@@ -95,6 +95,28 @@ TEST_F(RegistryTest, PutSerializedAndReplace) {
   EXPECT_DOUBLE_EQ(registry_.estimate_site("site0"), 1.0);
 }
 
+TEST_F(RegistryTest, PutFramedValidatesBeforeParsing) {
+  F0Estimator fresh(params_);
+  fresh.add(7);
+  fresh.add(8);
+  const auto framed = frame_encode({PayloadKind::kF0Estimator, 0, 0}, fresh.serialize());
+  registry_.put_framed("site0", framed);  // replaces
+  EXPECT_DOUBLE_EQ(registry_.estimate_site("site0"), 2.0);
+
+  // A flipped bit anywhere in the frame is rejected by the CRC before any
+  // estimator parsing, and the registry keeps its previous sketch.
+  auto corrupt = framed;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  EXPECT_THROW(registry_.put_framed("site0", corrupt), SerializationError);
+  EXPECT_DOUBLE_EQ(registry_.estimate_site("site0"), 2.0);
+
+  // A structurally valid frame of the wrong protocol is refused too.
+  const auto wrong_kind = frame_encode({PayloadKind::kBottomK, 0, 0}, fresh.serialize());
+  EXPECT_THROW(registry_.put_framed("site0", wrong_kind), SerializationError);
+  EXPECT_THROW(registry_.put_framed("site0", std::vector<std::uint8_t>{1, 2, 3}),
+               SerializationError);
+}
+
 TEST_F(RegistryTest, Errors) {
   const std::vector<std::string> unknown = {"nope"};
   EXPECT_THROW(registry_.estimate_union(unknown), InvalidArgument);

@@ -1,0 +1,203 @@
+// Fault-injection soak matrix (ctest label: soak).
+//
+// The acceptance bar for the fault-tolerant collection subsystem:
+//   * under seeded drop/duplicate/corrupt faults, collect() converges via
+//     retries and the referee state is BIT-IDENTICAL to a fault-free run
+//     (each site merged exactly once, no corrupted frame ever accepted);
+//   * the CollectReport's books balance: attempts/retries/missing sites
+//     reconcile with what the channel actually did;
+//   * total loss degrades, never lies: the estimate becomes a reported
+//     lower bound with every missing site named.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "distributed/faulty_channel.h"
+#include "distributed/protocols.h"
+#include "distributed/runtime.h"
+#include "stream/partitioner.h"
+
+namespace ustream {
+namespace {
+
+constexpr std::size_t kSites = 6;
+
+DistributedWorkload soak_workload(std::uint64_t seed) {
+  return make_distributed_workload({.sites = kSites, .union_distinct = 20'000,
+                                    .overlap = 0.4, .duplication = 1.5, .seed = seed});
+}
+
+RetryPolicy soak_policy() {
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 16;  // p=0.5 drop: residual loss 2^-16 per site
+  policy.sleep_on_backoff = false;    // schedule still computed, just not slept
+  return policy;
+}
+
+// Runs collection over the given transport and returns the referee bytes.
+// Fault stats must be copied out BEFORE the run (which owns the transport)
+// is destroyed — callers get them via `fault_out`, never a raw pointer into
+// the channel.
+std::vector<std::uint8_t> run_collect(const DistributedWorkload& w,
+                                      const EstimatorParams& params,
+                                      std::unique_ptr<Transport> transport,
+                                      const RetryPolicy& policy, CollectReport* report_out,
+                                      FaultStats* fault_out = nullptr) {
+  const bool faulty = transport != nullptr;
+  DistributedRun<F0Estimator> run(kSites, [&params] { return F0Estimator(params); },
+                                  std::move(transport));
+  for (std::size_t s = 0; s < kSites; ++s) {
+    for (const Item& item : w.site_streams[s]) run.site(s).add(item.label);
+  }
+  const auto bytes = run.collect(policy).serialize();
+  if (report_out) *report_out = run.collect_report();
+  if (fault_out && faulty) {
+    *fault_out = dynamic_cast<FaultyChannel&>(run.transport()).fault_stats();
+  }
+  return bytes;
+}
+
+class SoakMatrix : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(FaultLevels, SoakMatrix, ::testing::Values(0.05, 0.2, 0.5));
+
+TEST_P(SoakMatrix, CollectConvergesBitIdenticallyUnderEachFaultMix) {
+  const double p = GetParam();
+  const auto w = soak_workload(11);
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 21);
+  const auto fault_free =
+      run_collect(w, params, nullptr, soak_policy(), nullptr);
+
+  struct Mix {
+    const char* name;
+    FaultSpec spec;
+    // Only the single-fault mixes pin down WHICH counter must move; in the
+    // combined mix a given fault can legitimately never fire in the few
+    // sends a 6-site collect needs, so there only the invariants apply.
+    bool pure;
+  };
+  const Mix mixes[] = {
+      {"drop", FaultSpec::dropping(p), true},
+      {"duplicate", FaultSpec::duplicating(p), true},
+      {"corrupt", FaultSpec::corrupting(p), true},
+      {"drop+duplicate+corrupt", FaultSpec::chaos(p), false},
+  };
+  std::uint64_t mix_index = 0;
+  for (const Mix& mix : mixes) {
+    auto channel = std::make_unique<FaultyChannel>(
+        kSites, mix.spec,
+        0xFA017 * (static_cast<std::uint64_t>(p * 100) + 1) + mix_index++);
+    CollectReport report;
+    FaultStats fs;
+    const auto faulty =
+        run_collect(w, params, std::move(channel), soak_policy(), &report, &fs);
+
+    ASSERT_TRUE(report.complete()) << mix.name << " p=" << p << "\n" << report.summary();
+    // Bit-identical referee: every site merged exactly once, and no
+    // corrupted frame slipped past the CRC into the merge.
+    EXPECT_EQ(faulty, fault_free) << mix.name << " p=" << p;
+
+    // The report's books must balance against the channel's ground truth.
+    std::uint64_t attempts = 0;
+    for (const auto& site : report.per_site) {
+      EXPECT_TRUE(site.reported);
+      EXPECT_FALSE(site.exhausted);
+      EXPECT_GE(site.attempts, 1u);
+      attempts += site.attempts;
+    }
+    EXPECT_EQ(attempts, fs.sends) << mix.name;
+    EXPECT_EQ(report.retries, attempts - kSites) << mix.name;
+    // Nothing is quarantined that the channel didn't actually corrupt.
+    EXPECT_LE(report.frames_quarantined, fs.corrupted()) << mix.name;
+    // Ground-truth coupling for the single-fault mixes: whenever the
+    // channel injected a fault, the report must have paid for it — a drop
+    // forces a retry, a clean duplicate is deduped, a corruption is
+    // quarantined. (In the combined mix faults interact — e.g. a corrupted
+    // duplicate is quarantined, not deduped — so only invariants apply.)
+    if (mix.pure) {
+      if (fs.dropped > 0) {
+        EXPECT_GT(report.retries, 0u) << mix.name;
+      }
+      if (fs.duplicated > 0) {
+        EXPECT_GT(report.duplicates_dropped, 0u) << mix.name;
+      }
+      if (fs.corrupted() > 0) {
+        EXPECT_GT(report.frames_quarantined, 0u) << mix.name;
+      }
+      // And at meaningful fault rates the seeded channel really does
+      // misbehave, so the convergence above was earned through recovery.
+      if (p >= 0.2) {
+        EXPECT_GT(fs.injected(), 0u) << mix.name;
+      }
+    }
+  }
+}
+
+TEST(Soak, TotalLossDegradesAndNamesEveryMissingSite) {
+  const auto w = soak_workload(12);
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 22);
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 3;
+  policy.sleep_on_backoff = false;
+  DistributedRun<F0Estimator> run(
+      kSites, [&params] { return F0Estimator(params); },
+      std::make_unique<FaultyChannel>(kSites, FaultSpec::dropping(1.0), 7));
+  for (std::size_t s = 0; s < kSites; ++s) {
+    for (const Item& item : w.site_streams[s]) run.site(s).add(item.label);
+  }
+  const double estimate = run.collect(policy).estimate();
+  const CollectReport& report = run.collect_report();
+  EXPECT_EQ(estimate, 0.0);  // empty union: maximally degraded lower bound
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.sites_reported, 0u);
+  EXPECT_EQ(report.missing_sites().size(), kSites);
+  for (const auto& site : report.per_site) {
+    EXPECT_TRUE(site.exhausted);
+    EXPECT_EQ(site.attempts, 3u);
+  }
+  EXPECT_NE(report.summary().find("DEGRADED"), std::string::npos);
+  EXPECT_NE(report.summary().find("exhausted"), std::string::npos);
+}
+
+TEST(Soak, SingleFlakySiteDegradesOnlyItsPrefix) {
+  // One site's link is down; the other five must still merge cleanly and
+  // the estimate must stay a sane lower bound of the union.
+  const auto w = soak_workload(13);
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 23);
+  auto channel = std::make_unique<FaultyChannel>(kSites, FaultSpec{}, 8);
+  channel->set_site_faults(2, FaultSpec::dropping(1.0));
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 4;
+  policy.sleep_on_backoff = false;
+  DistributedRun<F0Estimator> run(kSites, [&params] { return F0Estimator(params); },
+                                  std::move(channel));
+  for (std::size_t s = 0; s < kSites; ++s) {
+    for (const Item& item : w.site_streams[s]) run.site(s).add(item.label);
+  }
+  const double estimate = run.collect(policy).estimate();
+  const CollectReport& report = run.collect_report();
+  EXPECT_EQ(report.sites_reported, kSites - 1);
+  ASSERT_EQ(report.missing_sites(), std::vector<std::size_t>{2});
+  // Lower bound: missing one site can only remove distinct labels.
+  EXPECT_LT(estimate, 1.1 * static_cast<double>(w.union_distinct));
+  // ...but the five reporting sites still cover most of the union here.
+  EXPECT_GT(estimate, 0.5 * static_cast<double>(w.union_distinct));
+}
+
+TEST(Soak, RetransmitStormMergesEachSiteExactlyOnce) {
+  // duplicate=1.0 doubles every frame; dedup by (site, epoch) must make
+  // the referee indistinguishable from a clean run.
+  const auto w = soak_workload(14);
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 24);
+  const auto clean = run_collect(w, params, nullptr, soak_policy(), nullptr);
+  CollectReport report;
+  const auto noisy = run_collect(
+      w, params, std::make_unique<FaultyChannel>(kSites, FaultSpec::duplicating(1.0), 9),
+      soak_policy(), &report);
+  EXPECT_EQ(noisy, clean);
+  EXPECT_EQ(report.duplicates_dropped, kSites);  // one extra copy per site
+  EXPECT_EQ(report.retries, 0u);
+}
+
+}  // namespace
+}  // namespace ustream
