@@ -1,16 +1,18 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the batched ingestion path.
+"""Perf-regression gate over google-benchmark JSON output.
 
-Reads two google-benchmark JSON files (the checked-in baseline
-bench/BENCH_throughput.json and a fresh run from bench/run_bench.sh) and
-fails if:
+Reads two google-benchmark JSON files (a checked-in baseline such as
+bench/BENCH_throughput.json or bench/BENCH_merge.json, and a fresh run from
+bench/run_bench.sh / bench/run_merge_bench.sh) and fails if:
 
   * any benchmark present in both regressed in items_per_second by more
     than --tolerance (fractional; generous by default because the CI
     machines are noisy single-core VMs), or
-  * the batched path is not at least --speedup-floor times faster than the
-    scalar path in the saturated regime (BM_IngestBatch/1024/1 vs
-    BM_IngestScalar/1024/1) — the ISSUE's >= 2x acceptance floor.
+  * any required speedup pair dips below its floor. Pairs come from
+    repeated --speedup SLOW,FAST,FLOOR arguments (measured on the CURRENT
+    run: items/sec of FAST must be >= FLOOR * items/sec of SLOW); with no
+    --speedup given, the legacy --scalar/--batch/--speedup-floor trio
+    forms the single pair (the ingestion gate's >= 2x batch floor).
 
 Exit status 0 on pass, 1 on any failure.
 """
@@ -49,7 +51,19 @@ def main():
     parser.add_argument(
         "--batch", default="BM_IngestBatch/1024/1",
         help="batched side of the speedup pair")
+    parser.add_argument(
+        "--speedup", action="append", metavar="SLOW,FAST,FLOOR",
+        help="require items/sec(FAST) >= FLOOR * items/sec(SLOW) in the "
+             "current run; repeatable, overrides --scalar/--batch")
     args = parser.parse_args()
+
+    if args.speedup:
+        pairs = []
+        for spec in args.speedup:
+            slow, fast, floor = spec.rsplit(",", 2)
+            pairs.append((slow, fast, float(floor)))
+    else:
+        pairs = [(args.scalar, args.batch, args.speedup_floor)]
 
     baseline = load_items_per_second(args.baseline)
     current = load_items_per_second(args.current)
@@ -67,18 +81,17 @@ def main():
         if not ok:
             failures.append(f"{name} regressed to {ratio:.2f}x of baseline")
 
-    if args.scalar in current and args.batch in current:
-        speedup = current[args.batch] / current[args.scalar]
-        ok = speedup >= args.speedup_floor
-        print(f"{'OK' if ok else 'TOO SLOW':11s} batch speedup "
-              f"({args.batch} / {args.scalar}): {speedup:.2f}x "
-              f"(floor {args.speedup_floor:.1f}x)")
-        if not ok:
-            failures.append(
-                f"batch speedup {speedup:.2f}x below floor {args.speedup_floor:.1f}x")
-    else:
-        failures.append(
-            f"speedup pair {args.scalar} / {args.batch} missing from current run")
+    for slow, fast, floor in pairs:
+        if slow in current and fast in current:
+            speedup = current[fast] / current[slow]
+            ok = speedup >= floor
+            print(f"{'OK' if ok else 'TOO SLOW':11s} speedup "
+                  f"({fast} / {slow}): {speedup:.2f}x (floor {floor:.1f}x)")
+            if not ok:
+                failures.append(
+                    f"{fast} / {slow} speedup {speedup:.2f}x below floor {floor:.1f}x")
+        else:
+            failures.append(f"speedup pair {slow} / {fast} missing from current run")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -6,14 +6,19 @@
 #      check_regression.py (including the >= 2x batch-vs-scalar floor).
 #      This gate runs first: benchmarks want a quiet machine, and the
 #      soak suite below would leave the cores hot.
-#   2. robustness — `ctest -L soak` runs the fault-injection matrix
+#   2. merge performance — bench/run_merge_bench.sh measures the referee
+#      merge-engine rows and gates them against bench/BENCH_merge.json
+#      (>= 2x k-way-vs-fold at 256 sites, >= 10x incremental-vs-full
+#      continuous query at 64 sites).
+#   3. robustness — `ctest -L soak` runs the fault-injection matrix
 #      (drop x duplicate x corrupt at p in {0.05, 0.2, 0.5}): collection
 #      must converge via retries to a referee bit-identical to a
-#      fault-free run, with honest CollectReport accounting.
+#      fault-free run — now including the tree-reduction referee vs the
+#      sequential site-order merge — with honest CollectReport accounting.
 #
 # Usage:
-#   bench/run_gates.sh [build-dir]            # both gates
-#   bench/run_gates.sh --update [build-dir]   # also refresh the perf baseline
+#   bench/run_gates.sh [build-dir]            # all gates
+#   bench/run_gates.sh --update [build-dir]   # also refresh perf baselines
 set -euo pipefail
 
 update_flag=()
@@ -29,10 +34,13 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/2: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/3: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/2: fault-injection soak (ctest -L soak) =="
+echo "== gate 2/3: merge-engine perf regression (bench/run_merge_bench.sh) =="
+"$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 3/3: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the merge-engine scaling rows of bench_merge with JSON output and
+# gates them against the checked-in baseline (bench/BENCH_merge.json) via
+# check_regression.py. Two speedup floors are enforced, both ALGORITHMIC
+# (they hold on a single core, so the gate never depends on how many CPUs
+# the CI machine happens to have):
+#
+#   * the single-pass k-way BottomK merge must beat the pairwise fold by
+#     >= 2x at 256 sites (heap merge vs rebuilding the accumulator t-1
+#     times);
+#   * the incremental continuous-query cache must beat the copy-everything
+#     remerge by >= 10x at 64 sites (the ISSUE's acceptance floor; in
+#     practice it is orders of magnitude).
+#
+# Usage:
+#   bench/run_merge_bench.sh [build-dir]            # measure + gate
+#   bench/run_merge_bench.sh --update [build-dir]   # also refresh baseline
+set -euo pipefail
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/bench/BENCH_merge.json"
+current="$(mktemp --suffix=.json)"
+trap 'rm -f "$current"' EXIT
+
+cmake --build "$build" --target bench_merge -j >/dev/null
+
+# The Merge/ContinuousQuery filter selects exactly the gated rows (the
+# classic E8 rows — capacity sweep, serialize round-trip — have no
+# items_per_second and are measured separately).
+"$build/bench/bench_merge" \
+  --benchmark_filter='BM_Merge(Fold|Engine|BottomK)|BM_ContinuousQuery' \
+  --benchmark_min_time=0.5 \
+  --benchmark_out="$current" \
+  --benchmark_out_format=json
+
+if [[ -f "$baseline" ]]; then
+  python3 "$repo/bench/check_regression.py" \
+    --baseline "$baseline" --current "$current" \
+    --speedup 'BM_MergeBottomKFold/256,BM_MergeBottomKKway/256,2.0' \
+    --speedup 'BM_ContinuousQueryFull/64,BM_ContinuousQueryIncremental/64,10.0'
+else
+  echo "no baseline at $baseline yet; skipping regression gate"
+fi
+
+if [[ "$update" == 1 || ! -f "$baseline" ]]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $baseline"
+fi

@@ -200,6 +200,14 @@ class CoordinatedSampler {
   // Folds `other` into this sampler. Requires identical seed and capacity
   // (the coordination contract). Result state is identical to a single
   // sampler that observed both streams.
+  //
+  // Single pass: all of other's entries at or above the current level are
+  // inserted first and the capacity raise runs ONCE at the end, instead of
+  // interleaving per-entry raises (each an O(|S|) filter) with insertion.
+  // The final state is unchanged — it is the survivor set at the minimal
+  // feasible level, a pure function of the distinct labels absorbed
+  // (DESIGN.md §7) — the map just transiently holds up to 2·capacity
+  // entries.
   void merge(const CoordinatedSampler& other) {
     USTREAM_REQUIRE(can_merge_with(other),
                     "merge requires samplers with identical seed and capacity");
@@ -210,9 +218,36 @@ class CoordinatedSampler {
     for (const auto& e : other.map_) {
       if (e.value.level < level_) continue;
       map_.try_emplace(e.key, e.value);
-      if (map_.size() > capacity_) raise_level();
     }
+    if (map_.size() > capacity_) raise_level();
     items_processed_ += other.items_processed_;
+  }
+
+  // k-way merge: folds all of `others` in one pass. Equivalent (and
+  // byte-identical once serialized) to merging them left to right, but
+  // adopts the maximum input level up front — one self-filter instead of
+  // up to t — and defers the capacity raise to a single trailing pass.
+  // Entries are inserted in input order, preserving the leftmost-wins
+  // rule for valued duplicates.
+  void merge_many(std::span<const CoordinatedSampler* const> others) {
+    int target = level_;
+    for (const CoordinatedSampler* o : others) {
+      USTREAM_REQUIRE(o != nullptr && can_merge_with(*o),
+                      "merge requires samplers with identical seed and capacity");
+      target = std::max(target, o->level_);
+    }
+    if (target > level_) {
+      set_level(target);
+      map_.filter([this](const Entry& e) { return e.value.level >= level_; });
+    }
+    for (const CoordinatedSampler* o : others) {
+      for (const auto& e : o->map_) {
+        if (e.value.level < level_) continue;
+        map_.try_emplace(e.key, e.value);
+      }
+      items_processed_ += o->items_processed_;
+    }
+    if (map_.size() > capacity_) raise_level();
   }
 
   // --- introspection ---------------------------------------------------------

@@ -69,10 +69,95 @@ double BottomKSampler::estimate_value_quantile(double q) const {
 void BottomKSampler::merge(const BottomKSampler& other) {
   USTREAM_REQUIRE(can_merge_with(other),
                   "merge requires bottom-k samplers with identical seed and k");
-  for (const Entry& e : other.entries_) {
-    if (entries_.size() >= k_ && e.hash >= entries_.back().hash) continue;
-    insert_entry(e);
+  if (other.entries_.empty()) return;
+  if (entries_.empty()) {
+    entries_ = other.entries_;  // already hash-sorted, size <= k
+    return;
   }
+  // Saturated reject: nothing in `other` beats the current k-th hash.
+  if (saturated() && other.entries_.front().hash >= entries_.back().hash) return;
+  // Disjoint splice: all of `other` sorts strictly before self.
+  if (other.entries_.back().hash < entries_.front().hash) {
+    std::vector<Entry> out;
+    out.reserve(std::min(k_, other.entries_.size() + entries_.size()));
+    out = other.entries_;
+    for (const Entry& e : entries_) {
+      if (out.size() >= k_) break;
+      out.push_back(e);
+    }
+    entries_ = std::move(out);
+    return;
+  }
+  // General case: one pass over the two sorted vectors, deduplicating by
+  // hash (self wins), stopping as soon as k entries are emitted — every
+  // remaining input is larger than the new k-th hash.
+  std::vector<Entry> out;
+  out.reserve(std::min(k_, entries_.size() + other.entries_.size()));
+  auto a = entries_.begin();
+  const auto ae = entries_.end();
+  auto b = other.entries_.begin();
+  const auto be = other.entries_.end();
+  while (out.size() < k_ && a != ae && b != be) {
+    if (a->hash < b->hash) {
+      out.push_back(*a++);
+    } else if (b->hash < a->hash) {
+      out.push_back(*b++);
+    } else {
+      out.push_back(*a++);  // duplicate label: self's value wins
+      ++b;
+    }
+  }
+  while (out.size() < k_ && a != ae) out.push_back(*a++);
+  while (out.size() < k_ && b != be) out.push_back(*b++);
+  entries_ = std::move(out);
+}
+
+void BottomKSampler::merge_many(std::span<const BottomKSampler* const> others) {
+  for (const BottomKSampler* o : others) {
+    USTREAM_REQUIRE(o != nullptr && can_merge_with(*o),
+                    "merge requires bottom-k samplers with identical seed and k");
+  }
+  // Cursor per input, self first so ties resolve leftmost. The heap holds
+  // (hash, input) keys; at most k + duplicates pops ever happen because
+  // once k entries are out, every remaining head exceeds the k-th hash.
+  struct Cursor {
+    const Entry* pos;
+    const Entry* end;
+    std::size_t input;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(others.size() + 1);
+  if (!entries_.empty()) {
+    cursors.push_back({entries_.data(), entries_.data() + entries_.size(), 0});
+  }
+  std::size_t input = 1;
+  for (const BottomKSampler* o : others) {
+    if (!o->entries_.empty()) {
+      cursors.push_back(
+          {o->entries_.data(), o->entries_.data() + o->entries_.size(), input});
+    }
+    ++input;
+  }
+  if (cursors.empty()) return;
+  const auto later = [](const Cursor& x, const Cursor& y) {
+    // Max-heap comparator inverted into a min-heap on (hash, input).
+    if (x.pos->hash != y.pos->hash) return x.pos->hash > y.pos->hash;
+    return x.input > y.input;
+  };
+  std::make_heap(cursors.begin(), cursors.end(), later);
+  std::vector<Entry> out;
+  out.reserve(k_);
+  while (!cursors.empty() && out.size() < k_) {
+    std::pop_heap(cursors.begin(), cursors.end(), later);
+    Cursor c = cursors.back();
+    cursors.pop_back();
+    if (out.empty() || out.back().hash != c.pos->hash) out.push_back(*c.pos);
+    if (++c.pos != c.end) {
+      cursors.push_back(c);
+      std::push_heap(cursors.begin(), cursors.end(), later);
+    }
+  }
+  entries_ = std::move(out);
 }
 
 void BottomKSampler::serialize(ByteWriter& w) const {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/error.h"
@@ -66,7 +67,20 @@ class BottomKSampler {
   // The sample itself (sorted by hash, i.e. in uniform-random label order).
   const std::vector<Entry>& entries() const noexcept { return entries_; }
 
+  // Folds `other` in. Linear time: a single pass over the two hash-sorted
+  // entry vectors (with splice fast paths for empty/disjoint inputs and an
+  // O(1) reject when nothing in `other` can beat the current threshold),
+  // instead of a per-entry sorted insert (O(k) each, O(k²) per merge).
+  // Duplicate hashes keep self's entry — the leftmost-wins rule that makes
+  // site-order folds and tree reductions byte-identical.
   void merge(const BottomKSampler& other);
+
+  // k-way merge: folds all of `others` in a single pass over a t-way
+  // cursor heap, emitting at most k entries — O((k + t) log t) instead of
+  // the t successive pairwise merges' O(t·k). Ties across inputs keep the
+  // earliest input (self first, then `others` in order).
+  void merge_many(std::span<const BottomKSampler* const> others);
+
   bool can_merge_with(const BottomKSampler& other) const noexcept {
     return seed_ == other.seed_ && k_ == other.k_;
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/error.h"
@@ -20,6 +21,7 @@
 #include "common/serialize.h"
 #include "common/stats.h"
 #include "core/coordinated_sampler.h"
+#include "core/merge_engine.h"
 #include "core/params.h"
 #include "hash/pairwise.h"
 
@@ -85,6 +87,29 @@ class BasicDistinctSumEstimator {
     USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
                     "merge requires estimators with identical parameters");
     for (std::size_t i = 0; i < copies_.size(); ++i) copies_[i].merge(other.copies_[i]);
+  }
+
+  // Copy-parallel merge; state identical to merge(other).
+  void merge(const BasicDistinctSumEstimator& other, ThreadPool& pool) {
+    USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
+                    "merge requires estimators with identical parameters");
+    pool.parallel_for(copies_.size(),
+                      [&](std::size_t i) { copies_[i].merge(other.copies_[i]); });
+  }
+
+  // Copy-parallel k-way merge; state identical to a left-to-right fold.
+  void merge_many(std::span<const BasicDistinctSumEstimator* const> others,
+                  ThreadPool& pool) {
+    for (const BasicDistinctSumEstimator* o : others) {
+      USTREAM_REQUIRE(o != nullptr && copies_.size() == o->copies_.size(),
+                      "merge requires estimators with identical parameters");
+    }
+    pool.parallel_for(copies_.size(), [&](std::size_t i) {
+      std::vector<const Sampler*> parts;
+      parts.reserve(others.size());
+      for (const BasicDistinctSumEstimator* o : others) parts.push_back(&o->copies_[i]);
+      copies_[i].merge_many(std::span<const Sampler* const>(parts));
+    });
   }
 
   const EstimatorParams& params() const noexcept { return params_; }

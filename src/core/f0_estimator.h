@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/error.h"
@@ -20,6 +21,7 @@
 #include "common/serialize.h"
 #include "common/stats.h"
 #include "core/coordinated_sampler.h"
+#include "core/merge_engine.h"
 #include "core/params.h"
 #include "hash/pairwise.h"
 
@@ -94,6 +96,31 @@ class BasicF0Estimator {
     USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
                     "merge requires estimators with identical parameters");
     for (std::size_t i = 0; i < copies_.size(); ++i) copies_[i].merge(other.copies_[i]);
+  }
+
+  // Copy-parallel merge: the copies are independent samplers, so they
+  // merge concurrently on the pool. State is identical to merge(other).
+  void merge(const BasicF0Estimator& other, ThreadPool& pool) {
+    USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
+                    "merge requires estimators with identical parameters");
+    pool.parallel_for(copies_.size(),
+                      [&](std::size_t i) { copies_[i].merge(other.copies_[i]); });
+  }
+
+  // Copy-parallel k-way merge: copy i absorbs every input's copy i in one
+  // single-pass merge_many. State is identical to folding `others` left
+  // to right.
+  void merge_many(std::span<const BasicF0Estimator* const> others, ThreadPool& pool) {
+    for (const BasicF0Estimator* o : others) {
+      USTREAM_REQUIRE(o != nullptr && copies_.size() == o->copies_.size(),
+                      "merge requires estimators with identical parameters");
+    }
+    pool.parallel_for(copies_.size(), [&](std::size_t i) {
+      std::vector<const Sampler*> parts;
+      parts.reserve(others.size());
+      for (const BasicF0Estimator* o : others) parts.push_back(&o->copies_[i]);
+      copies_[i].merge_many(std::span<const Sampler* const>(parts));
+    });
   }
 
   bool can_merge_with(const BasicF0Estimator& other) const noexcept {

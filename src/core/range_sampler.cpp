@@ -95,14 +95,15 @@ void RangeSampler::merge(const RangeSampler& other) {
     set_.clear();
     for (std::uint64_t x : keep) set_.insert(x);
   }
-  std::vector<std::uint64_t> incoming;
-  incoming.reserve(other.set_.size());
-  other.set_.for_each([&](std::uint64_t x) { incoming.push_back(x); });
-  for (std::uint64_t x : incoming) {
-    if (!survives(x)) continue;
-    set_.insert(x);
-    while (set_.size() > capacity_ && threshold_ > 0) raise_level();
-  }
+  // Single pass: insert every surviving incoming label first, then settle
+  // the capacity raise once. The per-entry raise loop this replaces
+  // re-filtered the whole set on every overflow mid-merge; the final state
+  // is the same either way (survivors at the minimal feasible level — a
+  // pure function of the covered label set, DESIGN.md §7).
+  other.set_.for_each([&](std::uint64_t x) {
+    if (survives(x)) set_.insert(x);
+  });
+  while (set_.size() > capacity_ && threshold_ > 0) raise_level();
   intervals_processed_ += other.intervals_processed_;
 }
 
@@ -183,6 +184,13 @@ void RangeF0Estimator::merge(const RangeF0Estimator& other) {
   USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
                   "merge requires estimators with identical parameters");
   for (std::size_t i = 0; i < copies_.size(); ++i) copies_[i].merge(other.copies_[i]);
+}
+
+void RangeF0Estimator::merge(const RangeF0Estimator& other, ThreadPool& pool) {
+  USTREAM_REQUIRE(copies_.size() == other.copies_.size(),
+                  "merge requires estimators with identical parameters");
+  pool.parallel_for(copies_.size(),
+                    [&](std::size_t i) { copies_[i].merge(other.copies_[i]); });
 }
 
 std::size_t RangeF0Estimator::bytes_used() const noexcept {

@@ -26,6 +26,7 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "common/stats.h"
+#include "core/merge_engine.h"
 #include "core/params.h"
 #include "hash/field61.h"
 #include "hash/pairwise.h"
@@ -110,6 +111,8 @@ class RangeF0Estimator {
   double estimate() const;
 
   void merge(const RangeF0Estimator& other);
+  // Copy-parallel merge; state identical to merge(other).
+  void merge(const RangeF0Estimator& other, ThreadPool& pool);
 
   std::size_t num_copies() const noexcept { return copies_.size(); }
   const RangeSampler& copy(std::size_t i) const { return copies_.at(i); }

@@ -21,9 +21,11 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/frame.h"
+#include "core/merge_engine.h"
 
 namespace ustream {
 
@@ -99,6 +101,18 @@ class CollectState {
   // site so the retry loop can try again.
   void reject_accepted(std::size_t site);
   void finalize(std::uint32_t max_attempts);  // marks exhausted sites
+
+  // The referee's merge step: folds the accepted per-site sketches (site
+  // order, gaps = sites that never reported) into the union sketch on the
+  // engine's pool via deterministic tree reduction. Byte-identical to a
+  // sequential site-order fold for every UnionSketch — see merge_engine.h
+  // for the argument and tests/test_merge_engine.cpp for the enforcement.
+  // Returns nullopt only for a fully degraded (zero-site) collection.
+  template <typename Sketch>
+  std::optional<Sketch> finish(std::vector<std::optional<Sketch>>&& accepted,
+                               MergeEngine& engine = MergeEngine::shared()) const {
+    return engine.reduce(std::move(accepted));
+  }
 
   bool site_reported(std::size_t site) const { return report_.per_site[site].reported; }
   std::uint32_t site_attempts(std::size_t site) const { return report_.per_site[site].attempts; }

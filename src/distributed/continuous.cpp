@@ -23,6 +23,8 @@ ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t 
       pending_items_(sites),
       acked_items_(sites, 0),
       referee_snapshots_(sites),
+      referee_epoch_(sites, 0),
+      cached_epoch_(sites, 0),
       transport_(transport ? std::move(transport) : std::make_unique<Channel>(sites)),
       state_(sites, PayloadKind::kF0Estimator, DedupMode::kLatestWins) {
   USTREAM_REQUIRE(sites >= 1, "need at least one site");
@@ -69,6 +71,7 @@ void ContinuousUnionMonitor::accept(std::size_t site, std::uint32_t epoch,
     state_.report().frames_quarantined += 1;
     return;
   }
+  referee_epoch_[site] = epoch;  // the query cache re-merges this site lazily
   ++snapshots_;
   // Attribute the ack to the prefix that snapshot covered.
   auto& pending = pending_items_[site];
@@ -113,6 +116,25 @@ const CollectReport& ContinuousUnionMonitor::flush() {
 }
 
 double ContinuousUnionMonitor::estimate() const {
+  // Fold only the sites whose snapshot epoch moved since the last query.
+  // Merging a site's newer snapshot over the older one already folded is
+  // exact (prefix label-sets + duplicate insensitivity — continuous.h).
+  bool changed = false;
+  for (std::size_t i = 0; i < referee_snapshots_.size(); ++i) {
+    if (!referee_snapshots_[i] || cached_epoch_[i] == referee_epoch_[i]) continue;
+    if (!cached_union_) {
+      cached_union_.emplace(*referee_snapshots_[i]);
+    } else {
+      cached_union_->merge(*referee_snapshots_[i]);
+    }
+    cached_epoch_[i] = referee_epoch_[i];
+    changed = true;
+  }
+  if (changed) cached_estimate_ = cached_union_->estimate();
+  return cached_estimate_;
+}
+
+double ContinuousUnionMonitor::estimate_full_remerge() const {
   std::optional<F0Estimator> merged;
   for (const auto& snap : referee_snapshots_) {
     if (!snap) continue;

@@ -93,9 +93,12 @@ class DistributedRun {
 
   // Ends the observation phase: every site ships its framed sketch; the
   // referee retries per policy, dedups by (site, epoch), quarantines
-  // corrupt frames and merges whatever arrived in site order. Idempotent
-  // via the collected_ latch (the report of the first collect() stands).
-  const Sketch& collect(const RetryPolicy& policy = RetryPolicy{}) {
+  // corrupt frames and merges whatever arrived in site order — on the
+  // merge engine's pool (tree reduction, byte-identical to the sequential
+  // fold; pass an engine to control pool size). Idempotent via the
+  // collected_ latch (the report of the first collect() stands).
+  const Sketch& collect(const RetryPolicy& policy = RetryPolicy{},
+                        MergeEngine* engine = nullptr) {
     if (collected_) return *referee_;
     CollectState state(sites_.size(), FrameKindOf<Sketch>::value, DedupMode::kExactlyOnce);
     std::vector<std::vector<std::uint8_t>> payloads;
@@ -135,16 +138,11 @@ class DistributedRun {
     }
     state.finalize(policy.max_attempts_per_site);
 
-    // Merge in site order so the referee state is bit-identical to a
-    // fault-free run regardless of delivery order.
-    for (std::size_t i = 0; i < accepted.size(); ++i) {
-      if (!accepted[i]) continue;
-      if (!referee_) {
-        referee_.emplace(std::move(*accepted[i]));
-      } else {
-        referee_->merge(*accepted[i]);
-      }
-    }
+    // Tree-reduce in site order on the engine's pool: bit-identical to
+    // the sequential site-order fold regardless of delivery order, pool
+    // size or scheduling (merge_engine.h).
+    referee_ = state.finish(std::move(accepted),
+                            engine ? *engine : MergeEngine::shared());
     // Total loss still yields a queryable (empty) referee — maximally
     // degraded, and the report says so.
     if (!referee_) referee_.emplace(make_sketch_());

@@ -22,6 +22,7 @@
 
 #include "common/error.h"
 #include "core/f0_estimator.h"
+#include "core/merge_engine.h"
 #include "core/params.h"
 #include "stream/item.h"
 
@@ -53,11 +54,15 @@ struct alignas(kShardAlign) ShardSlot {
 // Generic version: shard `items` into `threads` contiguous index-local
 // chunks, build one sketch per shard with `make`, hand each worker its
 // whole chunk via `feed_chunk(sketch, chunk)` (feeders should forward to
-// the sketch's add_batch), then merge left to right.
+// the sketch's add_batch), then tree-reduce the shards on the merge
+// engine's pool — byte-identical to the former left-to-right fold
+// (merge_engine.h), but the merge tail is parallel too instead of a
+// serial chain after the workers join.
 template <typename Sketch>
 Sketch shard_and_merge(std::span<const Item> items, std::size_t threads,
                        const std::function<Sketch()>& make,
-                       const std::function<void(Sketch&, std::span<const Item>)>& feed_chunk) {
+                       const std::function<void(Sketch&, std::span<const Item>)>& feed_chunk,
+                       MergeEngine* engine = nullptr) {
   USTREAM_REQUIRE(threads >= 1, "need at least one thread");
   std::vector<detail::ShardSlot<Sketch>> shards;
   shards.reserve(threads);
@@ -73,9 +78,11 @@ Sketch shard_and_merge(std::span<const Item> items, std::size_t threads,
     });
   }
   for (auto& w : workers) w.join();
-  Sketch merged = std::move(shards[0].sketch);
-  for (std::size_t i = 1; i < shards.size(); ++i) merged.merge(shards[i].sketch);
-  return merged;
+  std::vector<Sketch> parts;
+  parts.reserve(shards.size());
+  for (auto& slot : shards) parts.push_back(std::move(slot.sketch));
+  auto merged = (engine ? *engine : MergeEngine::shared()).reduce(std::move(parts));
+  return std::move(*merged);  // threads >= 1, so the reduction is non-empty
 }
 
 }  // namespace ustream

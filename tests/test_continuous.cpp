@@ -207,5 +207,50 @@ TEST(Continuous, CorruptedSnapshotsAreQuarantinedNotMerged) {
   EXPECT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count()));
 }
 
+TEST(Continuous, IncrementalEstimateMatchesFullRemergeThroughout) {
+  // The query cache folds only sites whose snapshot epoch moved; the answer
+  // must equal the copy-everything reference path at EVERY point, not just
+  // at the end. Checkpoints interleave queries with pushes so the cache is
+  // exercised warm (no change), cold (first fold) and partially dirty.
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 18);
+  const std::size_t sites = 8;
+  ContinuousUnionMonitor mon(sites, 64, params);
+  Xoshiro256 rng(19);
+  EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
+  for (int i = 0; i < 40'000; ++i) {
+    mon.observe(rng.below(sites), rng.below(25'000));
+    if (i % 1000 == 999) {
+      ASSERT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge()) << "at item " << i;
+      // A second query with no new snapshots must serve the cache verbatim.
+      ASSERT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge()) << "at item " << i;
+    }
+  }
+  mon.flush();
+  EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
+}
+
+TEST(Continuous, IncrementalEstimateMatchesFullRemergeOverFaultyTransport) {
+  // Drops, duplicates and corruption shuffle WHICH epochs reach the
+  // referee; the epoch-tagged cache must stay exact regardless (stale or
+  // quarantined snapshots simply never dirty their site's tag).
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 20);
+  const std::size_t sites = 4;
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 16;
+  policy.sleep_on_backoff = false;
+  ContinuousUnionMonitor mon(
+      sites, 200, params, std::make_unique<FaultyChannel>(sites, FaultSpec::chaos(0.3), 86),
+      policy);
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 30'000; ++i) {
+    mon.observe(rng.below(sites), rng.next());
+    if (i % 2500 == 2499) {
+      ASSERT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge()) << "at item " << i;
+    }
+  }
+  mon.flush();
+  EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
+}
+
 }  // namespace
 }  // namespace ustream

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "common/random.h"
 #include "common/stats.h"
@@ -134,6 +136,128 @@ TEST(BottomK, RejectsBadParameters) {
   BottomKSampler s(4, 1);
   s.add(1, 0.0);
   EXPECT_THROW(s.estimate_value_quantile(1.5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Merge algebra, asserted on serialized bytes (canonical hash-sorted form):
+// the single-pass linear merge and its fast paths must keep BottomK merges
+// associative, commutative over label-consistent values, and permutation-
+// invariant — that algebra is what licenses the referee's tree reduction.
+
+// `sites` samplers over overlapping streams. With `consistent_values` every
+// occurrence of a label carries the same value (value = f(label)), so even
+// the leftmost-wins value rule cannot distinguish merge orders; without it,
+// values encode the originating site (order-sensitive on shared labels).
+std::vector<BottomKSampler> merge_fixture(std::size_t sites, std::size_t k,
+                                          bool consistent_values, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> shared;
+  for (int i = 0; i < 400; ++i) shared.push_back(rng.next());
+  std::vector<BottomKSampler> out;
+  for (std::size_t s = 0; s < sites; ++s) {
+    BottomKSampler b(k, 21);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t label =
+          rng.bernoulli(0.5) ? shared[rng.below(shared.size())] : rng.next();
+      b.add(label, consistent_values ? static_cast<double>(label % 1000)
+                                     : static_cast<double>(s));
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> fold_in_order(const std::vector<BottomKSampler>& parts,
+                                        const std::vector<std::size_t>& order) {
+  BottomKSampler acc = parts[order[0]];
+  for (std::size_t i = 1; i < order.size(); ++i) acc.merge(parts[order[i]]);
+  return acc.serialize();
+}
+
+TEST(BottomKMergeAlgebra, PermutedMergeOrdersSerializeIdentically) {
+  const auto parts = merge_fixture(6, 64, /*consistent_values=*/true, 31);
+  std::vector<std::size_t> order(parts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto expected = fold_in_order(parts, order);
+  Xoshiro256 rng(32);
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    EXPECT_EQ(fold_in_order(parts, order), expected) << "trial " << trial;
+  }
+}
+
+TEST(BottomKMergeAlgebra, AssociativityHoldsEvenWithSiteTaggedValues) {
+  // Grouping must not matter even when permutation WOULD (values differ by
+  // site, so leftmost-wins is order-sensitive — but (a·b)·c and a·(b·c)
+  // share the same left-to-right order).
+  const auto parts = merge_fixture(3, 64, /*consistent_values=*/false, 33);
+  BottomKSampler left = parts[0];
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  BottomKSampler bc = parts[1];
+  bc.merge(parts[2]);
+  BottomKSampler right = parts[0];
+  right.merge(bc);
+  EXPECT_EQ(left.serialize(), right.serialize());
+}
+
+TEST(BottomKMergeAlgebra, CommutativityHoldsForConsistentValues) {
+  const auto parts = merge_fixture(2, 64, /*consistent_values=*/true, 34);
+  BottomKSampler ab = parts[0];
+  ab.merge(parts[1]);
+  BottomKSampler ba = parts[1];
+  ba.merge(parts[0]);
+  EXPECT_EQ(ab.serialize(), ba.serialize());
+}
+
+TEST(BottomKMergeAlgebra, EmptyFastPathsPreserveBytes) {
+  auto parts = merge_fixture(1, 64, true, 35);
+  const auto loaded_bytes = parts[0].serialize();
+  BottomKSampler empty(64, 21);
+  empty.merge(parts[0]);  // empty-self fast path: straight copy
+  EXPECT_EQ(empty.serialize(), loaded_bytes);
+  BottomKSampler still_empty(64, 21);
+  parts[0].merge(still_empty);  // empty-other fast path: no-op
+  EXPECT_EQ(parts[0].serialize(), loaded_bytes);
+}
+
+TEST(BottomKMergeAlgebra, DisjointHashRangesTakeSpliceAndRejectPaths) {
+  // A probe sampler with a large k exposes the hash order, letting us build
+  // two k=64 samplers whose hash ranges are fully disjoint.
+  BottomKSampler probe(4096, 21);
+  Xoshiro256 rng(36);
+  for (int i = 0; i < 20'000; ++i) probe.add(rng.next(), 0.0);
+  std::vector<std::uint64_t> low_labels, high_labels;
+  const auto& entries = probe.entries();
+  for (std::size_t i = 0; i < 64; ++i) low_labels.push_back(entries[i].label);
+  for (std::size_t i = entries.size() - 64; i < entries.size(); ++i) {
+    high_labels.push_back(entries[i].label);
+  }
+  BottomKSampler low(64, 21), high(64, 21), both(64, 21);
+  for (auto x : low_labels) low.add(x, 1.0), both.add(x, 1.0);
+  for (auto x : high_labels) high.add(x, 2.0), both.add(x, 2.0);
+  ASSERT_TRUE(low.saturated());
+  // Saturated-reject: every incoming hash is above the k-th smallest.
+  const auto low_bytes = low.serialize();
+  low.merge(high);
+  EXPECT_EQ(low.serialize(), low_bytes);
+  // Splice-prepend: the other sampler's whole range sorts before ours.
+  high.merge(low);
+  EXPECT_EQ(high.serialize(), both.serialize());
+}
+
+TEST(BottomKMergeAlgebra, MergeManyMatchesSequentialFold) {
+  const auto parts = merge_fixture(10, 64, /*consistent_values=*/false, 37);
+  std::vector<std::size_t> order(parts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto expected = fold_in_order(parts, order);
+  BottomKSampler many = parts[0];
+  std::vector<const BottomKSampler*> rest;
+  for (std::size_t i = 1; i < parts.size(); ++i) rest.push_back(&parts[i]);
+  many.merge_many(std::span<const BottomKSampler* const>(rest));
+  EXPECT_EQ(many.serialize(), expected);
 }
 
 TEST(BottomK, SampleIsUnbiasedOverLabelClasses) {

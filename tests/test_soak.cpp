@@ -184,6 +184,82 @@ TEST(Soak, SingleFlakySiteDegradesOnlyItsPrefix) {
   EXPECT_GT(estimate, 0.5 * static_cast<double>(w.union_distinct));
 }
 
+// The parallel referee (tree reduction on the merge-engine pool) must be
+// byte-identical to the plain sequential site-order merge for every payload
+// kind — through a chaotic channel, and in degraded (partial-site)
+// collections where the reduction has to skip gaps.
+template <typename Sketch>
+void expect_parallel_referee_matches_sequential(
+    const std::function<Sketch()>& make,
+    const std::function<void(std::size_t, Sketch&)>& feed, std::uint64_t seed) {
+  // Sequential reference: fold locally-built site sketches in site order —
+  // no engine, no transport, no frames.
+  std::vector<Sketch> local;
+  for (std::size_t s = 0; s < kSites; ++s) {
+    Sketch sketch = make();
+    feed(s, sketch);
+    local.push_back(std::move(sketch));
+  }
+  const auto fold_bytes = [&local](const std::vector<bool>& present) {
+    std::optional<Sketch> acc;
+    for (std::size_t s = 0; s < kSites; ++s) {
+      if (!present[s]) continue;
+      if (!acc) {
+        acc = local[s];
+      } else {
+        acc->merge(local[s]);
+      }
+    }
+    return acc->serialize();
+  };
+
+  MergeEngine engine(4);
+  {  // Complete collection through a chaotic channel.
+    DistributedRun<Sketch> run(
+        kSites, make, std::make_unique<FaultyChannel>(kSites, FaultSpec::chaos(0.2), seed));
+    for (std::size_t s = 0; s < kSites; ++s) feed(s, run.site(s));
+    const auto& referee = run.collect(soak_policy(), &engine);
+    ASSERT_TRUE(run.collect_report().complete()) << run.collect_report().summary();
+    EXPECT_EQ(referee.serialize(), fold_bytes(std::vector<bool>(kSites, true)));
+  }
+  {  // Degraded: site 2's link is dead, so the reduction must skip its gap.
+    auto channel = std::make_unique<FaultyChannel>(kSites, FaultSpec{}, seed + 1);
+    channel->set_site_faults(2, FaultSpec::dropping(1.0));
+    DistributedRun<Sketch> run(kSites, make, std::move(channel));
+    for (std::size_t s = 0; s < kSites; ++s) feed(s, run.site(s));
+    RetryPolicy policy;
+    policy.max_attempts_per_site = 3;
+    policy.sleep_on_backoff = false;
+    const auto& referee = run.collect(policy, &engine);
+    ASSERT_EQ(run.collect_report().missing_sites(), std::vector<std::size_t>{2});
+    std::vector<bool> present(kSites, true);
+    present[2] = false;
+    EXPECT_EQ(referee.serialize(), fold_bytes(present));
+  }
+}
+
+TEST(Soak, ParallelRefereeMatchesSequentialMergeForF0) {
+  const auto w = soak_workload(15);
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 25);
+  expect_parallel_referee_matches_sequential<F0Estimator>(
+      [&params] { return F0Estimator(params); },
+      [&w](std::size_t s, F0Estimator& sketch) {
+        for (const Item& item : w.site_streams[s]) sketch.add(item.label);
+      },
+      41);
+}
+
+TEST(Soak, ParallelRefereeMatchesSequentialMergeForDistinctSum) {
+  const auto w = soak_workload(16);
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 26);
+  expect_parallel_referee_matches_sequential<DistinctSumEstimator>(
+      [&params] { return DistinctSumEstimator(params); },
+      [&w](std::size_t s, DistinctSumEstimator& sketch) {
+        for (const Item& item : w.site_streams[s]) sketch.add(item.label, item.value);
+      },
+      43);
+}
+
 TEST(Soak, RetransmitStormMergesEachSiteExactlyOnce) {
   // duplicate=1.0 doubles every frame; dedup by (site, epoch) must make
   // the referee indistinguishable from a clean run.
