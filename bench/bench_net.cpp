@@ -1,0 +1,124 @@
+// E9 — the wire: what the TCP referee costs over loopback. Three rows,
+// gated against bench/BENCH_net.json by bench/run_net_bench.sh:
+//
+//   * BM_NetPushLatency/<payload>  — full push round trip (frame + length
+//     prefix out, 1-byte ack back) on a PERSISTENT connection; items ==
+//     pushes, so items_per_second reads as acked pushes per second.
+//   * BM_NetThroughput/<payload>   — the same round trip at sketch-sized
+//     payloads, with bytes_per_second reporting wire throughput.
+//   * BM_NetPushReconnect/<payload>— one TcpTransport per push: dial (with
+//     the backoff machinery engaged, though a live server answers on the
+//     first attempt), push, tear down. The persistent/reconnect ratio is
+//     the gate's speedup floor: keeping the connection must stay visibly
+//     cheaper than redialing per frame.
+//
+// The referee runs exactly the production event loop (RefereeServer) on a
+// second thread with a site that never reports, so the loop never reaches
+// completion and request_stop() ends it; kLatestWins dedup lets one site
+// push an unbounded run of fresh epochs.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/frame.h"
+#include "common/random.h"
+#include "net/referee_server.h"
+#include "net/tcp_transport.h"
+
+namespace {
+using namespace ustream;
+
+// A live referee on an ephemeral loopback port that accepts pushes until
+// torn down. The sink swallows payloads undecoded: these rows measure the
+// wire and the event loop, not sketch deserialization (bench_merge's job).
+class RefereeHarness {
+ public:
+  RefereeHarness()
+      : server_(make_config()), referee_([this] {
+          server_.run([](std::size_t, std::uint32_t, std::vector<std::uint8_t>&&) {
+            return true;
+          });
+        }) {}
+
+  ~RefereeHarness() {
+    server_.request_stop();
+    referee_.join();
+  }
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+ private:
+  static net::RefereeServerConfig make_config() {
+    net::RefereeServerConfig config;
+    config.sites = 2;  // site 1 never reports: the loop runs until stopped
+    config.dedup = DedupMode::kLatestWins;
+    return config;
+  }
+
+  net::RefereeServer server_;
+  std::thread referee_;
+};
+
+net::TcpTransportConfig client_config(std::uint16_t port) {
+  net::TcpTransportConfig config;
+  config.port = port;
+  return config;
+}
+
+std::vector<std::uint8_t> random_payload(std::size_t bytes) {
+  std::vector<std::uint8_t> payload(bytes);
+  Xoshiro256 rng(17);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  return payload;
+}
+
+void BM_NetPushLatency(benchmark::State& state) {
+  const auto payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  RefereeHarness referee;
+  net::TcpTransport transport(1, client_config(referee.port()));
+  std::uint32_t epoch = 0;
+  for (auto _ : state) {
+    const auto frame =
+        frame_encode({PayloadKind::kF0Estimator, 0, ++epoch}, payload);
+    benchmark::DoNotOptimize(transport.send_with_ack(0, frame));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetPushLatency)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
+void BM_NetThroughput(benchmark::State& state) {
+  const auto payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  RefereeHarness referee;
+  net::TcpTransport transport(1, client_config(referee.port()));
+  std::uint32_t epoch = 0;
+  std::int64_t wire_bytes = 0;
+  for (auto _ : state) {
+    const auto frame =
+        frame_encode({PayloadKind::kF0Estimator, 0, ++epoch}, payload);
+    benchmark::DoNotOptimize(transport.send_with_ack(0, frame));
+    wire_bytes += static_cast<std::int64_t>(frame.size()) + 4;  // + length prefix
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(wire_bytes);
+}
+BENCHMARK(BM_NetThroughput)->Arg(262144)->Arg(1048576)->Unit(benchmark::kMicrosecond);
+
+void BM_NetPushReconnect(benchmark::State& state) {
+  const auto payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  RefereeHarness referee;
+  std::uint32_t epoch = 0;
+  for (auto _ : state) {
+    net::TcpTransport transport(1, client_config(referee.port()));
+    const auto frame =
+        frame_encode({PayloadKind::kF0Estimator, 0, ++epoch}, payload);
+    benchmark::DoNotOptimize(transport.send_with_ack(0, frame));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetPushReconnect)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -15,6 +15,11 @@
 #      must converge via retries to a referee bit-identical to a
 #      fault-free run — now including the tree-reduction referee vs the
 #      sequential site-order merge — with honest CollectReport accounting.
+#   4. wire performance — bench/run_net_bench.sh measures the loopback
+#      TCP referee (push latency, throughput, reconnect cost) and gates
+#      against bench/BENCH_net.json, including the >= 3x persistent-vs-
+#      reconnect floor. Last because its rows are RTT-bound, not
+#      CPU-frequency-bound, so the soak's thermal wake barely moves them.
 #
 # Usage:
 #   bench/run_gates.sh [build-dir]            # all gates
@@ -34,14 +39,17 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/3: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/4: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/3: merge-engine perf regression (bench/run_merge_bench.sh) =="
+echo "== gate 2/4: merge-engine perf regression (bench/run_merge_bench.sh) =="
 "$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 3/3: fault-injection soak (ctest -L soak) =="
+echo "== gate 3/4: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
+
+echo "== gate 4/4: net wire perf regression (bench/run_net_bench.sh) =="
+"$repo/bench/run_net_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
 echo "all gates passed"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the loopback TCP referee rows of bench_net with JSON output and
+# gates them against the checked-in baseline (bench/BENCH_net.json) via
+# check_regression.py. One speedup floor is enforced, and it is
+# ALGORITHMIC, not machine-dependent: a push on a persistent connection
+# must beat a dial-push-teardown cycle by >= 3x at the 1 KiB payload
+# (measured ~11x on the reference machine — the floor only trips if the
+# transport starts redialing per frame or the ack path grows a stall).
+#
+# Usage:
+#   bench/run_net_bench.sh [build-dir]            # measure + gate
+#   bench/run_net_bench.sh --update [build-dir]   # also refresh baseline
+set -euo pipefail
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/bench/BENCH_net.json"
+current="$(mktemp --suffix=.json)"
+trap 'rm -f "$current"' EXIT
+
+cmake --build "$build" --target bench_net -j >/dev/null
+
+"$build/bench/bench_net" \
+  --benchmark_filter='BM_Net' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$current" \
+  --benchmark_out_format=json
+
+if [[ -f "$baseline" ]]; then
+  python3 "$repo/bench/check_regression.py" \
+    --baseline "$baseline" --current "$current" \
+    --speedup 'BM_NetPushReconnect/1024,BM_NetPushLatency/1024,3.0'
+else
+  echo "no baseline at $baseline yet; skipping regression gate"
+fi
+
+if [[ "$update" == 1 || ! -f "$baseline" ]]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $baseline"
+fi

@@ -4,13 +4,21 @@
 
 namespace ustream::cli {
 
+namespace {
+
+// Flags that never take a value, so `--json file.sk` does not swallow the
+// positional that follows. Everything else stays greedy.
+bool is_boolean_flag(const std::string& key) { return key == "json"; }
+
+}  // namespace
+
 Args::Args(const std::vector<std::string>& argv) {
   for (std::size_t i = 0; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
       USTREAM_REQUIRE(!key.empty(), "empty flag name");
-      if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+      if (!is_boolean_flag(key) && i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
         flags_[key] = argv[++i];
       } else {
         flags_[key] = "";  // boolean flag

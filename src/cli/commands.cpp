@@ -15,6 +15,8 @@
 #include "core/params.h"
 #include "distributed/faulty_channel.h"
 #include "distributed/runtime.h"
+#include "net/referee_server.h"
+#include "net/tcp_transport.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
 #include "stream/trace_io.h"
@@ -35,6 +37,36 @@ void append(std::string& out, const char* format, ...) {
   va_end(args);
   out += buf;
   out += '\n';
+}
+
+// Minimal JSON string escaping for the --json output lines (paths are the
+// only free-form strings we emit).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Consumes the boolean --json flag (so reject_unknown stays quiet) and
+// reports whether machine-readable output was requested.
+bool json_requested(const Args& args) {
+  const bool json = args.has("json");
+  if (json) args.str("json", "");
+  return json;
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -111,11 +143,20 @@ int cmd_merge(const Args& args, std::string& out) {
 }
 
 int cmd_estimate(const Args& args, std::string& out) {
+  const bool json = json_requested(args);
   args.reject_unknown();
   USTREAM_REQUIRE(!args.positional().empty(), "estimate needs a sketch file");
   for (const auto& path : args.positional()) {
     const F0Estimator est = read_sketch_file(path);
-    append(out, "%s: distinct ~= %.0f", path.c_str(), est.estimate());
+    if (json) {
+      // One machine-readable line per file; scripts parse this instead of
+      // scraping the prose output.
+      append(out, "{\"file\":\"%s\",\"estimate\":%.17g,\"copies\":%zu,\"capacity\":%zu}",
+             json_escape(path).c_str(), est.estimate(), est.params().copies,
+             est.params().capacity);
+    } else {
+      append(out, "%s: distinct ~= %.0f", path.c_str(), est.estimate());
+    }
   }
   return 0;
 }
@@ -132,6 +173,7 @@ int cmd_exact(const Args& args, std::string& out) {
 }
 
 int cmd_info(const Args& args, std::string& out) {
+  const bool json = json_requested(args);
   args.reject_unknown();
   USTREAM_REQUIRE(!args.positional().empty(), "info needs at least one file");
   for (const auto& path : args.positional()) {
@@ -139,12 +181,23 @@ int cmd_info(const Args& args, std::string& out) {
     if (looks_like_frame(bytes)) {
       const Frame frame = frame_decode(bytes);  // validates CRC before parsing
       const F0Estimator est = read_sketch_file(path);
-      append(out,
-             "%s: framed sketch (%s, site %u, epoch %u, crc ok), %zu bytes "
-             "(%zu payload), %zu copies x capacity %zu, seed %llu",
-             path.c_str(), payload_kind_name(frame.header.kind), frame.header.site,
-             frame.header.epoch, bytes.size(), frame.payload.size(), est.params().copies,
-             est.params().capacity, static_cast<unsigned long long>(est.params().seed));
+      if (json) {
+        append(out,
+               "{\"file\":\"%s\",\"format\":\"framed-sketch\",\"kind\":\"%s\","
+               "\"site\":%u,\"epoch\":%u,\"bytes\":%zu,\"payload_bytes\":%zu,"
+               "\"copies\":%zu,\"capacity\":%zu,\"seed\":%llu}",
+               json_escape(path).c_str(), payload_kind_name(frame.header.kind),
+               frame.header.site, frame.header.epoch, bytes.size(), frame.payload.size(),
+               est.params().copies, est.params().capacity,
+               static_cast<unsigned long long>(est.params().seed));
+      } else {
+        append(out,
+               "%s: framed sketch (%s, site %u, epoch %u, crc ok), %zu bytes "
+               "(%zu payload), %zu copies x capacity %zu, seed %llu",
+               path.c_str(), payload_kind_name(frame.header.kind), frame.header.site,
+               frame.header.epoch, bytes.size(), frame.payload.size(), est.params().copies,
+               est.params().capacity, static_cast<unsigned long long>(est.params().seed));
+      }
       continue;
     }
     if (bytes.size() >= 4) {
@@ -152,19 +205,37 @@ int cmd_info(const Args& args, std::string& out) {
       const std::uint32_t magic = r.u32();
       if (magic == kLegacySketchMagic) {
         const F0Estimator est = read_sketch_file(path);
-        append(out, "%s: legacy (v0) sketch, %zu bytes, %zu copies x capacity %zu, seed %llu",
-               path.c_str(), bytes.size(), est.params().copies, est.params().capacity,
-               static_cast<unsigned long long>(est.params().seed));
+        if (json) {
+          append(out,
+                 "{\"file\":\"%s\",\"format\":\"legacy-sketch\",\"bytes\":%zu,"
+                 "\"copies\":%zu,\"capacity\":%zu,\"seed\":%llu}",
+                 json_escape(path).c_str(), bytes.size(), est.params().copies,
+                 est.params().capacity, static_cast<unsigned long long>(est.params().seed));
+        } else {
+          append(out, "%s: legacy (v0) sketch, %zu bytes, %zu copies x capacity %zu, seed %llu",
+                 path.c_str(), bytes.size(), est.params().copies, est.params().capacity,
+                 static_cast<unsigned long long>(est.params().seed));
+        }
         continue;
       }
       if (magic == 0x52545355) {  // "USTR"
         const auto items = read_trace(path);
-        append(out, "%s: trace, %zu bytes, %zu items", path.c_str(), bytes.size(),
-               items.size());
+        if (json) {
+          append(out, "{\"file\":\"%s\",\"format\":\"trace\",\"bytes\":%zu,\"items\":%zu}",
+                 json_escape(path).c_str(), bytes.size(), items.size());
+        } else {
+          append(out, "%s: trace, %zu bytes, %zu items", path.c_str(), bytes.size(),
+                 items.size());
+        }
         continue;
       }
     }
-    append(out, "%s: unrecognized format (%zu bytes)", path.c_str(), bytes.size());
+    if (json) {
+      append(out, "{\"file\":\"%s\",\"format\":\"unknown\",\"bytes\":%zu}",
+             json_escape(path).c_str(), bytes.size());
+    } else {
+      append(out, "%s: unrecognized format (%zu bytes)", path.c_str(), bytes.size());
+    }
   }
   return 0;
 }
@@ -229,6 +300,123 @@ int cmd_collect(const Args& args, std::string& out) {
   return report.complete() ? 0 : 3;
 }
 
+// The referee as a real server: bind a TCP port, collect one framed sketch
+// per site (retry/dedup/quarantine via CollectState, exactly as in-process
+// collection), merge on the parallel MergeEngine and report the union
+// estimate. This is the first half of the multi-process deployment of the
+// paper's protocol; `ustream push` is the other half.
+int cmd_serve(const Args& args, std::string& out) {
+  net::RefereeServerConfig config;
+  config.bind_host = args.str("bind", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.u64("port", 0));
+  config.sites = args.u64("sites", 1);
+  config.timeout = std::chrono::milliseconds(args.u64("timeout-ms", 0));
+  // eps/delta/seed shape the EMPTY referee for a fully degraded run (and
+  // nothing else — accepted sketches carry their own parameters).
+  const double eps = args.f64("eps", 0.1);
+  const double delta = args.f64("delta", 0.05);
+  const std::uint64_t seed = args.u64("seed", 0x5eed0123456789abULL);
+  const std::string out_path = args.str("out", "");
+  const std::string port_file = args.str("port-file", "");
+  const bool json = json_requested(args);
+  args.reject_unknown();
+
+  net::RefereeServer server(std::move(config));
+  if (!port_file.empty()) {
+    // Written after bind, before the event loop: a script that waits for
+    // this file can start pushing immediately.
+    const std::string port_text = std::to_string(server.port()) + "\n";
+    write_file(port_file, std::vector<std::uint8_t>(port_text.begin(), port_text.end()));
+  }
+  auto result = net::collect_and_merge<F0Estimator>(server);
+  F0Estimator referee = result.union_sketch
+                            ? std::move(*result.union_sketch)
+                            : F0Estimator(EstimatorParams::for_guarantee(eps, delta, seed));
+  if (!out_path.empty()) write_sketch_file(out_path, referee);
+
+  const CollectReport& report = result.report;
+  if (json) {
+    append(out,
+           "{\"port\":%u,\"sites_total\":%zu,\"sites_reported\":%zu,"
+           "\"degraded\":%s,\"timed_out\":%s,\"estimate\":%.17g,"
+           "\"attempts\":%llu,\"retries\":%llu,\"frames_quarantined\":%llu,"
+           "\"duplicates_dropped\":%llu,\"stale_dropped\":%llu,"
+           "\"wire_frames\":%llu,\"wire_bytes\":%llu}",
+           server.port(), report.sites_total, report.sites_reported,
+           report.degraded() ? "true" : "false", result.timed_out ? "true" : "false",
+           referee.estimate(), static_cast<unsigned long long>(report.total_attempts()),
+           static_cast<unsigned long long>(report.retries),
+           static_cast<unsigned long long>(report.frames_quarantined),
+           static_cast<unsigned long long>(report.duplicates_dropped),
+           static_cast<unsigned long long>(report.stale_dropped),
+           static_cast<unsigned long long>(result.wire.messages),
+           static_cast<unsigned long long>(result.wire.total_bytes));
+  } else {
+    append(out, "listening on %s:%u for %zu sites", args.str("bind", "127.0.0.1").c_str(),
+           server.port(), report.sites_total);
+    out += report.summary();
+    out += '\n';
+    append(out, "union estimate %.0f%s", referee.estimate(),
+           report.degraded() ? " [DEGRADED: lower bound]" : "");
+    append(out, "wire: %llu frames, %llu bytes (mean %.0f/frame)",
+           static_cast<unsigned long long>(result.wire.messages),
+           static_cast<unsigned long long>(result.wire.total_bytes),
+           result.wire.mean_message_bytes());
+    if (!out_path.empty()) append(out, "wrote union sketch to %s", out_path.c_str());
+  }
+  return report.complete() ? 0 : 3;
+}
+
+// Ships one site's sketch file to a running `ustream serve` referee: the
+// site half of the multi-process protocol. The file's payload is re-framed
+// with the given site id / epoch, pushed over TcpTransport (connect with
+// capped-exponential backoff, retransmit on connection loss or quarantine
+// ack), and the referee's frame-layer verdict is reported.
+int cmd_push(const Args& args, std::string& out) {
+  const std::string to = args.required_str("to");
+  const auto colon = to.rfind(':');
+  USTREAM_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < to.size(),
+                  "--to expects host:port, got '" + to + "'");
+  net::TcpTransportConfig config;
+  config.host = to.substr(0, colon);
+  const std::uint64_t port = std::strtoull(to.c_str() + colon + 1, nullptr, 10);
+  USTREAM_REQUIRE(port >= 1 && port <= 0xffff, "--to port out of range in '" + to + "'");
+  config.port = static_cast<std::uint16_t>(port);
+  const std::size_t site = args.u64("site", 0);
+  const auto epoch = static_cast<std::uint32_t>(args.u64("epoch", 0));
+  config.max_send_attempts = static_cast<std::uint32_t>(args.u64("attempts", 4));
+  config.max_connect_attempts =
+      static_cast<std::uint32_t>(args.u64("connect-attempts", 10));
+  const bool json = json_requested(args);
+  args.reject_unknown();
+  USTREAM_REQUIRE(args.positional().size() == 1, "push needs exactly one sketch file");
+  const std::string& path = args.positional()[0];
+
+  // Round-trip through the estimator so legacy (v0) files push fine and a
+  // corrupt file fails HERE, not at the referee.
+  const F0Estimator est = read_sketch_file(path);
+  const auto frame = frame_encode(
+      {PayloadKind::kF0Estimator, static_cast<std::uint32_t>(site), epoch},
+      est.serialize());
+
+  net::TcpTransport transport(site + 1, config);
+  const net::PushAck ack = transport.send_with_ack(site, frame);
+  const ChannelStats stats = transport.stats();
+  if (json) {
+    append(out,
+           "{\"file\":\"%s\",\"site\":%zu,\"epoch\":%u,\"ack\":\"%s\","
+           "\"attempts\":%llu,\"connects\":%llu,\"frame_bytes\":%zu}",
+           json_escape(path).c_str(), site, epoch, net::push_ack_name(ack),
+           static_cast<unsigned long long>(stats.messages),
+           static_cast<unsigned long long>(transport.connect_attempts()), frame.size());
+  } else {
+    append(out, "pushed %s as site %zu epoch %u to %s: %s (%llu attempts, %zu-byte frame)",
+           path.c_str(), site, epoch, to.c_str(), net::push_ack_name(ack),
+           static_cast<unsigned long long>(stats.messages), frame.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 void write_sketch_file(const std::string& path, const F0Estimator& estimator) {
@@ -261,13 +449,20 @@ std::string usage() {
          "           [--labels random|sequential|clustered] [--seed S]\n"
          "  sketch   --in TRACE --out SKETCH [--eps E] [--delta D] [--seed S]\n"
          "  merge    --out SKETCH IN1 IN2 ...\n"
-         "  estimate SKETCH...\n"
+         "  estimate [--json] SKETCH...\n"
          "  exact    --in TRACE\n"
-         "  info     FILE...\n"
+         "  info     [--json] FILE...\n"
          "  collect  [--sites T] [--distinct N] [--overlap F] [--seed S]\n"
          "           [--drop P] [--duplicate P] [--reorder P] [--corrupt P]\n"
          "           [--attempts K] [--eps E] [--delta D]\n"
-         "           (fault-injected distributed collection demo; exit 3 if degraded)\n";
+         "           (fault-injected distributed collection demo; exit 3 if degraded)\n"
+         "  serve    [--port P] [--bind H] [--sites T] [--timeout-ms N] [--out SKETCH]\n"
+         "           [--port-file FILE] [--eps E] [--delta D] [--seed S] [--json]\n"
+         "           (TCP referee: collect one sketch per site, merge, estimate;\n"
+         "            port 0 picks a free port; exit 3 if degraded)\n"
+         "  push     --to HOST:PORT [--site I] [--epoch E] [--attempts K]\n"
+         "           [--connect-attempts K] [--json] SKETCH\n"
+         "           (ship a sketch file to a running serve referee)\n";
 }
 
 int run(const std::vector<std::string>& argv, std::string& out) {
@@ -285,6 +480,8 @@ int run(const std::vector<std::string>& argv, std::string& out) {
     if (command == "exact") return cmd_exact(args, out);
     if (command == "info") return cmd_info(args, out);
     if (command == "collect") return cmd_collect(args, out);
+    if (command == "serve") return cmd_serve(args, out);
+    if (command == "push") return cmd_push(args, out);
     out += "unknown command: " + command + "\n" + usage();
     return 2;
   } catch (const std::exception& e) {

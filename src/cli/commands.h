@@ -8,6 +8,12 @@
 //   ustream exact    --in site0.trace
 //   ustream info     site0.trace union.sk
 //
+// and the same protocol as separate PROCESSES over TCP (src/net/):
+//   ustream serve --port 7070 --sites 2 --out union.sk     # referee
+//   ustream push  --to 127.0.0.1:7070 --site 0 site0.sk    # one per site
+//   ustream push  --to 127.0.0.1:7070 --site 1 site1.sk
+//
+// `estimate` and `info` take --json for one machine-readable line per file.
 // Sketch files carry a magic header; all sketches to be merged must have
 // been built with the same --eps/--delta/--seed (the coordination rule).
 #pragma once

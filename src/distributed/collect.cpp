@@ -30,6 +30,12 @@ std::vector<std::size_t> CollectReport::missing_sites() const {
   return missing;
 }
 
+std::uint64_t CollectReport::total_attempts() const noexcept {
+  std::uint64_t attempts = 0;
+  for (const auto& site : per_site) attempts += site.attempts;
+  return attempts;
+}
+
 std::string CollectReport::summary() const {
   std::string s = "collected " + std::to_string(sites_reported) + "/" +
                   std::to_string(sites_total) + " sites" +
@@ -37,7 +43,9 @@ std::string CollectReport::summary() const {
                   std::to_string(retries) + " retries, " +
                   std::to_string(frames_quarantined) + " quarantined, " +
                   std::to_string(duplicates_dropped) + " duplicates, " +
-                  std::to_string(stale_dropped) + " stale";
+                  std::to_string(stale_dropped) + " stale" +
+                  "\nattempts: " + std::to_string(total_attempts()) + " sends for " +
+                  std::to_string(sites_reported) + " accepted frames";
   const auto missing = missing_sites();
   if (!missing.empty()) {
     s += "\nmissing sites:";

@@ -63,8 +63,14 @@ struct CollectReport {
   bool complete() const noexcept { return sites_reported == sites_total; }
   bool degraded() const noexcept { return !complete(); }
   std::vector<std::size_t> missing_sites() const;
+  // Sum of per-site attempts: every frame sent on some site's behalf,
+  // retransmissions included — the "stats count every attempt" contract
+  // (DESIGN.md §6.2). Compare against sites_reported (frames that changed
+  // referee state) to see what the fault recovery cost.
+  std::uint64_t total_attempts() const noexcept;
   // One line per fact, e.g. for the CLI:
   //   collected 7/8 sites (DEGRADED), 5 retries, 3 quarantined, 2 duplicates
+  //   attempts: 12 sends for 7 accepted frames
   //   missing sites: 4 (exhausted after 6 attempts)
   std::string summary() const;
 };

@@ -1,0 +1,265 @@
+#include "net/referee_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "net/tcp_transport.h"
+
+namespace ustream::net {
+
+namespace {
+
+// Little-endian u32 without alignment assumptions.
+std::uint32_t read_u32le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+// One site connection mid-reassembly. `expected` is nullopt while the
+// 4-byte length prefix is still incomplete (state "reading-length");
+// once known, `in` accumulates until the full frame arrived.
+struct RefereeServer::Conn {
+  Socket sock;
+  std::vector<std::uint8_t> in;
+  std::optional<std::uint32_t> expected;
+  std::vector<std::uint8_t> out;  // pending ack bytes
+  bool closed = false;            // peer gone; kept only to flush `out`
+};
+
+class RefereeServer::Loop {
+ public:
+  Loop(RefereeServer& server, const PayloadSink& sink)
+      : server_(server),
+        config_(server.config_),
+        sink_(sink),
+        state_(config_.sites, config_.expected_kind, config_.dedup) {
+    wire_.bytes_per_site.assign(config_.sites, 0);
+  }
+
+  Result run() {
+    using clock = std::chrono::steady_clock;
+    const bool has_deadline = config_.timeout.count() > 0;
+    const auto deadline = clock::now() + config_.timeout;
+    bool timed_out = false;
+
+    while (!server_.stop_.load(std::memory_order_acquire)) {
+      if (complete()) break;
+      int poll_ms = -1;
+      if (has_deadline) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - clock::now());
+        if (left.count() <= 0) {
+          timed_out = true;
+          break;
+        }
+        poll_ms = static_cast<int>(std::min<long long>(left.count(),
+                                                       std::numeric_limits<int>::max()));
+      }
+
+      std::vector<pollfd> pfds;
+      pfds.reserve(2 + conns_.size());
+      pfds.push_back({server_.wake_.read_fd(), POLLIN, 0});
+      pfds.push_back({server_.listener_.fd(), POLLIN, 0});
+      for (const Conn& c : conns_) {
+        short events = 0;
+        if (!c.closed) events |= POLLIN;
+        if (!c.out.empty()) events |= POLLOUT;
+        pfds.push_back({c.sock.fd(), events, 0});
+      }
+
+      const int n = ::poll(pfds.data(), pfds.size(), poll_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(std::string("poll: ") + std::strerror(errno));
+      }
+
+      if (pfds[0].revents != 0) server_.wake_.drain();
+      // Connections accepted now were not in this round's pfds — bound the
+      // revents scan to the conns that were actually polled.
+      const std::size_t polled = conns_.size();
+      if (pfds[1].revents != 0) accept_new();
+      for (std::size_t i = 0; i < polled; ++i) {
+        const short revents = pfds[2 + i].revents;
+        if (revents == 0) continue;
+        if ((revents & POLLOUT) != 0) flush(conns_[i]);
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !conns_[i].closed) {
+          read_from(conns_[i]);
+        }
+      }
+      // A connection is finished when the peer is gone and every ack owed
+      // to it has been flushed (or can never be).
+      std::erase_if(conns_, [](const Conn& c) { return c.closed && c.out.empty(); });
+    }
+
+    // Exhaustion is a CLIENT-side budget; the server cannot know it, so it
+    // never marks sites exhausted — missing sites are reported plain.
+    state_.finalize(std::numeric_limits<std::uint32_t>::max());
+    Result res;
+    res.report = std::move(state_.report());
+    res.wire = std::move(wire_);
+    res.timed_out = timed_out && !res.report.complete();
+    return res;
+  }
+
+ private:
+  bool complete() const {
+    if (!state_.all_reported()) return false;
+    return std::all_of(conns_.begin(), conns_.end(),
+                       [](const Conn& c) { return c.out.empty(); });
+  }
+
+  void accept_new() {
+    for (;;) {
+      Socket sock = accept_conn(server_.listener_);
+      if (!sock.valid()) break;
+      Conn conn;
+      conn.sock = std::move(sock);
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  void flush(Conn& conn) {
+    while (!conn.out.empty()) {
+      const ssize_t n =
+          ::send(conn.sock.fd(), conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        conn.closed = true;  // peer gone; the ack is undeliverable
+        conn.out.clear();
+        return;
+      }
+      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+    }
+  }
+
+  void read_from(Conn& conn) {
+    std::uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.insert(conn.in.end(), buf, buf + n);
+        if (!parse_frames(conn)) return;  // protocol violation: conn dropped
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or hard error. Bytes stranded mid-frame are a truncated
+      // transmission — a killed site. Feeding them to ingest() quarantines
+      // them through the same frame-layer verdict as a truncating
+      // FaultyChannel delivery.
+      if (conn.expected.has_value() || !conn.in.empty()) {
+        state_.ingest(std::span<const std::uint8_t>(conn.in));
+        conn.in.clear();
+      }
+      conn.closed = true;
+      return;
+    }
+  }
+
+  // Consumes every complete [len][frame] unit in conn.in. Returns false if
+  // the connection was dropped for announcing an oversized frame.
+  bool parse_frames(Conn& conn) {
+    std::size_t offset = 0;
+    for (;;) {
+      if (!conn.expected.has_value()) {
+        if (conn.in.size() - offset < 4) break;
+        const std::uint32_t len = read_u32le(conn.in.data() + offset);
+        offset += 4;
+        if (len > config_.max_frame_bytes) {
+          // Not a reassembly state we can recover from: the stream is
+          // desynchronized. Count it and drop the connection.
+          state_.report().frames_quarantined += 1;
+          conn.closed = true;
+          conn.in.clear();
+          conn.out.clear();
+          return false;
+        }
+        conn.expected = len;
+      }
+      const std::uint32_t len = *conn.expected;
+      if (conn.in.size() - offset < len) break;
+      ingest_frame(conn, std::span<const std::uint8_t>(conn.in.data() + offset, len));
+      offset += len;
+      conn.expected.reset();
+    }
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(offset, conn.in.size())));
+    return true;
+  }
+
+  void ingest_frame(Conn& conn, std::span<const std::uint8_t> frame_bytes) {
+    wire_.messages += 1;
+    wire_.total_bytes += frame_bytes.size();
+    if (frame_bytes.size() > wire_.max_message_bytes) {
+      wire_.max_message_bytes = frame_bytes.size();
+    }
+    // Attribute the transmission to its claimed site (header peek; the
+    // claim is only trusted for ACCOUNTING — acceptance still goes through
+    // the full CRC validation in ingest). Every observed frame for a site
+    // is a real attempt on its behalf: first one a send, later ones
+    // retransmissions, mirroring the in-process collector's record_send.
+    if (frame_bytes.size() >= kFrameHeaderBytes && looks_like_frame(frame_bytes)) {
+      const std::uint32_t site = read_u32le(frame_bytes.data() + 8);
+      if (site < config_.sites) {
+        wire_.bytes_per_site[site] += frame_bytes.size();
+        state_.record_send(site);
+      }
+    }
+
+    const CollectReport& before = state_.report();
+    const std::uint64_t dup0 = before.duplicates_dropped;
+    const std::uint64_t stale0 = before.stale_dropped;
+    auto accepted = state_.ingest(frame_bytes);
+    PushAck ack = PushAck::kQuarantined;
+    if (accepted) {
+      const std::size_t site = accepted->site;
+      const std::uint32_t epoch = accepted->epoch;
+      if (sink_(site, epoch, std::move(accepted->payload))) {
+        ack = PushAck::kAccepted;
+      } else {
+        state_.reject_accepted(site);  // CRC collision: reopen + quarantine
+        ack = PushAck::kQuarantined;
+      }
+    } else if (state_.report().duplicates_dropped > dup0) {
+      ack = PushAck::kDuplicate;
+    } else if (state_.report().stale_dropped > stale0) {
+      ack = PushAck::kStale;
+    }
+    conn.out.push_back(static_cast<std::uint8_t>(ack));
+    flush(conn);  // usually completes inline; POLLOUT covers the rest
+  }
+
+  RefereeServer& server_;
+  const RefereeServerConfig& config_;
+  const PayloadSink& sink_;
+  CollectState state_;
+  ChannelStats wire_;
+  std::vector<Conn> conns_;
+};
+
+RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(config)) {
+  USTREAM_REQUIRE(config_.sites >= 1, "need at least one site");
+  listener_ = listen_tcp(config_.bind_host, config_.port);
+  port_ = local_port(listener_);
+}
+
+RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
+  Loop loop(*this, sink);
+  return loop.run();
+}
+
+void RefereeServer::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  wake_.notify();
+}
+
+}  // namespace ustream::net

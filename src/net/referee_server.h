@@ -1,0 +1,137 @@
+// RefereeServer — the referee side of the paper's protocol on a real
+// socket: a single-threaded poll() event loop that accepts site
+// connections, reassembles length-delimited version-1 CRC frames from
+// partial reads, and routes every complete frame through the SAME
+// CollectState (dedup, epoch latest-wins, quarantine) the in-process
+// referee uses, so the frame-layer semantics over TCP are identical to
+// Channel/FaultyChannel by construction.
+//
+// Event-loop states per connection (DESIGN.md §8):
+//
+//   reading-length  ->  reading-frame  ->  (ingest, queue 1-byte ack)
+//        ^                                            |
+//        +--------------------------------------------+
+//
+// A connection that closes mid-frame is a truncated transmission: the
+// partial bytes are fed to CollectState::ingest, which quarantines them —
+// a killed site shows up in the CollectReport exactly like a truncating
+// FaultyChannel, and the final estimate keeps the degraded-lower-bound
+// semantics of DESIGN.md §6.3.
+//
+// The loop runs until every expected site has reported (acks flushed), the
+// configured deadline passes (degraded finish), or request_stop() is
+// called from another thread (self-pipe wakeup). Merging is the caller's
+// step: collect_and_merge() deserializes accepted payloads and finishes
+// with the parallel MergeEngine, mirroring DistributedRun::collect().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/merge_engine.h"
+#include "distributed/collect.h"
+#include "distributed/transport.h"
+#include "net/socket.h"
+
+namespace ustream::net {
+
+struct RefereeServerConfig {
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = pick an ephemeral port (read back via port())
+  std::size_t sites = 1;
+  PayloadKind expected_kind = PayloadKind::kF0Estimator;
+  DedupMode dedup = DedupMode::kExactlyOnce;
+
+  // Overall collection deadline; zero waits until complete/stopped. On
+  // expiry the server finishes degraded with whatever arrived.
+  std::chrono::milliseconds timeout{0};
+
+  // Length-prefix sanity bound: a larger announced frame is a protocol
+  // violation (quarantined, connection dropped) rather than an allocation.
+  std::size_t max_frame_bytes = 64u << 20;
+};
+
+class RefereeServer {
+ public:
+  // Binds and listens immediately (so a client started right after the
+  // constructor returns can already connect). Throws TransportError if the
+  // port cannot be bound.
+  explicit RefereeServer(RefereeServerConfig config);
+
+  std::uint16_t port() const noexcept { return port_; }
+  std::size_t sites() const noexcept { return config_.sites; }
+
+  // Consumes an accepted payload. Returns false iff the payload fails to
+  // deserialize despite its CRC matching (the 2^-32 collision case): the
+  // frame is then quarantined and the site reopened, and the client sees a
+  // 'Q' ack telling it to retransmit.
+  using PayloadSink = std::function<bool(std::size_t site, std::uint32_t epoch,
+                                         std::vector<std::uint8_t>&& payload)>;
+
+  struct Result {
+    CollectReport report;
+    ChannelStats wire;      // complete frames observed on the wire, per site
+    bool timed_out = false; // deadline expired before every site reported
+  };
+
+  // Runs the event loop to completion. Call at most once.
+  Result run(const PayloadSink& sink);
+
+  // Thread-safe: wakes the poll loop and makes run() return with whatever
+  // has been collected so far.
+  void request_stop() noexcept;
+
+ private:
+  struct Conn;
+  class Loop;
+
+  RefereeServerConfig config_;
+  Socket listener_;
+  WakePipe wake_;
+  std::atomic<bool> stop_{false};
+  std::uint16_t port_ = 0;
+};
+
+// The referee's full end-of-stream step over TCP: collect frames, decode
+// the per-site sketches, tree-reduce them on the engine's pool in site
+// order (byte-identical to the sequential fold — merge_engine.h). Returns
+// nullopt union_sketch only for a fully degraded (zero-site) collection,
+// matching CollectState::finish().
+template <typename Sketch>
+struct NetCollectResult {
+  CollectReport report;
+  ChannelStats wire;
+  std::optional<Sketch> union_sketch;
+  bool timed_out = false;
+};
+
+template <typename Sketch>
+NetCollectResult<Sketch> collect_and_merge(RefereeServer& server,
+                                           MergeEngine& engine = MergeEngine::shared()) {
+  std::vector<std::optional<Sketch>> accepted(server.sites());
+  RefereeServer::Result res =
+      server.run([&accepted](std::size_t site, std::uint32_t /*epoch*/,
+                             std::vector<std::uint8_t>&& payload) {
+        try {
+          accepted[site].emplace(
+              Sketch::deserialize(std::span<const std::uint8_t>(payload)));
+          return true;
+        } catch (const SerializationError&) {
+          return false;
+        }
+      });
+  NetCollectResult<Sketch> out;
+  out.report = std::move(res.report);
+  out.wire = std::move(res.wire);
+  out.timed_out = res.timed_out;
+  out.union_sketch = engine.reduce(std::move(accepted));
+  return out;
+}
+
+}  // namespace ustream::net

@@ -1,0 +1,217 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ustream::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+in_addr parse_host(const std::string& host) {
+  in_addr addr{};
+  const std::string numeric = (host == "localhost") ? "127.0.0.1" : host;
+  USTREAM_REQUIRE(::inet_pton(AF_INET, numeric.c_str(), &addr) == 1,
+                  "not a numeric IPv4 address: '" + host + "'");
+  return addr;
+}
+
+sockaddr_in make_sockaddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr = parse_host(host);
+  return sa;
+}
+
+// poll() one fd for `events`, retrying EINTR against the caller's deadline.
+// Returns the revents mask, or 0 on timeout.
+short poll_one(int fd, short events, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(left.count(), 0)));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw TransportError(errno_text("poll"));
+    return n == 0 ? short{0} : pfd.revents;
+  }
+}
+
+void set_io_timeout(int fd, std::chrono::milliseconds io_timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw TransportError(errno_text("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)"));
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int Socket::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw TransportError(errno_text("fcntl(F_GETFL)"));
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) throw TransportError(errno_text("fcntl(F_SETFL)"));
+}
+
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  const sockaddr_in sa = make_sockaddr(host, port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw TransportError(errno_text("socket"));
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw TransportError(errno_text(("bind " + host + ":" + std::to_string(port)).c_str()));
+  }
+  if (::listen(sock.fd(), backlog) != 0) throw TransportError(errno_text("listen"));
+  set_nonblocking(sock.fd(), true);
+  return sock;
+}
+
+std::uint16_t local_port(const Socket& sock) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw TransportError(errno_text("getsockname"));
+  }
+  return ntohs(sa.sin_port);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout,
+                   std::chrono::milliseconds io_timeout) {
+  const sockaddr_in sa = make_sockaddr(host, port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw TransportError(errno_text("socket"));
+  set_nonblocking(sock.fd(), true);
+  const int rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      throw TransportError(errno_text(
+          ("connect " + host + ":" + std::to_string(port)).c_str()));
+    }
+    const short revents = poll_one(sock.fd(), POLLOUT, timeout);
+    if (revents == 0) {
+      throw TransportError("connect " + host + ":" + std::to_string(port) + ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      throw TransportError("connect " + host + ":" + std::to_string(port) + ": " +
+                           std::strerror(err != 0 ? err : errno));
+    }
+  }
+  // Client I/O is deliberately blocking-with-timeout: the push path is a
+  // simple request/ack exchange and gains nothing from its own poll loop.
+  set_nonblocking(sock.fd(), false);
+  set_io_timeout(sock.fd(), io_timeout);
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket accept_conn(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED || errno == EINTR) {
+      return Socket{};
+    }
+    throw TransportError(errno_text("accept"));
+  }
+  Socket sock(fd);
+  set_nonblocking(sock.fd(), true);
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void send_all(const Socket& sock, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(sock.fd(), bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TransportError("send: timed out");
+      }
+      throw TransportError(errno_text("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void recv_exact(const Socket& sock, std::span<std::uint8_t> bytes) {
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::recv(sock.fd(), bytes.data() + got, bytes.size() - got, 0);
+    if (n == 0) throw TransportError("recv: connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TransportError("recv: timed out");
+      }
+      throw TransportError(errno_text("recv"));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw TransportError(errno_text("pipe"));
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  set_nonblocking(read_end_.fd(), true);
+  set_nonblocking(write_end_.fd(), true);
+}
+
+void WakePipe::notify() noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.fd(), &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+  std::uint8_t buf[64];
+  while (::read(read_end_.fd(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace ustream::net

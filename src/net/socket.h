@@ -1,0 +1,103 @@
+// RAII socket + poll-loop primitives for the net layer, portable POSIX.
+//
+// Everything here is transport plumbing with no protocol knowledge: owning
+// file descriptors (Socket), loopback/TCP listen + connect with timeouts,
+// full-buffer blocking I/O helpers for the client side, and a self-pipe
+// (WakePipe) so a poll()-based event loop can be woken from another thread
+// without races. The framing and referee logic live one layer up in
+// tcp_transport.h / referee_server.h.
+//
+// Error model: failures that the caller cannot prevent (refused connection,
+// peer reset, timeout) throw TransportError; programmer errors (bad host
+// string, invalid port) throw InvalidArgument — matching common/error.h's
+// split between environment and misuse.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.h"
+
+namespace ustream::net {
+
+// Thrown when the network (not the caller) misbehaves: connect refused or
+// timed out, peer closed mid-message, short write on a closed pipe.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Move-only owner of a POSIX file descriptor. -1 means "no socket"; close
+// errors on destruction are swallowed (nothing sane can be done with them).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on host:port (host must be a numeric IPv4 address or
+// "localhost"; port 0 picks an ephemeral port — read it back with
+// local_port). The returned socket is nonblocking with SO_REUSEADDR set.
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog = 64);
+
+// The port a bound socket actually landed on (resolves port 0).
+std::uint16_t local_port(const Socket& sock);
+
+// Connects to host:port within `timeout` (nonblocking connect + poll), then
+// returns a BLOCKING socket with send/recv timeouts set to `io_timeout`, so
+// the client side can use plain full-buffer reads and writes. Throws
+// TransportError on refusal or timeout.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout,
+                   std::chrono::milliseconds io_timeout);
+
+// Nonblocking accept on a listening socket; invalid Socket when no
+// connection is pending. The accepted socket is made nonblocking.
+Socket accept_conn(const Socket& listener);
+
+void set_nonblocking(int fd, bool nonblocking);
+
+// Writes the whole buffer on a blocking socket (MSG_NOSIGNAL — a dead peer
+// must surface as an error, not SIGPIPE). Throws TransportError on any
+// failure or send timeout.
+void send_all(const Socket& sock, std::span<const std::uint8_t> bytes);
+
+// Reads exactly bytes.size() bytes on a blocking socket. Throws
+// TransportError on EOF, error, or receive timeout.
+void recv_exact(const Socket& sock, std::span<std::uint8_t> bytes);
+
+// Self-pipe for waking a poll() loop from another thread. notify() is
+// async-signal-safe and idempotent; drain() consumes pending wakeups.
+class WakePipe {
+ public:
+  WakePipe();   // throws TransportError if the pipe cannot be created
+  ~WakePipe() = default;
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  int read_fd() const noexcept { return read_end_.fd(); }
+  void notify() noexcept;
+  void drain() noexcept;
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
+
+}  // namespace ustream::net

@@ -1,0 +1,124 @@
+#include "net/tcp_transport.h"
+
+#include <thread>
+
+#include "common/error.h"
+#include "distributed/collect.h"
+
+namespace ustream::net {
+
+const char* push_ack_name(PushAck ack) noexcept {
+  switch (ack) {
+    case PushAck::kAccepted: return "accepted";
+    case PushAck::kDuplicate: return "duplicate";
+    case PushAck::kStale: return "stale";
+    case PushAck::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+TcpTransport::TcpTransport(std::size_t sites, TcpTransportConfig config)
+    : sites_(sites), config_(std::move(config)) {
+  USTREAM_REQUIRE(sites_ >= 1, "need at least one site");
+  USTREAM_REQUIRE(config_.port != 0, "TcpTransport needs a referee port");
+  USTREAM_REQUIRE(config_.max_send_attempts >= 1, "need at least one send attempt");
+  stats_.bytes_per_site.assign(sites_, 0);
+}
+
+void TcpTransport::ensure_connected_locked() {
+  if (conn_.valid()) return;
+  // Same capped-exponential shape as the referee's RetryPolicy, reusing
+  // backoff_delay so both sides of the wire share one schedule definition.
+  RetryPolicy schedule;
+  schedule.base_backoff = config_.base_backoff;
+  schedule.max_backoff = config_.max_backoff;
+  std::string last_error;
+  for (std::uint32_t attempt = 0; attempt < config_.max_connect_attempts; ++attempt) {
+    if (attempt > 0) std::this_thread::sleep_for(backoff_delay(schedule, attempt));
+    ++connect_attempts_;
+    try {
+      conn_ = connect_tcp(config_.host, config_.port, config_.connect_timeout,
+                          config_.io_timeout);
+      return;
+    } catch (const TransportError& e) {
+      last_error = e.what();
+    }
+  }
+  throw TransportError("referee unreachable after " +
+                       std::to_string(config_.max_connect_attempts) +
+                       " connect attempts (" + last_error + ")");
+}
+
+void TcpTransport::record_attempt_locked(std::size_t from_site, std::size_t bytes) {
+  stats_.messages += 1;
+  stats_.total_bytes += bytes;
+  if (bytes > stats_.max_message_bytes) stats_.max_message_bytes = bytes;
+  stats_.bytes_per_site[from_site] += bytes;
+}
+
+void TcpTransport::send(std::size_t from_site, std::vector<std::uint8_t> message) {
+  send_with_ack(from_site, message);
+}
+
+PushAck TcpTransport::send_with_ack(std::size_t from_site,
+                                    std::span<const std::uint8_t> message) {
+  if (from_site >= sites_) {
+    throw ProtocolError("send from unregistered site " + std::to_string(from_site) +
+                        " (transport has " + std::to_string(sites_) + " sites)");
+  }
+  USTREAM_REQUIRE(message.size() <= 0xffffffffu, "frame exceeds the u32 length prefix");
+  std::vector<std::uint8_t> wire(4 + message.size());
+  const auto len = static_cast<std::uint32_t>(message.size());
+  wire[0] = static_cast<std::uint8_t>(len);
+  wire[1] = static_cast<std::uint8_t>(len >> 8);
+  wire[2] = static_cast<std::uint8_t>(len >> 16);
+  wire[3] = static_cast<std::uint8_t>(len >> 24);
+  std::copy(message.begin(), message.end(), wire.begin() + 4);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string last_error;
+  for (std::uint32_t attempt = 0; attempt < config_.max_send_attempts; ++attempt) {
+    ensure_connected_locked();
+    try {
+      // The frame is on the wire from the first byte of send_all: charge
+      // the attempt before learning its fate, exactly like FaultyChannel
+      // charges a send that the network then drops.
+      record_attempt_locked(from_site, message.size());
+      send_all(conn_, wire);
+      std::uint8_t ack = 0;
+      recv_exact(conn_, std::span<std::uint8_t>(&ack, 1));
+      switch (static_cast<PushAck>(ack)) {
+        case PushAck::kAccepted: return PushAck::kAccepted;
+        case PushAck::kDuplicate: return PushAck::kDuplicate;
+        case PushAck::kStale: return PushAck::kStale;
+        case PushAck::kQuarantined:
+          // The referee saw the bytes but rejected them; retransmitting the
+          // same frame is the protocol's answer to line corruption.
+          last_error = "referee quarantined the frame";
+          continue;
+        default:
+          throw TransportError("referee sent an unknown ack byte " + std::to_string(ack));
+      }
+    } catch (const TransportError& e) {
+      // Connection died mid-exchange: drop it and let the next attempt
+      // redial through the backoff schedule.
+      last_error = e.what();
+      conn_.close();
+    }
+  }
+  throw TransportError("site " + std::to_string(from_site) + " frame undeliverable after " +
+                       std::to_string(config_.max_send_attempts) + " attempts (" +
+                       last_error + ")");
+}
+
+ChannelStats TcpTransport::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t TcpTransport::connect_attempts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return connect_attempts_;
+}
+
+}  // namespace ustream::net

@@ -1,0 +1,436 @@
+// The net subsystem end to end: socket primitives, TcpTransport client,
+// RefereeServer event loop, and the CLI serve/push pair as real processes
+// over loopback.
+//
+// The load-bearing assertions mirror the soak suite's contract: a referee
+// fed over TCP must be BYTE-IDENTICAL to the in-process Channel referee on
+// the same traces/seed — complete or degraded — because both paths route
+// through the same frames, the same CollectState and the same MergeEngine.
+#include "net/referee_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cli/commands.h"
+#include "common/frame.h"
+#include "core/f0_estimator.h"
+#include "core/params.h"
+#include "distributed/faulty_channel.h"
+#include "distributed/runtime.h"
+#include "net/socket.h"
+#include "net/tcp_transport.h"
+#include "stream/partitioner.h"
+
+// Path to the real `ustream` binary, passed by ctest as the first
+// non-gtest argv entry (see tests/CMakeLists.txt); the multi-process test
+// is skipped when absent (e.g. running the test binary by hand).
+static std::string g_ustream_bin;  // NOLINT
+
+namespace ustream {
+namespace {
+
+using net::PushAck;
+using net::RefereeServer;
+using net::RefereeServerConfig;
+using net::TcpTransport;
+using net::TcpTransportConfig;
+
+TcpTransportConfig client_config(std::uint16_t port) {
+  TcpTransportConfig config;
+  config.host = "127.0.0.1";
+  config.port = port;
+  config.base_backoff = std::chrono::microseconds{1000};
+  config.max_backoff = std::chrono::microseconds{20'000};
+  return config;
+}
+
+TEST(NetSocket, ListenConnectRoundTrip) {
+  net::Socket listener = net::listen_tcp("127.0.0.1", 0);
+  const std::uint16_t port = net::local_port(listener);
+  ASSERT_NE(port, 0);
+
+  net::Socket client = net::connect_tcp("127.0.0.1", port, std::chrono::milliseconds{1000},
+                                        std::chrono::milliseconds{1000});
+  net::Socket server;
+  for (int i = 0; i < 100 && !server.valid(); ++i) {
+    server = net::accept_conn(listener);
+    if (!server.valid()) std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  ASSERT_TRUE(server.valid());
+
+  const std::vector<std::uint8_t> ping{1, 2, 3, 4, 5};
+  net::send_all(client, ping);
+  std::vector<std::uint8_t> got(ping.size());
+  // The accepted side is nonblocking; poll-by-retry until the bytes land.
+  for (int i = 0; i < 100; ++i) {
+    try {
+      net::recv_exact(server, got);
+      break;
+    } catch (const net::TransportError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    }
+  }
+  EXPECT_EQ(got, ping);
+}
+
+TEST(NetSocket, ConnectToDeadPortThrowsAfterBackoffBudget) {
+  // Grab an ephemeral port and release it: nobody is listening there now.
+  std::uint16_t port = 0;
+  {
+    net::Socket probe = net::listen_tcp("127.0.0.1", 0);
+    port = net::local_port(probe);
+  }
+  TcpTransportConfig config = client_config(port);
+  config.max_connect_attempts = 3;
+  TcpTransport transport(1, config);
+  EXPECT_THROW(transport.send(0, {1, 2, 3}), net::TransportError);
+  // The backoff loop really dialed max_connect_attempts times, and no frame
+  // ever hit the wire, so the model was charged zero messages.
+  EXPECT_EQ(transport.connect_attempts(), 3u);
+  EXPECT_EQ(transport.stats().messages, 0u);
+}
+
+TEST(NetSocket, UnregisteredSiteIsAProtocolError) {
+  TcpTransport transport(2, client_config(1));  // port never dialed
+  EXPECT_THROW(transport.send(2, {1}), ProtocolError);
+}
+
+// Builds the t per-site sketches for a shared workload — the observation
+// phase both referees (in-process and TCP) then consume identically.
+struct Workload {
+  DistributedWorkload data;
+  EstimatorParams params;
+  std::vector<F0Estimator> sites;
+
+  explicit Workload(std::size_t t, std::uint64_t seed = 7) {
+    DistributedConfig config;
+    config.sites = t;
+    config.union_distinct = 30'000;
+    config.overlap = 0.3;
+    config.seed = seed;
+    data = make_distributed_workload(config);
+    params = EstimatorParams::for_guarantee(0.1, 0.05, seed);
+    for (std::size_t s = 0; s < t; ++s) {
+      F0Estimator est(params);
+      for (const Item& item : data.site_streams[s]) est.add(item.label);
+      sites.push_back(std::move(est));
+    }
+  }
+
+  // The reference referee: the perfect in-process Channel, site-order fold.
+  std::vector<std::uint8_t> channel_referee_bytes(const std::vector<bool>* alive = nullptr) {
+    auto channel = std::make_unique<FaultyChannel>(sites.size(), FaultSpec{}, 99);
+    FaultyChannel* view = channel.get();
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (alive != nullptr && !(*alive)[s]) view->set_site_faults(s, FaultSpec::dropping(1.0));
+    }
+    const EstimatorParams p = params;
+    DistributedRun<F0Estimator> run(sites.size(), [&p] { return F0Estimator(p); },
+                                    std::move(channel));
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      for (const Item& item : data.site_streams[s]) run.site(s).add(item.label);
+    }
+    RetryPolicy policy;
+    policy.max_attempts_per_site = 2;
+    policy.sleep_on_backoff = false;
+    return run.collect(policy).serialize();
+  }
+};
+
+TEST(NetReferee, TcpLoopbackRefereeIsByteIdenticalToChannelReferee) {
+  constexpr std::size_t kSites = 4;
+  Workload workload(kSites);
+
+  RefereeServerConfig config;
+  config.sites = kSites;
+  RefereeServer server(config);
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  TcpTransport transport(kSites, client_config(server.port()));
+  for (std::size_t s = 0; s < kSites; ++s) {
+    transport.send(s, frame_encode({PayloadKind::kF0Estimator,
+                                    static_cast<std::uint32_t>(s), 0},
+                                   workload.sites[s].serialize()));
+  }
+  referee.join();
+
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+  ASSERT_TRUE(result.union_sketch.has_value());
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes());
+  EXPECT_EQ(result.report.total_attempts(), kSites);
+  EXPECT_EQ(result.wire.messages, kSites);
+  EXPECT_FALSE(result.timed_out);
+  // Per-site wire attribution matches what each site shipped.
+  const ChannelStats client_stats = transport.stats();
+  for (std::size_t s = 0; s < kSites; ++s) {
+    // Client counts the bare frame; the server observed the same bytes.
+    EXPECT_EQ(result.wire.bytes_per_site[s] - kFrameHeaderBytes,
+              client_stats.bytes_per_site[s] - kFrameHeaderBytes);
+  }
+}
+
+TEST(NetReferee, DuplicateWrongKindAndGarbageGetHonestAcks) {
+  constexpr std::size_t kSites = 2;
+  Workload workload(kSites);
+
+  RefereeServerConfig config;
+  config.sites = kSites;
+  RefereeServer server(config);
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  TcpTransportConfig tconfig = client_config(server.port());
+  tconfig.max_send_attempts = 1;  // surface 'Q' as an error instead of retrying
+  TcpTransport transport(kSites, tconfig);
+
+  const auto frame0 = frame_encode({PayloadKind::kF0Estimator, 0, 0},
+                                   workload.sites[0].serialize());
+  EXPECT_EQ(transport.send_with_ack(0, frame0), PushAck::kAccepted);
+  // Retransmission of an already-accepted frame: deduped, acked 'D'.
+  EXPECT_EQ(transport.send_with_ack(0, frame0), PushAck::kDuplicate);
+  // A structurally valid frame of the WRONG protocol: quarantined.
+  const auto wrong_kind = frame_encode({PayloadKind::kDistinctSum, 1, 0},
+                                       workload.sites[1].serialize());
+  EXPECT_THROW(transport.send_with_ack(1, wrong_kind), net::TransportError);
+  // Garbage that is not even a frame: quarantined at decode.
+  EXPECT_THROW(transport.send_with_ack(1, std::vector<std::uint8_t>(64, 0xAB)),
+               net::TransportError);
+  // The real site-1 frame still lands: quarantine never poisons the site.
+  const auto frame1 = frame_encode({PayloadKind::kF0Estimator, 1, 0},
+                                   workload.sites[1].serialize());
+  EXPECT_EQ(transport.send_with_ack(1, frame1), PushAck::kAccepted);
+  referee.join();
+
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+  EXPECT_EQ(result.report.duplicates_dropped, 1u);
+  EXPECT_EQ(result.report.frames_quarantined, 2u);
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes());
+  // 1 retransmission observed for site 0 (the duplicate).
+  EXPECT_GE(result.report.retries, 1u);
+}
+
+TEST(NetReferee, KilledSiteDegradesToTheSameLowerBoundAsFaultyChannel) {
+  constexpr std::size_t kSites = 3;
+  Workload workload(kSites);
+
+  RefereeServerConfig config;
+  config.sites = kSites;
+  config.timeout = std::chrono::milliseconds{1500};
+  RefereeServer server(config);
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  TcpTransport transport(kSites, client_config(server.port()));
+  for (std::size_t s = 0; s < 2; ++s) {
+    transport.send(s, frame_encode({PayloadKind::kF0Estimator,
+                                    static_cast<std::uint32_t>(s), 0},
+                                   workload.sites[s].serialize()));
+  }
+  // Site 2 dies mid-stream: it announces a full frame, ships half of it,
+  // and its connection drops. The referee must treat the stranded bytes as
+  // a truncated (quarantined) transmission, then time out degraded.
+  {
+    const auto frame = frame_encode({PayloadKind::kF0Estimator, 2, 0},
+                                    workload.sites[2].serialize());
+    net::Socket victim = net::connect_tcp("127.0.0.1", server.port(),
+                                          std::chrono::milliseconds{1000},
+                                          std::chrono::milliseconds{1000});
+    const auto len = static_cast<std::uint32_t>(frame.size());
+    const std::uint8_t prefix[4] = {
+        static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len >> 16), static_cast<std::uint8_t>(len >> 24)};
+    net::send_all(victim, prefix);
+    net::send_all(victim, std::span<const std::uint8_t>(frame.data(), frame.size() / 2));
+  }  // victim socket closes here — mid-frame
+  referee.join();
+
+  EXPECT_TRUE(result.report.degraded());
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.report.sites_reported, 2u);
+  EXPECT_GE(result.report.frames_quarantined, 1u);
+  ASSERT_EQ(result.report.missing_sites(), std::vector<std::size_t>{2});
+  ASSERT_TRUE(result.union_sketch.has_value());
+  // Degraded-lower-bound semantics over TCP == over FaultyChannel: the
+  // referee that lost site 2 to a killed connection is byte-identical to
+  // the referee that lost site 2 to a fully dropping channel.
+  const std::vector<bool> alive{true, true, false};
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes(&alive));
+}
+
+TEST(NetReferee, RequestStopEndsTheLoopDegraded) {
+  RefereeServerConfig config;
+  config.sites = 1;
+  RefereeServer server(config);
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  server.request_stop();
+  referee.join();
+  EXPECT_TRUE(result.report.degraded());
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.union_sketch.has_value());  // zero sites: no union
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance test: `ustream serve` + tx `ustream push` as REAL processes
+// over loopback, byte-identical to the in-process pipeline on the same
+// traces/seed, with --json output parsed rather than prose scraped.
+
+class NetCliTest : public ::testing::Test {
+ protected:
+  std::string dir_ = ::testing::TempDir();
+  std::vector<std::string> files_;
+
+  std::string path(const std::string& name) {
+    files_.push_back(dir_ + "/net_" + name);
+    return files_.back();
+  }
+
+  void TearDown() override {
+    for (const auto& f : files_) std::remove(f.c_str());
+  }
+
+  static std::pair<int, std::string> invoke(const std::vector<std::string>& argv) {
+    std::string out;
+    const int code = cli::run(argv, out);
+    return {code, out};
+  }
+
+  static std::vector<std::uint8_t> slurp(const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+  }
+
+  // Polls for the serve process's port file.
+  static std::uint16_t wait_for_port(const std::string& port_file) {
+    for (int i = 0; i < 200; ++i) {
+      std::ifstream in(port_file);
+      int port = 0;
+      if (in >> port && port > 0) return static_cast<std::uint16_t>(port);
+      std::this_thread::sleep_for(std::chrono::milliseconds{25});
+    }
+    return 0;
+  }
+};
+
+TEST_F(NetCliTest, MultiProcessServePushMatchesInProcessMergeByteForByte) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  // Observation phase: shared files, exactly as the in-process CLI test.
+  const auto t0 = path("s0.trace"), t1 = path("s1.trace");
+  const auto s0 = path("s0.sk"), s1 = path("s1.sk");
+  const auto inproc = path("union_inproc.sk"), net_sk = path("union_net.sk");
+  const auto port_file = path("port.txt"), serve_log = path("serve.json");
+  for (const auto& [trace, seed] : {std::pair{t0, "1"}, std::pair{t1, "2"}}) {
+    auto [code, out] = invoke({"generate", "--distinct", "20000", "--items", "60000",
+                               "--seed", seed, "--out", trace});
+    ASSERT_EQ(code, 0) << out;
+  }
+  for (const auto& [trace, sketch] : {std::pair{t0, s0}, std::pair{t1, s1}}) {
+    auto [code, out] = invoke({"sketch", "--in", trace, "--eps", "0.1", "--delta", "0.05",
+                               "--seed", "42", "--out", sketch});
+    ASSERT_EQ(code, 0) << out;
+  }
+  auto [mcode, mout] = invoke({"merge", "--out", inproc, s0, s1});
+  ASSERT_EQ(mcode, 0) << mout;
+
+  // Referee process. popen keeps the pipe open until the server exits, so
+  // reading to EOF below is also the "wait for completion" step.
+  const std::string serve_cmd = g_ustream_bin + " serve --port 0 --sites 2 --json" +
+                                " --timeout-ms 30000 --out " + net_sk +
+                                " --port-file " + port_file + " 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  ASSERT_NE(port, 0) << "serve never wrote its port file";
+
+  // Site processes.
+  const std::string target = " --to 127.0.0.1:" + std::to_string(port);
+  ASSERT_EQ(std::system((g_ustream_bin + " push" + target + " --site 0 " + s0 +
+                         " > /dev/null 2>&1").c_str()), 0);
+  ASSERT_EQ(std::system((g_ustream_bin + " push" + target + " --site 1 " + s1 +
+                         " > /dev/null 2>&1").c_str()), 0);
+
+  std::string serve_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), serve)) serve_out += buf;
+  const int status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(status)) << serve_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << serve_out;
+  EXPECT_NE(serve_out.find("\"degraded\":false"), std::string::npos) << serve_out;
+  EXPECT_NE(serve_out.find("\"sites_reported\":2"), std::string::npos) << serve_out;
+
+  // The whole point: two processes over TCP produced the same referee, to
+  // the byte, as the in-process merge of the same sketch files.
+  const auto net_bytes = slurp(net_sk);
+  ASSERT_FALSE(net_bytes.empty());
+  EXPECT_EQ(net_bytes, slurp(inproc));
+
+  // And scripts can read the estimate without scraping prose.
+  auto [jcode, jout] = invoke({"estimate", "--json", net_sk});
+  ASSERT_EQ(jcode, 0) << jout;
+  EXPECT_EQ(jout.find("{\"file\":"), 0u) << jout;
+  EXPECT_NE(jout.find("\"estimate\":"), std::string::npos) << jout;
+  auto [icode, iout] = invoke({"info", "--json", net_sk});
+  ASSERT_EQ(icode, 0) << iout;
+  EXPECT_NE(iout.find("\"format\":\"framed-sketch\""), std::string::npos) << iout;
+}
+
+TEST_F(NetCliTest, ServeExitsDegradedWhenASiteNeverPushes) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  const auto trace = path("d.trace");
+  const auto sketch = path("d.sk");
+  const auto port_file = path("dport.txt");
+  ASSERT_EQ(invoke({"generate", "--distinct", "5000", "--items", "10000", "--out", trace})
+                .first, 0);
+  ASSERT_EQ(invoke({"sketch", "--in", trace, "--out", sketch}).first, 0);
+
+  const std::string serve_cmd = g_ustream_bin + " serve --port 0 --sites 2 --json" +
+                                " --timeout-ms 2000 --port-file " + port_file + " 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  ASSERT_NE(port, 0);
+  ASSERT_EQ(std::system((g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                         " --site 0 " + sketch + " > /dev/null 2>&1").c_str()), 0);
+
+  std::string serve_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), serve)) serve_out += buf;
+  const int status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(status)) << serve_out;
+  // Degraded collection is a DISTINCT exit code (3), same as `collect`.
+  EXPECT_EQ(WEXITSTATUS(status), 3) << serve_out;
+  EXPECT_NE(serve_out.find("\"degraded\":true"), std::string::npos) << serve_out;
+  EXPECT_NE(serve_out.find("\"timed_out\":true"), std::string::npos) << serve_out;
+}
+
+}  // namespace
+}  // namespace ustream
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Remaining args after gtest filtering: [0] = self, [1] = ustream binary.
+  if (argc > 1) g_ustream_bin = argv[1];
+  if (const char* env = std::getenv("USTREAM_BIN"); g_ustream_bin.empty() && env != nullptr) {
+    g_ustream_bin = env;
+  }
+  return RUN_ALL_TESTS();
+}
