@@ -19,20 +19,24 @@ Exit status 0 on pass, 1 on any failure.
 
 import argparse
 import json
+import statistics
 import sys
 
 
 def load_items_per_second(path):
+    """name -> items/sec; the MEDIAN when a name repeats (benchmark
+    --benchmark_repetitions, or several runs merged into one file, as
+    bench/run_obs_bench.sh does to wash out thermal drift)."""
     with open(path) as f:
         data = json.load(f)
-    rates = {}
+    samples = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         rate = bench.get("items_per_second")
         if rate:
-            rates[bench["name"]] = float(rate)
-    return rates
+            samples.setdefault(bench["name"], []).append(float(rate))
+    return {name: statistics.median(rates) for name, rates in samples.items()}
 
 
 def main():
@@ -79,22 +83,29 @@ def main():
               f"{current[name] / 1e6:8.1f} M items/s "
               f"(baseline {baseline[name] / 1e6:8.1f}, {ratio:.2f}x)")
         if not ok:
-            failures.append(f"{name} regressed to {ratio:.2f}x of baseline")
+            failures.append(
+                f"{name}: {ratio:.2f}x of baseline "
+                f"(threshold {1.0 - args.tolerance:.2f}x, "
+                f"{current[name] / 1e6:.1f} vs {baseline[name] / 1e6:.1f} M items/s)")
 
     for slow, fast, floor in pairs:
         if slow in current and fast in current:
             speedup = current[fast] / current[slow]
             ok = speedup >= floor
             print(f"{'OK' if ok else 'TOO SLOW':11s} speedup "
-                  f"({fast} / {slow}): {speedup:.2f}x (floor {floor:.1f}x)")
+                  f"({fast} / {slow}): {speedup:.2f}x (floor {floor:.2f}x)")
             if not ok:
                 failures.append(
-                    f"{fast} / {slow} speedup {speedup:.2f}x below floor {floor:.1f}x")
+                    f"{fast} / {slow}: speedup {speedup:.2f}x below floor {floor:.2f}x")
         else:
-            failures.append(f"speedup pair {slow} / {fast} missing from current run")
+            failures.append(f"{slow} / {fast}: speedup pair missing from current run")
 
     if failures:
-        print("\nFAIL:", file=sys.stderr)
+        # One self-contained block per run: every failing row with its
+        # measured ratio and the threshold it missed, so a red CI log
+        # needs no scrolling back through the OK rows.
+        print(f"\nFAIL: {len(failures)} of {len(baseline) + len(pairs)} "
+              f"checks failed:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1

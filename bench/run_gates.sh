@@ -18,8 +18,14 @@
 #   4. wire performance — bench/run_net_bench.sh measures the loopback
 #      TCP referee (push latency, throughput, reconnect cost) and gates
 #      against bench/BENCH_net.json, including the >= 3x persistent-vs-
-#      reconnect floor. Last because its rows are RTT-bound, not
-#      CPU-frequency-bound, so the soak's thermal wake barely moves them.
+#      reconnect floor. After the soak because its rows are RTT-bound,
+#      not CPU-frequency-bound, so the thermal wake barely moves them.
+#   5. instrumentation overhead — bench/run_obs_bench.sh runs the
+#      bench_obs / bench_obs_nometrics twins interleaved and enforces the
+#      observability subsystem's overhead contract (DESIGN.md §9.4):
+#      enabled-but-idle metrics must cost < 2% (>= 0.98x floor) on the
+#      Ingest* and Merge* rows vs a -DUSTREAM_NO_METRICS build. Last:
+#      its A/B medians want the longest possible quiet tail.
 #
 # Usage:
 #   bench/run_gates.sh [build-dir]            # all gates
@@ -39,17 +45,20 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/4: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/5: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/4: merge-engine perf regression (bench/run_merge_bench.sh) =="
+echo "== gate 2/5: merge-engine perf regression (bench/run_merge_bench.sh) =="
 "$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 3/4: fault-injection soak (ctest -L soak) =="
+echo "== gate 3/5: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
 
-echo "== gate 4/4: net wire perf regression (bench/run_net_bench.sh) =="
+echo "== gate 4/5: net wire perf regression (bench/run_net_bench.sh) =="
 "$repo/bench/run_net_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 5/5: instrumentation overhead (bench/run_obs_bench.sh) =="
+"$repo/bench/run_obs_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
 echo "all gates passed"

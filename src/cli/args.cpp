@@ -8,7 +8,9 @@ namespace {
 
 // Flags that never take a value, so `--json file.sk` does not swallow the
 // positional that follows. Everything else stays greedy.
-bool is_boolean_flag(const std::string& key) { return key == "json"; }
+bool is_boolean_flag(const std::string& key) {
+  return key == "json" || key == "stats" || key == "health";
+}
 
 }  // namespace
 

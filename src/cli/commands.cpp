@@ -1,8 +1,12 @@
 #include "cli/commands.h"
 
+#include <sys/socket.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 
@@ -16,7 +20,10 @@
 #include "distributed/faulty_channel.h"
 #include "distributed/runtime.h"
 #include "net/referee_server.h"
+#include "net/socket.h"
 #include "net/tcp_transport.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
 #include "stream/trace_io.h"
@@ -30,7 +37,7 @@ namespace {
 constexpr std::uint32_t kLegacySketchMagic = 0x454b5355;  // "USKE"
 
 void append(std::string& out, const char* format, ...) {
-  char buf[512];
+  char buf[4096];  // --json lines carry per-copy byte arrays; keep headroom
   va_list args;
   va_start(args, format);
   std::vsnprintf(buf, sizeof(buf), format, args);
@@ -67,6 +74,14 @@ bool json_requested(const Args& args) {
   const bool json = args.has("json");
   if (json) args.str("json", "");
   return json;
+}
+
+// Same idiom for the boolean --stats flag on serve/push: dump this
+// process's metrics registry as one JSON line on exit.
+bool stats_requested(const Args& args) {
+  const bool stats = args.has("stats");
+  if (stats) args.str("stats", "");
+  return stats;
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -172,6 +187,24 @@ int cmd_exact(const Args& args, std::string& out) {
   return 0;
 }
 
+// Per-structure byte footprint for --json info output: serialized size of
+// the whole estimator, per-copy serialized sampler sizes, and the live
+// in-memory footprint — capacity planning without a debugger.
+std::string footprint_json(const F0Estimator& est) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"state_bytes\":%zu,\"memory_bytes\":%zu,\"copy_bytes\":[",
+                est.serialize().size(), est.bytes_used());
+  out += buf;
+  for (std::size_t i = 0; i < est.num_copies(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "%zu", est.copy(i).serialize().size());
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
 int cmd_info(const Args& args, std::string& out) {
   const bool json = json_requested(args);
   args.reject_unknown();
@@ -185,11 +218,12 @@ int cmd_info(const Args& args, std::string& out) {
         append(out,
                "{\"file\":\"%s\",\"format\":\"framed-sketch\",\"kind\":\"%s\","
                "\"site\":%u,\"epoch\":%u,\"bytes\":%zu,\"payload_bytes\":%zu,"
-               "\"copies\":%zu,\"capacity\":%zu,\"seed\":%llu}",
+               "\"copies\":%zu,\"capacity\":%zu,\"seed\":%llu,%s}",
                json_escape(path).c_str(), payload_kind_name(frame.header.kind),
                frame.header.site, frame.header.epoch, bytes.size(), frame.payload.size(),
                est.params().copies, est.params().capacity,
-               static_cast<unsigned long long>(est.params().seed));
+               static_cast<unsigned long long>(est.params().seed),
+               footprint_json(est).c_str());
       } else {
         append(out,
                "%s: framed sketch (%s, site %u, epoch %u, crc ok), %zu bytes "
@@ -208,9 +242,10 @@ int cmd_info(const Args& args, std::string& out) {
         if (json) {
           append(out,
                  "{\"file\":\"%s\",\"format\":\"legacy-sketch\",\"bytes\":%zu,"
-                 "\"copies\":%zu,\"capacity\":%zu,\"seed\":%llu}",
+                 "\"copies\":%zu,\"capacity\":%zu,\"seed\":%llu,%s}",
                  json_escape(path).c_str(), bytes.size(), est.params().copies,
-                 est.params().capacity, static_cast<unsigned long long>(est.params().seed));
+                 est.params().capacity, static_cast<unsigned long long>(est.params().seed),
+                 footprint_json(est).c_str());
         } else {
           append(out, "%s: legacy (v0) sketch, %zu bytes, %zu copies x capacity %zu, seed %llu",
                  path.c_str(), bytes.size(), est.params().copies, est.params().capacity,
@@ -318,7 +353,15 @@ int cmd_serve(const Args& args, std::string& out) {
   const std::uint64_t seed = args.u64("seed", 0x5eed0123456789abULL);
   const std::string out_path = args.str("out", "");
   const std::string port_file = args.str("port-file", "");
+  if (args.has("admin-port")) {
+    config.admin_port = static_cast<std::uint16_t>(args.u64("admin-port", 0));
+  }
+  const std::string admin_port_file = args.str("admin-port-file", "");
+  if (!admin_port_file.empty() && !config.admin_port.has_value()) {
+    config.admin_port = 0;  // asking for the file implies the endpoint
+  }
   const bool json = json_requested(args);
+  const bool stats = stats_requested(args);
   args.reject_unknown();
 
   net::RefereeServer server(std::move(config));
@@ -327,6 +370,11 @@ int cmd_serve(const Args& args, std::string& out) {
     // this file can start pushing immediately.
     const std::string port_text = std::to_string(server.port()) + "\n";
     write_file(port_file, std::vector<std::uint8_t>(port_text.begin(), port_text.end()));
+  }
+  if (!admin_port_file.empty()) {
+    const std::string port_text = std::to_string(*server.admin_port()) + "\n";
+    write_file(admin_port_file,
+               std::vector<std::uint8_t>(port_text.begin(), port_text.end()));
   }
   auto result = net::collect_and_merge<F0Estimator>(server);
   F0Estimator referee = result.union_sketch
@@ -337,12 +385,13 @@ int cmd_serve(const Args& args, std::string& out) {
   const CollectReport& report = result.report;
   if (json) {
     append(out,
-           "{\"port\":%u,\"sites_total\":%zu,\"sites_reported\":%zu,"
+           "{\"port\":%u,\"admin_port\":%u,\"sites_total\":%zu,\"sites_reported\":%zu,"
            "\"degraded\":%s,\"timed_out\":%s,\"estimate\":%.17g,"
            "\"attempts\":%llu,\"retries\":%llu,\"frames_quarantined\":%llu,"
            "\"duplicates_dropped\":%llu,\"stale_dropped\":%llu,"
            "\"wire_frames\":%llu,\"wire_bytes\":%llu}",
-           server.port(), report.sites_total, report.sites_reported,
+           server.port(), server.admin_port().value_or(0), report.sites_total,
+           report.sites_reported,
            report.degraded() ? "true" : "false", result.timed_out ? "true" : "false",
            referee.estimate(), static_cast<unsigned long long>(report.total_attempts()),
            static_cast<unsigned long long>(report.retries),
@@ -364,6 +413,7 @@ int cmd_serve(const Args& args, std::string& out) {
            result.wire.mean_message_bytes());
     if (!out_path.empty()) append(out, "wrote union sketch to %s", out_path.c_str());
   }
+  if (stats) out += obs::render_json(obs::default_registry().snapshot()) + "\n";
   return report.complete() ? 0 : 3;
 }
 
@@ -388,6 +438,7 @@ int cmd_push(const Args& args, std::string& out) {
   config.max_connect_attempts =
       static_cast<std::uint32_t>(args.u64("connect-attempts", 10));
   const bool json = json_requested(args);
+  const bool want_stats = stats_requested(args);
   args.reject_unknown();
   USTREAM_REQUIRE(args.positional().size() == 1, "push needs exactly one sketch file");
   const std::string& path = args.positional()[0];
@@ -414,6 +465,46 @@ int cmd_push(const Args& args, std::string& out) {
            path.c_str(), site, epoch, to.c_str(), net::push_ack_name(ack),
            static_cast<unsigned long long>(stats.messages), frame.size());
   }
+  if (want_stats) out += obs::render_json(obs::default_registry().snapshot()) + "\n";
+  return 0;
+}
+
+// Queries a running referee's admin endpoint (serve --admin-port) and
+// prints the live metrics snapshot: Prometheus text by default, the
+// one-line JSON with --json, or a liveness check with --health.
+int cmd_stats(const Args& args, std::string& out) {
+  const std::string from = args.required_str("from");
+  const auto colon = from.rfind(':');
+  USTREAM_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < from.size(),
+                  "--from expects host:port, got '" + from + "'");
+  const std::string host = from.substr(0, colon);
+  const std::uint64_t port = std::strtoull(from.c_str() + colon + 1, nullptr, 10);
+  USTREAM_REQUIRE(port >= 1 && port <= 0xffff, "--from port out of range in '" + from + "'");
+  const auto timeout = std::chrono::milliseconds(args.u64("timeout-ms", 5000));
+  const bool json = json_requested(args);
+  const bool health = args.has("health");
+  if (health) args.str("health", "");
+  args.reject_unknown();
+
+  net::Socket sock = net::connect_tcp(host, static_cast<std::uint16_t>(port), timeout, timeout);
+  const std::string request =
+      health ? "GET /health\n" : (json ? "GET /metrics.json\n" : "GET /metrics\n");
+  net::send_all(sock, std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(request.data()),
+                          request.size()));
+  // The admin protocol is response-then-close: read until EOF.
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw net::TransportError("admin endpoint read failed (timeout?)");
+    break;
+  }
+  USTREAM_REQUIRE(!out.empty(), "admin endpoint closed without a response");
   return 0;
 }
 
@@ -457,12 +548,16 @@ std::string usage() {
          "           [--attempts K] [--eps E] [--delta D]\n"
          "           (fault-injected distributed collection demo; exit 3 if degraded)\n"
          "  serve    [--port P] [--bind H] [--sites T] [--timeout-ms N] [--out SKETCH]\n"
-         "           [--port-file FILE] [--eps E] [--delta D] [--seed S] [--json]\n"
+         "           [--port-file FILE] [--admin-port P] [--admin-port-file FILE]\n"
+         "           [--eps E] [--delta D] [--seed S] [--json] [--stats]\n"
          "           (TCP referee: collect one sketch per site, merge, estimate;\n"
-         "            port 0 picks a free port; exit 3 if degraded)\n"
+         "            port 0 picks a free port; exit 3 if degraded; --admin-port\n"
+         "            serves live metrics mid-collection)\n"
          "  push     --to HOST:PORT [--site I] [--epoch E] [--attempts K]\n"
-         "           [--connect-attempts K] [--json] SKETCH\n"
-         "           (ship a sketch file to a running serve referee)\n";
+         "           [--connect-attempts K] [--json] [--stats] SKETCH\n"
+         "           (ship a sketch file to a running serve referee)\n"
+         "  stats    --from HOST:PORT [--json] [--health] [--timeout-ms N]\n"
+         "           (query a serve --admin-port endpoint for live metrics)\n";
 }
 
 int run(const std::vector<std::string>& argv, std::string& out) {
@@ -482,6 +577,7 @@ int run(const std::vector<std::string>& argv, std::string& out) {
     if (command == "collect") return cmd_collect(args, out);
     if (command == "serve") return cmd_serve(args, out);
     if (command == "push") return cmd_push(args, out);
+    if (command == "stats") return cmd_stats(args, out);
     out += "unknown command: " + command + "\n" + usage();
     return 2;
   } catch (const std::exception& e) {

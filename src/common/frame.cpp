@@ -4,6 +4,7 @@
 
 #include "common/crc32c.h"
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace ustream {
 namespace {
@@ -42,6 +43,7 @@ const char* payload_kind_name(PayloadKind kind) noexcept {
 
 std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
                                        std::span<const std::uint8_t> payload) {
+  USTREAM_TRACE_SPAN("ustream_frame_encode_ns");
   if (payload.size() > 0xFFFFFFFFull) {
     throw SerializationError("frame payload exceeds 4 GiB");
   }
@@ -65,6 +67,7 @@ std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
 }
 
 Frame frame_decode(std::span<const std::uint8_t> bytes) {
+  USTREAM_TRACE_SPAN("ustream_frame_decode_ns");
   if (bytes.size() < kFrameHeaderBytes) {
     throw SerializationError("frame too short: " + std::to_string(bytes.size()) + " bytes");
   }

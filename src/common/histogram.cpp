@@ -56,7 +56,7 @@ std::string Histogram::render(std::size_t width) const {
 }
 
 void Log2Histogram::add(std::uint64_t x) noexcept {
-  const std::size_t idx = (x == 0) ? 0 : static_cast<std::size_t>(floor_log2(x)) + 1;
+  const std::size_t idx = log2_bucket_index(x);
   if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
   ++counts_[idx];
   ++total_;

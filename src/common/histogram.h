@@ -2,12 +2,27 @@
 // (error distributions, level distributions, message-size distributions).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace ustream {
+
+// Shared bucket rule for every power-of-two histogram in the tree (the
+// experiment-harness Log2Histogram below and the lock-free latency
+// histograms in obs/metrics.h): index 0 holds the value 0, index i >= 1
+// holds [2^(i-1), 2^i).
+constexpr std::size_t log2_bucket_index(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : static_cast<std::size_t>(64 - std::countl_zero(x));
+}
+
+// Inclusive upper bound of bucket i under log2_bucket_index (used for
+// Prometheus-style `le` labels): 0 for bucket 0, 2^i - 1 for i >= 1.
+constexpr std::uint64_t log2_bucket_upper(std::size_t i) noexcept {
+  return i == 0 ? 0 : (i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1);
+}
 
 // Linear-bin histogram over [lo, hi); out-of-range values land in
 // underflow/overflow counters.

@@ -36,6 +36,8 @@
 #include "hash/batch.h"
 #include "hash/level.h"
 #include "hash/pairwise.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustream {
 
@@ -119,6 +121,9 @@ class CoordinatedSampler {
   void add_batch(std::span<const std::uint64_t> labels)
     requires(!kHasValue)
   {
+    // Counter only, no span: one relaxed fetch_add amortized over the
+    // whole batch keeps this path inside the <2% overhead gate.
+    USTREAM_COUNTER_ADD("ustream_ingest_batch_items_total", labels.size());
     items_processed_ += labels.size();
     std::uint64_t h[kBatchBlock];
     for (std::size_t i = 0; i < labels.size(); i += kBatchBlock) {
@@ -140,6 +145,7 @@ class CoordinatedSampler {
   {
     USTREAM_REQUIRE(labels.size() == values.size(),
                     "add_batch requires one value per label");
+    USTREAM_COUNTER_ADD("ustream_ingest_batch_items_total", labels.size());
     items_processed_ += labels.size();
     std::uint64_t h[kBatchBlock];
     for (std::size_t i = 0; i < labels.size(); i += kBatchBlock) {
@@ -370,7 +376,11 @@ class CoordinatedSampler {
   }
 
   void raise_level() {
+    // A raise is O(|S|) and happens only ~log(F0) times per stream, so a
+    // span's two clock reads are noise here.
+    USTREAM_TRACE_SPAN("ustream_sampler_level_raise_ns");
     while (map_.size() > capacity_) {
+      USTREAM_COUNTER_ADD("ustream_sampler_level_raises_total", 1);
       set_level(level_ + 1);
       ++level_raises_;
       map_.filter([this](const Entry& e) { return e.value.level >= level_; });

@@ -55,6 +55,9 @@ class BasicF0Estimator {
   // constants held in registers, instead of reloading every copy's state
   // per item as the scalar path does.
   void add_batch(std::span<const std::uint64_t> labels) {
+    // Span here, not in the per-copy sampler: the batch work is multiplied
+    // by `copies`, which amortizes the span's two clock reads.
+    USTREAM_TRACE_SPAN("ustream_ingest_batch_ns");
     for (auto& c : copies_) c.add_batch(labels);
   }
 

@@ -49,6 +49,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustream {
 
@@ -110,6 +112,8 @@ class MergeEngine {
   // Inputs are consumed.
   template <typename Sketch>
   std::optional<Sketch> reduce(std::vector<Sketch>&& parts) {
+    USTREAM_TRACE_SPAN("ustream_merge_reduce_ns");
+    USTREAM_COUNTER_ADD("ustream_merge_parts_total", parts.size());
     if (parts.empty()) return std::nullopt;
     if (parts.size() == 1) return std::move(parts[0]);
     const std::size_t slots = pool_.worker_count() + 1;

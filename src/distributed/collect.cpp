@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace ustream {
 
@@ -18,6 +19,7 @@ std::chrono::microseconds backoff_delay(const RetryPolicy& policy,
 void apply_backoff(const RetryPolicy& policy, std::uint32_t round) {
   const auto delay = backoff_delay(policy, round);
   if (policy.sleep_on_backoff && delay.count() > 0) {
+    USTREAM_TRACE_SPAN("ustream_collect_backoff_ns");
     std::this_thread::sleep_for(delay);
   }
 }

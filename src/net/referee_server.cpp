@@ -9,6 +9,8 @@
 #include <limits>
 
 #include "net/tcp_transport.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 
 namespace ustream::net {
 
@@ -32,6 +34,50 @@ struct RefereeServer::Conn {
   std::vector<std::uint8_t> out;  // pending ack bytes
   bool closed = false;            // peer gone; kept only to flush `out`
 };
+
+namespace {
+
+// One admin client: accumulate bytes until the first newline, answer the
+// one-line request, flush, close. Admin clients never block the referee —
+// they live in the same poll loop as site connections.
+struct AdminConn {
+  Socket sock;
+  std::string in;
+  std::string out;
+  bool responded = false;
+  bool closed = false;
+};
+
+// The referee's built-in metric set (DESIGN.md §9.2): the live view of the
+// ledger a CollectReport shows post-hoc. Resolved once per Loop; all
+// updates are single relaxed atomic ops on the default registry, so the
+// admin endpoint, `ustream stats` and the serve --stats dump all read the
+// same numbers.
+struct RefereeMetrics {
+  obs::Gauge& connections_open;
+  obs::Counter& connections_total;
+  obs::Counter& frames_accepted;
+  obs::Counter& frames_duplicate;
+  obs::Counter& frames_stale;
+  obs::Counter& frames_quarantined;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& admin_requests;
+
+  RefereeMetrics()
+      : connections_open(obs::default_registry().gauge("ustream_referee_connections_open")),
+        connections_total(obs::default_registry().counter("ustream_referee_connections_total")),
+        frames_accepted(obs::default_registry().counter("ustream_referee_frames_accepted_total")),
+        frames_duplicate(obs::default_registry().counter("ustream_referee_frames_duplicate_total")),
+        frames_stale(obs::default_registry().counter("ustream_referee_frames_stale_total")),
+        frames_quarantined(
+            obs::default_registry().counter("ustream_referee_frames_quarantined_total")),
+        bytes_in(obs::default_registry().counter("ustream_referee_bytes_in_total")),
+        bytes_out(obs::default_registry().counter("ustream_referee_bytes_out_total")),
+        admin_requests(obs::default_registry().counter("ustream_referee_admin_requests_total")) {}
+};
+
+}  // namespace
 
 class RefereeServer::Loop {
  public:
@@ -63,13 +109,23 @@ class RefereeServer::Loop {
                                                        std::numeric_limits<int>::max()));
       }
 
+      const bool admin = server_.admin_listener_.valid();
       std::vector<pollfd> pfds;
-      pfds.reserve(2 + conns_.size());
+      pfds.reserve(3 + conns_.size() + admin_conns_.size());
       pfds.push_back({server_.wake_.read_fd(), POLLIN, 0});
       pfds.push_back({server_.listener_.fd(), POLLIN, 0});
+      if (admin) pfds.push_back({server_.admin_listener_.fd(), POLLIN, 0});
+      const std::size_t conns_base = pfds.size();
       for (const Conn& c : conns_) {
         short events = 0;
         if (!c.closed) events |= POLLIN;
+        if (!c.out.empty()) events |= POLLOUT;
+        pfds.push_back({c.sock.fd(), events, 0});
+      }
+      const std::size_t admin_base = pfds.size();
+      for (const AdminConn& c : admin_conns_) {
+        short events = 0;
+        if (!c.responded && !c.closed) events |= POLLIN;
         if (!c.out.empty()) events |= POLLOUT;
         pfds.push_back({c.sock.fd(), events, 0});
       }
@@ -82,21 +138,46 @@ class RefereeServer::Loop {
 
       if (pfds[0].revents != 0) server_.wake_.drain();
       // Connections accepted now were not in this round's pfds — bound the
-      // revents scan to the conns that were actually polled.
+      // revents scans to the conns that were actually polled.
       const std::size_t polled = conns_.size();
+      const std::size_t admin_polled = admin_conns_.size();
       if (pfds[1].revents != 0) accept_new();
+      if (admin && pfds[2].revents != 0) accept_admin();
       for (std::size_t i = 0; i < polled; ++i) {
-        const short revents = pfds[2 + i].revents;
+        const short revents = pfds[conns_base + i].revents;
         if (revents == 0) continue;
         if ((revents & POLLOUT) != 0) flush(conns_[i]);
         if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !conns_[i].closed) {
           read_from(conns_[i]);
         }
       }
+      for (std::size_t i = 0; i < admin_polled; ++i) {
+        const short revents = pfds[admin_base + i].revents;
+        if (revents == 0) continue;
+        if ((revents & POLLOUT) != 0) flush_admin(admin_conns_[i]);
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+            !admin_conns_[i].responded && !admin_conns_[i].closed) {
+          read_admin(admin_conns_[i]);
+        }
+      }
       // A connection is finished when the peer is gone and every ack owed
       // to it has been flushed (or can never be).
-      std::erase_if(conns_, [](const Conn& c) { return c.closed && c.out.empty(); });
+      std::erase_if(conns_, [this](const Conn& c) {
+        if (c.closed && c.out.empty()) {
+          metrics_.connections_open.sub(1);
+          return true;
+        }
+        return false;
+      });
+      // Admin clients close as soon as their one response is flushed.
+      std::erase_if(admin_conns_, [](const AdminConn& c) {
+        return c.closed || (c.responded && c.out.empty());
+      });
     }
+
+    // The loop owns the open-connections gauge: settle it for connections
+    // still alive at exit so a later collection starts from zero.
+    metrics_.connections_open.sub(static_cast<std::int64_t>(conns_.size()));
 
     // Exhaustion is a CLIENT-side budget; the server cannot know it, so it
     // never marks sites exhausted — missing sites are reported plain.
@@ -122,6 +203,77 @@ class RefereeServer::Loop {
       Conn conn;
       conn.sock = std::move(sock);
       conns_.push_back(std::move(conn));
+      metrics_.connections_open.add(1);
+      metrics_.connections_total.add(1);
+    }
+  }
+
+  void accept_admin() {
+    for (;;) {
+      Socket sock = accept_conn(server_.admin_listener_);
+      if (!sock.valid()) break;
+      AdminConn conn;
+      conn.sock = std::move(sock);
+      admin_conns_.push_back(std::move(conn));
+    }
+  }
+
+  void read_admin(AdminConn& conn) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > 4096) {  // no legitimate request is this long
+          conn.closed = true;
+          return;
+        }
+        const std::size_t eol = conn.in.find('\n');
+        if (eol != std::string::npos) {
+          respond_admin(conn, conn.in.substr(0, eol));
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      conn.closed = true;  // EOF before a full request line
+      return;
+    }
+  }
+
+  void respond_admin(AdminConn& conn, std::string request) {
+    while (!request.empty() && (request.back() == '\r' || request.back() == ' ')) {
+      request.pop_back();
+    }
+    metrics_.admin_requests.add(1);
+    if (request == "GET /metrics") {
+      conn.out = obs::render_prometheus(obs::default_registry().snapshot());
+    } else if (request == "GET /metrics.json") {
+      conn.out = obs::render_json(obs::default_registry().snapshot()) + "\n";
+    } else if (request == "GET /health") {
+      conn.out = "ok\n";
+    } else {
+      conn.out = "error: unknown endpoint (try GET /metrics, GET /metrics.json, "
+                 "GET /health)\n";
+    }
+    conn.responded = true;
+    flush_admin(conn);
+  }
+
+  void flush_admin(AdminConn& conn) {
+    while (!conn.out.empty()) {
+      const ssize_t n =
+          ::send(conn.sock.fd(), conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        conn.closed = true;
+        conn.out.clear();
+        return;
+      }
+      metrics_.bytes_out.add(static_cast<std::uint64_t>(n));
+      conn.out.erase(0, static_cast<std::size_t>(n));
     }
   }
 
@@ -136,6 +288,7 @@ class RefereeServer::Loop {
         conn.out.clear();
         return;
       }
+      metrics_.bytes_out.add(static_cast<std::uint64_t>(n));
       conn.out.erase(conn.out.begin(), conn.out.begin() + n);
     }
   }
@@ -145,6 +298,7 @@ class RefereeServer::Loop {
     for (;;) {
       const ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
       if (n > 0) {
+        metrics_.bytes_in.add(static_cast<std::uint64_t>(n));
         conn.in.insert(conn.in.end(), buf, buf + n);
         if (!parse_frames(conn)) return;  // protocol violation: conn dropped
         continue;
@@ -157,6 +311,7 @@ class RefereeServer::Loop {
       // FaultyChannel delivery.
       if (conn.expected.has_value() || !conn.in.empty()) {
         state_.ingest(std::span<const std::uint8_t>(conn.in));
+        metrics_.frames_quarantined.add(1);  // truncated transmission
         conn.in.clear();
       }
       conn.closed = true;
@@ -177,6 +332,7 @@ class RefereeServer::Loop {
           // Not a reassembly state we can recover from: the stream is
           // desynchronized. Count it and drop the connection.
           state_.report().frames_quarantined += 1;
+          metrics_.frames_quarantined.add(1);
           conn.closed = true;
           conn.in.clear();
           conn.out.clear();
@@ -234,6 +390,12 @@ class RefereeServer::Loop {
     } else if (state_.report().stale_dropped > stale0) {
       ack = PushAck::kStale;
     }
+    switch (ack) {
+      case PushAck::kAccepted: metrics_.frames_accepted.add(1); break;
+      case PushAck::kDuplicate: metrics_.frames_duplicate.add(1); break;
+      case PushAck::kStale: metrics_.frames_stale.add(1); break;
+      case PushAck::kQuarantined: metrics_.frames_quarantined.add(1); break;
+    }
     conn.out.push_back(static_cast<std::uint8_t>(ack));
     flush(conn);  // usually completes inline; POLLOUT covers the rest
   }
@@ -244,12 +406,18 @@ class RefereeServer::Loop {
   CollectState state_;
   ChannelStats wire_;
   std::vector<Conn> conns_;
+  std::vector<AdminConn> admin_conns_;
+  RefereeMetrics metrics_;
 };
 
 RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(config)) {
   USTREAM_REQUIRE(config_.sites >= 1, "need at least one site");
   listener_ = listen_tcp(config_.bind_host, config_.port);
   port_ = local_port(listener_);
+  if (config_.admin_port.has_value()) {
+    admin_listener_ = listen_tcp(config_.bind_host, *config_.admin_port);
+    admin_port_ = local_port(admin_listener_);
+  }
 }
 
 RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {

@@ -55,6 +55,15 @@ struct RefereeServerConfig {
   // Length-prefix sanity bound: a larger announced frame is a protocol
   // violation (quarantined, connection dropped) rather than an allocation.
   std::size_t max_frame_bytes = 64u << 20;
+
+  // Admin endpoint (DESIGN.md §9.3): when set, a second listener on this
+  // port (0 = ephemeral, read back via admin_port()) joins the same poll
+  // loop and serves live metrics snapshots mid-collection. One-line
+  // requests, response then close:
+  //   GET /metrics       Prometheus text exposition
+  //   GET /metrics.json  one JSON line
+  //   GET /health        "ok"
+  std::optional<std::uint16_t> admin_port;
 };
 
 class RefereeServer {
@@ -66,6 +75,9 @@ class RefereeServer {
 
   std::uint16_t port() const noexcept { return port_; }
   std::size_t sites() const noexcept { return config_.sites; }
+
+  // Bound admin port; nullopt when the admin endpoint is disabled.
+  std::optional<std::uint16_t> admin_port() const noexcept { return admin_port_; }
 
   // Consumes an accepted payload. Returns false iff the payload fails to
   // deserialize despite its CRC matching (the 2^-32 collision case): the
@@ -93,9 +105,11 @@ class RefereeServer {
 
   RefereeServerConfig config_;
   Socket listener_;
+  Socket admin_listener_;  // invalid when the admin endpoint is disabled
   WakePipe wake_;
   std::atomic<bool> stop_{false};
   std::uint16_t port_ = 0;
+  std::optional<std::uint16_t> admin_port_;
 };
 
 // The referee's full end-of-stream step over TCP: collect frames, decode

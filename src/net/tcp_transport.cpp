@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "distributed/collect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustream::net {
 
@@ -36,6 +38,7 @@ void TcpTransport::ensure_connected_locked() {
   for (std::uint32_t attempt = 0; attempt < config_.max_connect_attempts; ++attempt) {
     if (attempt > 0) std::this_thread::sleep_for(backoff_delay(schedule, attempt));
     ++connect_attempts_;
+    USTREAM_COUNTER_ADD("ustream_net_connects_total", 1);
     try {
       conn_ = connect_tcp(config_.host, config_.port, config_.connect_timeout,
                           config_.io_timeout);
@@ -50,6 +53,7 @@ void TcpTransport::ensure_connected_locked() {
 }
 
 void TcpTransport::record_attempt_locked(std::size_t from_site, std::size_t bytes) {
+  USTREAM_COUNTER_ADD("ustream_net_tx_bytes_total", bytes);
   stats_.messages += 1;
   stats_.total_bytes += bytes;
   if (bytes > stats_.max_message_bytes) stats_.max_message_bytes = bytes;
@@ -84,6 +88,7 @@ PushAck TcpTransport::send_with_ack(std::size_t from_site,
       // the attempt before learning its fate, exactly like FaultyChannel
       // charges a send that the network then drops.
       record_attempt_locked(from_site, message.size());
+      USTREAM_TRACE_SPAN("ustream_net_push_rtt_ns");
       send_all(conn_, wire);
       std::uint8_t ack = 0;
       recv_exact(conn_, std::span<std::uint8_t>(&ack, 1));

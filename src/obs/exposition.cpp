@@ -1,0 +1,143 @@
+#include "obs/exposition.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ustream::obs {
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// Last bucket with a nonzero count; everything past it collapses into +Inf.
+std::size_t last_used_bucket(const std::vector<std::uint64_t>& buckets) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) last = i;
+  }
+  return last;
+}
+
+void render_labels(std::string& out, const std::string& labels, const char* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return;
+  out += '{';
+  out += labels;
+  if (extra != nullptr) {
+    if (!labels.empty()) out += ',';
+    out += extra;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const auto& s : snap.samples) {
+    if (last_name == nullptr || *last_name != s.name) {
+      append(out, "# TYPE %s %s\n", s.name.c_str(), type_name(s.type));
+      last_name = &s.name;
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += s.name;
+        render_labels(out, s.labels);
+        append(out, " %" PRIu64 "\n", s.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += s.name;
+        render_labels(out, s.labels);
+        append(out, " %" PRId64 "\n", s.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        const std::size_t last = last_used_bucket(s.buckets);
+        std::uint64_t cumulative = 0;
+        char le[64];
+        for (std::size_t i = 0; i <= last; ++i) {
+          cumulative += s.buckets[i];
+          std::snprintf(le, sizeof(le), "le=\"%" PRIu64 "\"", log2_bucket_upper(i));
+          out += s.name;
+          out += "_bucket";
+          render_labels(out, s.labels, le);
+          append(out, " %" PRIu64 "\n", cumulative);
+        }
+        out += s.name;
+        out += "_bucket";
+        render_labels(out, s.labels, "le=\"+Inf\"");
+        append(out, " %" PRIu64 "\n", s.count);
+        out += s.name;
+        out += "_sum";
+        render_labels(out, s.labels);
+        append(out, " %" PRIu64 "\n", s.sum);
+        out += s.name;
+        out += "_count";
+        render_labels(out, s.labels);
+        append(out, " %" PRIu64 "\n", s.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& s : snap.samples) {
+    if (!first) out += ',';
+    first = false;
+    append(out, "{\"name\":\"%s\"", s.name.c_str());
+    if (!s.labels.empty()) append(out, ",\"labels\":\"%s\"", s.labels.c_str());
+    switch (s.type) {
+      case MetricType::kCounter:
+        append(out, ",\"type\":\"counter\",\"value\":%" PRIu64 "}", s.counter_value);
+        break;
+      case MetricType::kGauge:
+        append(out, ",\"type\":\"gauge\",\"value\":%" PRId64 "}", s.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        append(out, ",\"type\":\"histogram\",\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                    ",\"buckets\":[",
+               s.count, s.sum);
+        const std::size_t last = last_used_bucket(s.buckets);
+        std::uint64_t cumulative = 0;
+        bool first_bucket = true;
+        for (std::size_t i = 0; i <= last; ++i) {
+          if (s.buckets[i] == 0 && cumulative == 0) continue;  // skip empty prefix
+          cumulative += s.buckets[i];
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          append(out, "[%" PRIu64 ",%" PRIu64 "]", log2_bucket_upper(i), cumulative);
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ustream::obs

@@ -1,0 +1,28 @@
+// Renderers for MetricsSnapshot: Prometheus text exposition (the referee
+// admin endpoint's GET /metrics) and a one-line JSON dump (GET
+// /metrics.json, `ustream stats`, and the --stats flags on serve/push).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ustream::obs {
+
+// Prometheus text format v0.0.4: one `# TYPE` line per metric name, then
+// one sample line per label set. Histograms render cumulative `le`
+// buckets using common/histogram.h's log2_bucket_upper rule plus the
+// usual `+Inf`/`_sum`/`_count` lines; zero-count trailing buckets are
+// collapsed into `+Inf` to keep the output readable.
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+// Single line of JSON:
+//   {"metrics":[{"name":...,"type":"counter","value":N},
+//               {"name":...,"type":"gauge","value":N},
+//               {"name":...,"type":"histogram","count":N,"sum":S,
+//                "buckets":[[le,cumulative],...]}]}
+// One line so process-driving tests and shell pipelines can slurp it with
+// a single read.
+std::string render_json(const MetricsSnapshot& snap);
+
+}  // namespace ustream::obs

@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace ustream::obs {
+
+const MetricSample* MetricsSnapshot::find(std::string_view name,
+                                          std::string_view labels) const noexcept {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const noexcept {
+  const MetricSample* s = find(name);
+  return (s != nullptr && s->type == MetricType::kCounter) ? s->counter_value : fallback;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(std::string_view name, std::string_view labels,
+                                             MetricType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(std::string(name), std::string(labels));
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    Slot s;
+    s.type = type;
+    switch (type) {
+      case MetricType::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        s.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = slots_.emplace(std::move(key), std::move(s)).first;
+  }
+  USTREAM_REQUIRE(it->second.type == type,
+                  "metric re-registered under a different type: " + std::string(name));
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view labels) {
+  return *slot(name, labels, MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
+  return *slot(name, labels, MetricType::kGauge).gauge;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name, std::string_view labels) {
+  return *slot(name, labels, MetricType::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(slots_.size());
+  for (const auto& [key, s] : slots_) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.labels = key.second;
+    sample.type = s.type;
+    switch (s.type) {
+      case MetricType::kCounter:
+        sample.counter_value = s.counter->value();
+        break;
+      case MetricType::kGauge:
+        sample.gauge_value = s.gauge->value();
+        break;
+      case MetricType::kHistogram: {
+        sample.buckets.resize(LatencyHistogram::kBuckets);
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          sample.buckets[i] = s.histogram->bucket(i);
+          total += sample.buckets[i];
+        }
+        // count derives from the very bucket loads above, so it can never
+        // disagree with them even while writers race the snapshot.
+        sample.count = total;
+        sample.sum = s.histogram->sum();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  // std::map iteration is already (name, labels)-sorted; keep the invariant
+  // explicit for readers of MetricsSnapshot.
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace ustream::obs

@@ -1,0 +1,33 @@
+#include "obs/trace.h"
+
+namespace ustream::obs {
+
+namespace {
+thread_local TraceSpan* t_current_span = nullptr;
+thread_local std::size_t t_span_depth = 0;
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, LatencyHistogram& hist) noexcept
+    : name_(name), hist_(hist), start_(std::chrono::steady_clock::now()),
+      parent_(t_current_span) {
+  t_current_span = this;
+  ++t_span_depth;
+}
+
+TraceSpan::~TraceSpan() {
+  hist_.observe(elapsed_ns());
+  t_current_span = parent_;
+  --t_span_depth;
+}
+
+std::uint64_t TraceSpan::elapsed_ns() const noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+const TraceSpan* TraceSpan::current() noexcept { return t_current_span; }
+
+std::size_t TraceSpan::depth() noexcept { return t_span_depth; }
+
+}  // namespace ustream::obs

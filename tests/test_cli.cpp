@@ -217,6 +217,19 @@ TEST(CliArgs, ParsingBasics) {
   EXPECT_THROW(args.required_str("missing"), InvalidArgument);
 }
 
+TEST(CliArgs, BooleanFlagsDoNotSwallowPositionals) {
+  // --json/--stats/--health never take a value, so `push --stats s0.sk`
+  // keeps s0.sk as the positional sketch file.
+  Args args({"--stats", "s0.sk", "--json", "u.sk", "--health", "h.sk"});
+  EXPECT_TRUE(args.has("stats"));
+  EXPECT_TRUE(args.has("json"));
+  EXPECT_TRUE(args.has("health"));
+  ASSERT_EQ(args.positional().size(), 3u);
+  EXPECT_EQ(args.positional()[0], "s0.sk");
+  EXPECT_EQ(args.positional()[1], "u.sk");
+  EXPECT_EQ(args.positional()[2], "h.sk");
+}
+
 TEST(CliArgs, TypeErrors) {
   Args args({"--n", "12x", "--f", "oops"});
   EXPECT_THROW(args.u64("n", 0), InvalidArgument);

@@ -9,7 +9,9 @@
 #include "net/referee_server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,7 @@
 #include "distributed/runtime.h"
 #include "net/socket.h"
 #include "net/tcp_transport.h"
+#include "obs/metrics.h"
 #include "stream/partitioner.h"
 
 // Path to the real `ustream` binary, passed by ctest as the first
@@ -270,6 +273,92 @@ TEST(NetReferee, KilledSiteDegradesToTheSameLowerBoundAsFaultyChannel) {
   EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes(&alive));
 }
 
+// One admin round trip: connect, send the one-line request, read the
+// response to EOF (the admin protocol is response-then-close).
+std::string admin_query(std::uint16_t port, const std::string& request) {
+  net::Socket sock = net::connect_tcp("127.0.0.1", port, std::chrono::milliseconds{2000},
+                                      std::chrono::milliseconds{2000});
+  const std::string line = request + "\n";
+  net::send_all(sock, std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(line.data()), line.size()));
+  std::string out;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  return out;
+}
+
+// Pulls a counter's value out of a render_json metrics line; ~0 if absent.
+std::uint64_t json_counter(const std::string& json, const std::string& name) {
+  const std::string key = "\"name\":\"" + name + "\",\"type\":\"counter\",\"value\":";
+  const auto pos = json.find(key);
+  if (pos == std::string::npos) return ~std::uint64_t{0};
+  return std::strtoull(json.c_str() + pos + key.size(), nullptr, 10);
+}
+
+TEST(NetAdmin, ServesLiveMetricsMidCollection) {
+  constexpr std::size_t kSites = 2;
+  Workload workload(kSites);
+
+  RefereeServerConfig config;
+  config.sites = kSites;
+  config.admin_port = 0;  // ephemeral; read back below
+  RefereeServer server(config);
+  ASSERT_TRUE(server.admin_port().has_value());
+  const std::uint16_t admin = *server.admin_port();
+  ASSERT_NE(admin, 0);
+  ASSERT_NE(admin, server.port());
+
+  // The registry is process-global and other tests in this binary run
+  // referees too — assert on deltas, not absolutes.
+  obs::MetricsRegistry& reg = obs::default_registry();
+  const std::uint64_t accepted0 = reg.counter("ustream_referee_frames_accepted_total").value();
+  const std::uint64_t requests0 = reg.counter("ustream_referee_admin_requests_total").value();
+
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  EXPECT_EQ(admin_query(admin, "GET /health"), "ok\n");
+
+  TcpTransport transport(kSites, client_config(server.port()));
+  transport.send(0, frame_encode({PayloadKind::kF0Estimator, 0, 0},
+                                 workload.sites[0].serialize()));
+
+  // Mid-collection (site 0 acked, site 1 outstanding): the live snapshot
+  // must already show the accepted frame, in both exposition formats.
+  const std::string prom = admin_query(admin, "GET /metrics");
+  EXPECT_NE(prom.find("# TYPE ustream_referee_frames_accepted_total counter"),
+            std::string::npos)
+      << prom;
+  const std::string json = admin_query(admin, "GET /metrics.json");
+  EXPECT_EQ(json_counter(json, "ustream_referee_frames_accepted_total"), accepted0 + 1)
+      << json;
+  EXPECT_EQ(json.find('\n'), json.size() - 1) << "metrics.json must be one line";
+
+  // A bad request is answered (and the loop survives it).
+  EXPECT_EQ(admin_query(admin, "GET /nope").rfind("error:", 0), 0u);
+
+  transport.send(1, frame_encode({PayloadKind::kF0Estimator, 1, 0},
+                                 workload.sites[1].serialize()));
+  referee.join();
+
+  // Admin traffic never disturbed the collection: complete, byte-identical
+  // to the in-process referee, and the ledger agrees with the counters.
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes());
+  EXPECT_EQ(reg.counter("ustream_referee_frames_accepted_total").value(), accepted0 + 2);
+  EXPECT_GE(reg.counter("ustream_referee_admin_requests_total").value(), requests0 + 4);
+}
+
 TEST(NetReferee, RequestStopEndsTheLoopDegraded) {
   RefereeServerConfig config;
   config.sites = 1;
@@ -390,6 +479,91 @@ TEST_F(NetCliTest, MultiProcessServePushMatchesInProcessMergeByteForByte) {
   auto [icode, iout] = invoke({"info", "--json", net_sk});
   ASSERT_EQ(icode, 0) << iout;
   EXPECT_NE(iout.find("\"format\":\"framed-sketch\""), std::string::npos) << iout;
+}
+
+// The ISSUE 5 acceptance test: real serve/push processes, with the admin
+// endpoint queried MID-collection (site 0 acked, site 1 outstanding) via
+// `ustream stats`, and the live frame counters cross-checked against the
+// final CollectReport ledger. A fresh serve process starts its registry at
+// zero, so absolute counter values are meaningful here (unlike in-process
+// tests, which must use deltas).
+TEST_F(NetCliTest, AdminEndpointServesMetricsMidCollectionMatchingLedger) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  const auto t0 = path("a0.trace"), t1 = path("a1.trace");
+  const auto s0 = path("a0.sk"), s1 = path("a1.sk");
+  const auto port_file = path("aport.txt"), admin_port_file = path("aadmin.txt");
+  for (const auto& [trace, seed] : {std::pair{t0, "7"}, std::pair{t1, "8"}}) {
+    ASSERT_EQ(invoke({"generate", "--distinct", "8000", "--items", "20000",
+                      "--seed", seed, "--out", trace}).first, 0);
+  }
+  for (const auto& [trace, sketch] : {std::pair{t0, s0}, std::pair{t1, s1}}) {
+    ASSERT_EQ(invoke({"sketch", "--in", trace, "--seed", "42", "--out", sketch}).first, 0);
+  }
+
+  // --stats makes serve dump its own registry as a metrics.json line on
+  // exit — that is the "final ledger view" half of the cross-check.
+  const std::string serve_cmd = g_ustream_bin + " serve --port 0 --sites 2 --json" +
+                                " --stats --timeout-ms 30000" +
+                                " --port-file " + port_file +
+                                " --admin-port-file " + admin_port_file + " 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  const std::uint16_t admin = wait_for_port(admin_port_file);
+  ASSERT_NE(port, 0) << "serve never wrote its port file";
+  ASSERT_NE(admin, 0) << "serve never wrote its admin port file";
+
+  const std::string target = " --to 127.0.0.1:" + std::to_string(port);
+  ASSERT_EQ(std::system((g_ustream_bin + " push" + target + " --site 0 " + s0 +
+                         " > /dev/null 2>&1").c_str()), 0);
+
+  // Mid-collection: the push above was acked (so ingested), site 1 has not
+  // reported. Query the live registry through the stats CLI.
+  const std::string admin_target = "127.0.0.1:" + std::to_string(admin);
+  auto [hcode, hout] = invoke({"stats", "--from", admin_target, "--health"});
+  ASSERT_EQ(hcode, 0) << hout;
+  EXPECT_EQ(hout, "ok\n");
+  auto [jcode, mid_json] = invoke({"stats", "--from", admin_target, "--json"});
+  ASSERT_EQ(jcode, 0) << mid_json;
+  EXPECT_EQ(json_counter(mid_json, "ustream_referee_frames_accepted_total"), 1u) << mid_json;
+  EXPECT_EQ(json_counter(mid_json, "ustream_referee_connections_total"), 1u) << mid_json;
+  EXPECT_EQ(json_counter(mid_json, "ustream_referee_frames_duplicate_total"), 0u) << mid_json;
+  // The default (Prometheus text) form works against the same endpoint.
+  auto [pcode, mid_prom] = invoke({"stats", "--from", admin_target});
+  ASSERT_EQ(pcode, 0) << mid_prom;
+  EXPECT_NE(mid_prom.find("ustream_referee_frames_accepted_total 1\n"), std::string::npos)
+      << mid_prom;
+
+  // --stats before the positional: boolean flags must not swallow the
+  // sketch-file argument.
+  ASSERT_EQ(std::system((g_ustream_bin + " push" + target + " --site 1 --stats " + s1 +
+                         " > /dev/null 2>&1").c_str()), 0);
+
+  std::string serve_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), serve)) serve_out += buf;
+  const int status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(status)) << serve_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << serve_out;
+
+  // Ledger (report line): both sites reported, two wire frames, none bad.
+  EXPECT_NE(serve_out.find("\"degraded\":false"), std::string::npos) << serve_out;
+  EXPECT_NE(serve_out.find("\"sites_reported\":2"), std::string::npos) << serve_out;
+
+  // Counters (metrics line): must agree with the ledger — two accepted
+  // frames total (the mid-push view saw exactly the first), zero bad, and
+  // the open-connections gauge settled back to zero.
+  EXPECT_EQ(json_counter(serve_out, "ustream_referee_frames_accepted_total"), 2u) << serve_out;
+  EXPECT_EQ(json_counter(serve_out, "ustream_referee_frames_duplicate_total"), 0u) << serve_out;
+  EXPECT_EQ(json_counter(serve_out, "ustream_referee_frames_stale_total"), 0u) << serve_out;
+  EXPECT_EQ(json_counter(serve_out, "ustream_referee_frames_quarantined_total"), 0u)
+      << serve_out;
+  EXPECT_GE(json_counter(serve_out, "ustream_referee_admin_requests_total"), 3u) << serve_out;
+  EXPECT_NE(serve_out.find("\"name\":\"ustream_referee_connections_open\","
+                           "\"type\":\"gauge\",\"value\":0"),
+            std::string::npos)
+      << serve_out;
 }
 
 TEST_F(NetCliTest, ServeExitsDegradedWhenASiteNeverPushes) {
