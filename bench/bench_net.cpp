@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -35,8 +36,11 @@ using namespace ustream;
 // wire and the event loop, not sketch deserialization (bench_merge's job).
 class RefereeHarness {
  public:
-  RefereeHarness()
-      : server_(make_config()), referee_([this] {
+  // `sites` always includes one extra site that never reports, so the loop
+  // runs until request_stop(); `shards` spawns that many SO_REUSEPORT
+  // worker event loops (1 == the sequential referee).
+  explicit RefereeHarness(std::size_t sites = 2, std::size_t shards = 1)
+      : server_(make_config(sites, shards)), referee_([this] {
           server_.run([](std::size_t, std::uint32_t, std::vector<std::uint8_t>&&) {
             return true;
           });
@@ -50,9 +54,10 @@ class RefereeHarness {
   std::uint16_t port() const noexcept { return server_.port(); }
 
  private:
-  static net::RefereeServerConfig make_config() {
+  static net::RefereeServerConfig make_config(std::size_t sites, std::size_t shards) {
     net::RefereeServerConfig config;
-    config.sites = 2;  // site 1 never reports: the loop runs until stopped
+    config.sites = sites;  // the last site never reports
+    config.shards = shards;
     config.dedup = DedupMode::kLatestWins;
     return config;
   }
@@ -118,6 +123,61 @@ void BM_NetPushReconnect(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_NetPushReconnect)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// Shard scaling at fixed offered load: 8 persistent pusher threads (one
+// site each) drive a referee with Arg(0) = 1, 2 or 4 shard loops. The
+// workload is identical across rows — only the number of worker event
+// loops behind the SO_REUSEPORT group changes — so the 1-shard row is the
+// sequential-referee capacity and the ratio to the 4-shard row is the
+// multi-core collection-plane speedup bench/run_net_bench.sh gates on
+// (machines with >= 4 cores only; a 1-core box cannot scale by fiat).
+// UseRealTime: with threads, cpu-time-based rates sum the pusher threads'
+// time and would hide the scaling this row exists to show.
+constexpr int kScalingPushers = 8;
+
+struct ShardScalingFixture {
+  std::unique_ptr<RefereeHarness> referee;
+  std::vector<std::unique_ptr<net::TcpTransport>> transports;
+};
+ShardScalingFixture g_scaling;  // NOLINT: thread-0 setup/teardown (see below)
+
+void BM_NetShardScaling(benchmark::State& state) {
+  const auto payload = random_payload(4096);
+  // google-benchmark barriers all threads between this setup block and the
+  // first timed iteration, so thread 0 may publish the fixture plainly.
+  if (state.thread_index() == 0) {
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    g_scaling.referee =
+        std::make_unique<RefereeHarness>(kScalingPushers + 1, shards);
+    g_scaling.transports.clear();
+    for (int t = 0; t < state.threads(); ++t) {
+      g_scaling.transports.push_back(std::make_unique<net::TcpTransport>(
+          kScalingPushers, client_config(g_scaling.referee->port())));
+    }
+  }
+  const auto site = static_cast<std::size_t>(state.thread_index());
+  net::TcpTransport* transport = nullptr;
+  std::uint32_t epoch = 0;
+  for (auto _ : state) {
+    if (transport == nullptr) transport = g_scaling.transports[site].get();
+    const auto frame = frame_encode(
+        {PayloadKind::kF0Estimator, static_cast<std::uint32_t>(site), ++epoch},
+        payload);
+    benchmark::DoNotOptimize(transport->send_with_ack(site, frame));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    g_scaling.transports.clear();
+    g_scaling.referee.reset();
+  }
+}
+BENCHMARK(BM_NetShardScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Threads(kScalingPushers)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

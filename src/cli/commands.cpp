@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cmath>
@@ -9,6 +10,8 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <thread>
+#include <tuple>
 
 #include "common/random.h"
 
@@ -82,6 +85,18 @@ bool stats_requested(const Args& args) {
   const bool stats = args.has("stats");
   if (stats) args.str("stats", "");
   return stats;
+}
+
+// "HOST:PORT" as used by --to/--from/--upstream. The flag name is only for
+// the error message.
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& flag,
+                                                      const std::string& value) {
+  const auto colon = value.rfind(':');
+  USTREAM_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < value.size(),
+                  flag + " expects host:port, got '" + value + "'");
+  const std::uint64_t port = std::strtoull(value.c_str() + colon + 1, nullptr, 10);
+  USTREAM_REQUIRE(port >= 1 && port <= 0xffff, flag + " port out of range in '" + value + "'");
+  return {value.substr(0, colon), static_cast<std::uint16_t>(port)};
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -345,7 +360,18 @@ int cmd_serve(const Args& args, std::string& out) {
   config.bind_host = args.str("bind", "127.0.0.1");
   config.port = static_cast<std::uint16_t>(args.u64("port", 0));
   config.sites = args.u64("sites", 1);
+  config.shards = args.u64("shards", 1);
   config.timeout = std::chrono::milliseconds(args.u64("timeout-ms", 0));
+  // Relay mode (DESIGN.md §10.3): this referee collects a SUBTREE of sites,
+  // merges locally, and pushes the one merged sketch frame upstream —
+  // composing referees into a fan-in tree. The upstream referee sees this
+  // whole subtree as a single site (--relay-site) with --relay-epoch.
+  const bool relay = args.has("relay");
+  if (relay) args.str("relay", "");
+  const std::string upstream = args.str("upstream", "");
+  const std::size_t relay_site = args.u64("relay-site", 0);
+  const auto relay_epoch = static_cast<std::uint32_t>(args.u64("relay-epoch", 0));
+  USTREAM_REQUIRE(!relay || !upstream.empty(), "--relay needs --upstream HOST:PORT");
   // eps/delta/seed shape the EMPTY referee for a fully degraded run (and
   // nothing else — accepted sketches carry their own parameters).
   const double eps = args.f64("eps", 0.1);
@@ -382,14 +408,46 @@ int cmd_serve(const Args& args, std::string& out) {
                             : F0Estimator(EstimatorParams::for_guarantee(eps, delta, seed));
   if (!out_path.empty()) write_sketch_file(out_path, referee);
 
+  // Relay step: one framed push of the merged subtree sketch to the
+  // upstream referee, with the same ack/retry client the sites use. A
+  // degraded subtree still relays — its union is a valid lower bound and
+  // the upstream referee's ledger shows this subtree as reported.
+  const char* relay_ack = "";
+  std::size_t relay_bytes = 0;
+  if (relay) {
+    const auto [up_host, up_port] = parse_host_port("--upstream", upstream);
+    net::TcpTransportConfig up_config;
+    up_config.host = up_host;
+    up_config.port = up_port;
+    const auto frame = frame_encode(
+        {PayloadKind::kF0Estimator, static_cast<std::uint32_t>(relay_site), relay_epoch},
+        referee.serialize());
+    net::TcpTransport transport(relay_site + 1, up_config);
+    relay_ack = net::push_ack_name(transport.send_with_ack(relay_site, frame));
+    relay_bytes = frame.size();
+  }
+
   const CollectReport& report = result.report;
   if (json) {
+    std::string shards_json = "[";
+    for (std::size_t k = 0; k < result.shards.size(); ++k) {
+      const auto& shard = result.shards[k];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"sites_reported\":%zu,\"wire_frames\":%llu,\"wire_bytes\":%llu}",
+                    k > 0 ? "," : "", shard.report.sites_reported,
+                    static_cast<unsigned long long>(shard.wire.messages),
+                    static_cast<unsigned long long>(shard.wire.total_bytes));
+      shards_json += buf;
+    }
+    shards_json += ']';
     append(out,
            "{\"port\":%u,\"admin_port\":%u,\"sites_total\":%zu,\"sites_reported\":%zu,"
            "\"degraded\":%s,\"timed_out\":%s,\"estimate\":%.17g,"
            "\"attempts\":%llu,\"retries\":%llu,\"frames_quarantined\":%llu,"
            "\"duplicates_dropped\":%llu,\"stale_dropped\":%llu,"
-           "\"wire_frames\":%llu,\"wire_bytes\":%llu}",
+           "\"wire_frames\":%llu,\"wire_bytes\":%llu,"
+           "\"shards\":%s%s%s%s}",
            server.port(), server.admin_port().value_or(0), report.sites_total,
            report.sites_reported,
            report.degraded() ? "true" : "false", result.timed_out ? "true" : "false",
@@ -399,10 +457,13 @@ int cmd_serve(const Args& args, std::string& out) {
            static_cast<unsigned long long>(report.duplicates_dropped),
            static_cast<unsigned long long>(report.stale_dropped),
            static_cast<unsigned long long>(result.wire.messages),
-           static_cast<unsigned long long>(result.wire.total_bytes));
+           static_cast<unsigned long long>(result.wire.total_bytes),
+           shards_json.c_str(),
+           relay ? ",\"relay_ack\":\"" : "", relay_ack, relay ? "\"" : "");
   } else {
-    append(out, "listening on %s:%u for %zu sites", args.str("bind", "127.0.0.1").c_str(),
-           server.port(), report.sites_total);
+    append(out, "listening on %s:%u for %zu sites (%zu shard%s)",
+           args.str("bind", "127.0.0.1").c_str(), server.port(), report.sites_total,
+           server.shards(), server.shards() == 1 ? "" : "s");
     out += report.summary();
     out += '\n';
     append(out, "union estimate %.0f%s", referee.estimate(),
@@ -411,6 +472,19 @@ int cmd_serve(const Args& args, std::string& out) {
            static_cast<unsigned long long>(result.wire.messages),
            static_cast<unsigned long long>(result.wire.total_bytes),
            result.wire.mean_message_bytes());
+    if (server.shards() > 1) {
+      for (std::size_t k = 0; k < result.shards.size(); ++k) {
+        const auto& shard = result.shards[k];
+        append(out, "shard %zu: %zu sites, %llu frames, %llu bytes", k,
+               shard.report.sites_reported,
+               static_cast<unsigned long long>(shard.wire.messages),
+               static_cast<unsigned long long>(shard.wire.total_bytes));
+      }
+    }
+    if (relay) {
+      append(out, "relayed to %s as site %zu epoch %u: %s (%zu-byte frame)",
+             upstream.c_str(), relay_site, relay_epoch, relay_ack, relay_bytes);
+    }
     if (!out_path.empty()) append(out, "wrote union sketch to %s", out_path.c_str());
   }
   if (stats) out += obs::render_json(obs::default_registry().snapshot()) + "\n";
@@ -424,14 +498,8 @@ int cmd_serve(const Args& args, std::string& out) {
 // ack), and the referee's frame-layer verdict is reported.
 int cmd_push(const Args& args, std::string& out) {
   const std::string to = args.required_str("to");
-  const auto colon = to.rfind(':');
-  USTREAM_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < to.size(),
-                  "--to expects host:port, got '" + to + "'");
   net::TcpTransportConfig config;
-  config.host = to.substr(0, colon);
-  const std::uint64_t port = std::strtoull(to.c_str() + colon + 1, nullptr, 10);
-  USTREAM_REQUIRE(port >= 1 && port <= 0xffff, "--to port out of range in '" + to + "'");
-  config.port = static_cast<std::uint16_t>(port);
+  std::tie(config.host, config.port) = parse_host_port("--to", to);
   const std::size_t site = args.u64("site", 0);
   const auto epoch = static_cast<std::uint32_t>(args.u64("epoch", 0));
   config.max_send_attempts = static_cast<std::uint32_t>(args.u64("attempts", 4));
@@ -472,39 +540,76 @@ int cmd_push(const Args& args, std::string& out) {
 // Queries a running referee's admin endpoint (serve --admin-port) and
 // prints the live metrics snapshot: Prometheus text by default, the
 // one-line JSON with --json, or a liveness check with --health.
-int cmd_stats(const Args& args, std::string& out) {
-  const std::string from = args.required_str("from");
-  const auto colon = from.rfind(':');
-  USTREAM_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < from.size(),
-                  "--from expects host:port, got '" + from + "'");
-  const std::string host = from.substr(0, colon);
-  const std::uint64_t port = std::strtoull(from.c_str() + colon + 1, nullptr, 10);
-  USTREAM_REQUIRE(port >= 1 && port <= 0xffff, "--from port out of range in '" + from + "'");
-  const auto timeout = std::chrono::milliseconds(args.u64("timeout-ms", 5000));
-  const bool json = json_requested(args);
-  const bool health = args.has("health");
-  if (health) args.str("health", "");
-  args.reject_unknown();
-
-  net::Socket sock = net::connect_tcp(host, static_cast<std::uint16_t>(port), timeout, timeout);
-  const std::string request =
-      health ? "GET /health\n" : (json ? "GET /metrics.json\n" : "GET /metrics\n");
+// One admin round-trip: connect, send the one-line request, read the
+// response until EOF (the admin protocol is response-then-close).
+std::string admin_fetch(const std::string& host, std::uint16_t port,
+                        const std::string& request, std::chrono::milliseconds timeout) {
+  net::Socket sock = net::connect_tcp(host, port, timeout, timeout);
   net::send_all(sock, std::span<const std::uint8_t>(
                           reinterpret_cast<const std::uint8_t*>(request.data()),
                           request.size()));
-  // The admin protocol is response-then-close: read until EOF.
+  std::string response;
   char buf[16384];
   for (;;) {
     const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
     if (n > 0) {
-      out.append(buf, static_cast<std::size_t>(n));
+      response.append(buf, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0) throw net::TransportError("admin endpoint read failed (timeout?)");
     break;
   }
-  USTREAM_REQUIRE(!out.empty(), "admin endpoint closed without a response");
+  USTREAM_REQUIRE(!response.empty(), "admin endpoint closed without a response");
+  return response;
+}
+
+int cmd_stats(const Args& args, std::string& out) {
+  const std::string from = args.required_str("from");
+  const auto [host, port] = parse_host_port("--from", from);
+  const auto timeout = std::chrono::milliseconds(args.u64("timeout-ms", 5000));
+  const bool json = json_requested(args);
+  const bool health = args.has("health");
+  if (health) args.str("health", "");
+  // --watch SECS: re-poll the endpoint every SECS seconds and redraw until
+  // the referee goes away (its exit closes the admin port, which ends the
+  // watch cleanly) or --count snapshots have been printed. Snapshots are
+  // written straight to stdout as they arrive — this is a live view, not a
+  // buffered report.
+  const bool watch = args.has("watch");
+  const double watch_secs = watch ? args.f64("watch", 2.0) : 0.0;
+  const std::uint64_t watch_count = args.u64("count", 0);
+  USTREAM_REQUIRE(!watch || watch_secs > 0, "--watch needs a positive interval");
+  args.reject_unknown();
+
+  const std::string request =
+      health ? "GET /health\n" : (json ? "GET /metrics.json\n" : "GET /metrics\n");
+  if (!watch) {
+    out += admin_fetch(host, port, request, timeout);
+    return 0;
+  }
+
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+  for (std::uint64_t n = 0; watch_count == 0 || n < watch_count; ++n) {
+    std::string snapshot;
+    try {
+      snapshot = admin_fetch(host, port, request, timeout);
+    } catch (const net::TransportError&) {
+      if (n == 0) throw;  // never reachable: report it as an error
+      append(out, "watch: %s is gone after %llu snapshot%s", from.c_str(),
+             static_cast<unsigned long long>(n), n == 1 ? "" : "s");
+      return 0;
+    }
+    if (tty) {
+      std::fputs("\033[2J\033[H", stdout);  // clear + home: redraw in place
+    } else if (n > 0) {
+      std::fputc('\n', stdout);  // piped: separate snapshots with a blank line
+    }
+    std::fwrite(snapshot.data(), 1, snapshot.size(), stdout);
+    std::fflush(stdout);
+    if (watch_count != 0 && n + 1 == watch_count) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(watch_secs));
+  }
   return 0;
 }
 
@@ -547,17 +652,22 @@ std::string usage() {
          "           [--drop P] [--duplicate P] [--reorder P] [--corrupt P]\n"
          "           [--attempts K] [--eps E] [--delta D]\n"
          "           (fault-injected distributed collection demo; exit 3 if degraded)\n"
-         "  serve    [--port P] [--bind H] [--sites T] [--timeout-ms N] [--out SKETCH]\n"
-         "           [--port-file FILE] [--admin-port P] [--admin-port-file FILE]\n"
+         "  serve    [--port P] [--bind H] [--sites T] [--shards N] [--timeout-ms N]\n"
+         "           [--out SKETCH] [--port-file FILE] [--admin-port P]\n"
+         "           [--admin-port-file FILE] [--relay --upstream HOST:PORT\n"
+         "            [--relay-site I] [--relay-epoch E]]\n"
          "           [--eps E] [--delta D] [--seed S] [--json] [--stats]\n"
          "           (TCP referee: collect one sketch per site, merge, estimate;\n"
-         "            port 0 picks a free port; exit 3 if degraded; --admin-port\n"
-         "            serves live metrics mid-collection)\n"
+         "            port 0 picks a free port; exit 3 if degraded; --shards N runs\n"
+         "            N SO_REUSEPORT event loops; --admin-port serves live metrics\n"
+         "            mid-collection; --relay pushes the merged sketch upstream)\n"
          "  push     --to HOST:PORT [--site I] [--epoch E] [--attempts K]\n"
          "           [--connect-attempts K] [--json] [--stats] SKETCH\n"
          "           (ship a sketch file to a running serve referee)\n"
          "  stats    --from HOST:PORT [--json] [--health] [--timeout-ms N]\n"
-         "           (query a serve --admin-port endpoint for live metrics)\n";
+         "           [--watch SECS [--count N]]\n"
+         "           (query a serve --admin-port endpoint for live metrics;\n"
+         "            --watch re-polls and redraws until the referee exits)\n";
 }
 
 int run(const std::vector<std::string>& argv, std::string& out) {

@@ -120,10 +120,59 @@ void CollectState::reject_accepted(std::size_t site) {
   report_.frames_quarantined += 1;
 }
 
+void CollectState::demote_accepted(std::size_t site, std::uint32_t previous_epoch,
+                                   bool previously_reported, bool count_stale) {
+  SiteCollectStatus& status = report_.per_site[site];
+  if (status.reported && !previously_reported) {
+    status.reported = false;
+    report_.sites_reported -= 1;
+  }
+  status.accepted_epoch = previous_epoch;
+  if (count_stale) {
+    report_.stale_dropped += 1;
+  } else {
+    report_.duplicates_dropped += 1;
+  }
+}
+
 void CollectState::finalize(std::uint32_t max_attempts) {
   for (auto& status : report_.per_site) {
     status.exhausted = !status.reported && status.attempts >= max_attempts;
   }
+}
+
+CollectReport merge_reports(const std::vector<CollectReport>& parts) {
+  USTREAM_REQUIRE(!parts.empty(), "merge_reports needs at least one part");
+  CollectReport merged;
+  merged.sites_total = parts[0].sites_total;
+  merged.per_site.resize(merged.sites_total);
+  for (const CollectReport& part : parts) {
+    USTREAM_REQUIRE(part.sites_total == merged.sites_total,
+                    "merge_reports: mismatched sites_total");
+    merged.frames_quarantined += part.frames_quarantined;
+    merged.duplicates_dropped += part.duplicates_dropped;
+    merged.stale_dropped += part.stale_dropped;
+    for (std::size_t s = 0; s < merged.sites_total; ++s) {
+      const SiteCollectStatus& in = part.per_site[s];
+      SiteCollectStatus& out = merged.per_site[s];
+      out.attempts += in.attempts;
+      if (in.reported) {
+        // At most one shard holds the winning epoch for a site (the shared
+        // arbiter demotes losers), but under kLatestWins several shards may
+        // each have legitimately held older epochs earlier — the fold keeps
+        // the newest.
+        if (!out.reported || in.accepted_epoch > out.accepted_epoch) {
+          out.accepted_epoch = in.accepted_epoch;
+        }
+        out.reported = true;
+      }
+    }
+  }
+  for (const SiteCollectStatus& status : merged.per_site) {
+    if (status.reported) merged.sites_reported += 1;
+    if (status.attempts > 1) merged.retries += status.attempts - 1;
+  }
+  return merged;
 }
 
 }  // namespace ustream

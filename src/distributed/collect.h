@@ -106,6 +106,16 @@ class CollectState {
   // deserialize (a 2^-32 CRC collision): quarantines it and reopens the
   // site so the retry loop can try again.
   void reject_accepted(std::size_t site);
+  // Un-accepts the frame ingest() just accepted for `site` because a
+  // GLOBAL arbiter (another referee shard) already holds a conflicting
+  // acceptance, restoring the site's prior local state and counting the
+  // frame as a duplicate (or stale, when the global winner's epoch is
+  // newer). This is how a sharded referee keeps the folded ledger
+  // identical to a sequential referee over the same frame stream: the
+  // frame a single loop would have dropped at its own dedup table is
+  // dropped here at the shared one, under the same counter.
+  void demote_accepted(std::size_t site, std::uint32_t previous_epoch,
+                       bool previously_reported, bool count_stale);
   void finalize(std::uint32_t max_attempts);  // marks exhausted sites
 
   // The referee's merge step: folds the accepted per-site sketches (site
@@ -132,5 +142,15 @@ class CollectState {
   DedupMode mode_;
   CollectReport report_;
 };
+
+// Folds per-shard referee ledgers into the single report a sequential
+// referee over the same frame stream would produce. Per site: attempts
+// sum, reported = any shard reported, accepted_epoch = max over reporting
+// shards (cross-shard demotion guarantees at most one shard holds the
+// winning epoch). Quarantine/duplicate/stale counters sum; retries are
+// recomputed from the folded attempts (sum over sites of attempts - 1) so
+// a site whose retransmissions landed on different shards still counts
+// them — each shard alone saw one attempt, the union saw a retry.
+CollectReport merge_reports(const std::vector<CollectReport>& parts);
 
 }  // namespace ustream

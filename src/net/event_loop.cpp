@@ -1,0 +1,197 @@
+#include "net/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "net/socket.h"
+
+namespace ustream::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// Poll backend state: a persistent pollfd array, a parallel user-data
+// array, and an fd -> slot map kept consistent by swap-remove. No per-round
+// rebuild: registration changes touch exactly one slot.
+struct EventLoop::PollState {
+  std::vector<pollfd> pfds;
+  std::vector<void*> data;
+  std::unordered_map<int, std::size_t> index;
+};
+
+namespace {
+
+short to_poll_events(unsigned interest) noexcept {
+  short events = 0;
+  if ((interest & EventLoop::kRead) != 0) events |= POLLIN;
+  if ((interest & EventLoop::kWrite) != 0) events |= POLLOUT;
+  return events;
+}
+
+unsigned from_poll_events(short revents) noexcept {
+  unsigned events = 0;
+  if ((revents & (POLLIN | POLLPRI)) != 0) events |= EventLoop::kRead;
+  if ((revents & POLLOUT) != 0) events |= EventLoop::kWrite;
+  if ((revents & (POLLERR | POLLNVAL)) != 0) events |= EventLoop::kError;
+  if ((revents & POLLHUP) != 0) events |= EventLoop::kHangup;
+  return events;
+}
+
+#if defined(__linux__)
+std::uint32_t to_epoll_events(unsigned interest) noexcept {
+  std::uint32_t events = 0;
+  if ((interest & EventLoop::kRead) != 0) events |= EPOLLIN;
+  if ((interest & EventLoop::kWrite) != 0) events |= EPOLLOUT;
+  return events;
+}
+
+unsigned from_epoll_events(std::uint32_t events) noexcept {
+  unsigned out = 0;
+  if ((events & (EPOLLIN | EPOLLPRI)) != 0) out |= EventLoop::kRead;
+  if ((events & EPOLLOUT) != 0) out |= EventLoop::kWrite;
+  if ((events & EPOLLERR) != 0) out |= EventLoop::kError;
+  if ((events & (EPOLLHUP | EPOLLRDHUP)) != 0) out |= EventLoop::kHangup;
+  return out;
+}
+#endif
+
+}  // namespace
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#if defined(__linux__)
+  if (backend_ == Backend::kDefault) backend_ = Backend::kEpoll;
+#else
+  USTREAM_REQUIRE(backend_ != Backend::kEpoll, "epoll backend requires Linux");
+  if (backend_ == Backend::kDefault) backend_ = Backend::kPoll;
+#endif
+  if (backend_ == Backend::kPoll) {
+    poll_ = new PollState();
+    return;
+  }
+#if defined(__linux__)
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw TransportError(errno_text("epoll_create1"));
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  delete poll_;
+}
+
+std::size_t EventLoop::watched() const noexcept {
+  return poll_ != nullptr ? poll_->index.size() : epoll_size_;
+}
+
+void EventLoop::add(int fd, unsigned interest, void* data) {
+  USTREAM_REQUIRE(fd >= 0, "EventLoop::add: invalid fd");
+  if (poll_ != nullptr) {
+    USTREAM_REQUIRE(poll_->index.emplace(fd, poll_->pfds.size()).second,
+                    "EventLoop::add: fd already registered");
+    poll_->pfds.push_back({fd, to_poll_events(interest), 0});
+    poll_->data.push_back(data);
+    return;
+  }
+#if defined(__linux__)
+  epoll_event ev{};
+  ev.events = to_epoll_events(interest);
+  ev.data.ptr = data;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    if (errno == EEXIST) throw InvalidArgument("EventLoop::add: fd already registered");
+    throw TransportError(errno_text("epoll_ctl(ADD)"));
+  }
+  ++epoll_size_;
+#endif
+}
+
+void EventLoop::modify(int fd, unsigned interest, void* data) {
+  if (poll_ != nullptr) {
+    const auto it = poll_->index.find(fd);
+    USTREAM_REQUIRE(it != poll_->index.end(), "EventLoop::modify: fd not registered");
+    poll_->pfds[it->second].events = to_poll_events(interest);
+    poll_->data[it->second] = data;
+    return;
+  }
+#if defined(__linux__)
+  epoll_event ev{};
+  ev.events = to_epoll_events(interest);
+  ev.data.ptr = data;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    if (errno == ENOENT) throw InvalidArgument("EventLoop::modify: fd not registered");
+    throw TransportError(errno_text("epoll_ctl(MOD)"));
+  }
+#endif
+}
+
+void EventLoop::remove(int fd) {
+  if (poll_ != nullptr) {
+    const auto it = poll_->index.find(fd);
+    USTREAM_REQUIRE(it != poll_->index.end(), "EventLoop::remove: fd not registered");
+    const std::size_t slot = it->second;
+    const std::size_t last = poll_->pfds.size() - 1;
+    if (slot != last) {
+      poll_->pfds[slot] = poll_->pfds[last];
+      poll_->data[slot] = poll_->data[last];
+      poll_->index[poll_->pfds[slot].fd] = slot;
+    }
+    poll_->pfds.pop_back();
+    poll_->data.pop_back();
+    poll_->index.erase(it);
+    return;
+  }
+#if defined(__linux__)
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    if (errno == ENOENT) throw InvalidArgument("EventLoop::remove: fd not registered");
+    throw TransportError(errno_text("epoll_ctl(DEL)"));
+  }
+  --epoll_size_;
+#endif
+}
+
+std::size_t EventLoop::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+  if (poll_ != nullptr) {
+    const int n = ::poll(poll_->pfds.data(), poll_->pfds.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw TransportError(errno_text("poll"));
+    }
+    if (n == 0) return 0;
+    out.reserve(static_cast<std::size_t>(n));
+    int remaining = n;
+    for (std::size_t i = 0; i < poll_->pfds.size() && remaining > 0; ++i) {
+      const short revents = poll_->pfds[i].revents;
+      if (revents == 0) continue;
+      out.push_back({poll_->data[i], from_poll_events(revents)});
+      --remaining;
+    }
+    return out.size();
+  }
+#if defined(__linux__)
+  epoll_event events[256];
+  const int n = ::epoll_wait(epoll_fd_, events, 256, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw TransportError(errno_text("epoll_wait"));
+  }
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back({events[i].data.ptr, from_epoll_events(events[i].events)});
+  }
+#endif
+  return out.size();
+}
+
+}  // namespace ustream::net

@@ -1,12 +1,15 @@
 #include "net/referee_server.h"
 
-#include <poll.h>
 #include <sys/socket.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <limits>
+#include <list>
+#include <mutex>
+#include <thread>
 
 #include "net/tcp_transport.h"
 #include "obs/exposition.h"
@@ -22,37 +25,76 @@ std::uint32_t read_u32le(const std::uint8_t* p) noexcept {
          (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+// Every fd registered with the shard's EventLoop carries one of these as
+// its opaque pointer, so event dispatch is a switch on `kind` plus a cast
+// of `self` — no per-event container scan (the O(n)-per-round revents walk
+// the old poll loop did is exactly what EventLoop retired).
+enum class TagKind : std::uint8_t { kWake, kListener, kAdminListener, kSite, kAdmin };
+
+struct FdTag {
+  TagKind kind;
+  void* self = nullptr;
+};
+
 }  // namespace
 
 // One site connection mid-reassembly. `expected` is nullopt while the
 // 4-byte length prefix is still incomplete (state "reading-length");
-// once known, `in` accumulates until the full frame arrived.
+// once known, `in` accumulates until the full frame arrived. Connections
+// live in a std::list so `tag.self` and `self` stay valid across
+// insertions and erasures (EventLoop hands the tag pointer back verbatim).
 struct RefereeServer::Conn {
+  FdTag tag{TagKind::kSite, nullptr};
   Socket sock;
   std::vector<std::uint8_t> in;
   std::optional<std::uint32_t> expected;
   std::vector<std::uint8_t> out;  // pending ack bytes
   bool closed = false;            // peer gone; kept only to flush `out`
+  unsigned interest = 0;          // mask currently registered with the loop
+  std::list<Conn>::iterator self;
+};
+
+// Cross-shard arbiter: the one piece of state every shard shares. A slot
+// holds 0 while no shard has accepted a frame for the site, else the
+// winning epoch + 1. A shard that locally accepts a frame must also win
+// here (under `mu`) before the payload reaches the sink; losing demotes
+// the local acceptance to the duplicate/stale verdict a single sequential
+// referee would have issued, which is what keeps the merge_reports() fold
+// of the shard ledgers identical to the sequential ledger.
+struct RefereeServer::Shared {
+  Shared(std::size_t sites, DedupMode mode, const PayloadSink& sink)
+      : mode(mode), sink(sink), slots(sites, 0) {}
+
+  const DedupMode mode;
+  const PayloadSink& sink;
+  std::mutex mu;
+  std::vector<std::uint64_t> slots;  // guarded by mu; 0 = unclaimed
+  std::size_t reported = 0;          // guarded by mu; sites with a claimed slot
+  std::atomic<bool> complete{false};
 };
 
 namespace {
 
 // One admin client: accumulate bytes until the first newline, answer the
 // one-line request, flush, close. Admin clients never block the referee —
-// they live in the same poll loop as site connections.
+// they live in shard 0's event loop next to its site connections.
 struct AdminConn {
+  FdTag tag{TagKind::kAdmin, nullptr};
   Socket sock;
   std::string in;
   std::string out;
   bool responded = false;
   bool closed = false;
+  unsigned interest = 0;
+  std::list<AdminConn>::iterator self;
 };
 
 // The referee's built-in metric set (DESIGN.md §9.2): the live view of the
-// ledger a CollectReport shows post-hoc. Resolved once per Loop; all
+// ledger a CollectReport shows post-hoc. Resolved once per shard; all
 // updates are single relaxed atomic ops on the default registry, so the
 // admin endpoint, `ustream stats` and the serve --stats dump all read the
-// same numbers.
+// same numbers. A single-shard server keeps the unlabeled series (the
+// PR-5 names); a sharded one gets one series per shard via shard="k".
 struct RefereeMetrics {
   obs::Gauge& connections_open;
   obs::Counter& connections_total;
@@ -64,147 +106,158 @@ struct RefereeMetrics {
   obs::Counter& bytes_out;
   obs::Counter& admin_requests;
 
-  RefereeMetrics()
-      : connections_open(obs::default_registry().gauge("ustream_referee_connections_open")),
-        connections_total(obs::default_registry().counter("ustream_referee_connections_total")),
-        frames_accepted(obs::default_registry().counter("ustream_referee_frames_accepted_total")),
-        frames_duplicate(obs::default_registry().counter("ustream_referee_frames_duplicate_total")),
-        frames_stale(obs::default_registry().counter("ustream_referee_frames_stale_total")),
+  explicit RefereeMetrics(const std::string& labels)
+      : connections_open(obs::default_registry().gauge("ustream_referee_connections_open", labels)),
+        connections_total(
+            obs::default_registry().counter("ustream_referee_connections_total", labels)),
+        frames_accepted(
+            obs::default_registry().counter("ustream_referee_frames_accepted_total", labels)),
+        frames_duplicate(
+            obs::default_registry().counter("ustream_referee_frames_duplicate_total", labels)),
+        frames_stale(obs::default_registry().counter("ustream_referee_frames_stale_total", labels)),
         frames_quarantined(
-            obs::default_registry().counter("ustream_referee_frames_quarantined_total")),
-        bytes_in(obs::default_registry().counter("ustream_referee_bytes_in_total")),
-        bytes_out(obs::default_registry().counter("ustream_referee_bytes_out_total")),
-        admin_requests(obs::default_registry().counter("ustream_referee_admin_requests_total")) {}
+            obs::default_registry().counter("ustream_referee_frames_quarantined_total", labels)),
+        bytes_in(obs::default_registry().counter("ustream_referee_bytes_in_total", labels)),
+        bytes_out(obs::default_registry().counter("ustream_referee_bytes_out_total", labels)),
+        admin_requests(
+            obs::default_registry().counter("ustream_referee_admin_requests_total", labels)) {}
 };
 
 }  // namespace
 
-class RefereeServer::Loop {
+// One worker: an EventLoop over this shard's acceptor, its share of the
+// site connections (whichever ones the kernel's SO_REUSEPORT hash routed
+// here), its own CollectState ledger and wire stats, and — on shard 0
+// only — the admin listener. No state is shared with other shards except
+// RefereeServer::Shared, touched once per locally-accepted frame.
+class RefereeServer::Shard {
  public:
-  Loop(RefereeServer& server, const PayloadSink& sink)
+  Shard(RefereeServer& server, std::size_t index, Shared& shared,
+        std::chrono::steady_clock::time_point deadline, bool has_deadline)
       : server_(server),
         config_(server.config_),
-        sink_(sink),
-        state_(config_.sites, config_.expected_kind, config_.dedup) {
+        index_(index),
+        shared_(shared),
+        deadline_(deadline),
+        has_deadline_(has_deadline),
+        loop_(config_.backend),
+        state_(config_.sites, config_.expected_kind, config_.dedup),
+        metrics_(config_.shards > 1 ? "shard=\"" + std::to_string(index) + "\""
+                                    : std::string{}) {
     wire_.bytes_per_site.assign(config_.sites, 0);
   }
 
-  Result run() {
+  void run() {
     using clock = std::chrono::steady_clock;
-    const bool has_deadline = config_.timeout.count() > 0;
-    const auto deadline = clock::now() + config_.timeout;
-    bool timed_out = false;
+    WakePipe& wake = *server_.wakes_[index_];
+    wake_tag_ = FdTag{TagKind::kWake, &wake};
+    listener_tag_ = FdTag{TagKind::kListener, nullptr};
+    admin_tag_ = FdTag{TagKind::kAdminListener, nullptr};
+    loop_.add(wake.read_fd(), EventLoop::kRead, &wake_tag_);
+    loop_.add(server_.listeners_[index_].fd(), EventLoop::kRead, &listener_tag_);
+    const bool admin = index_ == 0 && server_.admin_listener_.valid();
+    if (admin) loop_.add(server_.admin_listener_.fd(), EventLoop::kRead, &admin_tag_);
 
+    std::vector<EventLoop::Event> events;
     while (!server_.stop_.load(std::memory_order_acquire)) {
-      if (complete()) break;
-      int poll_ms = -1;
-      if (has_deadline) {
-        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-            deadline - clock::now());
+      // Done when every site has reported on SOME shard and this shard owes
+      // no acks. `flushing_` counts connections with queued ack bytes, so
+      // the check is O(1) — no per-round scan of the connection table.
+      if (shared_.complete.load(std::memory_order_acquire) && flushing_ == 0) break;
+      int wait_ms = -1;
+      if (has_deadline_) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - clock::now());
         if (left.count() <= 0) {
           timed_out = true;
           break;
         }
-        poll_ms = static_cast<int>(std::min<long long>(left.count(),
-                                                       std::numeric_limits<int>::max()));
+        wait_ms = static_cast<int>(
+            std::min<long long>(left.count(), std::numeric_limits<int>::max()));
       }
 
-      const bool admin = server_.admin_listener_.valid();
-      std::vector<pollfd> pfds;
-      pfds.reserve(3 + conns_.size() + admin_conns_.size());
-      pfds.push_back({server_.wake_.read_fd(), POLLIN, 0});
-      pfds.push_back({server_.listener_.fd(), POLLIN, 0});
-      if (admin) pfds.push_back({server_.admin_listener_.fd(), POLLIN, 0});
-      const std::size_t conns_base = pfds.size();
-      for (const Conn& c : conns_) {
-        short events = 0;
-        if (!c.closed) events |= POLLIN;
-        if (!c.out.empty()) events |= POLLOUT;
-        pfds.push_back({c.sock.fd(), events, 0});
-      }
-      const std::size_t admin_base = pfds.size();
-      for (const AdminConn& c : admin_conns_) {
-        short events = 0;
-        if (!c.responded && !c.closed) events |= POLLIN;
-        if (!c.out.empty()) events |= POLLOUT;
-        pfds.push_back({c.sock.fd(), events, 0});
-      }
-
-      const int n = ::poll(pfds.data(), pfds.size(), poll_ms);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw TransportError(std::string("poll: ") + std::strerror(errno));
-      }
-
-      if (pfds[0].revents != 0) server_.wake_.drain();
-      // Connections accepted now were not in this round's pfds — bound the
-      // revents scans to the conns that were actually polled.
-      const std::size_t polled = conns_.size();
-      const std::size_t admin_polled = admin_conns_.size();
-      if (pfds[1].revents != 0) accept_new();
-      if (admin && pfds[2].revents != 0) accept_admin();
-      for (std::size_t i = 0; i < polled; ++i) {
-        const short revents = pfds[conns_base + i].revents;
-        if (revents == 0) continue;
-        if ((revents & POLLOUT) != 0) flush(conns_[i]);
-        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !conns_[i].closed) {
-          read_from(conns_[i]);
+      loop_.wait(events, wait_ms);
+      // Each fd appears at most once per batch (poll and epoll both
+      // coalesce readiness into one entry), so a connection destroyed
+      // while handling its event cannot be referenced again this batch.
+      for (const EventLoop::Event& ev : events) {
+        const FdTag* tag = static_cast<const FdTag*>(ev.data);
+        switch (tag->kind) {
+          case TagKind::kWake:
+            wake.drain();
+            break;
+          case TagKind::kListener:
+            accept_new();
+            break;
+          case TagKind::kAdminListener:
+            accept_admin();
+            break;
+          case TagKind::kSite:
+            handle_site(*static_cast<Conn*>(tag->self), ev.events);
+            break;
+          case TagKind::kAdmin:
+            handle_admin(*static_cast<AdminConn*>(tag->self), ev.events);
+            break;
         }
       }
-      for (std::size_t i = 0; i < admin_polled; ++i) {
-        const short revents = pfds[admin_base + i].revents;
-        if (revents == 0) continue;
-        if ((revents & POLLOUT) != 0) flush_admin(admin_conns_[i]);
-        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
-            !admin_conns_[i].responded && !admin_conns_[i].closed) {
-          read_admin(admin_conns_[i]);
-        }
-      }
-      // A connection is finished when the peer is gone and every ack owed
-      // to it has been flushed (or can never be).
-      std::erase_if(conns_, [this](const Conn& c) {
-        if (c.closed && c.out.empty()) {
-          metrics_.connections_open.sub(1);
-          return true;
-        }
-        return false;
-      });
-      // Admin clients close as soon as their one response is flushed.
-      std::erase_if(admin_conns_, [](const AdminConn& c) {
-        return c.closed || (c.responded && c.out.empty());
-      });
     }
 
-    // The loop owns the open-connections gauge: settle it for connections
-    // still alive at exit so a later collection starts from zero.
+    // The shard owns the open-connections gauge for its connections:
+    // settle it for ones still alive at exit so a later collection starts
+    // from zero.
     metrics_.connections_open.sub(static_cast<std::int64_t>(conns_.size()));
 
     // Exhaustion is a CLIENT-side budget; the server cannot know it, so it
     // never marks sites exhausted — missing sites are reported plain.
     state_.finalize(std::numeric_limits<std::uint32_t>::max());
-    Result res;
-    res.report = std::move(state_.report());
-    res.wire = std::move(wire_);
-    res.timed_out = timed_out && !res.report.complete();
-    return res;
+    report = std::move(state_.report());
+    wire = std::move(wire_);
   }
+
+  CollectReport report;
+  ChannelStats wire;
+  bool timed_out = false;
 
  private:
-  bool complete() const {
-    if (!state_.all_reported()) return false;
-    return std::all_of(conns_.begin(), conns_.end(),
-                       [](const Conn& c) { return c.out.empty(); });
-  }
-
   void accept_new() {
     for (;;) {
-      Socket sock = accept_conn(server_.listener_);
+      Socket sock = accept_conn(server_.listeners_[index_]);
       if (!sock.valid()) break;
-      Conn conn;
+      conns_.emplace_back();
+      Conn& conn = conns_.back();
+      conn.self = std::prev(conns_.end());
+      conn.tag.self = &conn;
       conn.sock = std::move(sock);
-      conns_.push_back(std::move(conn));
+      conn.interest = EventLoop::kRead;
+      loop_.add(conn.sock.fd(), conn.interest, &conn.tag);
       metrics_.connections_open.add(1);
       metrics_.connections_total.add(1);
+    }
+  }
+
+  void handle_site(Conn& conn, unsigned revents) {
+    if ((revents & EventLoop::kWrite) != 0) flush(conn);
+    if ((revents & (EventLoop::kRead | EventLoop::kHangup | EventLoop::kError)) != 0 &&
+        !conn.closed) {
+      read_from(conn);
+    }
+    // A connection is finished when the peer is gone and every ack owed
+    // to it has been flushed (or can never be).
+    if (conn.closed && conn.out.empty()) {
+      loop_.remove(conn.sock.fd());
+      metrics_.connections_open.sub(1);
+      conns_.erase(conn.self);
+      return;
+    }
+    rearm(conn);
+  }
+
+  void rearm(Conn& conn) {
+    const unsigned want = (conn.closed ? 0u : EventLoop::kRead) |
+                          (conn.out.empty() ? 0u : EventLoop::kWrite);
+    if (want != conn.interest) {
+      loop_.modify(conn.sock.fd(), want, &conn.tag);
+      conn.interest = want;
     }
   }
 
@@ -212,9 +265,33 @@ class RefereeServer::Loop {
     for (;;) {
       Socket sock = accept_conn(server_.admin_listener_);
       if (!sock.valid()) break;
-      AdminConn conn;
+      admin_conns_.emplace_back();
+      AdminConn& conn = admin_conns_.back();
+      conn.self = std::prev(admin_conns_.end());
+      conn.tag.self = &conn;
       conn.sock = std::move(sock);
-      admin_conns_.push_back(std::move(conn));
+      conn.interest = EventLoop::kRead;
+      loop_.add(conn.sock.fd(), conn.interest, &conn.tag);
+    }
+  }
+
+  void handle_admin(AdminConn& conn, unsigned revents) {
+    if ((revents & EventLoop::kWrite) != 0) flush_admin(conn);
+    if ((revents & (EventLoop::kRead | EventLoop::kHangup | EventLoop::kError)) != 0 &&
+        !conn.responded && !conn.closed) {
+      read_admin(conn);
+    }
+    // Admin clients close as soon as their one response is flushed.
+    if (conn.closed || (conn.responded && conn.out.empty())) {
+      loop_.remove(conn.sock.fd());
+      admin_conns_.erase(conn.self);
+      return;
+    }
+    const unsigned want = ((conn.responded || conn.closed) ? 0u : EventLoop::kRead) |
+                          (conn.out.empty() ? 0u : EventLoop::kWrite);
+    if (want != conn.interest) {
+      loop_.modify(conn.sock.fd(), want, &conn.tag);
+      conn.interest = want;
     }
   }
 
@@ -278,19 +355,21 @@ class RefereeServer::Loop {
   }
 
   void flush(Conn& conn) {
+    if (conn.out.empty()) return;
     while (!conn.out.empty()) {
       const ssize_t n =
           ::send(conn.sock.fd(), conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // still owed
         if (errno == EINTR) continue;
         conn.closed = true;  // peer gone; the ack is undeliverable
         conn.out.clear();
-        return;
+        break;
       }
       metrics_.bytes_out.add(static_cast<std::uint64_t>(n));
       conn.out.erase(conn.out.begin(), conn.out.begin() + n);
     }
+    if (conn.out.empty()) flushing_ -= 1;
   }
 
   void read_from(Conn& conn) {
@@ -335,7 +414,10 @@ class RefereeServer::Loop {
           metrics_.frames_quarantined.add(1);
           conn.closed = true;
           conn.in.clear();
-          conn.out.clear();
+          if (!conn.out.empty()) {
+            conn.out.clear();
+            flushing_ -= 1;
+          }
           return false;
         }
         conn.expected = len;
@@ -363,11 +445,18 @@ class RefereeServer::Loop {
     // the full CRC validation in ingest). Every observed frame for a site
     // is a real attempt on its behalf: first one a send, later ones
     // retransmissions, mirroring the in-process collector's record_send.
+    // The pre-ingest per-site state is captured here because a losing
+    // arbiter round has to restore it (demote_accepted); an accepted frame
+    // always took this path — same bytes, same site field.
+    std::uint32_t prev_epoch = 0;
+    bool prev_reported = false;
     if (frame_bytes.size() >= kFrameHeaderBytes && looks_like_frame(frame_bytes)) {
       const std::uint32_t site = read_u32le(frame_bytes.data() + 8);
       if (site < config_.sites) {
         wire_.bytes_per_site[site] += frame_bytes.size();
         state_.record_send(site);
+        prev_reported = state_.site_reported(site);
+        prev_epoch = state_.report().per_site[site].accepted_epoch;
       }
     }
 
@@ -377,14 +466,7 @@ class RefereeServer::Loop {
     auto accepted = state_.ingest(frame_bytes);
     PushAck ack = PushAck::kQuarantined;
     if (accepted) {
-      const std::size_t site = accepted->site;
-      const std::uint32_t epoch = accepted->epoch;
-      if (sink_(site, epoch, std::move(accepted->payload))) {
-        ack = PushAck::kAccepted;
-      } else {
-        state_.reject_accepted(site);  // CRC collision: reopen + quarantine
-        ack = PushAck::kQuarantined;
-      }
+      ack = arbitrate(*accepted, prev_epoch, prev_reported);
     } else if (state_.report().duplicates_dropped > dup0) {
       ack = PushAck::kDuplicate;
     } else if (state_.report().stale_dropped > stale0) {
@@ -396,24 +478,87 @@ class RefereeServer::Loop {
       case PushAck::kStale: metrics_.frames_stale.add(1); break;
       case PushAck::kQuarantined: metrics_.frames_quarantined.add(1); break;
     }
+    if (conn.out.empty()) flushing_ += 1;
     conn.out.push_back(static_cast<std::uint8_t>(ack));
-    flush(conn);  // usually completes inline; POLLOUT covers the rest
+    flush(conn);  // usually completes inline; kWrite interest covers the rest
+  }
+
+  // A frame this shard's CollectState accepted must also win the global
+  // (site, epoch) claim. Holding the mutex across the sink keeps sink
+  // calls serialized in global acceptance order, so a vector-slot sink
+  // observes exactly the writes a sequential referee would have made.
+  PushAck arbitrate(CollectState::Accepted& acc, std::uint32_t prev_epoch,
+                    bool prev_reported) {
+    const std::size_t site = acc.site;
+    const std::uint64_t want = static_cast<std::uint64_t>(acc.epoch) + 1;
+    std::lock_guard<std::mutex> lock(shared_.mu);
+    std::uint64_t& slot = shared_.slots[site];
+    bool wins = false;
+    bool stale = false;
+    if (slot == 0) {
+      wins = true;  // first acceptance anywhere — same verdict as sequential
+    } else if (shared_.mode == DedupMode::kLatestWins && want > slot) {
+      wins = true;
+    } else if (shared_.mode == DedupMode::kLatestWins && want < slot) {
+      stale = true;
+    }
+    if (!wins) {
+      state_.demote_accepted(site, prev_epoch, prev_reported, stale);
+      return stale ? PushAck::kStale : PushAck::kDuplicate;
+    }
+    if (!shared_.sink(site, acc.epoch, std::move(acc.payload))) {
+      // CRC collision: reopen + quarantine locally. The slot keeps its
+      // previous value — if an older snapshot had already been delivered,
+      // the sink still holds it, and the retransmit the 'Q' ack provokes
+      // will beat it again through the normal latest-wins path.
+      state_.reject_accepted(site);
+      return PushAck::kQuarantined;
+    }
+    const bool first = slot == 0;
+    slot = want;
+    if (first) {
+      shared_.reported += 1;
+      if (shared_.reported == shared_.slots.size()) {
+        shared_.complete.store(true, std::memory_order_release);
+        server_.notify_all();  // every shard re-checks and winds down
+      }
+    }
+    return PushAck::kAccepted;
   }
 
   RefereeServer& server_;
   const RefereeServerConfig& config_;
-  const PayloadSink& sink_;
+  const std::size_t index_;
+  Shared& shared_;
+  const std::chrono::steady_clock::time_point deadline_;
+  const bool has_deadline_;
+  EventLoop loop_;
   CollectState state_;
   ChannelStats wire_;
-  std::vector<Conn> conns_;
-  std::vector<AdminConn> admin_conns_;
+  std::list<Conn> conns_;
+  std::list<AdminConn> admin_conns_;
   RefereeMetrics metrics_;
+  std::size_t flushing_ = 0;  // conns with queued ack bytes
+  FdTag wake_tag_{TagKind::kWake, nullptr};
+  FdTag listener_tag_{TagKind::kListener, nullptr};
+  FdTag admin_tag_{TagKind::kAdminListener, nullptr};
 };
 
 RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(config)) {
   USTREAM_REQUIRE(config_.sites >= 1, "need at least one site");
-  listener_ = listen_tcp(config_.bind_host, config_.port);
-  port_ = local_port(listener_);
+  USTREAM_REQUIRE(config_.shards >= 1, "need at least one shard");
+  // Shard 0 resolves the port (possibly ephemeral); the rest join it via
+  // SO_REUSEPORT so the kernel spreads incoming connections across all
+  // acceptors. A single-shard server binds exactly as before.
+  const bool multi = config_.shards > 1;
+  listeners_.push_back(listen_tcp(config_.bind_host, config_.port, 64, multi));
+  port_ = local_port(listeners_.front());
+  for (std::size_t k = 1; k < config_.shards; ++k) {
+    listeners_.push_back(listen_tcp(config_.bind_host, port_, 64, true));
+  }
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    wakes_.push_back(std::make_unique<WakePipe>());
+  }
   if (config_.admin_port.has_value()) {
     admin_listener_ = listen_tcp(config_.bind_host, *config_.admin_port);
     admin_port_ = local_port(admin_listener_);
@@ -421,13 +566,74 @@ RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(con
 }
 
 RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
-  Loop loop(*this, sink);
-  return loop.run();
+  const bool has_deadline = config_.timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + config_.timeout;
+  Shared shared(config_.sites, config_.dedup, sink);
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(config_.shards);
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    shards.push_back(std::make_unique<Shard>(*this, k, shared, deadline, has_deadline));
+  }
+
+  // Shard 0 runs on the calling thread — a single-shard server spawns no
+  // threads at all, preserving the original referee exactly. A shard that
+  // throws stops the others; the first error is rethrown after the join.
+  std::vector<std::exception_ptr> errors(config_.shards);
+  std::vector<std::thread> threads;
+  threads.reserve(config_.shards - 1);
+  for (std::size_t k = 1; k < config_.shards; ++k) {
+    threads.emplace_back([this, &shards, &errors, k] {
+      try {
+        shards[k]->run();
+      } catch (...) {
+        errors[k] = std::current_exception();
+        stop_.store(true, std::memory_order_release);
+        notify_all();
+      }
+    });
+  }
+  try {
+    shards[0]->run();
+  } catch (...) {
+    errors[0] = std::current_exception();
+    stop_.store(true, std::memory_order_release);
+    notify_all();
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  Result res;
+  std::vector<CollectReport> parts;
+  parts.reserve(config_.shards);
+  bool any_timed_out = false;
+  res.wire.bytes_per_site.assign(config_.sites, 0);
+  for (auto& shard : shards) {
+    parts.push_back(shard->report);
+    any_timed_out = any_timed_out || shard->timed_out;
+    res.wire.messages += shard->wire.messages;
+    res.wire.total_bytes += shard->wire.total_bytes;
+    res.wire.max_message_bytes =
+        std::max(res.wire.max_message_bytes, shard->wire.max_message_bytes);
+    for (std::size_t s = 0; s < config_.sites; ++s) {
+      res.wire.bytes_per_site[s] += shard->wire.bytes_per_site[s];
+    }
+    res.shards.push_back(ShardObservation{std::move(shard->report), std::move(shard->wire)});
+  }
+  res.report = merge_reports(parts);
+  res.timed_out = any_timed_out && !res.report.complete();
+  return res;
+}
+
+void RefereeServer::notify_all() noexcept {
+  for (const auto& wake : wakes_) wake->notify();
 }
 
 void RefereeServer::request_stop() noexcept {
   stop_.store(true, std::memory_order_release);
-  wake_.notify();
+  notify_all();
 }
 
 }  // namespace ustream::net

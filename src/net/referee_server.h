@@ -1,10 +1,28 @@
-// RefereeServer — the referee side of the paper's protocol on a real
-// socket: a single-threaded poll() event loop that accepts site
-// connections, reassembles length-delimited version-1 CRC frames from
-// partial reads, and routes every complete frame through the SAME
-// CollectState (dedup, epoch latest-wins, quarantine) the in-process
-// referee uses, so the frame-layer semantics over TCP are identical to
-// Channel/FaultyChannel by construction.
+// RefereeServer — the referee side of the paper's protocol on real
+// sockets: a sharded collection plane of event loops (EventLoop: epoll on
+// Linux, poll fallback) that accepts site connections, reassembles
+// length-delimited version-1 CRC frames from partial reads, and routes
+// every complete frame through the SAME CollectState machinery (dedup,
+// epoch latest-wins, quarantine) the in-process referee uses, so the
+// frame-layer semantics over TCP are identical to Channel/FaultyChannel by
+// construction.
+//
+// Sharding (DESIGN.md §10): `shards = N` runs N worker event loops, each
+// with its own SO_REUSEPORT acceptor on the same port (the kernel
+// load-balances incoming connections), its own CollectState ledger, its
+// own wire stats and its own `shard="k"`-labeled metrics. Correctness
+// across shards rests on two pieces:
+//
+//   * a shared per-site arbiter (one short mutex acquisition per ACCEPTED
+//     frame — never per byte): a frame that passes a shard's local
+//     validation must also win the global (site, epoch) claim, else the
+//     shard demotes its local acceptance to the duplicate/stale verdict a
+//     single sequential loop would have issued;
+//   * a deterministic fold at finish: per-shard ledgers merge through
+//     merge_reports() and the accepted per-site payloads (global slots,
+//     arbiter-ordered) reduce through the parallel MergeEngine in site
+//     order — byte-identical to the single-loop referee on the same
+//     frame set.
 //
 // Event-loop states per connection (DESIGN.md §8):
 //
@@ -18,17 +36,19 @@
 // FaultyChannel, and the final estimate keeps the degraded-lower-bound
 // semantics of DESIGN.md §6.3.
 //
-// The loop runs until every expected site has reported (acks flushed), the
-// configured deadline passes (degraded finish), or request_stop() is
-// called from another thread (self-pipe wakeup). Merging is the caller's
-// step: collect_and_merge() deserializes accepted payloads and finishes
-// with the parallel MergeEngine, mirroring DistributedRun::collect().
+// The loops run until every expected site has reported somewhere (acks
+// flushed), the configured deadline passes (degraded finish), or
+// request_stop() is called from another thread (per-shard WakePipe
+// wakeup). Merging is the caller's step: collect_and_merge() deserializes
+// accepted payloads and finishes with the parallel MergeEngine, mirroring
+// DistributedRun::collect().
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -37,6 +57,7 @@
 #include "core/merge_engine.h"
 #include "distributed/collect.h"
 #include "distributed/transport.h"
+#include "net/event_loop.h"
 #include "net/socket.h"
 
 namespace ustream::net {
@@ -48,6 +69,14 @@ struct RefereeServerConfig {
   PayloadKind expected_kind = PayloadKind::kF0Estimator;
   DedupMode dedup = DedupMode::kExactlyOnce;
 
+  // Worker event loops. 1 keeps the original single-threaded referee (no
+  // extra threads are spawned); N > 1 runs N-1 extra shard threads with
+  // SO_REUSEPORT acceptors on the same port.
+  std::size_t shards = 1;
+
+  // Readiness backend for every shard loop; kDefault = epoll on Linux.
+  EventLoop::Backend backend = EventLoop::Backend::kDefault;
+
   // Overall collection deadline; zero waits until complete/stopped. On
   // expiry the server finishes degraded with whatever arrived.
   std::chrono::milliseconds timeout{0};
@@ -57,8 +86,8 @@ struct RefereeServerConfig {
   std::size_t max_frame_bytes = 64u << 20;
 
   // Admin endpoint (DESIGN.md §9.3): when set, a second listener on this
-  // port (0 = ephemeral, read back via admin_port()) joins the same poll
-  // loop and serves live metrics snapshots mid-collection. One-line
+  // port (0 = ephemeral, read back via admin_port()) joins shard 0's
+  // event loop and serves live metrics snapshots mid-collection. One-line
   // requests, response then close:
   //   GET /metrics       Prometheus text exposition
   //   GET /metrics.json  one JSON line
@@ -75,6 +104,7 @@ class RefereeServer {
 
   std::uint16_t port() const noexcept { return port_; }
   std::size_t sites() const noexcept { return config_.sites; }
+  std::size_t shards() const noexcept { return config_.shards; }
 
   // Bound admin port; nullopt when the admin endpoint is disabled.
   std::optional<std::uint16_t> admin_port() const noexcept { return admin_port_; }
@@ -82,31 +112,45 @@ class RefereeServer {
   // Consumes an accepted payload. Returns false iff the payload fails to
   // deserialize despite its CRC matching (the 2^-32 collision case): the
   // frame is then quarantined and the site reopened, and the client sees a
-  // 'Q' ack telling it to retransmit.
+  // 'Q' ack telling it to retransmit. In a sharded server the sink is
+  // invoked under the shared arbiter mutex, so calls are serialized and
+  // arrive in global acceptance order — a plain vector-slot sink needs no
+  // locking of its own.
   using PayloadSink = std::function<bool(std::size_t site, std::uint32_t epoch,
                                          std::vector<std::uint8_t>&& payload)>;
 
-  struct Result {
+  // One shard's view of the collection — the fold inputs, kept visible so
+  // tests and the CLI can show where frames landed.
+  struct ShardObservation {
     CollectReport report;
-    ChannelStats wire;      // complete frames observed on the wire, per site
-    bool timed_out = false; // deadline expired before every site reported
+    ChannelStats wire;
   };
 
-  // Runs the event loop to completion. Call at most once.
+  struct Result {
+    CollectReport report;  // merge_reports() fold of the shard ledgers
+    ChannelStats wire;     // complete frames observed on the wire, per site
+    bool timed_out = false;  // deadline expired before every site reported
+    std::vector<ShardObservation> shards;  // size == config.shards
+  };
+
+  // Runs the event loop(s) to completion. Call at most once.
   Result run(const PayloadSink& sink);
 
-  // Thread-safe: wakes the poll loop and makes run() return with whatever
-  // has been collected so far.
+  // Thread-safe: wakes every shard loop and makes run() return with
+  // whatever has been collected so far.
   void request_stop() noexcept;
 
  private:
   struct Conn;
-  class Loop;
+  struct Shared;
+  class Shard;
+
+  void notify_all() noexcept;
 
   RefereeServerConfig config_;
-  Socket listener_;
+  std::vector<Socket> listeners_;  // one per shard (SO_REUSEPORT when > 1)
   Socket admin_listener_;  // invalid when the admin endpoint is disabled
-  WakePipe wake_;
+  std::vector<std::unique_ptr<WakePipe>> wakes_;  // one per shard
   std::atomic<bool> stop_{false};
   std::uint16_t port_ = 0;
   std::optional<std::uint16_t> admin_port_;
@@ -123,6 +167,7 @@ struct NetCollectResult {
   ChannelStats wire;
   std::optional<Sketch> union_sketch;
   bool timed_out = false;
+  std::vector<RefereeServer::ShardObservation> shards;
 };
 
 template <typename Sketch>
@@ -144,6 +189,7 @@ NetCollectResult<Sketch> collect_and_merge(RefereeServer& server,
   out.report = std::move(res.report);
   out.wire = std::move(res.wire);
   out.timed_out = res.timed_out;
+  out.shards = std::move(res.shards);
   out.union_sketch = engine.reduce(std::move(accepted));
   return out;
 }

@@ -90,12 +90,17 @@ void set_nonblocking(int fd, bool nonblocking) {
   if (::fcntl(fd, F_SETFL, next) < 0) throw TransportError(errno_text("fcntl(F_SETFL)"));
 }
 
-Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                  bool reuse_port) {
   const sockaddr_in sa = make_sockaddr(host, port);
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throw TransportError(errno_text("socket"));
   const int one = 1;
   ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    throw TransportError(errno_text("setsockopt(SO_REUSEPORT)"));
+  }
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
     throw TransportError(errno_text(("bind " + host + ":" + std::to_string(port)).c_str()));
   }

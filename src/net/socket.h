@@ -54,7 +54,11 @@ class Socket {
 // Binds and listens on host:port (host must be a numeric IPv4 address or
 // "localhost"; port 0 picks an ephemeral port — read it back with
 // local_port). The returned socket is nonblocking with SO_REUSEADDR set.
-Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog = 64);
+// With reuse_port, SO_REUSEPORT is also set before bind so several
+// listeners can share one port and the kernel load-balances incoming
+// connections across them — the sharded referee's acceptor fan-out.
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog = 64,
+                  bool reuse_port = false);
 
 // The port a bound socket actually landed on (resolves port 0).
 std::uint16_t local_port(const Socket& sock);

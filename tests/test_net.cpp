@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -359,6 +360,316 @@ TEST(NetAdmin, ServesLiveMetricsMidCollection) {
   EXPECT_GE(reg.counter("ustream_referee_admin_requests_total").value(), requests0 + 4);
 }
 
+// ---------------------------------------------------------------------------
+// Ledger algebra for the sharded referee: demote_accepted undoes a local
+// acceptance that lost the cross-shard arbitration, and merge_reports folds
+// per-shard ledgers into the sequential-referee report.
+
+std::vector<std::uint8_t> frame_bytes(std::uint32_t site, std::uint32_t epoch) {
+  return frame_encode({PayloadKind::kF0Estimator, site, epoch},
+                      std::vector<std::uint8_t>{1, 2, 3});
+}
+
+TEST(CollectLedger, DemoteAcceptedRestoresPriorState) {
+  CollectState state(2, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+
+  // First acceptance lost to another shard: back to unreported, counted as
+  // a duplicate — exactly what a sequential referee whose table already
+  // held the site would have recorded.
+  state.record_send(0);
+  ASSERT_TRUE(state.ingest(frame_bytes(0, 5)).has_value());
+  EXPECT_EQ(state.report().sites_reported, 1u);
+  state.demote_accepted(0, 0, false, /*count_stale=*/false);
+  EXPECT_EQ(state.report().sites_reported, 0u);
+  EXPECT_FALSE(state.site_reported(0));
+  EXPECT_EQ(state.report().duplicates_dropped, 1u);
+  EXPECT_EQ(state.report().per_site[0].accepted_epoch, 0u);
+
+  // A latest-wins replacement lost to a newer global epoch: the site stays
+  // reported at its previous epoch, and the loss counts as stale.
+  state.record_send(1);
+  ASSERT_TRUE(state.ingest(frame_bytes(1, 3)).has_value());
+  state.record_send(1);
+  ASSERT_TRUE(state.ingest(frame_bytes(1, 7)).has_value());
+  EXPECT_EQ(state.report().per_site[1].accepted_epoch, 7u);
+  state.demote_accepted(1, 3, /*previously_reported=*/true, /*count_stale=*/true);
+  EXPECT_TRUE(state.site_reported(1));
+  EXPECT_EQ(state.report().sites_reported, 1u);
+  EXPECT_EQ(state.report().per_site[1].accepted_epoch, 3u);
+  EXPECT_EQ(state.report().stale_dropped, 1u);
+}
+
+TEST(CollectLedger, MergeReportsFoldsShardLedgers) {
+  // Shard A saw site 0 (one attempt, accepted epoch 2) and one garbage
+  // frame; shard B saw a RETRANSMISSION of site 0 (demoted: duplicate) and
+  // site 1 (accepted).
+  CollectReport a;
+  a.sites_total = 2;
+  a.per_site.resize(2);
+  a.per_site[0] = {1, true, false, 2};
+  a.sites_reported = 1;
+  a.frames_quarantined = 1;
+  CollectReport b;
+  b.sites_total = 2;
+  b.per_site.resize(2);
+  b.per_site[0] = {1, false, false, 0};
+  b.per_site[1] = {1, true, false, 0};
+  b.sites_reported = 1;
+  b.duplicates_dropped = 1;
+
+  const CollectReport merged = merge_reports({a, b});
+  EXPECT_EQ(merged.sites_total, 2u);
+  EXPECT_EQ(merged.sites_reported, 2u);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.frames_quarantined, 1u);
+  EXPECT_EQ(merged.duplicates_dropped, 1u);
+  EXPECT_EQ(merged.per_site[0].attempts, 2u);
+  EXPECT_EQ(merged.per_site[0].accepted_epoch, 2u);
+  // The retransmission landed on a different shard than the original —
+  // each shard alone saw one attempt, but the union saw a retry. This is
+  // what a sequential referee over the same frame stream reports.
+  EXPECT_EQ(merged.retries, 1u);
+  EXPECT_EQ(merged.total_attempts(), 3u);
+}
+
+TEST(CollectLedger, MergeReportsKeepsNewestEpochAcrossParts) {
+  CollectReport a;
+  a.sites_total = 1;
+  a.per_site.resize(1);
+  a.per_site[0] = {2, true, false, 5};
+  a.sites_reported = 1;
+  CollectReport b;
+  b.sites_total = 1;
+  b.per_site.resize(1);
+  b.per_site[0] = {1, true, false, 3};
+  b.sites_reported = 1;
+  const CollectReport merged = merge_reports({b, a});  // order must not matter
+  EXPECT_EQ(merged.per_site[0].accepted_epoch, 5u);
+  EXPECT_EQ(merged.sites_reported, 1u);
+}
+
+TEST(CollectLedger, MergeReportsRejectsMismatchedShape) {
+  CollectReport a;
+  a.sites_total = 2;
+  a.per_site.resize(2);
+  CollectReport b;
+  b.sites_total = 3;
+  b.per_site.resize(3);
+  EXPECT_THROW(merge_reports({a, b}), InvalidArgument);
+  EXPECT_THROW(merge_reports({}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// The sharded referee. SO_REUSEPORT routing is the kernel's choice, so
+// every assertion here must hold REGARDLESS of which shard each connection
+// landed on — that invariance is precisely the tentpole's claim.
+
+TEST(NetShardedReferee, ShardedServerIsByteIdenticalToSequentialReferee) {
+  constexpr std::size_t kSites = 8;
+  Workload workload(kSites);
+
+  obs::MetricsRegistry& reg = obs::default_registry();
+  std::uint64_t accepted0 = 0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    accepted0 += reg.counter("ustream_referee_frames_accepted_total",
+                             "shard=\"" + std::to_string(k) + "\"").value();
+  }
+
+  RefereeServerConfig config;
+  config.sites = kSites;
+  config.shards = 3;
+  config.timeout = std::chrono::milliseconds{30'000};
+  RefereeServer server(std::move(config));
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  // One transport (= one connection) per site so the kernel spreads the
+  // connections across the SO_REUSEPORT acceptors.
+  for (std::size_t s = 0; s < kSites; ++s) {
+    TcpTransport transport(kSites, client_config(server.port()));
+    transport.send(s, frame_encode({PayloadKind::kF0Estimator,
+                                    static_cast<std::uint32_t>(s), 0},
+                                   workload.sites[s].serialize()));
+  }
+  referee.join();
+
+  // The union sketch: byte-identical to the in-process sequential referee.
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+  ASSERT_TRUE(result.union_sketch.has_value());
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes());
+
+  // The folded ledger: identical to what the sequential referee reports.
+  EXPECT_EQ(result.report.sites_reported, kSites);
+  EXPECT_EQ(result.report.total_attempts(), kSites);
+  EXPECT_EQ(result.report.retries, 0u);
+  EXPECT_EQ(result.report.duplicates_dropped, 0u);
+  EXPECT_FALSE(result.timed_out);
+
+  // Wire accounting folds across shards without loss.
+  EXPECT_EQ(result.wire.messages, kSites);
+  ASSERT_EQ(result.shards.size(), 3u);
+  std::size_t shard_frames = 0;
+  std::uint64_t shard_bytes = 0;
+  for (const auto& shard : result.shards) {
+    shard_frames += shard.wire.messages;
+    shard_bytes += shard.wire.total_bytes;
+  }
+  EXPECT_EQ(shard_frames, result.wire.messages);
+  EXPECT_EQ(shard_bytes, result.wire.total_bytes);
+
+  // Sharded metrics are per-shard labeled series; their sum is the fleet
+  // view a dashboard aggregates.
+  std::uint64_t accepted1 = 0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    accepted1 += reg.counter("ustream_referee_frames_accepted_total",
+                             "shard=\"" + std::to_string(k) + "\"").value();
+  }
+  EXPECT_EQ(accepted1 - accepted0, kSites);
+}
+
+TEST(NetShardedReferee, CrossShardDuplicatesCollapseToOneAcceptance) {
+  // 12 pushes of the SAME (site, epoch) over 12 fresh connections: however
+  // the kernel spreads them, exactly one wins the shared arbiter and the
+  // sink runs exactly once — the sharded ledger cannot double-count a
+  // site. A second holdout site completes the round only AFTER the
+  // duplicate storm, keeping the server in-round throughout.
+  constexpr std::size_t kPushes = 12;
+  Workload workload(2);
+
+  RefereeServerConfig config;
+  config.sites = 2;
+  config.shards = 4;
+  config.timeout = std::chrono::milliseconds{30'000};
+  RefereeServer server(std::move(config));
+
+  std::atomic<std::size_t> sink_calls{0};
+  RefereeServer::Result result;
+  std::thread referee([&server, &result, &sink_calls] {
+    result = server.run([&sink_calls](std::size_t, std::uint32_t,
+                                      std::vector<std::uint8_t>&&) {
+      sink_calls.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    });
+  });
+
+  const auto frame = frame_encode({PayloadKind::kF0Estimator, 0, 0},
+                                  workload.sites[0].serialize());
+  std::size_t accepted = 0, duplicate = 0;
+  for (std::size_t i = 0; i < kPushes; ++i) {
+    TcpTransport transport(2, client_config(server.port()));
+    switch (transport.send_with_ack(0, frame)) {
+      case PushAck::kAccepted: ++accepted; break;
+      case PushAck::kDuplicate: ++duplicate; break;
+      default: ADD_FAILURE() << "unexpected ack on push " << i; break;
+    }
+  }
+  {
+    TcpTransport transport(2, client_config(server.port()));
+    EXPECT_EQ(transport.send_with_ack(
+                  1, frame_encode({PayloadKind::kF0Estimator, 1, 0},
+                                  workload.sites[1].serialize())),
+              PushAck::kAccepted);
+  }
+  referee.join();
+
+  EXPECT_EQ(accepted, 1u);
+  EXPECT_EQ(duplicate, kPushes - 1);
+  EXPECT_EQ(sink_calls.load(), 2u);
+  EXPECT_TRUE(result.report.complete());
+  EXPECT_EQ(result.report.sites_reported, 2u);
+  EXPECT_EQ(result.report.duplicates_dropped, kPushes - 1);
+  EXPECT_EQ(result.report.total_attempts(), kPushes + 1);
+  EXPECT_EQ(result.report.retries, kPushes - 1);
+}
+
+TEST(NetShardedReferee, LatestWinsEpochOrderHoldsAcrossShards) {
+  // Epochs 2, 5, then 3 over three fresh connections (each acked before
+  // the next is sent): whatever shards they land on, the global verdicts
+  // must be accept, accept, stale — and the final ledger holds epoch 5.
+  // A holdout second site closes the round after the epoch traffic, since
+  // a complete round ends the server in every dedup mode.
+  Workload workload(2);
+
+  RefereeServerConfig config;
+  config.sites = 2;
+  config.shards = 3;
+  config.dedup = DedupMode::kLatestWins;
+  config.timeout = std::chrono::milliseconds{30'000};
+  RefereeServer server(std::move(config));
+
+  std::vector<std::uint32_t> delivered;
+  RefereeServer::Result result;
+  std::thread referee([&server, &result, &delivered] {
+    result = server.run([&delivered](std::size_t, std::uint32_t epoch,
+                                     std::vector<std::uint8_t>&&) {
+      delivered.push_back(epoch);  // serialized under the arbiter mutex
+      return true;
+    });
+  });
+
+  const auto push = [&](std::uint32_t site, std::uint32_t epoch) {
+    TcpTransport transport(2, client_config(server.port()));
+    return transport.send_with_ack(
+        site, frame_encode({PayloadKind::kF0Estimator, site, epoch},
+                           workload.sites[site].serialize()));
+  };
+  EXPECT_EQ(push(0, 2), PushAck::kAccepted);
+  EXPECT_EQ(push(0, 5), PushAck::kAccepted);
+  EXPECT_EQ(push(0, 3), PushAck::kStale);
+  EXPECT_EQ(push(1, 7), PushAck::kAccepted);
+  referee.join();
+
+  EXPECT_EQ(delivered, (std::vector<std::uint32_t>{2, 5, 7}));
+  EXPECT_EQ(result.report.sites_reported, 2u);
+  EXPECT_EQ(result.report.stale_dropped, 1u);
+  EXPECT_EQ(result.report.duplicates_dropped, 0u);
+  EXPECT_EQ(result.report.per_site[0].accepted_epoch, 5u);
+  // Each accept lives in the ledger of the shard it landed on (epochs 2
+  // and 5 may be on different shards); the fold's epoch-max recovers the
+  // newest. At least one shard holds site 0, and the newest epoch held is 5.
+  std::uint32_t newest = 0;
+  std::size_t holders = 0;
+  for (const auto& shard : result.shards) {
+    if (shard.report.per_site[0].reported) {
+      ++holders;
+      if (shard.report.per_site[0].accepted_epoch > newest) {
+        newest = shard.report.per_site[0].accepted_epoch;
+      }
+    }
+  }
+  EXPECT_GE(holders, 1u);
+  EXPECT_EQ(newest, 5u);
+}
+
+TEST(NetShardedReferee, PollBackendMatchesEpollBackend) {
+  // The same sharded collection through the poll fallback: identical
+  // bytes, identical ledger. Guards the fallback against rotting.
+  constexpr std::size_t kSites = 4;
+  Workload workload(kSites);
+
+  RefereeServerConfig config;
+  config.sites = kSites;
+  config.shards = 2;
+  config.backend = net::EventLoop::Backend::kPoll;
+  config.timeout = std::chrono::milliseconds{30'000};
+  RefereeServer server(std::move(config));
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+  for (std::size_t s = 0; s < kSites; ++s) {
+    TcpTransport transport(kSites, client_config(server.port()));
+    transport.send(s, frame_encode({PayloadKind::kF0Estimator,
+                                    static_cast<std::uint32_t>(s), 0},
+                                   workload.sites[s].serialize()));
+  }
+  referee.join();
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes());
+}
+
 TEST(NetReferee, RequestStopEndsTheLoopDegraded) {
   RefereeServerConfig config;
   config.sites = 1;
@@ -594,6 +905,180 @@ TEST_F(NetCliTest, ServeExitsDegradedWhenASiteNeverPushes) {
   EXPECT_EQ(WEXITSTATUS(status), 3) << serve_out;
   EXPECT_NE(serve_out.find("\"degraded\":true"), std::string::npos) << serve_out;
   EXPECT_NE(serve_out.find("\"timed_out\":true"), std::string::npos) << serve_out;
+}
+
+// Sharded serve as a real process: 4 sites into 2 shard loops, output
+// byte-identical to the in-process merge, per-shard breakdown in the JSON.
+TEST_F(NetCliTest, ShardedServeMatchesInProcessMergeByteForByte) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  std::vector<std::string> sketches;
+  const auto inproc = path("sh_inproc.sk"), net_sk = path("sh_net.sk");
+  const auto port_file = path("sh_port.txt");
+  for (int i = 0; i < 4; ++i) {
+    const auto trace = path("sh" + std::to_string(i) + ".trace");
+    sketches.push_back(path("sh" + std::to_string(i) + ".sk"));
+    ASSERT_EQ(invoke({"generate", "--distinct", "8000", "--items", "20000",
+                      "--seed", std::to_string(11 + i), "--out", trace}).first, 0);
+    ASSERT_EQ(invoke({"sketch", "--in", trace, "--seed", "42",
+                      "--out", sketches.back()}).first, 0);
+  }
+  ASSERT_EQ(invoke({"merge", "--out", inproc, sketches[0], sketches[1], sketches[2],
+                    sketches[3]}).first, 0);
+
+  const std::string serve_cmd = g_ustream_bin +
+                                " serve --port 0 --sites 4 --shards 2 --json" +
+                                " --timeout-ms 30000 --out " + net_sk +
+                                " --port-file " + port_file + " 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  ASSERT_NE(port, 0) << "serve never wrote its port file";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(std::system((g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                           " --site " + std::to_string(i) + " " + sketches[i] +
+                           " > /dev/null 2>&1").c_str()), 0);
+  }
+  std::string serve_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), serve)) serve_out += buf;
+  const int status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(status)) << serve_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << serve_out;
+  EXPECT_NE(serve_out.find("\"sites_reported\":4"), std::string::npos) << serve_out;
+  // Two per-shard entries in the breakdown (whatever the routing was).
+  EXPECT_NE(serve_out.find("\"shards\":[{"), std::string::npos) << serve_out;
+
+  const auto net_bytes = slurp(net_sk);
+  ASSERT_FALSE(net_bytes.empty());
+  EXPECT_EQ(net_bytes, slurp(inproc));
+}
+
+// Relay fan-in as real processes: two sites push to a sharded relay
+// referee, which merges locally and pushes ONE frame upstream. The
+// upstream referee's output must be byte-identical to a direct in-process
+// merge of the two site sketches — the 2-level tree changes the wire
+// topology, never the bytes.
+TEST_F(NetCliTest, RelayTreeIsByteIdenticalToFlatMerge) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  const auto t0 = path("r0.trace"), t1 = path("r1.trace");
+  const auto s0 = path("r0.sk"), s1 = path("r1.sk");
+  const auto inproc = path("r_inproc.sk"), up_sk = path("r_up.sk");
+  const auto up_port_file = path("r_upport.txt"), relay_port_file = path("r_rport.txt");
+  for (const auto& [trace, seed] : {std::pair{t0, "21"}, std::pair{t1, "22"}}) {
+    ASSERT_EQ(invoke({"generate", "--distinct", "8000", "--items", "20000",
+                      "--seed", seed, "--out", trace}).first, 0);
+  }
+  for (const auto& [trace, sketch] : {std::pair{t0, s0}, std::pair{t1, s1}}) {
+    ASSERT_EQ(invoke({"sketch", "--in", trace, "--seed", "42", "--out", sketch}).first, 0);
+  }
+  ASSERT_EQ(invoke({"merge", "--out", inproc, s0, s1}).first, 0);
+
+  // Upstream referee: sees the whole relay subtree as its single "site 0".
+  const std::string up_cmd = g_ustream_bin + " serve --port 0 --sites 1 --json" +
+                             " --timeout-ms 30000 --out " + up_sk +
+                             " --port-file " + up_port_file + " 2>&1";
+  std::FILE* up = popen(up_cmd.c_str(), "r");
+  ASSERT_NE(up, nullptr);
+  const std::uint16_t up_port = wait_for_port(up_port_file);
+  ASSERT_NE(up_port, 0) << "upstream serve never wrote its port file";
+
+  // Relay referee: collects the two real sites on two shards, then pushes
+  // the merged sketch upstream.
+  const std::string relay_cmd = g_ustream_bin +
+                                " serve --port 0 --sites 2 --shards 2 --json" +
+                                " --timeout-ms 30000" +
+                                " --relay --upstream 127.0.0.1:" + std::to_string(up_port) +
+                                " --relay-site 0 --relay-epoch 1" +
+                                " --port-file " + relay_port_file + " 2>&1";
+  std::FILE* relay = popen(relay_cmd.c_str(), "r");
+  ASSERT_NE(relay, nullptr);
+  const std::uint16_t relay_port = wait_for_port(relay_port_file);
+  ASSERT_NE(relay_port, 0) << "relay serve never wrote its port file";
+
+  for (const auto& [site, sketch] : {std::pair{"0", s0}, std::pair{"1", s1}}) {
+    ASSERT_EQ(std::system((g_ustream_bin + " push --to 127.0.0.1:" +
+                           std::to_string(relay_port) + " --site " + site + " " + sketch +
+                           " > /dev/null 2>&1").c_str()), 0);
+  }
+
+  std::string relay_out, up_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), relay)) relay_out += buf;
+  int status = pclose(relay);
+  ASSERT_TRUE(WIFEXITED(status)) << relay_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << relay_out;
+  EXPECT_NE(relay_out.find("\"relay_ack\":\"accepted\""), std::string::npos) << relay_out;
+
+  while (std::fgets(buf, sizeof(buf), up)) up_out += buf;
+  status = pclose(up);
+  ASSERT_TRUE(WIFEXITED(status)) << up_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << up_out;
+  EXPECT_NE(up_out.find("\"sites_reported\":1"), std::string::npos) << up_out;
+
+  const auto up_bytes = slurp(up_sk);
+  ASSERT_FALSE(up_bytes.empty());
+  EXPECT_EQ(up_bytes, slurp(inproc));
+}
+
+// `ustream stats --watch` against a live referee: bounded by --count, one
+// snapshot per poll, and the admin request counter visibly advances
+// between snapshots.
+TEST_F(NetCliTest, StatsWatchPollsTheAdminEndpoint) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  const auto trace = path("w.trace"), sketch = path("w.sk");
+  ASSERT_EQ(invoke({"generate", "--distinct", "2000", "--items", "5000",
+                    "--seed", "31", "--out", trace}).first, 0);
+  ASSERT_EQ(invoke({"sketch", "--in", trace, "--seed", "42", "--out", sketch}).first, 0);
+
+  const auto port_file = path("w_port.txt"), admin_port_file = path("w_admin.txt");
+  const std::string serve_cmd = g_ustream_bin + " serve --port 0 --sites 1" +
+                                " --timeout-ms 20000 --port-file " + port_file +
+                                " --admin-port-file " + admin_port_file +
+                                " > /dev/null 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  const std::uint16_t admin = wait_for_port(admin_port_file);
+  ASSERT_NE(port, 0) << "serve never wrote its port file";
+  ASSERT_NE(admin, 0) << "serve never wrote its admin port file";
+
+  // The watch loop runs in THIS process via cli::run — snapshots go to
+  // stdout, so capture through a pipe-backed popen of ourselves is not
+  // needed: --count 3 --json gives three one-line snapshots.
+  std::string watch_cmd = g_ustream_bin + " stats --from 127.0.0.1:" +
+                          std::to_string(admin) + " --json --watch 0.2 --count 3 2>&1";
+  std::FILE* watch = popen(watch_cmd.c_str(), "r");
+  ASSERT_NE(watch, nullptr);
+  std::string watch_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), watch)) watch_out += buf;
+  const int status = pclose(watch);
+  ASSERT_TRUE(WIFEXITED(status)) << watch_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << watch_out;
+
+  // Three snapshots (one JSON line each, blank-line separated when piped),
+  // each showing one more admin request than the last.
+  std::vector<std::uint64_t> requests;
+  std::istringstream lines(watch_out);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty()) continue;
+    const auto n = json_counter(line, "ustream_referee_admin_requests_total");
+    if (n != ~std::uint64_t{0}) requests.push_back(n);
+  }
+  ASSERT_EQ(requests.size(), 3u) << watch_out;
+  EXPECT_EQ(requests[1], requests[0] + 1);
+  EXPECT_EQ(requests[2], requests[1] + 1);
+
+  // Complete the round so serve exits promptly instead of waiting out its
+  // timeout.
+  ASSERT_EQ(std::system((g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                         " --site 0 " + sketch + " > /dev/null 2>&1").c_str()), 0);
+  const int serve_status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(serve_status));
+  EXPECT_EQ(WEXITSTATUS(serve_status), 0);
 }
 
 }  // namespace
