@@ -23,19 +23,50 @@ import statistics
 import sys
 
 
+def die(message):
+    """A malformed input is a usage error, not a perf regression: name the
+    file and row instead of letting a KeyError traceback bury the cause."""
+    print(f"check_regression: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load_items_per_second(path):
     """name -> items/sec; the MEDIAN when a name repeats (benchmark
     --benchmark_repetitions, or several runs merged into one file, as
     bench/run_obs_bench.sh does to wash out thermal drift)."""
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as exc:
+        die(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        die(f"{path} is not valid JSON ({exc}) — was the benchmark "
+            f"interrupted mid-write?")
+    if not isinstance(data, dict) or not isinstance(data.get("benchmarks"), list):
+        die(f"{path}: expected google-benchmark JSON with a top-level "
+            f"'benchmarks' array (got {type(data).__name__})")
     samples = {}
-    for bench in data.get("benchmarks", []):
+    for index, bench in enumerate(data["benchmarks"]):
+        if not isinstance(bench, dict):
+            die(f"{path}: benchmarks[{index}] is not an object")
         if bench.get("run_type") == "aggregate":
             continue
+        name = bench.get("name")
+        if not name:
+            die(f"{path}: benchmarks[{index}] has no 'name' field")
         rate = bench.get("items_per_second")
-        if rate:
-            samples.setdefault(bench["name"], []).append(float(rate))
+        if rate is None:
+            # Rows without a throughput counter (no SetItemsProcessed) are
+            # legitimately ungated; note them rather than crashing or
+            # silently pretending the row was measured.
+            print(f"NO-RATE     {name}: no items_per_second in {path}; "
+                  f"row not gated")
+            continue
+        try:
+            samples.setdefault(name, []).append(float(rate))
+        except (TypeError, ValueError):
+            die(f"{path}: benchmarks[{index}] ({name}): items_per_second "
+                f"{rate!r} is not a number")
     return {name: statistics.median(rates) for name, rates in samples.items()}
 
 
@@ -64,8 +95,16 @@ def main():
     if args.speedup:
         pairs = []
         for spec in args.speedup:
-            slow, fast, floor = spec.rsplit(",", 2)
-            pairs.append((slow, fast, float(floor)))
+            parts = spec.rsplit(",", 2)
+            if len(parts) != 3 or not parts[0] or not parts[1]:
+                die(f"--speedup {spec!r}: expected SLOW,FAST,FLOOR "
+                    f"(three comma-separated fields)")
+            slow, fast, floor_text = parts
+            try:
+                floor = float(floor_text)
+            except ValueError:
+                die(f"--speedup {spec!r}: floor {floor_text!r} is not a number")
+            pairs.append((slow, fast, floor))
     else:
         pairs = [(args.scalar, args.batch, args.speedup_floor)]
 
@@ -76,6 +115,10 @@ def main():
     for name in sorted(baseline):
         if name not in current:
             print(f"SKIP        {name}: not in current run")
+            continue
+        if baseline[name] <= 0.0:
+            print(f"SKIP        {name}: baseline rate is {baseline[name]} "
+                  f"(refresh the baseline with --update)")
             continue
         ratio = current[name] / baseline[name]
         ok = ratio >= 1.0 - args.tolerance

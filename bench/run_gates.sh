@@ -24,8 +24,12 @@
 #      bench_obs / bench_obs_nometrics twins interleaved and enforces the
 #      observability subsystem's overhead contract (DESIGN.md §9.4):
 #      enabled-but-idle metrics must cost < 2% (>= 0.98x floor) on the
-#      Ingest* and Merge* rows vs a -DUSTREAM_NO_METRICS build. Last:
-#      its A/B medians want the longest possible quiet tail.
+#      Ingest* and Merge* rows vs a -DUSTREAM_NO_METRICS build.
+#   6. durability tax — bench/run_wal_bench.sh measures the WAL group
+#      commit (BM_WalAppend across fsync policies) and the end-to-end
+#      WAL-on vs WAL-off referee push, gating against bench/BENCH_wal.json
+#      with the >= 0.5x WAL-on floor. After the obs twins because its
+#      `always` rows are storage-bound, not CPU-bound.
 #
 # Usage:
 #   bench/run_gates.sh [build-dir]            # all gates
@@ -45,20 +49,23 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/5: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/6: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/5: merge-engine perf regression (bench/run_merge_bench.sh) =="
+echo "== gate 2/6: merge-engine perf regression (bench/run_merge_bench.sh) =="
 "$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 3/5: fault-injection soak (ctest -L soak) =="
+echo "== gate 3/6: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
 
-echo "== gate 4/5: net wire perf regression (bench/run_net_bench.sh) =="
+echo "== gate 4/6: net wire perf regression (bench/run_net_bench.sh) =="
 "$repo/bench/run_net_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 5/5: instrumentation overhead (bench/run_obs_bench.sh) =="
+echo "== gate 5/6: instrumentation overhead (bench/run_obs_bench.sh) =="
 "$repo/bench/run_obs_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 6/6: durability tax (bench/run_wal_bench.sh) =="
+"$repo/bench/run_wal_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
 echo "all gates passed"

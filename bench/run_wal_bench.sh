@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the durability rows of bench_wal with JSON output and gates them
+# against the checked-in baseline (bench/BENCH_wal.json) via
+# check_regression.py. One speedup floor is enforced:
+#
+#   * WAL TAX, always on: an accepted push against the WAL-enabled
+#     referee (fsync=interval, the serve default) must keep >= 0.5x the
+#     items/sec of the WAL-off referee at the 1 KiB payload. Measured
+#     ~0.9x on the reference machine — the group commit is one buffered
+#     write() per accepted frame, off the per-byte path — so the floor
+#     only trips if the append lands somewhere hot (per-read work, a
+#     stray fsync in the event loop).
+#
+# The BM_WalAppend_{never,interval,always} rows are gated only by the
+# baseline tolerance: their absolute numbers are the fsync-policy cost
+# table quoted in EXPERIMENTS.md E17, and `always` is storage-bound —
+# a floor tied to loopback rows would just measure the disk.
+#
+# Usage:
+#   bench/run_wal_bench.sh [build-dir]            # measure + gate
+#   bench/run_wal_bench.sh --update [build-dir]   # also refresh baseline
+set -euo pipefail
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/bench/BENCH_wal.json"
+current="$(mktemp --suffix=.json)"
+trap 'rm -f "$current"' EXIT
+
+cmake --build "$build" --target bench_wal -j >/dev/null
+
+"$build/bench/bench_wal" \
+  --benchmark_filter='BM_Wal|BM_NetPushWal' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$current" \
+  --benchmark_out_format=json
+
+gates=(--speedup 'BM_NetPushWalOff/1024,BM_NetPushWalOn/1024,0.5')
+
+if [[ -f "$baseline" ]]; then
+  python3 "$repo/bench/check_regression.py" \
+    --baseline "$baseline" --current "$current" \
+    "${gates[@]}"
+else
+  echo "no baseline at $baseline yet; skipping regression gate"
+fi
+
+if [[ "$update" == 1 || ! -f "$baseline" ]]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $baseline"
+fi

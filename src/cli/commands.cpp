@@ -22,6 +22,7 @@
 #include "core/params.h"
 #include "distributed/faulty_channel.h"
 #include "distributed/runtime.h"
+#include "durability/recovery.h"
 #include "net/referee_server.h"
 #include "net/socket.h"
 #include "net/tcp_transport.h"
@@ -386,6 +387,27 @@ int cmd_serve(const Args& args, std::string& out) {
   if (!admin_port_file.empty() && !config.admin_port.has_value()) {
     config.admin_port = 0;  // asking for the file implies the endpoint
   }
+  // Durability (DESIGN.md §11): --wal-dir turns on the write-ahead frame
+  // log (acked implies logged); --recover replays that dir first so a
+  // killed referee resumes instead of starting over.
+  const std::string wal_dir = args.str("wal-dir", "");
+  const std::string fsync_name = args.str("fsync", "interval");
+  const std::uint64_t fsync_interval_ms = args.u64("fsync-interval-ms", 50);
+  const std::uint64_t snapshot_every = args.u64("snapshot-every", 0);
+  const std::uint64_t segment_mb = args.u64("segment-mb", 64);
+  const bool recover = args.has("recover");
+  if (recover) args.str("recover", "");
+  USTREAM_REQUIRE(!recover || !wal_dir.empty(), "--recover needs --wal-dir DIR");
+  if (!wal_dir.empty()) {
+    net::RefereeServerConfig::Durability wal;
+    wal.dir = wal_dir;
+    wal.fsync = durability::parse_fsync_policy(fsync_name);
+    wal.fsync_interval = std::chrono::milliseconds(fsync_interval_ms);
+    wal.snapshot_every = snapshot_every;
+    wal.segment_bytes = segment_mb << 20;
+    wal.recover = recover;
+    config.wal = wal;
+  }
   const bool json = json_requested(args);
   const bool stats = stats_requested(args);
   args.reject_unknown();
@@ -441,13 +463,28 @@ int cmd_serve(const Args& args, std::string& out) {
       shards_json += buf;
     }
     shards_json += ']';
+    std::string wal_json;
+    if (result.durability.enabled) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"wal\":{\"records\":%llu,\"bytes\":%llu,\"fsyncs\":%llu,"
+                    "\"snapshots\":%llu,\"recovered_sites\":%zu,"
+                    "\"frames_replayed\":%llu}",
+                    static_cast<unsigned long long>(result.durability.records_logged),
+                    static_cast<unsigned long long>(result.durability.bytes_logged),
+                    static_cast<unsigned long long>(result.durability.fsyncs),
+                    static_cast<unsigned long long>(result.durability.snapshots),
+                    result.durability.sites_recovered,
+                    static_cast<unsigned long long>(result.durability.frames_replayed));
+      wal_json = buf;
+    }
     append(out,
            "{\"port\":%u,\"admin_port\":%u,\"sites_total\":%zu,\"sites_reported\":%zu,"
            "\"degraded\":%s,\"timed_out\":%s,\"estimate\":%.17g,"
            "\"attempts\":%llu,\"retries\":%llu,\"frames_quarantined\":%llu,"
            "\"duplicates_dropped\":%llu,\"stale_dropped\":%llu,"
            "\"wire_frames\":%llu,\"wire_bytes\":%llu,"
-           "\"shards\":%s%s%s%s}",
+           "\"shards\":%s%s%s%s%s}",
            server.port(), server.admin_port().value_or(0), report.sites_total,
            report.sites_reported,
            report.degraded() ? "true" : "false", result.timed_out ? "true" : "false",
@@ -458,7 +495,7 @@ int cmd_serve(const Args& args, std::string& out) {
            static_cast<unsigned long long>(report.stale_dropped),
            static_cast<unsigned long long>(result.wire.messages),
            static_cast<unsigned long long>(result.wire.total_bytes),
-           shards_json.c_str(),
+           shards_json.c_str(), wal_json.c_str(),
            relay ? ",\"relay_ack\":\"" : "", relay_ack, relay ? "\"" : "");
   } else {
     append(out, "listening on %s:%u for %zu sites (%zu shard%s)",
@@ -480,6 +517,16 @@ int cmd_serve(const Args& args, std::string& out) {
                static_cast<unsigned long long>(shard.wire.messages),
                static_cast<unsigned long long>(shard.wire.total_bytes));
       }
+    }
+    if (result.durability.enabled) {
+      if (recover) append(out, "%s", result.durability.recovery_summary.c_str());
+      append(out, "wal: %llu records, %llu bytes, %llu fsyncs, %llu snapshots "
+                  "(fsync %s) in %s",
+             static_cast<unsigned long long>(result.durability.records_logged),
+             static_cast<unsigned long long>(result.durability.bytes_logged),
+             static_cast<unsigned long long>(result.durability.fsyncs),
+             static_cast<unsigned long long>(result.durability.snapshots),
+             fsync_name.c_str(), wal_dir.c_str());
     }
     if (relay) {
       append(out, "relayed to %s as site %zu epoch %u: %s (%zu-byte frame)",
@@ -613,6 +660,128 @@ int cmd_stats(const Args& args, std::string& out) {
   return 0;
 }
 
+// Offline inspection of a WAL dir — the debugging face of the durability
+// subsystem. `inspect` shows the segment/snapshot inventory (headers,
+// sizes, torn tails); `dump` walks every record and decodes its frame
+// header so an operator can see exactly which (site, epoch) frames a
+// recovery would replay, without starting a server.
+int cmd_wal(const Args& args, std::string& out) {
+  const auto& positional = args.positional();
+  USTREAM_REQUIRE(positional.size() == 1 &&
+                      (positional[0] == "inspect" || positional[0] == "dump"),
+                  "usage: ustream wal inspect|dump --dir DIR [--json]");
+  const bool dump = positional[0] == "dump";
+  const std::string dir = args.required_str("dir");
+  const bool json = json_requested(args);
+  args.reject_unknown();
+
+  const auto segments = durability::scan_wal_segments(dir);
+  const auto snapshots = durability::scan_snapshots(dir);
+  if (json) {
+    out += "{\"dir\":\"" + json_escape(dir) + "\",\"segments\":[";
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const auto& seg = segments[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"path\":\"%s\",\"shard\":%u,\"seq\":%u,"
+                    "\"watermark\":%u,\"bytes\":%llu,\"valid\":%s%s%s}",
+                    i > 0 ? "," : "", json_escape(seg.path).c_str(), seg.shard,
+                    seg.seq, seg.watermark,
+                    static_cast<unsigned long long>(seg.file_bytes),
+                    seg.header_valid ? "true" : "false",
+                    seg.header_valid ? "" : ",\"error\":\"",
+                    seg.header_valid ? "" : (json_escape(seg.error) + "\"").c_str());
+      out += buf;
+    }
+    out += "],\"snapshots\":[";
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      const auto& snap = snapshots[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"path\":\"%s\",\"seq\":%u,\"bytes\":%llu,\"valid\":%s}",
+                    i > 0 ? "," : "", json_escape(snap.path).c_str(), snap.seq,
+                    static_cast<unsigned long long>(snap.file_bytes),
+                    snap.valid ? "true" : "false");
+      out += buf;
+    }
+    out += "]";
+  } else {
+    append(out, "%s: %zu segment(s), %zu snapshot(s)", dir.c_str(),
+           segments.size(), snapshots.size());
+    for (const auto& snap : snapshots) {
+      append(out, "snapshot %s: seq %u, %llu bytes%s%s", snap.path.c_str(),
+             snap.seq, static_cast<unsigned long long>(snap.file_bytes),
+             snap.valid ? "" : " INVALID: ", snap.valid ? "" : snap.error.c_str());
+    }
+    for (const auto& seg : segments) {
+      if (!seg.header_valid) {
+        append(out, "segment %s: INVALID: %s", seg.path.c_str(), seg.error.c_str());
+        continue;
+      }
+      append(out, "segment %s: shard %u seq %u watermark %u, %llu bytes",
+             seg.path.c_str(), seg.shard, seg.seq, seg.watermark,
+             static_cast<unsigned long long>(seg.file_bytes));
+    }
+  }
+
+  // dump: walk every record of every readable segment and snapshot,
+  // decoding each frame the way recovery would.
+  std::uint64_t torn = 0;
+  if (dump) {
+    if (json) out += ",\"records\":[";
+    bool first_record = true;
+    auto dump_file = [&](const std::string& path) {
+      durability::SegmentReader reader(path);
+      while (auto record = reader.next()) {
+        std::string verdict = "ok";
+        std::uint32_t site = 0, epoch = 0;
+        const char* kind = "?";
+        try {
+          const Frame frame = frame_decode(*record);
+          site = frame.header.site;
+          epoch = frame.header.epoch;
+          kind = payload_kind_name(frame.header.kind);
+        } catch (const SerializationError&) {
+          verdict = "corrupt";
+        }
+        if (json) {
+          char buf[512];
+          std::snprintf(buf, sizeof(buf),
+                        "%s{\"file\":\"%s\",\"site\":%u,\"epoch\":%u,"
+                        "\"kind\":\"%s\",\"bytes\":%zu,\"verdict\":\"%s\"}",
+                        first_record ? "" : ",", json_escape(path).c_str(), site,
+                        epoch, kind, record->size(), verdict.c_str());
+          out += buf;
+          first_record = false;
+        } else {
+          append(out, "  %s: site %u epoch %u %s (%zu bytes) %s", path.c_str(),
+                 site, epoch, kind, record->size(), verdict.c_str());
+        }
+      }
+      if (reader.torn_tail()) {
+        torn += 1;
+        if (!json) {
+          append(out, "  %s: TORN TAIL after %llu record(s), %llu bytes stranded",
+                 path.c_str(),
+                 static_cast<unsigned long long>(reader.records_read()),
+                 static_cast<unsigned long long>(reader.stranded_bytes()));
+        }
+      }
+    };
+    for (const auto& snap : snapshots) {
+      if (snap.valid) dump_file(snap.path);
+    }
+    for (const auto& seg : segments) {
+      if (seg.header_valid) dump_file(seg.path);
+    }
+    if (json) {
+      out += "],\"torn_tails\":" + std::to_string(torn);
+    }
+  }
+  if (json) out += "}\n";
+  return 0;
+}
+
 }  // namespace
 
 void write_sketch_file(const std::string& path, const F0Estimator& estimator) {
@@ -656,18 +825,27 @@ std::string usage() {
          "           [--out SKETCH] [--port-file FILE] [--admin-port P]\n"
          "           [--admin-port-file FILE] [--relay --upstream HOST:PORT\n"
          "            [--relay-site I] [--relay-epoch E]]\n"
+         "           [--wal-dir DIR [--fsync always|interval|never]\n"
+         "            [--fsync-interval-ms N] [--snapshot-every N] [--segment-mb N]\n"
+         "            [--recover]]\n"
          "           [--eps E] [--delta D] [--seed S] [--json] [--stats]\n"
          "           (TCP referee: collect one sketch per site, merge, estimate;\n"
          "            port 0 picks a free port; exit 3 if degraded; --shards N runs\n"
          "            N SO_REUSEPORT event loops; --admin-port serves live metrics\n"
-         "            mid-collection; --relay pushes the merged sketch upstream)\n"
+         "            mid-collection; --relay pushes the merged sketch upstream;\n"
+         "            --bind 0.0.0.0 accepts sites from other machines;\n"
+         "            --wal-dir logs accepted frames before acking so\n"
+         "            --recover resumes a killed referee with identical state)\n"
          "  push     --to HOST:PORT [--site I] [--epoch E] [--attempts K]\n"
          "           [--connect-attempts K] [--json] [--stats] SKETCH\n"
          "           (ship a sketch file to a running serve referee)\n"
          "  stats    --from HOST:PORT [--json] [--health] [--timeout-ms N]\n"
          "           [--watch SECS [--count N]]\n"
          "           (query a serve --admin-port endpoint for live metrics;\n"
-         "            --watch re-polls and redraws until the referee exits)\n";
+         "            --watch re-polls and redraws until the referee exits)\n"
+         "  wal      inspect|dump --dir DIR [--json]\n"
+         "           (offline WAL dir inspection: segment/snapshot inventory,\n"
+         "            per-record frame decode, torn-tail detection)\n";
 }
 
 int run(const std::vector<std::string>& argv, std::string& out) {
@@ -688,6 +866,7 @@ int run(const std::vector<std::string>& argv, std::string& out) {
     if (command == "serve") return cmd_serve(args, out);
     if (command == "push") return cmd_push(args, out);
     if (command == "stats") return cmd_stats(args, out);
+    if (command == "wal") return cmd_wal(args, out);
     out += "unknown command: " + command + "\n" + usage();
     return 2;
   } catch (const std::exception& e) {

@@ -135,6 +135,18 @@ void CollectState::demote_accepted(std::size_t site, std::uint32_t previous_epoc
   }
 }
 
+void CollectState::restore_accepted(std::size_t site, std::uint32_t epoch) {
+  USTREAM_REQUIRE(site < report_.per_site.size(),
+                  "restore_accepted: site out of range");
+  SiteCollectStatus& status = report_.per_site[site];
+  if (!status.reported) {
+    status.reported = true;
+    report_.sites_reported += 1;
+  }
+  status.accepted_epoch = epoch;
+  if (status.attempts == 0) status.attempts = 1;
+}
+
 void CollectState::finalize(std::uint32_t max_attempts) {
   for (auto& status : report_.per_site) {
     status.exhausted = !status.reported && status.attempts >= max_attempts;

@@ -116,6 +116,14 @@ class CollectState {
   // dropped here at the shared one, under the same counter.
   void demote_accepted(std::size_t site, std::uint32_t previous_epoch,
                        bool previously_reported, bool count_stale);
+  // Ledger restore hook for crash recovery (durability/recovery.h): marks
+  // `site` as reported at `epoch` with one attempt, exactly as if its
+  // winning frame had been sent once and accepted. Replayed WAL frames go
+  // through ingest() for validation; this hook then transplants the
+  // resulting acceptance into the referee's live ledger without touching
+  // the retry/duplicate counters — attempts spent before the crash are
+  // history the restarted ledger reports as one clean send per site.
+  void restore_accepted(std::size_t site, std::uint32_t epoch);
   void finalize(std::uint32_t max_attempts);  // marks exhausted sites
 
   // The referee's merge step: folds the accepted per-site sketches (site

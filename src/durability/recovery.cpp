@@ -1,0 +1,257 @@
+#include "durability/recovery.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace ustream::durability {
+
+namespace {
+
+obs::Counter& replayed_counter() {
+  static obs::Counter& c = obs::default_registry().counter(
+      "ustream_recovery_replayed_frames_total");
+  return c;
+}
+
+// Replays one record through the CollectState acceptance path, updating
+// `result`. The frame bytes are copied into the winner slot on acceptance.
+void replay_record(CollectState& state,
+                   std::span<const std::uint8_t> frame_bytes,
+                   RecoveryResult& result) {
+  // ingest() never throws: the frame either fails validation (quarantined —
+  // a corrupt record that still sliced structurally) or loses replay
+  // arbitration (duplicate/stale — superseded by a frame already replayed,
+  // possible when snapshots overlap segment tails). Callers diff the
+  // report's counters to classify.
+  auto accepted = state.ingest(frame_bytes);
+  if (!accepted) return;
+  auto& slot = result.sites[accepted->site];
+  slot = RecoveredSite{accepted->epoch,
+                       {frame_bytes.begin(), frame_bytes.end()}};
+  result.frames_replayed += 1;
+  replayed_counter().add(1);
+}
+
+}  // namespace
+
+std::size_t RecoveryResult::sites_recovered() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : sites) {
+    if (s.has_value()) ++n;
+  }
+  return n;
+}
+
+std::string RecoveryResult::summary() const {
+  std::string s = "recovered " + std::to_string(sites_recovered()) + "/" +
+                  std::to_string(sites.size()) + " sites from " +
+                  std::to_string(frames_replayed) + " replayed frames";
+  if (used_snapshot) {
+    s += " (snapshot " + std::to_string(snapshot_seq) + " + " +
+         std::to_string(segments_replayed) + " tail segments, " +
+         std::to_string(segments_skipped) + " covered)";
+  } else {
+    s += " (" + std::to_string(segments_replayed) + " segments, no snapshot)";
+  }
+  if (torn_tails > 0) {
+    s += "; " + std::to_string(torn_tails) + " torn tail(s), " +
+         std::to_string(stranded_bytes) + " bytes stranded";
+  }
+  if (frames_corrupt > 0) {
+    s += "; " + std::to_string(frames_corrupt) + " corrupt frame(s) dropped";
+  }
+  return s;
+}
+
+RecoveryResult recover_referee_state(const RecoveryOptions& options) {
+  RecoveryResult result;
+  result.sites.resize(options.sites);
+
+  // One replay CollectState carries the dedup semantics for snapshot and
+  // tail alike — the "same one-arbiter acceptance path" as live traffic.
+  CollectState state(options.sites, options.expected_kind, options.dedup);
+
+  // Newest valid snapshot first; corrupt ones fall back to the previous.
+  const auto snapshots = scan_snapshots(options.dir);
+  for (const auto& snap : snapshots) {
+    result.max_snapshot_seq = std::max(result.max_snapshot_seq, snap.seq);
+  }
+  std::uint32_t covered_below = 0;  // segments with watermark < this skip
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    if (!it->valid) continue;
+    std::vector<std::vector<std::uint8_t>> frames;
+    try {
+      frames = load_snapshot(it->path);
+    } catch (const SerializationError&) {
+      continue;  // damaged after scan (races only in tests); fall back
+    }
+    for (const auto& frame : frames) {
+      const auto quarantined_before = state.report().frames_quarantined;
+      replay_record(state, frame, result);
+      if (state.report().frames_quarantined > quarantined_before) {
+        result.frames_corrupt += 1;
+      }
+    }
+    result.used_snapshot = true;
+    result.snapshot_seq = it->seq;
+    result.run_id = it->run_id;
+    covered_below = it->seq;
+    break;
+  }
+
+  // Replay every segment the snapshot does not cover. Segments are sorted
+  // (shard, seq); order across shards is irrelevant (see header comment).
+  const auto segments = scan_wal_segments(options.dir);
+  for (const auto& seg : segments) {
+    result.max_segment_seq = std::max(result.max_segment_seq, seg.seq);
+    if (!seg.header_valid) {
+      // Unreadable header: nothing in this file can be trusted. Count and
+      // move on — other shards' chains are independent.
+      result.frames_corrupt += 1;
+      continue;
+    }
+    if (!result.used_snapshot) result.run_id = seg.run_id;
+    if (result.used_snapshot && seg.watermark < covered_below) {
+      result.segments_skipped += 1;
+      continue;
+    }
+    SegmentReader reader(seg.path);
+    while (auto record = reader.next()) {
+      const auto quarantined_before = state.report().frames_quarantined;
+      const auto super_before = state.report().duplicates_dropped +
+                                state.report().stale_dropped;
+      replay_record(state, *record, result);
+      if (state.report().frames_quarantined > quarantined_before) {
+        result.frames_corrupt += 1;
+      } else if (state.report().duplicates_dropped +
+                     state.report().stale_dropped > super_before) {
+        result.frames_superseded += 1;
+      }
+    }
+    if (reader.torn_tail()) {
+      result.torn_tails += 1;
+      result.stranded_bytes += reader.stranded_bytes();
+    }
+    result.segments_replayed += 1;
+  }
+
+  return result;
+}
+
+bool wal_dir_dirty(const std::string& dir) {
+  return !scan_wal_segments(dir).empty() || !scan_snapshots(dir).empty();
+}
+
+DurableLog::DurableLog(Options options, std::size_t sites,
+                       std::uint32_t shards, std::uint64_t run_id)
+    : options_(std::move(options)), run_id_(run_id) {
+  USTREAM_REQUIRE(!wal_dir_dirty(options_.dir),
+                  "WAL dir '" + options_.dir +
+                      "' already holds segments or snapshots; pass --recover "
+                      "to resume that run or point --wal-dir at a clean "
+                      "directory");
+  recovered_.sites.resize(sites);
+  winners_.resize(sites);
+  open_writers(shards, /*start_seq=*/0, /*watermark=*/0);
+}
+
+DurableLog::DurableLog(Options options, std::size_t sites,
+                       std::uint32_t shards, RecoveryResult recovered)
+    : options_(std::move(options)),
+      run_id_(recovered.run_id),
+      recovered_(std::move(recovered)) {
+  USTREAM_REQUIRE(recovered_.sites.size() == sites,
+                  "recovered state has a different site count than serve");
+  winners_ = recovered_.sites;
+  next_snapshot_seq_ = recovered_.max_snapshot_seq + 1;
+  // New segments start past every existing chain and are stamped covered
+  // by nothing (watermark = last snapshot actually used, so they replay
+  // on the next recovery even if newer corrupt snapshots exist).
+  open_writers(shards, recovered_.max_segment_seq + 1,
+               recovered_.used_snapshot ? recovered_.snapshot_seq : 0);
+}
+
+DurableLog::~DurableLog() {
+  try {
+    sync_all();
+  } catch (...) {
+    // Best effort on teardown; committed records are already durable.
+  }
+}
+
+void DurableLog::open_writers(std::uint32_t shards, std::uint32_t start_seq,
+                              std::uint32_t watermark) {
+  writers_.reserve(shards);
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    WalConfig config;
+    config.dir = options_.dir;
+    config.run_id = run_id_;
+    config.shard = shard;
+    config.fsync = options_.fsync;
+    config.fsync_interval = options_.fsync_interval;
+    config.segment_bytes = options_.segment_bytes;
+    writers_.push_back(
+        std::make_unique<WalWriter>(std::move(config), start_seq, watermark));
+  }
+}
+
+void DurableLog::log_accepted(std::uint32_t shard, std::uint32_t site,
+                              std::uint32_t epoch,
+                              std::span<const std::uint8_t> frame_bytes) {
+  USTREAM_REQUIRE(shard < writers_.size(), "log_accepted: shard out of range");
+  USTREAM_REQUIRE(site < winners_.size(), "log_accepted: site out of range");
+  WalWriter& writer = *writers_[shard];
+  writer.append(frame_bytes);
+  writer.commit();
+  winners_[site] = RecoveredSite{epoch,
+                                 {frame_bytes.begin(), frame_bytes.end()}};
+  records_logged_ += 1;
+  accepted_since_snapshot_ += 1;
+  maybe_snapshot();
+}
+
+void DurableLog::maybe_snapshot() {
+  if (options_.snapshot_every == 0 ||
+      accepted_since_snapshot_ < options_.snapshot_every) {
+    return;
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(winners_.size());
+  for (const auto& winner : winners_) {
+    if (winner.has_value()) frames.push_back(winner->frame);
+  }
+  const std::uint32_t seq = next_snapshot_seq_++;
+  write_snapshot(options_.dir, run_id_, seq, frames);
+  // Rotate every writer into a fresh segment stamped with the new
+  // watermark: everything logged so far is covered by snapshot `seq`.
+  for (auto& writer : writers_) {
+    writer->rotate(seq);
+  }
+  accepted_since_snapshot_ = 0;
+  snapshots_written_ += 1;
+}
+
+void DurableLog::sync_all() {
+  for (auto& writer : writers_) {
+    writer->sync();
+  }
+}
+
+std::uint64_t DurableLog::bytes_logged() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& writer : writers_) {
+    total += writer->bytes_appended();
+  }
+  return total;
+}
+
+std::uint64_t DurableLog::fsyncs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& writer : writers_) {
+    total += writer->fsyncs();
+  }
+  return total;
+}
+
+}  // namespace ustream::durability

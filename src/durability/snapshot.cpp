@@ -1,0 +1,160 @@
+#include "durability/snapshot.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace ustream::durability {
+
+namespace {
+
+obs::Counter& snapshots_counter() {
+  static obs::Counter& c =
+      obs::default_registry().counter("ustream_wal_snapshots_total");
+  return c;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void write_all(int fd, const std::uint8_t* p, std::size_t left,
+               const std::string& path) {
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SerializationError("write failed for " + path + ": " +
+                               std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string snapshot_name(std::uint32_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snap-%08u.snap", seq);
+  return buf;
+}
+
+void write_snapshot(const std::string& dir, std::uint64_t run_id,
+                    std::uint32_t seq,
+                    const std::vector<std::vector<std::uint8_t>>& frames) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw SerializationError("mkdir failed for " + dir + ": " +
+                             std::strerror(errno));
+  }
+  std::vector<std::uint8_t> body =
+      encode_wal_header(run_id, kSnapshotShard, seq, seq);
+  for (const auto& frame : frames) {
+    append_u32(body, static_cast<std::uint32_t>(frame.size()));
+    body.insert(body.end(), frame.begin(), frame.end());
+  }
+  const std::string final_path = dir + "/" + snapshot_name(seq);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SerializationError("open failed for " + tmp_path + ": " +
+                             std::strerror(errno));
+  }
+  try {
+    write_all(fd, body.data(), body.size(), tmp_path);
+    if (::fsync(fd) != 0) {
+      throw SerializationError("fsync failed for " + tmp_path + ": " +
+                               std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    throw SerializationError("rename failed for " + final_path + ": " +
+                             std::strerror(errno));
+  }
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  snapshots_counter().add(1);
+}
+
+std::vector<SnapshotInfo> scan_snapshots(const std::string& dir) {
+  std::vector<SnapshotInfo> snapshots;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return snapshots;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("snap-", 0) != 0 || name.size() < 10 ||
+        name.substr(name.size() - 5) != ".snap") {
+      continue;
+    }
+    SnapshotInfo info;
+    info.path = dir + "/" + name;
+    try {
+      SegmentReader reader(info.path);
+      info.run_id = reader.info().run_id;
+      info.seq = reader.info().seq;
+      info.file_bytes = reader.info().file_bytes;
+      if (reader.info().shard != kSnapshotShard) {
+        info.error = "header shard field is not the snapshot sentinel";
+      } else {
+        while (reader.next()) {
+        }
+        if (reader.torn_tail()) {
+          info.error = "torn record tail (snapshot file damaged)";
+        } else {
+          info.valid = true;
+        }
+      }
+    } catch (const SerializationError& e) {
+      info.error = e.what();
+    }
+    snapshots.push_back(std::move(info));
+  }
+  ::closedir(d);
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const SnapshotInfo& a, const SnapshotInfo& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.path < b.path;
+            });
+  return snapshots;
+}
+
+std::vector<std::vector<std::uint8_t>> load_snapshot(const std::string& path) {
+  SegmentReader reader(path);
+  if (reader.info().shard != kSnapshotShard) {
+    throw SerializationError("snapshot " + path +
+                             ": header shard field is not the snapshot "
+                             "sentinel");
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  while (auto record = reader.next()) {
+    frames.emplace_back(record->begin(), record->end());
+  }
+  if (reader.torn_tail()) {
+    throw SerializationError("snapshot " + path +
+                             ": torn record tail (file damaged)");
+  }
+  return frames;
+}
+
+}  // namespace ustream::durability

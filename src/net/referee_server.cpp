@@ -147,6 +147,13 @@ class RefereeServer::Shard {
     wire_.bytes_per_site.assign(config_.sites, 0);
   }
 
+  // Transplants one recovered acceptance into this shard's ledger (called
+  // on shard 0 before the loops start, so the merged report shows the
+  // recovered sites as reported — see RefereeServer::run).
+  void preload(std::size_t site, std::uint32_t epoch) {
+    state_.restore_accepted(site, epoch);
+  }
+
   void run() {
     using clock = std::chrono::steady_clock;
     WakePipe& wake = *server_.wakes_[index_];
@@ -466,7 +473,7 @@ class RefereeServer::Shard {
     auto accepted = state_.ingest(frame_bytes);
     PushAck ack = PushAck::kQuarantined;
     if (accepted) {
-      ack = arbitrate(*accepted, prev_epoch, prev_reported);
+      ack = arbitrate(*accepted, prev_epoch, prev_reported, frame_bytes);
     } else if (state_.report().duplicates_dropped > dup0) {
       ack = PushAck::kDuplicate;
     } else if (state_.report().stale_dropped > stale0) {
@@ -486,9 +493,12 @@ class RefereeServer::Shard {
   // A frame this shard's CollectState accepted must also win the global
   // (site, epoch) claim. Holding the mutex across the sink keeps sink
   // calls serialized in global acceptance order, so a vector-slot sink
-  // observes exactly the writes a sequential referee would have made.
+  // observes exactly the writes a sequential referee would have made —
+  // and, when durability is on, the WAL append rides the same critical
+  // section, so the log order IS the acceptance order for free.
   PushAck arbitrate(CollectState::Accepted& acc, std::uint32_t prev_epoch,
-                    bool prev_reported) {
+                    bool prev_reported,
+                    std::span<const std::uint8_t> frame_bytes) {
     const std::size_t site = acc.site;
     const std::uint64_t want = static_cast<std::uint64_t>(acc.epoch) + 1;
     std::lock_guard<std::mutex> lock(shared_.mu);
@@ -513,6 +523,15 @@ class RefereeServer::Shard {
       // will beat it again through the normal latest-wins path.
       state_.reject_accepted(site);
       return PushAck::kQuarantined;
+    }
+    if (server_.durable_ != nullptr) {
+      // Log + commit (write to the kernel, fsync per policy) before the
+      // ack byte can be queued: an acked frame is always recoverable
+      // after kill -9. A crash between sink and here loses nothing — the
+      // site never saw an ack, so it retries after the restart.
+      server_.durable_->log_accepted(static_cast<std::uint32_t>(index_),
+                                     static_cast<std::uint32_t>(site),
+                                     acc.epoch, frame_bytes);
     }
     const bool first = slot == 0;
     slot = want;
@@ -547,6 +566,36 @@ class RefereeServer::Shard {
 RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(config)) {
   USTREAM_REQUIRE(config_.sites >= 1, "need at least one site");
   USTREAM_REQUIRE(config_.shards >= 1, "need at least one shard");
+  if (config_.wal.has_value()) {
+    const RefereeServerConfig::Durability& opt = *config_.wal;
+    durability::DurableLog::Options log_options;
+    log_options.dir = opt.dir;
+    log_options.fsync = opt.fsync;
+    log_options.fsync_interval = opt.fsync_interval;
+    log_options.segment_bytes = opt.segment_bytes;
+    log_options.snapshot_every = opt.snapshot_every;
+    if (opt.recover) {
+      durability::RecoveryOptions rec;
+      rec.dir = opt.dir;
+      rec.sites = config_.sites;
+      rec.expected_kind = config_.expected_kind;
+      rec.dedup = config_.dedup;
+      durable_ = std::make_unique<durability::DurableLog>(
+          std::move(log_options), config_.sites,
+          static_cast<std::uint32_t>(config_.shards),
+          durability::recover_referee_state(rec));
+    } else {
+      // Fresh run: a dirty dir throws here (DurableLog's constructor) so
+      // `serve` fails loudly instead of interleaving two runs' logs.
+      const std::uint64_t run_id = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      durable_ = std::make_unique<durability::DurableLog>(
+          std::move(log_options), config_.sites,
+          static_cast<std::uint32_t>(config_.shards), run_id);
+    }
+  }
   // Shard 0 resolves the port (possibly ephemeral); the rest join it via
   // SO_REUSEPORT so the kernel spreads incoming connections across all
   // acceptors. A single-shard server binds exactly as before.
@@ -574,6 +623,28 @@ RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
   shards.reserve(config_.shards);
   for (std::size_t k = 0; k < config_.shards; ++k) {
     shards.push_back(std::make_unique<Shard>(*this, k, shared, deadline, has_deadline));
+  }
+
+  // Recovered sites are preloaded before any loop starts: their payloads
+  // reach the sink (same order-independent per-site slots), their arbiter
+  // slots are claimed so re-pushes after the restart dedup exactly as
+  // live duplicates would, and shard 0's ledger carries their reported
+  // status into the merge_reports() fold. A site whose replayed payload
+  // fails the sink (CRC-collision-grade corruption) is simply left
+  // unclaimed — its pusher retries and re-collects it live.
+  if (durable_ != nullptr) {
+    const durability::RecoveryResult& rec = durable_->recovered();
+    for (std::size_t site = 0; site < rec.sites.size(); ++site) {
+      if (!rec.sites[site].has_value()) continue;
+      Frame frame = frame_decode(rec.sites[site]->frame);
+      if (!sink(site, frame.header.epoch, std::move(frame.payload))) continue;
+      shared.slots[site] = static_cast<std::uint64_t>(frame.header.epoch) + 1;
+      shared.reported += 1;
+      shards[0]->preload(site, frame.header.epoch);
+    }
+    if (shared.reported == shared.slots.size()) {
+      shared.complete.store(true, std::memory_order_release);
+    }
   }
 
   // Shard 0 runs on the calling thread — a single-shard server spawns no
@@ -624,6 +695,20 @@ RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
   }
   res.report = merge_reports(parts);
   res.timed_out = any_timed_out && !res.report.complete();
+  if (durable_ != nullptr) {
+    durable_->sync_all();  // clean shutdown: everything logged is on disk
+    res.durability.enabled = true;
+    res.durability.recovered = config_.wal->recover;
+    res.durability.sites_recovered = durable_->recovered().sites_recovered();
+    res.durability.frames_replayed = durable_->recovered().frames_replayed;
+    res.durability.records_logged = durable_->records_logged();
+    res.durability.bytes_logged = durable_->bytes_logged();
+    res.durability.fsyncs = durable_->fsyncs();
+    res.durability.snapshots = durable_->snapshots_written();
+    if (config_.wal->recover) {
+      res.durability.recovery_summary = durable_->recovered().summary();
+    }
+  }
   return res;
 }
 

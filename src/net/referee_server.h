@@ -57,6 +57,7 @@
 #include "core/merge_engine.h"
 #include "distributed/collect.h"
 #include "distributed/transport.h"
+#include "durability/recovery.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 
@@ -93,6 +94,23 @@ struct RefereeServerConfig {
   //   GET /metrics.json  one JSON line
   //   GET /health        "ok"
   std::optional<std::uint16_t> admin_port;
+
+  // Durability (DESIGN.md §11): when set, every frame that wins arbitration
+  // is appended to a per-shard WAL under `dir` and committed (write + fsync
+  // per policy) BEFORE its ack byte is queued, so a kill -9'd referee can
+  // resume with `recover = true`: the dir is replayed through the same
+  // CollectState acceptance path and the server starts with every
+  // previously-acked site already claimed in the arbiter — re-pushes dedup
+  // against recovered state exactly as they would against live state.
+  struct Durability {
+    std::string dir;
+    durability::FsyncPolicy fsync = durability::FsyncPolicy::kInterval;
+    std::chrono::milliseconds fsync_interval{50};
+    std::uint64_t segment_bytes = 64ull << 20;
+    std::uint64_t snapshot_every = 0;  // snapshot per N accepted (0 = never)
+    bool recover = false;
+  };
+  std::optional<Durability> wal;
 };
 
 class RefereeServer {
@@ -126,11 +144,25 @@ class RefereeServer {
     ChannelStats wire;
   };
 
+  // What the WAL did during this run (zeros when durability is off).
+  struct DurabilityInfo {
+    bool enabled = false;
+    bool recovered = false;           // config.durability->recover was set
+    std::size_t sites_recovered = 0;  // sites preloaded from the WAL dir
+    std::uint64_t frames_replayed = 0;
+    std::uint64_t records_logged = 0;
+    std::uint64_t bytes_logged = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t snapshots = 0;
+    std::string recovery_summary;  // RecoveryResult::summary(), "" if fresh
+  };
+
   struct Result {
     CollectReport report;  // merge_reports() fold of the shard ledgers
     ChannelStats wire;     // complete frames observed on the wire, per site
     bool timed_out = false;  // deadline expired before every site reported
     std::vector<ShardObservation> shards;  // size == config.shards
+    DurabilityInfo durability;
   };
 
   // Runs the event loop(s) to completion. Call at most once.
@@ -140,6 +172,10 @@ class RefereeServer {
   // whatever has been collected so far.
   void request_stop() noexcept;
 
+  // Non-null iff config.durability was set. What recovery replayed is at
+  // durable_log()->recovered() before run() is even called.
+  const durability::DurableLog* durable_log() const noexcept { return durable_.get(); }
+
  private:
   struct Conn;
   struct Shared;
@@ -148,6 +184,7 @@ class RefereeServer {
   void notify_all() noexcept;
 
   RefereeServerConfig config_;
+  std::unique_ptr<durability::DurableLog> durable_;  // null when disabled
   std::vector<Socket> listeners_;  // one per shard (SO_REUSEPORT when > 1)
   Socket admin_listener_;  // invalid when the admin endpoint is disabled
   std::vector<std::unique_ptr<WakePipe>> wakes_;  // one per shard
@@ -168,6 +205,7 @@ struct NetCollectResult {
   std::optional<Sketch> union_sketch;
   bool timed_out = false;
   std::vector<RefereeServer::ShardObservation> shards;
+  RefereeServer::DurabilityInfo durability;
 };
 
 template <typename Sketch>
@@ -190,6 +228,7 @@ NetCollectResult<Sketch> collect_and_merge(RefereeServer& server,
   out.wire = std::move(res.wire);
   out.timed_out = res.timed_out;
   out.shards = std::move(res.shards);
+  out.durability = std::move(res.durability);
   out.union_sketch = engine.reduce(std::move(accepted));
   return out;
 }

@@ -22,6 +22,13 @@
 //     never show a count that disagrees with its own buckets (the
 //     "no torn totals" rule tests/test_obs.cpp hammers under TSan).
 //
+// Subsystems own their metric names, not this header: the referee server
+// registers its frame-verdict set, and the durability plane registers
+// ustream_wal_{records,bytes,fsyncs,rotations,snapshots}_total plus
+// ustream_recovery_replayed_frames_total through function-local statics
+// in src/durability — the registry's pointer-stable registration is what
+// makes that pattern safe (DESIGN.md §9.2 lists the full inventory).
+//
 // Compile-time escape hatch: building with -DUSTREAM_NO_METRICS compiles
 // the USTREAM_* instrumentation macros below to nothing (the classes stay
 // available so non-macro call sites still build). bench_obs measures both

@@ -1,0 +1,562 @@
+// The durability subsystem (DESIGN.md §11): WAL segment round trips,
+// rotation chains, header/CRC corruption verdicts, the torn-tail fuzz
+// matrix (same seeded corruption style as test_fuzz.cpp), snapshot
+// compaction + fallback, replay dedup semantics, and crash-resume through
+// a real RefereeServer — stop a WAL-backed referee mid-collection, recover
+// into a second server, and assert the collected state matches an
+// uninterrupted run byte for byte.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "common/frame.h"
+#include "common/random.h"
+#include "durability/recovery.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "net/referee_server.h"
+#include "net/tcp_transport.h"
+
+namespace ustream {
+namespace {
+
+using durability::DurableLog;
+using durability::FsyncPolicy;
+using durability::RecoveryOptions;
+using durability::RecoveryResult;
+using durability::SegmentReader;
+using durability::WalConfig;
+using durability::WalWriter;
+
+// A scratch directory removed on scope exit (recursively, one level deep —
+// WAL dirs hold only regular files).
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/ustream_wal_test_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    for (const auto& seg : durability::scan_wal_segments(path)) {
+      ::unlink(seg.path.c_str());
+    }
+    for (const auto& snap : durability::scan_snapshots(path)) {
+      ::unlink(snap.path.c_str());
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+std::vector<std::uint8_t> make_frame(std::uint32_t site, std::uint32_t epoch,
+                                     std::uint64_t seed,
+                                     std::size_t payload_bytes = 64) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  return frame_encode({PayloadKind::kOpaque, site, epoch}, payload);
+}
+
+WalConfig test_config(const std::string& dir, std::uint32_t shard = 0) {
+  WalConfig config;
+  config.dir = dir;
+  config.run_id = 0xfeedULL;
+  config.shard = shard;
+  config.fsync = FsyncPolicy::kNever;  // tests survive process exit, not power loss
+  return config;
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ADD_FAILURE() << "cannot open " << path;
+    return {};
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+void write_all(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(WalBasics, FsyncPolicyNamesRoundTrip) {
+  for (auto policy : {FsyncPolicy::kAlways, FsyncPolicy::kInterval, FsyncPolicy::kNever}) {
+    EXPECT_EQ(durability::parse_fsync_policy(durability::fsync_policy_name(policy)), policy);
+  }
+  EXPECT_THROW(durability::parse_fsync_policy("sometimes"), InvalidArgument);
+}
+
+TEST(WalBasics, SegmentNamesSortInChainOrder) {
+  EXPECT_LT(durability::wal_segment_name(0, 9), durability::wal_segment_name(0, 10));
+  EXPECT_LT(durability::wal_segment_name(1, 99), durability::wal_segment_name(2, 0));
+}
+
+TEST(Wal, AppendCommitReadRoundTrip) {
+  TempDir dir;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint32_t site = 0; site < 5; ++site) {
+    frames.push_back(make_frame(site, 7, 100 + site, 64 + site * 33));
+  }
+  {
+    WalWriter writer(test_config(dir.path), 0, 0);
+    for (const auto& frame : frames) {
+      writer.append(frame);
+      writer.commit();
+    }
+    writer.sync();
+    EXPECT_EQ(writer.records_appended(), 5u);
+    EXPECT_GE(writer.fsyncs(), 1u);  // sync() forces one even under kNever
+  }
+  const auto segments = durability::scan_wal_segments(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE(segments[0].header_valid);
+  EXPECT_EQ(segments[0].run_id, 0xfeedULL);
+  EXPECT_EQ(segments[0].shard, 0u);
+  EXPECT_EQ(segments[0].seq, 0u);
+
+  SegmentReader reader(segments[0].path);
+  for (const auto& frame : frames) {
+    auto record = reader.next();
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(std::vector<std::uint8_t>(record->begin(), record->end()), frame);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.torn_tail());
+  EXPECT_EQ(reader.records_read(), 5u);
+}
+
+TEST(Wal, RotationChainsSegmentsAndReplaysAcrossThem) {
+  TempDir dir;
+  WalConfig config = test_config(dir.path);
+  config.segment_bytes = 256;  // force rotation every couple of records
+  std::size_t total = 0;
+  {
+    WalWriter writer(config, 0, 0);
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      writer.append(make_frame(i, 1, 900 + i, 100));
+      writer.commit();
+      ++total;
+    }
+    EXPECT_GE(writer.rotations(), 3u);
+  }
+  const auto segments = durability::scan_wal_segments(dir.path);
+  EXPECT_GE(segments.size(), 4u);
+  std::size_t replayed = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_TRUE(segments[i].header_valid);
+    EXPECT_EQ(segments[i].seq, i);  // contiguous chain
+    SegmentReader reader(segments[i].path);
+    while (reader.next()) ++replayed;
+    EXPECT_FALSE(reader.torn_tail());
+  }
+  EXPECT_EQ(replayed, total);
+}
+
+TEST(Wal, HeaderCorruptionIsDetectedNotTrusted) {
+  TempDir dir;
+  {
+    WalWriter writer(test_config(dir.path), 0, 0);
+    writer.append(make_frame(0, 1, 5));
+    writer.sync();
+  }
+  auto segments = durability::scan_wal_segments(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  auto bytes = read_all(segments[0].path);
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto copy = bytes;
+    copy[rng.below(durability::kWalHeaderBytes)] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    write_all(segments[0].path, copy);
+    const auto rescanned = durability::scan_wal_segments(dir.path);
+    ASSERT_EQ(rescanned.size(), 1u);
+    if (copy == bytes) continue;  // xor happened to be a no-op — impossible, but
+    EXPECT_FALSE(rescanned[0].header_valid) << "trial " << trial;
+    EXPECT_FALSE(rescanned[0].error.empty());
+    EXPECT_THROW(SegmentReader r(rescanned[0].path), SerializationError);
+  }
+  write_all(segments[0].path, bytes);  // restore for TempDir cleanup scan
+}
+
+// Satellite: torn-write tolerance. A kill -9 (or power cut under
+// fsync=never) can strand a partial record at the WAL tail: a short length
+// prefix, a short body, or trailing garbage. Replay must keep the intact
+// prefix, stop cleanly at the tear, and never crash — the same corruption
+// matrix contract test_fuzz.cpp enforces on wire bytes.
+TEST(Wal, TornTailFuzzMatrix) {
+  TempDir dir;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint32_t site = 0; site < 6; ++site) {
+    frames.push_back(make_frame(site, 3, 40 + site, 80 + site * 17));
+  }
+  {
+    WalWriter writer(test_config(dir.path), 0, 0);
+    for (const auto& frame : frames) writer.append(frame);
+    writer.sync();
+  }
+  const auto segments = durability::scan_wal_segments(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto intact = read_all(segments[0].path);
+
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto copy = intact;
+    const int mode = static_cast<int>(rng.below(3));
+    if (mode == 0) {
+      // Truncate anywhere past the header: mid-length, mid-body, between
+      // records — every prefix a crashed write() could have left.
+      copy.resize(durability::kWalHeaderBytes +
+                  rng.below(copy.size() - durability::kWalHeaderBytes + 1));
+    } else if (mode == 1) {
+      // Trailing garbage: a partially-written length prefix that announces
+      // nonsense, or bytes from a recycled buffer.
+      const auto extra = 1 + rng.below(12);
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        copy.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      }
+    } else {
+      // Burst-corrupt the tail record's bytes in place (torn overwrite):
+      // structure stays intact, the frame CRC must catch it at replay.
+      const std::size_t start =
+          durability::kWalHeaderBytes +
+          rng.below(copy.size() - durability::kWalHeaderBytes);
+      const std::size_t len = std::min<std::size_t>(1 + rng.below(16), copy.size() - start);
+      for (std::size_t i = 0; i < len; ++i) {
+        copy[start + i] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+    }
+    write_all(segments[0].path, copy);
+
+    // Structural replay never crashes, and every intact-prefix record is
+    // byte-equal to what was logged.
+    try {
+      SegmentReader reader(segments[0].path);
+      std::size_t i = 0;
+      while (auto record = reader.next()) {
+        if (mode != 2 && i < frames.size()) {
+          EXPECT_EQ(std::vector<std::uint8_t>(record->begin(), record->end()), frames[i])
+              << "trial " << trial;
+        }
+        ++i;
+      }
+      EXPECT_LE(reader.records_read(), frames.size() + 1);
+    } catch (const SerializationError&) {
+      // Header damaged by a tail-burst landing in the first 32 bytes of a
+      // short file — rejecting the whole segment is the right verdict.
+    }
+
+    // Full recovery over the damaged dir: also must not crash, and every
+    // frame it accepts must be one of the logged (valid-CRC) frames.
+    RecoveryOptions options;
+    options.dir = dir.path;
+    options.sites = 6;
+    options.expected_kind = PayloadKind::kOpaque;
+    options.dedup = DedupMode::kExactlyOnce;
+    const RecoveryResult result = durability::recover_referee_state(options);
+    for (std::size_t site = 0; site < result.sites.size(); ++site) {
+      if (!result.sites[site].has_value()) continue;
+      EXPECT_EQ(result.sites[site]->frame, frames[site]) << "trial " << trial;
+    }
+  }
+  write_all(segments[0].path, intact);
+  // And the intact file replays completely, with no torn tail.
+  SegmentReader reader(segments[0].path);
+  std::size_t count = 0;
+  while (reader.next()) ++count;
+  EXPECT_EQ(count, frames.size());
+  EXPECT_FALSE(reader.torn_tail());
+}
+
+TEST(Wal, TruncatedTailKeepsIntactPrefix) {
+  TempDir dir;
+  std::vector<std::vector<std::uint8_t>> frames = {
+      make_frame(0, 1, 1, 50), make_frame(1, 1, 2, 50), make_frame(2, 1, 3, 50)};
+  {
+    WalWriter writer(test_config(dir.path), 0, 0);
+    for (const auto& frame : frames) writer.append(frame);
+    writer.sync();
+  }
+  const auto segments = durability::scan_wal_segments(dir.path);
+  auto bytes = read_all(segments[0].path);
+  bytes.resize(bytes.size() - 20);  // shear the last record mid-body
+  write_all(segments[0].path, bytes);
+
+  SegmentReader reader(segments[0].path);
+  ASSERT_TRUE(reader.next().has_value());
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.torn_tail());
+  EXPECT_EQ(reader.records_read(), 2u);
+  EXPECT_GT(reader.stranded_bytes(), 0u);
+}
+
+TEST(Snapshot, WriteScanLoadRoundTrip) {
+  TempDir dir;
+  std::vector<std::vector<std::uint8_t>> frames = {
+      make_frame(0, 2, 11), make_frame(1, 2, 12), make_frame(2, 2, 13)};
+  durability::write_snapshot(dir.path, 0xabcULL, 1, frames);
+  const auto snapshots = durability::scan_snapshots(dir.path);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_TRUE(snapshots[0].valid);
+  EXPECT_EQ(snapshots[0].seq, 1u);
+  EXPECT_EQ(snapshots[0].run_id, 0xabcULL);
+  EXPECT_EQ(durability::load_snapshot(snapshots[0].path), frames);
+}
+
+TEST(Snapshot, CorruptNewestFallsBackToPrevious) {
+  TempDir dir;
+  const auto old_frames = std::vector<std::vector<std::uint8_t>>{make_frame(0, 1, 21)};
+  const auto new_frames = std::vector<std::vector<std::uint8_t>>{
+      make_frame(0, 2, 22), make_frame(1, 1, 23)};
+  durability::write_snapshot(dir.path, 9, 1, old_frames);
+  durability::write_snapshot(dir.path, 9, 2, new_frames);
+  // Damage snapshot 2's tail: scan must mark it invalid, recovery must use 1.
+  auto snapshots = durability::scan_snapshots(dir.path);
+  ASSERT_EQ(snapshots.size(), 2u);
+  auto bytes = read_all(snapshots[1].path);
+  bytes.resize(bytes.size() - 7);
+  write_all(snapshots[1].path, bytes);
+
+  snapshots = durability::scan_snapshots(dir.path);
+  EXPECT_TRUE(snapshots[0].valid);
+  EXPECT_FALSE(snapshots[1].valid);
+
+  RecoveryOptions options;
+  options.dir = dir.path;
+  options.sites = 2;
+  options.expected_kind = PayloadKind::kOpaque;
+  options.dedup = DedupMode::kLatestWins;
+  const RecoveryResult result = durability::recover_referee_state(options);
+  EXPECT_TRUE(result.used_snapshot);
+  EXPECT_EQ(result.snapshot_seq, 1u);
+  ASSERT_TRUE(result.sites[0].has_value());
+  EXPECT_EQ(result.sites[0]->frame, old_frames[0]);
+  EXPECT_FALSE(result.sites[1].has_value());  // only in the damaged snapshot
+}
+
+// Replay goes through CollectState, so dedup semantics are inherited, not
+// re-implemented: exactly-once keeps the first frame per site even across
+// shard files; latest-wins keeps the max epoch regardless of file order.
+TEST(Recovery, ExactlyOnceKeepsFirstAcrossShardFiles) {
+  TempDir dir;
+  const auto winner = make_frame(0, 1, 31);
+  const auto loser = make_frame(0, 1, 32);
+  {
+    WalWriter w0(test_config(dir.path, 0), 0, 0);
+    w0.append(winner);
+    w0.sync();
+    WalWriter w1(test_config(dir.path, 1), 0, 0);
+    w1.append(loser);
+    w1.sync();
+  }
+  RecoveryOptions options;
+  options.dir = dir.path;
+  options.sites = 1;
+  options.expected_kind = PayloadKind::kOpaque;
+  options.dedup = DedupMode::kExactlyOnce;
+  const RecoveryResult result = durability::recover_referee_state(options);
+  EXPECT_EQ(result.frames_replayed, 1u);
+  EXPECT_EQ(result.frames_superseded, 1u);
+  ASSERT_TRUE(result.sites[0].has_value());
+  EXPECT_EQ(result.sites[0]->frame, winner);  // shard 0 scans first
+}
+
+TEST(Recovery, LatestWinsKeepsMaxEpochRegardlessOfOrder) {
+  TempDir dir;
+  const auto e1 = make_frame(0, 1, 41);
+  const auto e3 = make_frame(0, 3, 43);
+  const auto e2 = make_frame(0, 2, 42);
+  {
+    WalWriter writer(test_config(dir.path), 0, 0);
+    writer.append(e1);
+    writer.append(e3);
+    writer.append(e2);  // stale arrival logged after the winner
+    writer.sync();
+  }
+  RecoveryOptions options;
+  options.dir = dir.path;
+  options.sites = 1;
+  options.expected_kind = PayloadKind::kOpaque;
+  options.dedup = DedupMode::kLatestWins;
+  const RecoveryResult result = durability::recover_referee_state(options);
+  ASSERT_TRUE(result.sites[0].has_value());
+  EXPECT_EQ(result.sites[0]->epoch, 3u);
+  EXPECT_EQ(result.sites[0]->frame, e3);
+  EXPECT_EQ(result.frames_superseded, 1u);
+}
+
+TEST(DurableLog, ResumeContinuesChainsAndAccumulatesSites) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.dir = dir.path;
+  options.fsync = FsyncPolicy::kNever;
+  const auto f0 = make_frame(0, 1, 51);
+  const auto f1 = make_frame(1, 1, 52);
+  const auto f2 = make_frame(2, 1, 53);
+  {
+    DurableLog log(options, 3, 2, /*run_id=*/77);
+    log.log_accepted(0, 0, 1, f0);
+    log.log_accepted(1, 1, 1, f1);
+    EXPECT_EQ(log.records_logged(), 2u);
+  }  // "crash": destructor syncs, but nothing else happens
+
+  RecoveryOptions rec;
+  rec.dir = dir.path;
+  rec.sites = 3;
+  rec.expected_kind = PayloadKind::kOpaque;
+  rec.dedup = DedupMode::kExactlyOnce;
+  RecoveryResult recovered = durability::recover_referee_state(rec);
+  EXPECT_EQ(recovered.sites_recovered(), 2u);
+  EXPECT_EQ(recovered.run_id, 77u);
+
+  {
+    DurableLog log(options, 3, 2, std::move(recovered));
+    log.log_accepted(0, 2, 1, f2);
+  }
+  const RecoveryResult final_state = durability::recover_referee_state(rec);
+  EXPECT_EQ(final_state.sites_recovered(), 3u);
+  ASSERT_TRUE(final_state.sites[0].has_value());
+  ASSERT_TRUE(final_state.sites[2].has_value());
+  EXPECT_EQ(final_state.sites[0]->frame, f0);
+  EXPECT_EQ(final_state.sites[1]->frame, f1);
+  EXPECT_EQ(final_state.sites[2]->frame, f2);
+  // Resumed writers continued the per-shard chains; no file collisions.
+  const auto segments = durability::scan_wal_segments(dir.path);
+  for (const auto& seg : segments) EXPECT_TRUE(seg.header_valid);
+}
+
+TEST(DurableLog, FreshLogOnDirtyDirThrows) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.dir = dir.path;
+  { DurableLog log(options, 1, 1, /*run_id=*/1); }
+  EXPECT_THROW(DurableLog(options, 1, 1, /*run_id=*/2), InvalidArgument);
+}
+
+TEST(DurableLog, SnapshotCompactsAndCoversSegments) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.dir = dir.path;
+  options.fsync = FsyncPolicy::kNever;
+  options.snapshot_every = 2;
+  const auto f0 = make_frame(0, 1, 61);
+  const auto f1 = make_frame(1, 1, 62);
+  {
+    DurableLog log(options, 2, 1, /*run_id=*/5);
+    log.log_accepted(0, 0, 1, f0);
+    log.log_accepted(0, 1, 1, f1);
+    EXPECT_EQ(log.snapshots_written(), 1u);
+  }
+  // Delete every segment: the snapshot alone must recover both sites —
+  // compaction really covers the log, it doesn't just summarize it.
+  for (const auto& seg : durability::scan_wal_segments(dir.path)) {
+    ::unlink(seg.path.c_str());
+  }
+  RecoveryOptions rec;
+  rec.dir = dir.path;
+  rec.sites = 2;
+  rec.expected_kind = PayloadKind::kOpaque;
+  rec.dedup = DedupMode::kExactlyOnce;
+  const RecoveryResult result = durability::recover_referee_state(rec);
+  EXPECT_TRUE(result.used_snapshot);
+  EXPECT_EQ(result.sites_recovered(), 2u);
+  EXPECT_EQ(result.sites[0]->frame, f0);
+  EXPECT_EQ(result.sites[1]->frame, f1);
+}
+
+// Crash-resume through the real server: push a subset of sites into a
+// WAL-backed referee, stop it mid-collection, recover into a second server
+// on the same dir, push the rest (plus a duplicate), and require the
+// collected per-site payloads to be byte-identical to an uninterrupted
+// run. Run at 1 and 4 shards — the per-shard WAL files must fold back
+// into one state.
+void crash_resume_round_trip(std::size_t shards) {
+  constexpr std::size_t kSites = 4;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint32_t site = 0; site < kSites; ++site) {
+    auto frame = make_frame(site, 1, 500 + site, 96);
+    frames.push_back(frame);
+    payloads.push_back(frame_decode(frame).payload);
+  }
+
+  auto make_server_config = [&](const std::string& wal_dir, bool recover) {
+    net::RefereeServerConfig config;
+    config.sites = kSites;
+    config.shards = shards;
+    config.expected_kind = PayloadKind::kOpaque;
+    config.dedup = DedupMode::kExactlyOnce;
+    net::RefereeServerConfig::Durability wal;
+    wal.dir = wal_dir;
+    wal.fsync = FsyncPolicy::kNever;
+    wal.recover = recover;
+    config.wal = wal;
+    return config;
+  };
+  auto push = [](std::uint16_t port, std::size_t site,
+                 const std::vector<std::uint8_t>& frame) {
+    net::TcpTransportConfig config;
+    config.host = "127.0.0.1";
+    config.port = port;
+    net::TcpTransport transport(site + 1, config);
+    return transport.send_with_ack(site, frame);
+  };
+
+  TempDir dir;
+  std::vector<std::optional<std::vector<std::uint8_t>>> collected(kSites);
+  auto sink = [&collected](std::size_t site, std::uint32_t,
+                           std::vector<std::uint8_t>&& payload) {
+    collected[site] = std::move(payload);
+    return true;
+  };
+
+  // Phase 1: accept sites 0 and 1, then stop (the WAL holds their frames).
+  {
+    net::RefereeServer server(make_server_config(dir.path, false));
+    std::thread runner([&] { (void)server.run(sink); });
+    EXPECT_EQ(push(server.port(), 0, frames[0]), net::PushAck::kAccepted);
+    EXPECT_EQ(push(server.port(), 1, frames[1]), net::PushAck::kAccepted);
+    server.request_stop();
+    runner.join();
+  }
+  collected.assign(kSites, std::nullopt);  // the crash loses all in-memory state
+
+  // Phase 2: recover and finish. The duplicate re-push of site 0 (a pusher
+  // retrying across the restart) must dedup against RECOVERED state.
+  net::RefereeServer server(make_server_config(dir.path, true));
+  EXPECT_EQ(server.durable_log()->recovered().sites_recovered(), 2u);
+  net::RefereeServer::Result result;
+  std::thread runner([&] { result = server.run(sink); });
+  EXPECT_EQ(push(server.port(), 0, frames[0]), net::PushAck::kDuplicate);
+  EXPECT_EQ(push(server.port(), 2, frames[2]), net::PushAck::kAccepted);
+  EXPECT_EQ(push(server.port(), 3, frames[3]), net::PushAck::kAccepted);
+  runner.join();
+
+  EXPECT_TRUE(result.report.complete());
+  EXPECT_EQ(result.report.sites_reported, kSites);
+  EXPECT_EQ(result.durability.sites_recovered, 2u);
+  EXPECT_EQ(result.durability.records_logged, 2u);  // only the two live accepts
+  EXPECT_GE(result.report.duplicates_dropped, 1u);
+  for (std::size_t site = 0; site < kSites; ++site) {
+    ASSERT_TRUE(collected[site].has_value()) << "site " << site;
+    EXPECT_EQ(*collected[site], payloads[site]) << "site " << site;
+  }
+}
+
+TEST(CrashResume, ByteIdenticalStateSingleShard) { crash_resume_round_trip(1); }
+
+TEST(CrashResume, ByteIdenticalStateFourShards) { crash_resume_round_trip(4); }
+
+}  // namespace
+}  // namespace ustream

@@ -459,6 +459,121 @@ TEST(CollectLedger, MergeReportsRejectsMismatchedShape) {
   EXPECT_THROW(merge_reports({}), InvalidArgument);
 }
 
+TEST(CollectLedger, MergeReportsEmptyShardLedgersFoldToNothing) {
+  // The kernel's SO_REUSEPORT hash can leave shards with zero connections —
+  // their ledgers are fresh CollectStates that saw no frames. Folding any
+  // number of them must be the identity, not an error and not phantom
+  // reports.
+  CollectReport empty;
+  empty.sites_total = 3;
+  empty.per_site.resize(3);
+
+  const CollectReport merged = merge_reports({empty, empty, empty, empty});
+  EXPECT_EQ(merged.sites_total, 3u);
+  EXPECT_EQ(merged.sites_reported, 0u);
+  EXPECT_TRUE(merged.degraded());
+  EXPECT_EQ(merged.total_attempts(), 0u);
+  EXPECT_EQ(merged.retries, 0u);
+  EXPECT_EQ(merged.missing_sites(), (std::vector<std::size_t>{0, 1, 2}));
+
+  // One live shard among idle ones folds to exactly that shard's view.
+  CollectReport live = empty;
+  live.per_site[1] = {1, true, false, 4};
+  live.sites_reported = 1;
+  const CollectReport mixed = merge_reports({empty, live, empty});
+  EXPECT_EQ(mixed.sites_reported, 1u);
+  EXPECT_EQ(mixed.per_site[1].accepted_epoch, 4u);
+  EXPECT_EQ(mixed.missing_sites(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(CollectLedger, MergeReportsAllShardsDegradedStaysDegraded) {
+  // Every shard individually degraded, and the union still missing site 2:
+  // the fold must not manufacture completeness, and the quarantine/attempt
+  // tallies of the failed site must survive into the merged ledger so the
+  // degraded estimate stays quantifiable (DESIGN.md §6.3).
+  CollectReport a;
+  a.sites_total = 3;
+  a.per_site.resize(3);
+  a.per_site[0] = {1, true, false, 0};
+  a.per_site[2] = {2, false, true, 0};  // exhausted retry budget, never landed
+  a.sites_reported = 1;
+  a.frames_quarantined = 2;
+  CollectReport b;
+  b.sites_total = 3;
+  b.per_site.resize(3);
+  b.per_site[1] = {1, true, false, 0};
+  b.per_site[2] = {1, false, false, 0};
+  b.sites_reported = 1;
+  b.frames_quarantined = 1;
+
+  const CollectReport merged = merge_reports({a, b});
+  EXPECT_EQ(merged.sites_reported, 2u);
+  EXPECT_TRUE(merged.degraded());
+  EXPECT_EQ(merged.missing_sites(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(merged.frames_quarantined, 3u);
+  EXPECT_EQ(merged.per_site[2].attempts, 3u);
+  // Site 2's 3 cross-shard attempts with zero acceptances are 2 retries.
+  EXPECT_EQ(merged.retries, 2u);
+}
+
+TEST(CollectLedger, MergeReportsCountsDuplicateSiteOnceAfterDemotion) {
+  // The race the arbiter resolves: two shards each locally accepted site 0
+  // before one lost the global claim and demoted (duplicates_dropped += 1
+  // on the loser). After demotion only ONE ledger still holds the site;
+  // the fold counts it once and carries the loser's duplicate tally.
+  CollectState winner(2, PayloadKind::kF0Estimator, DedupMode::kExactlyOnce);
+  CollectState loser(2, PayloadKind::kF0Estimator, DedupMode::kExactlyOnce);
+  winner.record_send(0);
+  ASSERT_TRUE(winner.ingest(frame_bytes(0, 0)).has_value());
+  loser.record_send(0);
+  ASSERT_TRUE(loser.ingest(frame_bytes(0, 0)).has_value());
+  loser.demote_accepted(0, 0, /*previously_reported=*/false, /*count_stale=*/false);
+
+  const CollectReport merged = merge_reports({winner.report(), loser.report()});
+  EXPECT_EQ(merged.sites_reported, 1u);
+  EXPECT_EQ(merged.per_site[0].attempts, 2u);
+  EXPECT_EQ(merged.duplicates_dropped, 1u);
+  EXPECT_EQ(merged.retries, 1u);
+
+  // Had BOTH ledgers kept the site (the bug demotion prevents), the merged
+  // report would still count it once — the fold is idempotent per site.
+  CollectState undemoted(2, PayloadKind::kF0Estimator, DedupMode::kExactlyOnce);
+  undemoted.record_send(0);
+  ASSERT_TRUE(undemoted.ingest(frame_bytes(0, 0)).has_value());
+  const CollectReport folded = merge_reports({winner.report(), undemoted.report()});
+  EXPECT_EQ(folded.sites_reported, 1u);
+}
+
+TEST(NetReferee, BindAllInterfacesAcceptsLoopbackClients) {
+  // `serve --bind 0.0.0.0` — the wildcard listener must run a complete
+  // round for clients dialing any local address (here loopback), with the
+  // same ledger/estimate as the default 127.0.0.1 bind.
+  constexpr std::size_t kSites = 3;
+  Workload workload(kSites);
+
+  RefereeServerConfig config;
+  config.bind_host = "0.0.0.0";
+  config.sites = kSites;
+  RefereeServer server(config);
+  EXPECT_NE(server.port(), 0);
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  TcpTransport transport(kSites, client_config(server.port()));
+  for (std::size_t s = 0; s < kSites; ++s) {
+    transport.send(s, frame_encode({PayloadKind::kF0Estimator,
+                                    static_cast<std::uint32_t>(s), 0},
+                                   workload.sites[s].serialize()));
+  }
+  referee.join();
+
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+  ASSERT_TRUE(result.union_sketch.has_value());
+  EXPECT_EQ(result.union_sketch->serialize(), workload.channel_referee_bytes());
+}
+
 // ---------------------------------------------------------------------------
 // The sharded referee. SO_REUSEPORT routing is the kernel's choice, so
 // every assertion here must hold REGARDLESS of which shard each connection

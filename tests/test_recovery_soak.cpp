@@ -1,0 +1,250 @@
+// The ISSUE 7 acceptance soak: a REAL `ustream serve` process with a WAL
+// is killed with SIGKILL mid-collection — after some sites were acked,
+// with one pusher started while the referee is DOWN so its connect-backoff
+// retries span the restart — then restarted with `serve --recover`. The
+// recovered run must finish complete and write a union sketch byte-
+// identical to an uninterrupted reference run over the same sketch files,
+// at 1 and 4 shards.
+//
+// kill -9 is the strongest crash this test can inject: no destructors, no
+// atexit, no flush — whatever reached the kernel via write() before each
+// ack survives, which is exactly the WAL's ack-implies-logged contract
+// (durability/wal.h). Pushers never learn the referee died mid-ack; they
+// just retry, and the dedup machinery absorbs the replays.
+//
+// On failure the WAL dir is preserved (and copied to
+// $USTREAM_RECOVERY_ARTIFACT_DIR if set) so CI uploads it as an artifact.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::string g_ustream_bin;  // NOLINT
+
+std::uint16_t wait_for_port(const std::string& port_file) {
+  for (int i = 0; i < 400; ++i) {
+    std::ifstream in(port_file);
+    int port = 0;
+    if (in >> port && port > 0) return static_cast<std::uint16_t>(port);
+    std::this_thread::sleep_for(std::chrono::milliseconds{25});
+  }
+  return 0;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// fork/execvp so the test owns the serve process's real PID — popen would
+// hand back the shell's, and SIGKILL must hit the referee itself.
+pid_t spawn(const std::vector<std::string>& argv, const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+  if (log != nullptr) ::dup2(::fileno(stdout), 2);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+  ::execvp(cargv[0], cargv.data());
+  std::_Exit(127);
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+int run_cmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+
+class RecoverySoak : public ::testing::TestWithParam<int> {
+ protected:
+  std::string dir_;
+
+  void SetUp() override {
+    if (g_ustream_bin.empty()) {
+      const char* env = std::getenv("USTREAM_BIN");
+      if (env != nullptr) g_ustream_bin = env;
+    }
+    if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+    char tmpl[] = "/tmp/ustream_recovery_soak_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+
+  void TearDown() override {
+    if (dir_.empty()) return;
+    if (HasFailure()) {
+      // Keep the evidence: CI uploads $USTREAM_RECOVERY_ARTIFACT_DIR on
+      // failure (.github/workflows/ci.yml), so park the WAL dir there.
+      const char* artifact = std::getenv("USTREAM_RECOVERY_ARTIFACT_DIR");
+      if (artifact != nullptr && artifact[0] != '\0') {
+        run_cmd("mkdir -p '" + std::string(artifact) + "' && cp -r '" + dir_ +
+                "' '" + artifact + "/'");
+      }
+      std::fprintf(stderr, "recovery soak failed; WAL dir preserved at %s\n",
+                   dir_.c_str());
+      return;
+    }
+    run_cmd("rm -rf '" + dir_ + "'");
+  }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+};
+
+TEST_P(RecoverySoak, Kill9MidCollectionRecoversByteIdentical) {
+  const int shards = GetParam();
+  constexpr int kSites = 6;
+
+  // Per-site sketch files over distinct but overlapping streams.
+  std::vector<std::string> sketches;
+  for (int site = 0; site < kSites; ++site) {
+    const std::string trace = path("s" + std::to_string(site) + ".trace");
+    const std::string sketch = path("s" + std::to_string(site) + ".sk");
+    ASSERT_EQ(run_cmd(g_ustream_bin + " generate --distinct 4000 --items 12000 --seed " +
+                      std::to_string(100 + site) + " --out " + trace + " >/dev/null 2>&1"),
+              0);
+    ASSERT_EQ(run_cmd(g_ustream_bin + " sketch --in " + trace +
+                      " --eps 0.1 --delta 0.05 --seed 42 --out " + sketch +
+                      " >/dev/null 2>&1"),
+              0);
+    sketches.push_back(sketch);
+  }
+
+  const std::string shards_flag = std::to_string(shards);
+  const std::string sites_flag = std::to_string(kSites);
+
+  // Reference: one uninterrupted run.
+  const std::string ref_out = path("union_ref.sk");
+  {
+    const std::string port_file = path("ref_port.txt");
+    const pid_t serve = spawn({g_ustream_bin, "serve", "--port", "0", "--sites", sites_flag,
+                               "--shards", shards_flag, "--timeout-ms", "60000",
+                               "--port-file", port_file, "--out", ref_out, "--json"},
+                              path("ref_serve.log"));
+    const std::uint16_t port = wait_for_port(port_file);
+    ASSERT_NE(port, 0);
+    for (int site = 0; site < kSites; ++site) {
+      ASSERT_EQ(run_cmd(g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                        " --site " + std::to_string(site) + " " + sketches[site] +
+                        " >/dev/null 2>&1"),
+                0);
+    }
+    const int status = wait_exit(serve);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << slurp(path("ref_serve.log")).data();
+  }
+  const auto ref_bytes = slurp(ref_out);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  // Crash run, phase 1: WAL on, accept half the sites, then SIGKILL.
+  const std::string wal_dir = path("wal");
+  const std::string rec_out = path("union_rec.sk");
+  const std::string port_file = path("crash_port.txt");
+  std::uint16_t port = 0;
+  {
+    const pid_t serve = spawn({g_ustream_bin, "serve", "--port", "0", "--sites", sites_flag,
+                               "--shards", shards_flag, "--timeout-ms", "60000",
+                               "--wal-dir", wal_dir, "--fsync", "interval",
+                               "--snapshot-every", "2", "--port-file", port_file},
+                              path("crash_serve.log"));
+    port = wait_for_port(port_file);
+    ASSERT_NE(port, 0);
+    for (int site = 0; site < kSites / 2; ++site) {
+      // push exits only after the referee's ack — so each of these frames
+      // is already in the WAL (committed before the ack was queued).
+      ASSERT_EQ(run_cmd(g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                        " --site " + std::to_string(site) + " " + sketches[site] +
+                        " >/dev/null 2>&1"),
+                0);
+    }
+    ASSERT_EQ(::kill(serve, SIGKILL), 0);
+    const int status = wait_exit(serve);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  }
+
+  // Phase 2: while the referee is DOWN, start a pusher whose connect
+  // backoff spans the restart (the "pushers retrying across the restart"
+  // half of the acceptance criterion), plus a re-push of an already-acked
+  // site that must dedup against recovered state.
+  const int straddle_site = kSites / 2;
+  const pid_t straddler =
+      spawn({g_ustream_bin, "push", "--to", "127.0.0.1:" + std::to_string(port), "--site",
+             std::to_string(straddle_site), "--connect-attempts", "60",
+             sketches[straddle_site]},
+            path("straddler.log"));
+  std::this_thread::sleep_for(std::chrono::milliseconds{200});  // let it start failing
+
+  // Phase 3: recover on the SAME port (the straddler is dialing it).
+  {
+    ::unlink(port_file.c_str());
+    const pid_t serve = spawn({g_ustream_bin, "serve", "--port", std::to_string(port),
+                               "--sites", sites_flag, "--shards", shards_flag,
+                               "--timeout-ms", "60000", "--wal-dir", wal_dir, "--recover",
+                               "--fsync", "interval", "--snapshot-every", "2",
+                               "--port-file", port_file, "--out", rec_out, "--json"},
+                              path("recover_serve.log"));
+    ASSERT_NE(wait_for_port(port_file), 0);
+    // Re-push an acked site: the referee died, the site's operator got
+    // nervous and re-sent. Must be a clean duplicate, not a double count.
+    ASSERT_EQ(run_cmd(g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                      " --site 0 " + sketches[0] + " >/dev/null 2>&1"),
+              0);
+    for (int site = straddle_site + 1; site < kSites; ++site) {
+      ASSERT_EQ(run_cmd(g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                        " --site " + std::to_string(site) + " " + sketches[site] +
+                        " >/dev/null 2>&1"),
+                0);
+    }
+    const int straddler_status = wait_exit(straddler);
+    EXPECT_TRUE(WIFEXITED(straddler_status) && WEXITSTATUS(straddler_status) == 0)
+        << slurp(path("straddler.log")).data();
+    const int status = wait_exit(serve);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << slurp(path("recover_serve.log")).data();
+
+    const std::string serve_json(
+        reinterpret_cast<const char*>(slurp(path("recover_serve.log")).data()),
+        slurp(path("recover_serve.log")).size());
+    EXPECT_NE(serve_json.find("\"degraded\":false"), std::string::npos) << serve_json;
+    EXPECT_NE(serve_json.find("\"sites_reported\":" + sites_flag), std::string::npos)
+        << serve_json;
+    EXPECT_NE(serve_json.find("\"recovered_sites\":" + std::to_string(kSites / 2)),
+              std::string::npos)
+        << serve_json;
+  }
+
+  // The acceptance criterion: merged output byte-identical to the
+  // uninterrupted run, across the kill -9 / recover boundary.
+  const auto rec_bytes = slurp(rec_out);
+  ASSERT_FALSE(rec_bytes.empty());
+  EXPECT_EQ(rec_bytes, ref_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, RecoverySoak, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "shard";
+                         });
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) g_ustream_bin = argv[1];
+  return RUN_ALL_TESTS();
+}
