@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the continuous-protocol rows of bench_continuous (E18) and gates
+# them. The binary is SELF-GATING on the acceptance criteria: at 64 sites
+# x 2^20 items/site it exits nonzero if any of the 64 checkpoint estimates
+# leaves the configured (eps, delta) envelope against the exact distinct
+# count, or if delta mode spends more than 10% of the full-snapshot
+# protocol's bytes-on-wire or messages. On top of that, check_regression.py
+# enforces:
+#
+#   * the items/sec baseline tolerance against bench/BENCH_continuous.json
+#     (wider than the micro-bench gates: each row is a single 67M-item
+#     macro run, so the per-row noise is higher), and
+#   * END-TO-END SPEEDUP: the delta-protocol row must process the stream
+#     >= 2x faster than the snapshot row. Measured ~5x on the reference
+#     machine — the snapshot protocol serializes a full sketch every 256
+#     items while delta mode serializes ~500-byte deltas a few thousand
+#     times total — so the floor only trips if threshold bookkeeping lands
+#     on the per-item path.
+#
+# Usage:
+#   bench/run_continuous_bench.sh [build-dir]            # measure + gate
+#   bench/run_continuous_bench.sh --update [build-dir]   # also refresh baseline
+set -euo pipefail
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/bench/BENCH_continuous.json"
+current="$(mktemp --suffix=.json)"
+trap 'rm -f "$current"' EXIT
+
+cmake --build "$build" --target bench_continuous -j >/dev/null
+
+# Exits nonzero on any envelope or <=10% wire-cost violation (the
+# acceptance gate lives in the binary so it also fires under plain
+# `./build/bench/bench_continuous`).
+"$build/bench/bench_continuous" \
+  --benchmark_filter='BM_Continuous' \
+  --benchmark_out="$current" \
+  --benchmark_out_format=json
+
+gates=(--speedup 'BM_ContinuousSnapshot/64/iterations:1,BM_ContinuousDelta/64/iterations:1,2.0')
+
+if [[ -f "$baseline" ]]; then
+  python3 "$repo/bench/check_regression.py" \
+    --baseline "$baseline" --current "$current" \
+    --tolerance 0.5 \
+    "${gates[@]}"
+else
+  echo "no baseline at $baseline yet; skipping regression gate"
+fi
+
+if [[ "$update" == 1 || ! -f "$baseline" ]]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $baseline"
+fi

@@ -30,6 +30,13 @@
 #      WAL-on vs WAL-off referee push, gating against bench/BENCH_wal.json
 #      with the >= 0.5x WAL-on floor. After the obs twins because its
 #      `always` rows are storage-bound, not CPU-bound.
+#   7. continuous wire cost — bench/run_continuous_bench.sh runs the E18
+#      delta-vs-snapshot macro rows (64 sites x 2^20 items/site). The
+#      binary self-gates the acceptance criteria (every checkpoint
+#      estimate inside the (eps, delta) envelope vs exact counts; delta
+#      mode <= 10% of the snapshot protocol's bytes AND messages), and
+#      the runner adds the BENCH_continuous.json regression check plus
+#      the >= 2x end-to-end delta-vs-snapshot speedup floor.
 #
 # Usage:
 #   bench/run_gates.sh [build-dir]            # all gates
@@ -49,23 +56,26 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/6: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/7: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/6: merge-engine perf regression (bench/run_merge_bench.sh) =="
+echo "== gate 2/7: merge-engine perf regression (bench/run_merge_bench.sh) =="
 "$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 3/6: fault-injection soak (ctest -L soak) =="
+echo "== gate 3/7: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
 
-echo "== gate 4/6: net wire perf regression (bench/run_net_bench.sh) =="
+echo "== gate 4/7: net wire perf regression (bench/run_net_bench.sh) =="
 "$repo/bench/run_net_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 5/6: instrumentation overhead (bench/run_obs_bench.sh) =="
+echo "== gate 5/7: instrumentation overhead (bench/run_obs_bench.sh) =="
 "$repo/bench/run_obs_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 6/6: durability tax (bench/run_wal_bench.sh) =="
+echo "== gate 6/7: durability tax (bench/run_wal_bench.sh) =="
 "$repo/bench/run_wal_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 7/7: continuous wire cost (bench/run_continuous_bench.sh) =="
+"$repo/bench/run_continuous_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
 echo "all gates passed"

@@ -20,6 +20,7 @@
 #include "common/frame.h"
 #include "common/serialize.h"
 #include "core/params.h"
+#include "distributed/continuous.h"
 #include "distributed/faulty_channel.h"
 #include "distributed/runtime.h"
 #include "durability/recovery.h"
@@ -363,6 +364,20 @@ int cmd_serve(const Args& args, std::string& out) {
   config.sites = args.u64("sites", 1);
   config.shards = args.u64("shards", 1);
   config.timeout = std::chrono::milliseconds(args.u64("timeout-ms", 0));
+  // Continuous mode (DESIGN.md §12): latest-wins collection that accepts
+  // kF0Delta chain frames, keeps a live per-site mirror set, and exports
+  // the running union estimate as the ustream_referee_live_estimate gauge
+  // (watch it move with `ustream stats --watch`). The server runs to the
+  // deadline — completion never ends a continuous collection.
+  const bool continuous = args.has("continuous");
+  if (continuous) {
+    args.str("continuous", "");
+    USTREAM_REQUIRE(config.timeout.count() > 0,
+                    "--continuous needs --timeout-ms N (the run ends at the deadline)");
+    config.dedup = DedupMode::kLatestWins;
+    config.delta_kind = PayloadKind::kF0Delta;
+    config.continuous = true;
+  }
   // Relay mode (DESIGN.md §10.3): this referee collects a SUBTREE of sites,
   // merges locally, and pushes the one merged sketch frame upstream —
   // composing referees into a fan-in tree. The upstream referee sees this
@@ -424,7 +439,59 @@ int cmd_serve(const Args& args, std::string& out) {
     write_file(admin_port_file,
                std::vector<std::uint8_t>(port_text.begin(), port_text.end()));
   }
-  auto result = net::collect_and_merge<F0Estimator>(server);
+  net::NetCollectResult<F0Estimator> result;
+  if (continuous) {
+    std::vector<std::optional<F0Estimator>> mirrors(server.sites());
+    obs::Gauge& live = obs::default_registry().gauge("ustream_referee_live_estimate");
+    net::RefereeServer::Result res = server.run(
+        [&mirrors, &live](std::size_t site, std::uint32_t, PayloadKind kind,
+                          std::vector<std::uint8_t>&& payload) {
+          try {
+            if (kind == PayloadKind::kF0Delta) {
+              // Transactional apply: patch a copy, swap on success, so a
+              // failed delta leaves the mirror intact (the server demotes
+              // the acceptance to a resync).
+              if (!mirrors[site].has_value()) return false;
+              F0Estimator next = *mirrors[site];
+              next.apply_delta(std::span<const std::uint8_t>(payload));
+              mirrors[site] = std::move(next);
+            } else {
+              F0Estimator full =
+                  F0Estimator::deserialize(std::span<const std::uint8_t>(payload));
+              // A site configured with different (eps, seed) parameters
+              // ships a sketch that can never join this union. Reject its
+              // frame (quarantine + resync verdict) instead of letting the
+              // merge below throw and take the whole referee down while
+              // the well-configured sites are still streaming.
+              for (const auto& m : mirrors) {
+                if (m.has_value() && !m->can_merge_with(full)) return false;
+              }
+              mirrors[site] = std::move(full);
+            }
+          } catch (const SerializationError&) {
+            return false;
+          }
+          std::optional<F0Estimator> merged;
+          for (const auto& m : mirrors) {
+            if (!m.has_value()) continue;
+            if (!merged.has_value()) {
+              merged = *m;
+            } else {
+              merged->merge(*m);
+            }
+          }
+          live.set(static_cast<std::int64_t>(merged ? merged->estimate() : 0.0));
+          return true;
+        });
+    result.report = std::move(res.report);
+    result.wire = std::move(res.wire);
+    result.timed_out = res.timed_out;
+    result.shards = std::move(res.shards);
+    result.durability = std::move(res.durability);
+    result.union_sketch = MergeEngine::shared().reduce(std::move(mirrors));
+  } else {
+    result = net::collect_and_merge<F0Estimator>(server);
+  }
   F0Estimator referee = result.union_sketch
                             ? std::move(*result.union_sketch)
                             : F0Estimator(EstimatorParams::for_guarantee(eps, delta, seed));
@@ -483,6 +550,7 @@ int cmd_serve(const Args& args, std::string& out) {
            "\"degraded\":%s,\"timed_out\":%s,\"estimate\":%.17g,"
            "\"attempts\":%llu,\"retries\":%llu,\"frames_quarantined\":%llu,"
            "\"duplicates_dropped\":%llu,\"stale_dropped\":%llu,"
+           "\"deltas_applied\":%llu,\"resyncs\":%llu,"
            "\"wire_frames\":%llu,\"wire_bytes\":%llu,"
            "\"shards\":%s%s%s%s%s}",
            server.port(), server.admin_port().value_or(0), report.sites_total,
@@ -493,6 +561,8 @@ int cmd_serve(const Args& args, std::string& out) {
            static_cast<unsigned long long>(report.frames_quarantined),
            static_cast<unsigned long long>(report.duplicates_dropped),
            static_cast<unsigned long long>(report.stale_dropped),
+           static_cast<unsigned long long>(report.deltas_applied),
+           static_cast<unsigned long long>(report.resyncs),
            static_cast<unsigned long long>(result.wire.messages),
            static_cast<unsigned long long>(result.wire.total_bytes),
            shards_json.c_str(), wal_json.c_str(),
@@ -538,6 +608,99 @@ int cmd_serve(const Args& args, std::string& out) {
   return report.complete() ? 0 : 3;
 }
 
+// The site half of continuous mode (DESIGN.md §12): feed a deterministic
+// synthetic stream through a DeltaSiteSession and transmit only on
+// threshold crossings — deltas while the chain holds, a full re-base
+// whenever the referee acks 'R' (resync) or the frame is lost.
+int cmd_push_continuous(const Args& args, const std::string& to,
+                        net::TcpTransportConfig config, std::size_t site,
+                        std::string& out) {
+  const std::uint64_t items = args.u64("items", 100000);
+  const std::uint64_t distinct = args.u64("distinct", 50000);
+  const double growth = args.f64("growth", 0.5);
+  const double eps = args.f64("eps", 0.1);
+  const double fail = args.f64("delta", 0.05);
+  const std::uint64_t seed = args.u64("seed", 1);
+  const bool json = json_requested(args);
+  const bool want_stats = stats_requested(args);
+  args.reject_unknown();
+  USTREAM_REQUIRE(args.positional().empty(),
+                  "push --continuous generates its own stream; no sketch file");
+  USTREAM_REQUIRE(distinct > 0, "--distinct must be positive");
+
+  // Every site must share the hash seed for coordinated sampling, so the
+  // estimator seed is fixed by --seed alone; only the label stream below
+  // is decorrelated per site.
+  DeltaSiteSession session(EstimatorParams::for_guarantee(eps, fail, seed), growth);
+  net::TcpTransport transport(site + 1, config);
+
+  auto transmit = [&](const DeltaSiteSession::Outgoing& msg) {
+    const auto frame = frame_encode(
+        {msg.is_delta ? PayloadKind::kF0Delta : PayloadKind::kF0Estimator,
+         static_cast<std::uint32_t>(site), msg.epoch},
+        msg.payload);
+    return transport.send_with_ack(site, frame);
+  };
+  auto settle = [&](net::PushAck ack) {
+    if (ack == net::PushAck::kAccepted || ack == net::PushAck::kDuplicate) {
+      session.delivered();
+      return true;
+    }
+    session.lost();
+    return false;
+  };
+
+  SplitMix64 gen(seed ^ (0x9e3779b97f4a7c15ULL * (site + 1)));
+  for (std::uint64_t i = 0; i < items; ++i) {
+    if (!session.add(gen.next() % distinct)) continue;
+    if (!settle(transmit(session.next_update()))) {
+      // Chain broken: re-base immediately — next_update() now owes a full
+      // frame, so the referee's mirror catches up in one message.
+      settle(transmit(session.next_update()));
+    }
+  }
+  // End-of-stream flush: whatever the thresholds suppressed goes out as a
+  // final full frame so the referee's mirror matches the local tail.
+  bool flushed = !session.dirty();
+  for (std::uint32_t attempt = 0;
+       !flushed && attempt < config.max_send_attempts; ++attempt) {
+    flushed = settle(transmit(session.next_full()));
+  }
+
+  const ChannelStats wire = transport.stats();
+  if (json) {
+    append(out,
+           "{\"site\":%zu,\"items\":%llu,\"estimate\":%.17g,"
+           "\"deltas\":%llu,\"full_frames\":%llu,\"resyncs\":%llu,"
+           "\"suppressed\":%llu,\"flushed\":%s,"
+           "\"wire_frames\":%llu,\"wire_bytes\":%llu}",
+           site, static_cast<unsigned long long>(items),
+           session.sketch().estimate(),
+           static_cast<unsigned long long>(session.deltas_sent()),
+           static_cast<unsigned long long>(session.fulls_sent()),
+           static_cast<unsigned long long>(session.resyncs()),
+           static_cast<unsigned long long>(session.suppressed()),
+           flushed ? "true" : "false",
+           static_cast<unsigned long long>(wire.messages),
+           static_cast<unsigned long long>(wire.total_bytes));
+  } else {
+    append(out,
+           "site %zu streamed %llu items to %s: %llu deltas + %llu full "
+           "frames (%llu resyncs, %llu updates suppressed), %llu bytes on "
+           "the wire, local estimate %.0f%s",
+           site, static_cast<unsigned long long>(items), to.c_str(),
+           static_cast<unsigned long long>(session.deltas_sent()),
+           static_cast<unsigned long long>(session.fulls_sent()),
+           static_cast<unsigned long long>(session.resyncs()),
+           static_cast<unsigned long long>(session.suppressed()),
+           static_cast<unsigned long long>(wire.total_bytes),
+           session.sketch().estimate(),
+           flushed ? "" : " [FLUSH FAILED: referee mirror is behind]");
+  }
+  if (want_stats) out += obs::render_json(obs::default_registry().snapshot()) + "\n";
+  return flushed ? 0 : 3;
+}
+
 // Ships one site's sketch file to a running `ustream serve` referee: the
 // site half of the multi-process protocol. The file's payload is re-framed
 // with the given site id / epoch, pushed over TcpTransport (connect with
@@ -548,10 +711,14 @@ int cmd_push(const Args& args, std::string& out) {
   net::TcpTransportConfig config;
   std::tie(config.host, config.port) = parse_host_port("--to", to);
   const std::size_t site = args.u64("site", 0);
-  const auto epoch = static_cast<std::uint32_t>(args.u64("epoch", 0));
   config.max_send_attempts = static_cast<std::uint32_t>(args.u64("attempts", 4));
   config.max_connect_attempts =
       static_cast<std::uint32_t>(args.u64("connect-attempts", 10));
+  if (args.has("continuous")) {
+    args.str("continuous", "");
+    return cmd_push_continuous(args, to, config, site, out);
+  }
+  const auto epoch = static_cast<std::uint32_t>(args.u64("epoch", 0));
   const bool json = json_requested(args);
   const bool want_stats = stats_requested(args);
   args.reject_unknown();
@@ -828,17 +995,24 @@ std::string usage() {
          "           [--wal-dir DIR [--fsync always|interval|never]\n"
          "            [--fsync-interval-ms N] [--snapshot-every N] [--segment-mb N]\n"
          "            [--recover]]\n"
-         "           [--eps E] [--delta D] [--seed S] [--json] [--stats]\n"
+         "           [--continuous] [--eps E] [--delta D] [--seed S] [--json] [--stats]\n"
          "           (TCP referee: collect one sketch per site, merge, estimate;\n"
          "            port 0 picks a free port; exit 3 if degraded; --shards N runs\n"
          "            N SO_REUSEPORT event loops; --admin-port serves live metrics\n"
          "            mid-collection; --relay pushes the merged sketch upstream;\n"
          "            --bind 0.0.0.0 accepts sites from other machines;\n"
          "            --wal-dir logs accepted frames before acking so\n"
-         "            --recover resumes a killed referee with identical state)\n"
+         "            --recover resumes a killed referee with identical state;\n"
+         "            --continuous accepts delta chains until --timeout-ms and\n"
+         "            exports the live union estimate via --admin-port)\n"
          "  push     --to HOST:PORT [--site I] [--epoch E] [--attempts K]\n"
          "           [--connect-attempts K] [--json] [--stats] SKETCH\n"
          "           (ship a sketch file to a running serve referee)\n"
+         "  push     --to HOST:PORT --continuous [--site I] [--items M]\n"
+         "           [--distinct N] [--growth G] [--eps E] [--delta D] [--seed S]\n"
+         "           [--attempts K] [--connect-attempts K] [--json] [--stats]\n"
+         "           (stream a synthetic site continuously: send delta frames on\n"
+         "            threshold crossings, re-base on 'R' resync acks)\n"
          "  stats    --from HOST:PORT [--json] [--health] [--timeout-ms N]\n"
          "           [--watch SECS [--count N]]\n"
          "           (query a serve --admin-port endpoint for live metrics;\n"

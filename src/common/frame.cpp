@@ -23,7 +23,7 @@ std::uint32_t get_u32(const std::uint8_t* p) noexcept {
 
 bool valid_kind(std::uint8_t k) noexcept {
   return k >= static_cast<std::uint8_t>(PayloadKind::kF0Estimator) &&
-         k <= static_cast<std::uint8_t>(PayloadKind::kOpaque);
+         k <= static_cast<std::uint8_t>(PayloadKind::kWindowedDelta);
 }
 
 }  // namespace
@@ -37,6 +37,9 @@ const char* payload_kind_name(PayloadKind kind) noexcept {
     case PayloadKind::kCoordinatedSampler: return "coordinated-sampler";
     case PayloadKind::kMonitorReport: return "monitor-report";
     case PayloadKind::kOpaque: return "opaque";
+    case PayloadKind::kWindowedF0: return "windowed-f0";
+    case PayloadKind::kF0Delta: return "f0-delta";
+    case PayloadKind::kWindowedDelta: return "windowed-delta";
   }
   return "unknown";
 }

@@ -42,6 +42,9 @@ enum class PayloadKind : std::uint8_t {
   kCoordinatedSampler = 5,
   kMonitorReport = 6,  // netmon bundle: four F0 sketches
   kOpaque = 7,         // framed bytes with no registered sketch type
+  kWindowedF0 = 8,     // full WindowedF0Estimator snapshot (continuous resync)
+  kF0Delta = 9,        // F0Estimator delta vs the last acked epoch
+  kWindowedDelta = 10, // windowed op-replay delta vs the last acked epoch
 };
 
 const char* payload_kind_name(PayloadKind kind) noexcept;

@@ -349,8 +349,73 @@ class CoordinatedSampler {
     return s;
   }
 
+  // --- delta wire format (continuous monitoring) -----------------------------
+  //
+  // A delta from `base` (a past state of THIS sampler's stream, e.g. the
+  // referee's last-acked mirror) to the current state is just (new level,
+  // entries added since base): entries only ever leave the sample through
+  // level raises, and the level of a label is a pure function of the shared
+  // hash, so the receiver reconstructs the evictions by filtering its own
+  // copy of base at the new level. apply_delta(serialize_delta(base)) on a
+  // bit-identical mirror of base lands bit-identical to *this — the
+  // property test_wire_matrix enforces byte-for-byte.
+  void serialize_delta(ByteWriter& w, const CoordinatedSampler& base) const {
+    USTREAM_REQUIRE(can_merge_with(base), "delta requires identical seed and capacity");
+    USTREAM_REQUIRE(level_ >= base.level_, "delta base is ahead of the sampler");
+    w.u8(kDeltaWireVersion);
+    w.u8(detail::ValueCodec<V>::kTag);
+    w.u8(static_cast<std::uint8_t>(level_));
+    std::vector<const Entry*> added;
+    for (const auto& e : map_) {
+      if (!base.map_.contains(e.key)) added.push_back(&e);
+    }
+    w.varint(added.size());
+    std::sort(added.begin(), added.end(),
+              [](const Entry* a, const Entry* b) { return a->key < b->key; });
+    std::uint64_t prev = 0;
+    for (const Entry* e : added) {
+      w.varint(e->key - prev);
+      prev = e->key;
+      w.u8(e->value.level);
+      detail::ValueCodec<V>::write(w, e->value.value);
+    }
+  }
+
+  // Applies a delta produced by serialize_delta against a mirror of this
+  // sampler's state. Throws SerializationError on any inconsistency (level
+  // regression, level/seed mismatch, duplicate or overfull) — callers that
+  // need rollback on failure apply onto a scratch copy and swap.
+  void apply_delta(ByteReader& r) {
+    if (r.u8() != kDeltaWireVersion) throw SerializationError("bad sampler delta version");
+    if (r.u8() != detail::ValueCodec<V>::kTag)
+      throw SerializationError("sampler delta value-type mismatch");
+    const int new_level = r.u8();
+    if (new_level < level_ || new_level > Hash::kBits)
+      throw SerializationError("sampler delta level out of range");
+    if (new_level > level_) {
+      set_level(new_level);
+      map_.filter([this](const Entry& e) { return e.value.level >= level_; });
+    }
+    const std::uint64_t count = r.varint();
+    if (count > capacity_) throw SerializationError("sampler delta overfull");
+    std::uint64_t label = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      label += r.varint();
+      const std::uint8_t lvl = r.u8();
+      if (lvl < level_ || lvl > Hash::kBits)
+        throw SerializationError("delta entry level out of range");
+      if (level_of(label) != lvl)
+        throw SerializationError("delta entry level inconsistent with seed");
+      V value = detail::ValueCodec<V>::read(r);
+      if (!map_.try_emplace(label, Slot{value, lvl}).second)
+        throw SerializationError("duplicate label in sampler delta");
+    }
+    if (map_.size() > capacity_) throw SerializationError("sampler overfull after delta");
+  }
+
  private:
   static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::uint8_t kDeltaWireVersion = 1;
   // Hash-block size for add_batch: exactly one survivor-bitmask word, and
   // small enough that the hash buffer stays in L1.
   static constexpr std::size_t kBatchBlock = 64;

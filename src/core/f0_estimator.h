@@ -183,8 +183,44 @@ class BasicF0Estimator {
     return e;
   }
 
+  // --- delta wire format (continuous monitoring) -----------------------------
+  //
+  // Copy-by-copy sampler deltas against `base` — a past state of this
+  // estimator's own stream (the last-acked referee mirror). See
+  // CoordinatedSampler::serialize_delta for the encoding and the argument
+  // that applying it to a bit-identical mirror of base reproduces *this.
+  void serialize_delta(ByteWriter& w, const BasicF0Estimator& base) const {
+    USTREAM_REQUIRE(can_merge_with(base),
+                    "delta requires estimators with identical parameters");
+    w.u8(kDeltaWireVersion);
+    w.varint(copies_.size());
+    for (std::size_t i = 0; i < copies_.size(); ++i) {
+      copies_[i].serialize_delta(w, base.copies_[i]);
+    }
+  }
+
+  std::vector<std::uint8_t> serialize_delta(const BasicF0Estimator& base) const {
+    ByteWriter w;
+    serialize_delta(w, base);
+    return w.take();
+  }
+
+  // Applies a delta onto this estimator (the mirror of the sender's base
+  // state). Throws SerializationError on any inconsistency; this object may
+  // then hold partially applied copies — callers that must keep the prior
+  // state on failure apply onto a scratch copy and swap on success.
+  void apply_delta(std::span<const std::uint8_t> bytes) {
+    ByteReader r(bytes);
+    if (r.u8() != kDeltaWireVersion) throw SerializationError("bad estimator delta version");
+    const std::uint64_t copies = r.varint();
+    if (copies != copies_.size()) throw SerializationError("estimator delta copy-count mismatch");
+    for (auto& c : copies_) c.apply_delta(r);
+    if (!r.done()) throw SerializationError("trailing bytes after estimator delta");
+  }
+
  private:
   static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::uint8_t kDeltaWireVersion = 1;
 
   EstimatorParams params_;
   std::vector<Sampler> copies_;

@@ -1,6 +1,8 @@
 #include "core/windowed_sampler.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 namespace ustream {
 
@@ -31,9 +33,15 @@ void WindowedF0Sampler::touch_level(Level& level, std::uint64_t label, std::uint
 }
 
 void WindowedF0Sampler::add(std::uint64_t label, std::uint64_t timestamp) {
+  apply(label, timestamp, seq_ + 1);
+}
+
+void WindowedF0Sampler::apply(std::uint64_t label, std::uint64_t timestamp,
+                              std::uint64_t seq) {
   USTREAM_REQUIRE(timestamp >= last_ts_, "timestamps must be non-decreasing");
+  USTREAM_REQUIRE(seq > seq_, "op sequence must be strictly increasing");
   last_ts_ = timestamp;
-  ++seq_;
+  seq_ = seq;
   ++items_;
   const int lambda = std::min(hash_level(hash_(label), PairwiseHash::kBits), kMaxLevel);
   for (int l = 0; l <= lambda; ++l) {
@@ -60,6 +68,101 @@ double WindowedF0Sampler::estimate_distinct(std::uint64_t window_start) const {
   return count * std::ldexp(1.0, l);
 }
 
+std::vector<std::uint64_t> WindowedF0Sampler::labels_in_window(
+    int level, std::uint64_t window_start) const {
+  const Level& lvl = levels_.at(static_cast<std::size_t>(level));
+  std::vector<std::uint64_t> out;
+  for (auto it = lvl.by_recency.lower_bound(std::make_pair(window_start, std::uint64_t{0}));
+       it != lvl.by_recency.end(); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+// Wire layout: u8 version, u64 seed, varint capacity, varint last_ts,
+// varint seq, varint items, then per level 0..kMaxLevel: u8 ever_evicted,
+// varint evict_horizon, varint count, and the entries in by_recency order
+// as (varint ts-delta from the previous entry, varint seq, varint label).
+void WindowedF0Sampler::serialize(ByteWriter& w) const {
+  w.u8(kSamplerWireVersion);
+  w.u64(seed_);
+  w.varint(capacity_);
+  w.varint(last_ts_);
+  w.varint(seq_);
+  w.varint(items_);
+  for (const Level& level : levels_) {
+    w.u8(level.ever_evicted ? 1 : 0);
+    w.varint(level.evict_horizon);
+    w.varint(level.by_recency.size());
+    std::uint64_t prev_ts = 0;
+    for (const auto& [key, label] : level.by_recency) {
+      w.varint(key.first - prev_ts);
+      prev_ts = key.first;
+      w.varint(key.second);
+      w.varint(label);
+    }
+  }
+}
+
+std::vector<std::uint8_t> WindowedF0Sampler::serialize() const {
+  ByteWriter w;
+  serialize(w);
+  return w.take();
+}
+
+WindowedF0Sampler WindowedF0Sampler::deserialize(ByteReader& r) {
+  if (r.u8() != kSamplerWireVersion)
+    throw SerializationError("bad windowed sampler version");
+  const std::uint64_t seed = r.u64();
+  const std::uint64_t capacity = r.varint();
+  if (capacity == 0) throw SerializationError("windowed sampler capacity 0");
+  WindowedF0Sampler s(static_cast<std::size_t>(capacity), seed);
+  s.last_ts_ = r.varint();
+  s.seq_ = r.varint();
+  s.items_ = r.varint();
+  for (int l = 0; l <= kMaxLevel; ++l) {
+    Level& level = s.levels_[static_cast<std::size_t>(l)];
+    const std::uint8_t evicted = r.u8();
+    if (evicted > 1) throw SerializationError("bad windowed eviction flag");
+    level.ever_evicted = evicted == 1;
+    level.evict_horizon = r.varint();
+    if (!level.ever_evicted && level.evict_horizon != 0)
+      throw SerializationError("eviction horizon without evictions");
+    const std::uint64_t count = r.varint();
+    if (count > capacity) throw SerializationError("windowed level overfull");
+    std::uint64_t prev_ts = 0;
+    std::uint64_t prev_seq = 0;
+    bool first = true;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t ts = prev_ts + r.varint();
+      const std::uint64_t seq = r.varint();
+      const std::uint64_t label = r.varint();
+      if (ts > s.last_ts_ || seq > s.seq_)
+        throw SerializationError("windowed entry past the stream head");
+      if (!first && (ts < prev_ts || (ts == prev_ts && seq <= prev_seq)))
+        throw SerializationError("windowed entries out of recency order");
+      first = false;
+      prev_ts = ts;
+      prev_seq = seq;
+      const int lambda =
+          std::min(hash_level(s.hash_(label), PairwiseHash::kBits), kMaxLevel);
+      if (lambda < l)
+        throw SerializationError("windowed entry level inconsistent with seed");
+      if (!level.latest.emplace(label, std::make_pair(ts, seq)).second)
+        throw SerializationError("duplicate label in windowed level");
+      level.by_recency.emplace(std::make_pair(ts, seq), label);
+    }
+  }
+  return s;
+}
+
+WindowedF0Sampler WindowedF0Sampler::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto s = deserialize(r);
+  if (!r.done()) throw SerializationError("trailing bytes after windowed sampler");
+  return s;
+}
+
 std::size_t WindowedF0Sampler::bytes_used() const noexcept {
   std::size_t bytes = sizeof(*this);
   for (const auto& level : levels_) {
@@ -70,7 +173,8 @@ std::size_t WindowedF0Sampler::bytes_used() const noexcept {
   return bytes;
 }
 
-WindowedF0Estimator::WindowedF0Estimator(const EstimatorParams& params) {
+WindowedF0Estimator::WindowedF0Estimator(const EstimatorParams& params)
+    : params_(params) {
   USTREAM_REQUIRE(params.copies >= 1, "need at least one copy");
   SeedSequence seeds(params.seed);
   copies_.reserve(params.copies);
@@ -83,6 +187,134 @@ std::size_t WindowedF0Estimator::bytes_used() const noexcept {
   std::size_t b = sizeof(*this);
   for (const auto& c : copies_) b += c.bytes_used();
   return b;
+}
+
+void WindowedF0Estimator::serialize(ByteWriter& w) const {
+  w.u8(kWireVersion);
+  w.u64(params_.seed);
+  w.varint(params_.capacity);
+  w.varint(copies_.size());
+  for (const auto& c : copies_) c.serialize(w);
+}
+
+std::vector<std::uint8_t> WindowedF0Estimator::serialize() const {
+  ByteWriter w;
+  serialize(w);
+  return w.take();
+}
+
+WindowedF0Estimator WindowedF0Estimator::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.u8() != kWireVersion)
+    throw SerializationError("bad windowed estimator version");
+  EstimatorParams p;
+  p.seed = r.u64();
+  p.capacity = r.varint();
+  p.copies = r.varint();
+  if (p.copies == 0 || p.copies > 4096) throw SerializationError("bad copy count");
+  if (p.capacity == 0) throw SerializationError("windowed estimator capacity 0");
+  WindowedF0Estimator est(p);
+  SeedSequence seeds(p.seed);
+  est.copies_.clear();
+  for (std::size_t i = 0; i < p.copies; ++i) {
+    est.copies_.push_back(WindowedF0Sampler::deserialize(r));
+    const WindowedF0Sampler& c = est.copies_.back();
+    if (c.capacity() != p.capacity)
+      throw SerializationError("windowed copy capacity mismatch");
+    if (c.seed() != seeds.child(i))
+      throw SerializationError("windowed copy seed inconsistent with root seed");
+    if (c.sequence() != est.copies_.front().sequence() ||
+        c.last_timestamp() != est.copies_.front().last_timestamp())
+      throw SerializationError("windowed copies disagree on the op stream");
+  }
+  if (!r.done()) throw SerializationError("trailing bytes after windowed estimator");
+  return est;
+}
+
+// Delta layout: u8 version, varint base_seq, varint base_last_ts, varint
+// op count, ops as (varint ts-delta from the previous op's ts — the first
+// from base_last_ts — , varint label). Sequence numbers are implicit:
+// base_seq + 1, base_seq + 2, ...
+std::vector<std::uint8_t> WindowedF0Estimator::encode_delta(
+    std::uint64_t base_seq, std::uint64_t base_last_ts, std::span<const Op> ops) {
+  ByteWriter w;
+  w.u8(kDeltaWireVersion);
+  w.varint(base_seq);
+  w.varint(base_last_ts);
+  w.varint(ops.size());
+  std::uint64_t prev_ts = base_last_ts;
+  for (const Op& op : ops) {
+    USTREAM_REQUIRE(op.second >= prev_ts, "delta ops out of timestamp order");
+    w.varint(op.second - prev_ts);
+    prev_ts = op.second;
+    w.varint(op.first);
+  }
+  return w.take();
+}
+
+void WindowedF0Estimator::apply_delta(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.u8() != kDeltaWireVersion)
+    throw SerializationError("bad windowed delta version");
+  const std::uint64_t base_seq = r.varint();
+  const std::uint64_t base_last_ts = r.varint();
+  if (base_seq != sequence() || base_last_ts != last_timestamp())
+    throw SerializationError("windowed delta base does not match the mirror");
+  const std::uint64_t count = r.varint();
+  // Each op costs at least two bytes on the wire, so a count beyond the
+  // remaining payload is corruption — reject it before the reserve turns a
+  // flipped varint byte into a giant allocation.
+  if (count > r.remaining()) {
+    throw SerializationError("windowed delta op count exceeds payload");
+  }
+  // Decode fully before mutating so a malformed delta leaves the mirror
+  // untouched (the caller then quarantines and resyncs).
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_ts = base_last_ts;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t ts = prev_ts + r.varint();
+    prev_ts = ts;
+    ops.emplace_back(r.varint(), ts);
+  }
+  if (!r.done()) throw SerializationError("trailing bytes after windowed delta");
+  std::uint64_t seq = base_seq;
+  for (const Op& op : ops) {
+    ++seq;
+    for (auto& c : copies_) c.apply(op.first, op.second, seq);
+  }
+}
+
+double windowed_union_estimate(std::span<const WindowedF0Estimator* const> parts,
+                               std::uint64_t window_start) {
+  std::size_t copies = 0;
+  for (const WindowedF0Estimator* p : parts) {
+    if (p == nullptr) continue;
+    USTREAM_REQUIRE(copies == 0 || p->num_copies() == copies,
+                    "windowed union requires identical copy counts");
+    copies = p->num_copies();
+  }
+  if (copies == 0) return 0.0;
+  std::vector<double> ests;
+  ests.reserve(copies);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < copies; ++i) {
+    int level = 0;
+    for (const WindowedF0Estimator* p : parts) {
+      if (p == nullptr) continue;
+      level = std::max(level, p->copy(i).level_for_window(window_start));
+    }
+    seen.clear();
+    for (const WindowedF0Estimator* p : parts) {
+      if (p == nullptr) continue;
+      for (std::uint64_t label : p->copy(i).labels_in_window(level, window_start)) {
+        seen.insert(label);
+      }
+    }
+    ests.push_back(static_cast<double>(seen.size()) * std::ldexp(1.0, level));
+  }
+  return median_of(std::move(ests));
 }
 
 }  // namespace ustream

@@ -20,11 +20,14 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "common/random.h"
+#include "common/serialize.h"
 #include "common/stats.h"
 #include "core/params.h"
 #include "hash/level.h"
@@ -43,6 +46,14 @@ class WindowedF0Sampler {
   // Timestamps must be non-decreasing across calls (stream order).
   void add(std::uint64_t label, std::uint64_t timestamp);
 
+  // Op replay with an explicit sequence number: the continuous protocol's
+  // windowed deltas replay a site's (label, timestamp) ops into a referee
+  // mirror, and state is a pure function of the op sequence, so replaying
+  // with the ORIGINAL per-op sequence numbers lands the mirror bit-identical
+  // to the site. add() delegates here with seq = sequence() + 1. `seq` must
+  // be strictly increasing and `timestamp` non-decreasing.
+  void apply(std::uint64_t label, std::uint64_t timestamp, std::uint64_t seq);
+
   // Estimate of |{distinct labels with latest timestamp >= window_start}|.
   // Any window_start <= current time is valid; accuracy degrades (level
   // rises) for windows so large that their labels overflowed every level.
@@ -52,6 +63,7 @@ class WindowedF0Sampler {
   int level_for_window(std::uint64_t window_start) const;
 
   std::uint64_t last_timestamp() const noexcept { return last_ts_; }
+  std::uint64_t sequence() const noexcept { return seq_; }
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t seed() const noexcept { return seed_; }
   std::uint64_t items_processed() const noexcept { return items_; }
@@ -60,8 +72,24 @@ class WindowedF0Sampler {
   // Labels currently retained at a level (tests).
   std::size_t level_size(int level) const { return levels_.at(static_cast<std::size_t>(level)).by_recency.size(); }
   std::uint64_t level_horizon(int level) const { return levels_.at(static_cast<std::size_t>(level)).evict_horizon; }
+  bool level_ever_evicted(int level) const { return levels_.at(static_cast<std::size_t>(level)).ever_evicted; }
+
+  // Labels at `level` with latest timestamp >= window_start, for the
+  // cross-site union estimate (windowed_union_estimate).
+  std::vector<std::uint64_t> labels_in_window(int level, std::uint64_t window_start) const;
+
+  // Full wire state (the continuous protocol's kWindowedF0 resync payload):
+  // every level's recency-ordered entries plus the eviction horizons, so a
+  // deserialized mirror is bit-identical — subsequent op-replay deltas land
+  // it exactly where the site is.
+  void serialize(ByteWriter& w) const;
+  std::vector<std::uint8_t> serialize() const;
+  static WindowedF0Sampler deserialize(ByteReader& r);
+  static WindowedF0Sampler deserialize(std::span<const std::uint8_t> bytes);
 
  private:
+  static constexpr std::uint8_t kSamplerWireVersion = 1;
+
   struct Level {
     // (timestamp, sequence) -> label; ordered so the oldest is first.
     std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> by_recency;
@@ -105,10 +133,52 @@ class WindowedF0Estimator {
 
   std::size_t num_copies() const noexcept { return copies_.size(); }
   const WindowedF0Sampler& copy(std::size_t i) const { return copies_.at(i); }
+  const EstimatorParams& params() const noexcept { return params_; }
+  // Ops applied so far (identical across copies: every copy sees the same
+  // op stream, only its per-copy hash differs).
+  std::uint64_t sequence() const noexcept { return copies_.front().sequence(); }
+  std::uint64_t last_timestamp() const noexcept { return copies_.front().last_timestamp(); }
   std::size_t bytes_used() const noexcept;
 
+  // Full wire state (kWindowedF0 payload).
+  void serialize(ByteWriter& w) const;
+  std::vector<std::uint8_t> serialize() const;
+  static WindowedF0Estimator deserialize(std::span<const std::uint8_t> bytes);
+
+  // One (label, timestamp) stream op; sequence numbers are implicit
+  // (consecutive from the delta's base sequence).
+  using Op = std::pair<std::uint64_t, std::uint64_t>;
+
+  // Encodes the kWindowedDelta payload: the ops applied since the mirror's
+  // state at (base_seq, base_last_ts). The mirror refuses the delta unless
+  // its own sequence/timestamp match the base exactly, so a gap in the
+  // chain surfaces as a SerializationError (-> quarantine -> resync).
+  static std::vector<std::uint8_t> encode_delta(std::uint64_t base_seq,
+                                                std::uint64_t base_last_ts,
+                                                std::span<const Op> ops);
+
+  // Validates the delta against this mirror's (sequence, last_timestamp)
+  // and replays the ops into every copy. Validation completes before any
+  // mutation, so a throwing apply leaves the mirror untouched.
+  void apply_delta(std::span<const std::uint8_t> bytes);
+
  private:
+  static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::uint8_t kDeltaWireVersion = 1;
+
+  EstimatorParams params_;
   std::vector<WindowedF0Sampler> copies_;
 };
+
+// Union estimate over per-site windowed mirrors, per copy index: take the
+// max level any site needs for the window (every site's structure at that
+// level is then exact for the window), count the distinct in-window labels
+// across sites at that level, scale by 2^level; median across copies.
+// Order-independent and non-destructive by construction — the per-site
+// mirrors are read, never merged, which sidesteps the cross-site sequence
+// collisions a destructive recency-merge would have to invent tiebreaks
+// for.
+double windowed_union_estimate(std::span<const WindowedF0Estimator* const> parts,
+                               std::uint64_t window_start);
 
 }  // namespace ustream

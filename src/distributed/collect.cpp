@@ -46,6 +46,10 @@ std::string CollectReport::summary() const {
                   std::to_string(frames_quarantined) + " quarantined, " +
                   std::to_string(duplicates_dropped) + " duplicates, " +
                   std::to_string(stale_dropped) + " stale" +
+                  (deltas_applied > 0 || resyncs > 0
+                       ? ", " + std::to_string(deltas_applied) + " deltas, " +
+                             std::to_string(resyncs) + " resyncs"
+                       : "") +
                   "\nattempts: " + std::to_string(total_attempts()) + " sends for " +
                   std::to_string(sites_reported) + " accepted frames";
   const auto missing = missing_sites();
@@ -67,6 +71,14 @@ CollectState::CollectState(std::size_t sites, PayloadKind expected_kind, DedupMo
   report_.per_site.resize(sites);
 }
 
+void CollectState::enable_deltas(PayloadKind delta_kind) {
+  USTREAM_REQUIRE(mode_ == DedupMode::kLatestWins,
+                  "the delta protocol requires latest-wins dedup");
+  USTREAM_REQUIRE(delta_kind != expected_kind_,
+                  "delta kind must differ from the full-frame kind");
+  delta_kind_ = delta_kind;
+}
+
 std::optional<CollectState::Accepted> CollectState::ingest(
     std::span<const std::uint8_t> frame_bytes) {
   Frame frame;
@@ -76,13 +88,38 @@ std::optional<CollectState::Accepted> CollectState::ingest(
     report_.frames_quarantined += 1;
     return std::nullopt;
   }
+  const bool is_delta = delta_kind_.has_value() && frame.header.kind == *delta_kind_;
   // Structurally sound frame, but from the wrong protocol or an unknown
   // sender: also quarantine — the CRC protects integrity, not intent.
-  if (frame.header.kind != expected_kind_ || frame.header.site >= report_.per_site.size()) {
+  if ((frame.header.kind != expected_kind_ && !is_delta) ||
+      frame.header.site >= report_.per_site.size()) {
     report_.frames_quarantined += 1;
     return std::nullopt;
   }
   SiteCollectStatus& status = report_.per_site[frame.header.site];
+  if (is_delta) {
+    // A delta only extends an intact chain: the site must have reported and
+    // the delta must be the immediate successor of the accepted epoch.
+    // Retransmits of an already-applied epoch are duplicates/stale (the ack
+    // was lost, the state wasn't); everything else is a chain break that
+    // obliges the site to resync with a full frame.
+    if (status.reported && frame.header.epoch == status.accepted_epoch) {
+      report_.duplicates_dropped += 1;
+      return std::nullopt;
+    }
+    if (status.reported && frame.header.epoch < status.accepted_epoch) {
+      report_.stale_dropped += 1;
+      return std::nullopt;
+    }
+    if (!status.reported || frame.header.epoch != status.accepted_epoch + 1) {
+      report_.resyncs += 1;
+      return std::nullopt;
+    }
+    status.accepted_epoch = frame.header.epoch;
+    report_.deltas_applied += 1;
+    return Accepted{frame.header.site, frame.header.epoch, frame.header.kind,
+                    std::move(frame.payload)};
+  }
   if (status.reported) {
     if (mode_ == DedupMode::kExactlyOnce || frame.header.epoch == status.accepted_epoch) {
       report_.duplicates_dropped += 1;
@@ -97,7 +134,8 @@ std::optional<CollectState::Accepted> CollectState::ingest(
     status.reported = true;
   }
   status.accepted_epoch = frame.header.epoch;
-  return Accepted{frame.header.site, frame.header.epoch, std::move(frame.payload)};
+  return Accepted{frame.header.site, frame.header.epoch, frame.header.kind,
+                  std::move(frame.payload)};
 }
 
 void CollectState::record_send(std::size_t site) {
@@ -135,6 +173,14 @@ void CollectState::demote_accepted(std::size_t site, std::uint32_t previous_epoc
   }
 }
 
+void CollectState::demote_delta(std::size_t site, std::uint32_t previous_epoch) {
+  SiteCollectStatus& status = report_.per_site[site];
+  status.accepted_epoch = previous_epoch;
+  USTREAM_REQUIRE(report_.deltas_applied > 0, "demote_delta without an applied delta");
+  report_.deltas_applied -= 1;
+  report_.resyncs += 1;
+}
+
 void CollectState::restore_accepted(std::size_t site, std::uint32_t epoch) {
   USTREAM_REQUIRE(site < report_.per_site.size(),
                   "restore_accepted: site out of range");
@@ -164,6 +210,8 @@ CollectReport merge_reports(const std::vector<CollectReport>& parts) {
     merged.frames_quarantined += part.frames_quarantined;
     merged.duplicates_dropped += part.duplicates_dropped;
     merged.stale_dropped += part.stale_dropped;
+    merged.deltas_applied += part.deltas_applied;
+    merged.resyncs += part.resyncs;
     for (std::size_t s = 0; s < merged.sites_total; ++s) {
       const SiteCollectStatus& in = part.per_site[s];
       SiteCollectStatus& out = merged.per_site[s];

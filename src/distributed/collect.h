@@ -58,6 +58,8 @@ struct CollectReport {
   std::uint64_t frames_quarantined = 0;  // failed CRC/decode/validation
   std::uint64_t duplicates_dropped = 0;  // same (site, epoch) seen again
   std::uint64_t stale_dropped = 0;       // older epoch than already accepted
+  std::uint64_t deltas_applied = 0;      // delta frames accepted onto a chain
+  std::uint64_t resyncs = 0;             // delta chain breaks (full frame owed)
   std::vector<SiteCollectStatus> per_site;
 
   bool complete() const noexcept { return sites_reported == sites_total; }
@@ -84,9 +86,19 @@ class CollectState {
  public:
   CollectState(std::size_t sites, PayloadKind expected_kind, DedupMode mode);
 
+  // Opts into the continuous-mode delta protocol: frames of `delta_kind`
+  // are accepted IFF they extend the site's chain exactly — the site has
+  // reported and the delta's epoch is accepted_epoch + 1. Anything else
+  // (unreported site, epoch gap) counts a resync: the frame is dropped and
+  // the site owes a full frame of the expected kind, which re-bases the
+  // chain through the ordinary latest-wins path. Requires kLatestWins — a
+  // chain is meaningless under exactly-once.
+  void enable_deltas(PayloadKind delta_kind);
+
   struct Accepted {
     std::size_t site = 0;
     std::uint32_t epoch = 0;
+    PayloadKind kind = PayloadKind::kOpaque;  // expected kind, or the delta kind
     std::vector<std::uint8_t> payload;
   };
 
@@ -116,6 +128,11 @@ class CollectState {
   // dropped here at the shared one, under the same counter.
   void demote_accepted(std::size_t site, std::uint32_t previous_epoch,
                        bool previously_reported, bool count_stale);
+  // Un-accepts a DELTA ingest() just accepted because the global arbiter's
+  // chain head disagrees (another shard advanced the site, or the payload
+  // failed to apply): rolls the epoch back and converts the acceptance
+  // into a resync, so the site retransmits a full frame.
+  void demote_delta(std::size_t site, std::uint32_t previous_epoch);
   // Ledger restore hook for crash recovery (durability/recovery.h): marks
   // `site` as reported at `epoch` with one attempt, exactly as if its
   // winning frame had been sent once and accepted. Replayed WAL frames go
@@ -148,6 +165,7 @@ class CollectState {
  private:
   PayloadKind expected_kind_;
   DedupMode mode_;
+  std::optional<PayloadKind> delta_kind_;
   CollectReport report_;
 };
 

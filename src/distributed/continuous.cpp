@@ -3,8 +3,112 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace ustream {
+
+// ---------------------------------------------------------------------------
+// DeltaSiteSession
+
+DeltaSiteSession::DeltaSiteSession(const EstimatorParams& params, double growth)
+    : growth_(growth), sketch_(params) {
+  USTREAM_REQUIRE(growth > 0.0, "growth threshold must be positive");
+}
+
+std::vector<std::pair<int, std::size_t>> DeltaSiteSession::signature() const {
+  std::vector<std::pair<int, std::size_t>> sig;
+  sig.reserve(sketch_.num_copies());
+  for (std::size_t c = 0; c < sketch_.num_copies(); ++c) {
+    const auto& copy = sketch_.copy(c);
+    sig.emplace_back(copy.level(), copy.size());
+  }
+  return sig;
+}
+
+bool DeltaSiteSession::update_due() const {
+  if (sent_sig_.empty()) {
+    // Never transmitted: due as soon as any copy holds a sample.
+    for (std::size_t c = 0; c < sketch_.num_copies(); ++c) {
+      if (sketch_.copy(c).size() > 0) return true;
+    }
+    return false;
+  }
+  for (std::size_t c = 0; c < sketch_.num_copies(); ++c) {
+    const auto& copy = sketch_.copy(c);
+    const auto& [sent_level, sent_size] = sent_sig_[c];
+    if (copy.level() > sent_level) return true;  // level-raise notification
+    const double limit = static_cast<double>(sent_size) * (1.0 + growth_);
+    if (sent_size == 0 ? copy.size() > 0
+                       : static_cast<double>(copy.size()) > limit) {
+      return true;  // (1+growth)-factor growth of the sampled set
+    }
+  }
+  return false;
+}
+
+bool DeltaSiteSession::add(std::uint64_t label) {
+  sketch_.add(label);
+  ++items_;
+  if (update_due()) return true;
+  ++suppressed_;
+  USTREAM_COUNTER_ADD("ustream_continuous_suppressed_total", 1);
+  return false;
+}
+
+DeltaSiteSession::Outgoing DeltaSiteSession::next_update() {
+  Outgoing out;
+  out.epoch = ++epoch_;
+  if (needs_full()) {
+    out.payload = sketch_.serialize();
+    out.is_delta = false;
+    pending_full_ = true;
+    ++fulls_sent_;
+    USTREAM_COUNTER_ADD("ustream_continuous_full_frames_total", 1);
+  } else {
+    out.payload = sketch_.serialize_delta(*base_);
+    out.is_delta = true;
+    pending_full_ = false;
+    ++deltas_sent_;
+    USTREAM_COUNTER_ADD("ustream_continuous_deltas_total", 1);
+  }
+  pending_.emplace(sketch_);
+  pending_items_count_ = items_;
+  sent_sig_ = signature();
+  return out;
+}
+
+DeltaSiteSession::Outgoing DeltaSiteSession::next_full() {
+  need_full_ = true;
+  return next_update();
+}
+
+DeltaSiteSession::Outgoing DeltaSiteSession::resend() {
+  USTREAM_REQUIRE(pending_.has_value() && pending_full_,
+                  "resend() only retransmits an in-flight full frame");
+  Outgoing out;
+  out.epoch = epoch_;
+  out.payload = pending_->serialize();
+  out.is_delta = false;
+  return out;
+}
+
+void DeltaSiteSession::delivered() {
+  if (!pending_) return;
+  base_ = std::move(*pending_);
+  pending_.reset();
+  base_items_ = pending_items_count_;
+  need_full_ = false;
+}
+
+void DeltaSiteSession::lost() {
+  pending_.reset();
+  need_full_ = true;
+  ++resyncs_;
+  USTREAM_COUNTER_ADD("ustream_continuous_resyncs_total", 1);
+}
+
+// ---------------------------------------------------------------------------
+// ContinuousUnionMonitor
 
 ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
                                                const EstimatorParams& params)
@@ -12,11 +116,18 @@ ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t 
 
 ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
                                                const EstimatorParams& params,
+                                               const ContinuousMonitorOptions& options)
+    : ContinuousUnionMonitor(sites, report_interval, params, nullptr, RetryPolicy{}, options) {}
+
+ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t report_interval,
+                                               const EstimatorParams& params,
                                                std::unique_ptr<Transport> transport,
-                                               const RetryPolicy& policy)
+                                               const RetryPolicy& policy,
+                                               const ContinuousMonitorOptions& options)
     : params_(params),
       report_interval_(report_interval),
       policy_(policy),
+      options_(options),
       since_report_(sites, 0),
       observed_(sites, 0),
       epoch_(sites, 0),
@@ -31,11 +142,23 @@ ContinuousUnionMonitor::ContinuousUnionMonitor(std::size_t sites, std::uint64_t 
   USTREAM_REQUIRE(report_interval >= 1, "report interval must be >= 1");
   USTREAM_REQUIRE(transport_->num_sites() == sites,
                   "transport site count does not match the monitor");
-  site_sketches_.reserve(sites);
-  for (std::size_t i = 0; i < sites; ++i) site_sketches_.emplace_back(params);
+  if (options_.delta_protocol) {
+    state_.enable_deltas(PayloadKind::kF0Delta);
+    sessions_.reserve(sites);
+    for (std::size_t i = 0; i < sites; ++i) sessions_.emplace_back(params, options_.growth);
+  } else {
+    site_sketches_.reserve(sites);
+    for (std::size_t i = 0; i < sites; ++i) site_sketches_.emplace_back(params);
+  }
 }
 
 void ContinuousUnionMonitor::observe(std::size_t site, std::uint64_t label) {
+  if (options_.delta_protocol) {
+    const bool due = sessions_.at(site).add(label);
+    ++observed_[site];
+    if (due) push_delta(site, sessions_[site].next_update());
+    return;
+  }
   site_sketches_.at(site).add(label);
   ++observed_[site];
   if (++since_report_[site] >= report_interval_) push(site);
@@ -53,23 +176,67 @@ void ContinuousUnionMonitor::push(std::size_t site) {
   drain_into_referee();
 }
 
+void ContinuousUnionMonitor::push_delta(std::size_t site, const DeltaSiteSession::Outgoing& out) {
+  const PayloadKind kind = out.is_delta ? PayloadKind::kF0Delta : PayloadKind::kF0Estimator;
+  pending_items_[site].emplace_back(out.epoch, observed_[site]);
+  state_.record_fresh_send(site);
+  transport_->send(site,
+                   frame_encode({kind, static_cast<std::uint32_t>(site), out.epoch}, out.payload));
+  drain_into_referee();
+  settle_delta(site);
+}
+
+// In-process ack for the delta protocol: after the drain, the chain either
+// advanced to the session's epoch (delivered) or the frame was lost,
+// quarantined, or rejected (resync owed). A lossy transport may also deliver
+// it LATE — after a resync already re-based the chain — in which case the
+// late delta is stale/duplicate-dropped by the dedup state, which is exactly
+// the never-overcount contract.
+void ContinuousUnionMonitor::settle_delta(std::size_t site) {
+  const SiteCollectStatus& status = state_.report().per_site[site];
+  if (status.reported && status.accepted_epoch == sessions_[site].epoch()) {
+    sessions_[site].delivered();
+  } else {
+    sessions_[site].lost();
+  }
+}
+
 void ContinuousUnionMonitor::drain_into_referee() {
   for (const auto& message : transport_->drain()) {
     if (auto acc = state_.ingest(message)) {
-      accept(acc->site, acc->epoch, std::span<const std::uint8_t>(acc->payload));
+      accept(acc->site, acc->epoch, acc->kind, std::span<const std::uint8_t>(acc->payload));
     }
   }
 }
 
-void ContinuousUnionMonitor::accept(std::size_t site, std::uint32_t epoch,
+void ContinuousUnionMonitor::accept(std::size_t site, std::uint32_t epoch, PayloadKind kind,
                                     std::span<const std::uint8_t> payload) {
-  try {
-    referee_snapshots_[site] = F0Estimator::deserialize(payload);
-  } catch (const SerializationError&) {
-    // CRC passed yet the payload would not parse — a 2^-32 collision on a
-    // corrupted frame. Keep the previous snapshot; count the quarantine.
-    state_.report().frames_quarantined += 1;
-    return;
+  if (kind == PayloadKind::kF0Delta) {
+    // Apply transactionally: patch a copy of the mirror and swap on success,
+    // so a payload that fails mid-apply (CRC collision on a corrupted frame)
+    // leaves the mirror untouched and demotes the acceptance to a resync.
+    if (!referee_snapshots_[site].has_value()) {
+      state_.demote_delta(site, epoch - 1);
+      return;
+    }
+    F0Estimator next = *referee_snapshots_[site];
+    try {
+      next.apply_delta(payload);
+    } catch (const SerializationError&) {
+      state_.demote_delta(site, epoch - 1);
+      state_.report().frames_quarantined += 1;
+      return;
+    }
+    referee_snapshots_[site] = std::move(next);
+  } else {
+    try {
+      referee_snapshots_[site] = F0Estimator::deserialize(payload);
+    } catch (const SerializationError&) {
+      // CRC passed yet the payload would not parse — a 2^-32 collision on a
+      // corrupted frame. Keep the previous snapshot; count the quarantine.
+      state_.report().frames_quarantined += 1;
+      return;
+    }
   }
   referee_epoch_[site] = epoch;  // the query cache re-merges this site lazily
   ++snapshots_;
@@ -85,6 +252,7 @@ void ContinuousUnionMonitor::accept(std::size_t site, std::uint32_t epoch,
 }
 
 const CollectReport& ContinuousUnionMonitor::flush() {
+  if (options_.delta_protocol) return flush_delta();
   for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
     if (since_report_[i] > 0 || !referee_snapshots_[i].has_value()) push(i);
   }
@@ -110,6 +278,49 @@ const CollectReport& ContinuousUnionMonitor::flush() {
                                        site_sketches_[i].serialize()));
     }
     drain_into_referee();
+  }
+  state_.finalize(policy_.max_attempts_per_site);
+  return state_.report();
+}
+
+// Delta-mode flush: every site whose acked base lags its live sketch sends a
+// FULL frame at a fresh epoch (the unconditional resync — cheap relative to
+// the stream, and it re-bases the chain no matter what state the lossy
+// transport left it in), then retries that same frame per policy until acked.
+const CollectReport& ContinuousUnionMonitor::flush_delta() {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].dirty() || !referee_snapshots_[i].has_value()) {
+      push_delta(i, sessions_[i].next_full());
+    }
+  }
+  const auto converged = [this](std::size_t i) {
+    return state_.report().per_site[i].reported &&
+           state_.report().per_site[i].accepted_epoch == sessions_[i].epoch();
+  };
+  for (std::uint32_t round = 1; round < policy_.max_attempts_per_site; ++round) {
+    bool missing = false;
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      if (!converged(i)) missing = true;
+    }
+    if (!missing) break;
+    apply_backoff(policy_, round);
+    // Each retry re-bases with a fresh-epoch full frame (the state it
+    // carries is the same, so a late-delivered older retry is stale-dropped
+    // by latest-wins, never wrong).
+    std::vector<std::size_t> sent;
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      if (converged(i)) continue;
+      const auto out = sessions_[i].next_full();
+      pending_items_[i].emplace_back(out.epoch, observed_[i]);
+      state_.record_send(i);
+      transport_->send(i,
+                       frame_encode({PayloadKind::kF0Estimator, static_cast<std::uint32_t>(i),
+                                     out.epoch},
+                                    out.payload));
+      sent.push_back(i);
+    }
+    drain_into_referee();
+    for (std::size_t i : sent) settle_delta(i);
   }
   state_.finalize(policy_.max_attempts_per_site);
   return state_.report();
@@ -153,6 +364,207 @@ std::vector<std::uint64_t> ContinuousUnionMonitor::staleness() const {
     lag[i] = observed_[i] - acked_items_[i];
   }
   return lag;
+}
+
+std::uint64_t ContinuousUnionMonitor::deltas_sent() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.deltas_sent();
+  return n;
+}
+
+std::uint64_t ContinuousUnionMonitor::fulls_sent() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.fulls_sent();
+  return n;
+}
+
+std::uint64_t ContinuousUnionMonitor::delta_resyncs() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.resyncs();
+  return n;
+}
+
+std::uint64_t ContinuousUnionMonitor::suppressed_updates() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.suppressed();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ContinuousWindowedMonitor
+
+ContinuousWindowedMonitor::ContinuousWindowedMonitor(std::size_t sites,
+                                                     std::uint64_t ops_per_delta,
+                                                     const EstimatorParams& params,
+                                                     std::unique_ptr<Transport> transport,
+                                                     const RetryPolicy& policy)
+    : params_(params),
+      ops_per_delta_(ops_per_delta),
+      policy_(policy),
+      op_log_(sites),
+      acked_seq_(sites, 0),
+      acked_ts_(sites, 0),
+      need_full_(sites, false),
+      based_(sites, false),
+      epoch_(sites, 0),
+      mirrors_(sites),
+      transport_(transport ? std::move(transport) : std::make_unique<Channel>(sites)),
+      state_(sites, PayloadKind::kWindowedF0, DedupMode::kLatestWins) {
+  USTREAM_REQUIRE(sites >= 1, "need at least one site");
+  USTREAM_REQUIRE(ops_per_delta >= 1, "ops_per_delta must be >= 1");
+  USTREAM_REQUIRE(transport_->num_sites() == sites,
+                  "transport site count does not match the monitor");
+  state_.enable_deltas(PayloadKind::kWindowedDelta);
+  site_sketches_.reserve(sites);
+  for (std::size_t i = 0; i < sites; ++i) site_sketches_.emplace_back(params);
+}
+
+void ContinuousWindowedMonitor::observe(std::size_t site, std::uint64_t label,
+                                        std::uint64_t timestamp) {
+  site_sketches_.at(site).add(label, timestamp);
+  op_log_[site].emplace_back(label, timestamp);
+  if (op_log_[site].size() >= ops_per_delta_) push(site);
+}
+
+void ContinuousWindowedMonitor::push(std::size_t site) {
+  const bool full = !based_[site] || need_full_[site];
+  const std::uint32_t epoch = ++epoch_[site];
+  std::vector<std::uint8_t> payload;
+  PayloadKind kind;
+  if (full) {
+    payload = site_sketches_[site].serialize();
+    kind = PayloadKind::kWindowedF0;
+    ++fulls_sent_;
+    USTREAM_COUNTER_ADD("ustream_continuous_full_frames_total", 1);
+  } else {
+    payload = WindowedF0Estimator::encode_delta(acked_seq_[site], acked_ts_[site],
+                                                std::span<const WindowedF0Estimator::Op>(
+                                                    op_log_[site]));
+    kind = PayloadKind::kWindowedDelta;
+    ++deltas_sent_;
+    USTREAM_COUNTER_ADD("ustream_continuous_deltas_total", 1);
+  }
+  // Either way the ops are now represented in flight: a delivered frame
+  // advances the base past them; a lost one forces a full resync that
+  // carries the whole state anyway.
+  op_log_[site].clear();
+  state_.record_fresh_send(site);
+  transport_->send(site, frame_encode({kind, static_cast<std::uint32_t>(site), epoch},
+                                      std::move(payload)));
+  drain_into_referee();
+  const SiteCollectStatus& status = state_.report().per_site[site];
+  if (status.reported && status.accepted_epoch == epoch) {
+    acked_seq_[site] = site_sketches_[site].sequence();
+    acked_ts_[site] = site_sketches_[site].last_timestamp();
+    based_[site] = true;
+    need_full_[site] = false;
+  } else {
+    need_full_[site] = true;
+    USTREAM_COUNTER_ADD("ustream_continuous_resyncs_total", 1);
+  }
+}
+
+void ContinuousWindowedMonitor::send_full(std::size_t site, bool fresh) {
+  const std::uint32_t epoch = fresh ? ++epoch_[site] : epoch_[site];
+  if (fresh) {
+    ++fulls_sent_;
+    USTREAM_COUNTER_ADD("ustream_continuous_full_frames_total", 1);
+    state_.record_fresh_send(site);
+  } else {
+    state_.record_send(site);
+  }
+  op_log_[site].clear();
+  transport_->send(site, frame_encode({PayloadKind::kWindowedF0,
+                                       static_cast<std::uint32_t>(site), epoch},
+                                      site_sketches_[site].serialize()));
+}
+
+const CollectReport& ContinuousWindowedMonitor::flush() {
+  for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+    const bool dirty = !based_[i] || acked_seq_[i] != site_sketches_[i].sequence();
+    if (dirty || !mirrors_[i].has_value()) send_full(i, /*fresh=*/true);
+  }
+  drain_into_referee();
+  const auto converged = [this](std::size_t i) {
+    return state_.report().per_site[i].reported &&
+           state_.report().per_site[i].accepted_epoch == epoch_[i];
+  };
+  const auto settle = [this, &converged] {
+    for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+      if (!converged(i)) continue;
+      acked_seq_[i] = site_sketches_[i].sequence();
+      acked_ts_[i] = site_sketches_[i].last_timestamp();
+      based_[i] = true;
+      need_full_[i] = false;
+    }
+  };
+  settle();
+  for (std::uint32_t round = 1; round < policy_.max_attempts_per_site; ++round) {
+    bool missing = false;
+    for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+      if (!converged(i)) missing = true;
+    }
+    if (!missing) break;
+    apply_backoff(policy_, round);
+    for (std::size_t i = 0; i < site_sketches_.size(); ++i) {
+      if (!converged(i)) send_full(i, /*fresh=*/false);
+    }
+    drain_into_referee();
+    settle();
+  }
+  state_.finalize(policy_.max_attempts_per_site);
+  return state_.report();
+}
+
+void ContinuousWindowedMonitor::drain_into_referee() {
+  for (const auto& message : transport_->drain()) {
+    if (auto acc = state_.ingest(message)) {
+      accept(acc->site, acc->epoch, acc->kind, std::span<const std::uint8_t>(acc->payload));
+    }
+  }
+}
+
+void ContinuousWindowedMonitor::accept(std::size_t site, std::uint32_t epoch, PayloadKind kind,
+                                       std::span<const std::uint8_t> payload) {
+  (void)epoch;
+  if (kind == PayloadKind::kWindowedDelta) {
+    if (!mirrors_[site].has_value()) {
+      state_.demote_delta(site, epoch - 1);
+      return;
+    }
+    try {
+      // apply_delta validates everything (including the base match) before
+      // mutating, so a failure leaves the mirror untouched.
+      mirrors_[site]->apply_delta(payload);
+    } catch (const SerializationError&) {
+      state_.demote_delta(site, epoch - 1);
+      state_.report().frames_quarantined += 1;
+      return;
+    }
+  } else {
+    try {
+      mirrors_[site] = WindowedF0Estimator::deserialize(payload);
+    } catch (const SerializationError&) {
+      state_.report().frames_quarantined += 1;
+      return;
+    }
+  }
+}
+
+double ContinuousWindowedMonitor::estimate(std::uint64_t window_start) const {
+  std::vector<const WindowedF0Estimator*> parts;
+  parts.reserve(mirrors_.size());
+  for (const auto& m : mirrors_) {
+    if (m.has_value()) parts.push_back(&*m);
+  }
+  return windowed_union_estimate(parts, window_start);
+}
+
+double ContinuousWindowedMonitor::site_estimate(std::uint64_t window_start) const {
+  std::vector<const WindowedF0Estimator*> parts;
+  parts.reserve(site_sketches_.size());
+  for (const auto& s : site_sketches_) parts.push_back(&s);
+  return windowed_union_estimate(parts, window_start);
 }
 
 }  // namespace ustream

@@ -16,19 +16,27 @@ obs::Counter& replayed_counter() {
 
 // Replays one record through the CollectState acceptance path, updating
 // `result`. The frame bytes are copied into the winner slot on acceptance.
-void replay_record(CollectState& state,
+void replay_record(CollectState& state, std::optional<PayloadKind> delta_kind,
                    std::span<const std::uint8_t> frame_bytes,
                    RecoveryResult& result) {
   // ingest() never throws: the frame either fails validation (quarantined —
   // a corrupt record that still sliced structurally) or loses replay
-  // arbitration (duplicate/stale — superseded by a frame already replayed,
-  // possible when snapshots overlap segment tails). Callers diff the
-  // report's counters to classify.
+  // arbitration (duplicate/stale/resync — superseded by a frame already
+  // replayed, possible when snapshots overlap segment tails). Callers diff
+  // the report's counters to classify.
   auto accepted = state.ingest(frame_bytes);
   if (!accepted) return;
   auto& slot = result.sites[accepted->site];
-  slot = RecoveredSite{accepted->epoch,
-                       {frame_bytes.begin(), frame_bytes.end()}};
+  if (delta_kind.has_value() && accepted->kind == *delta_kind && slot.has_value()) {
+    // ingest() only extends an intact chain, so the site's full frame is
+    // already in the slot; the delta stacks on top of it in log order.
+    slot->deltas.emplace_back(frame_bytes.begin(), frame_bytes.end());
+    slot->epoch = accepted->epoch;
+  } else {
+    slot = RecoveredSite{accepted->epoch,
+                         {frame_bytes.begin(), frame_bytes.end()},
+                         {}};
+  }
   result.frames_replayed += 1;
   replayed_counter().add(1);
 }
@@ -71,6 +79,7 @@ RecoveryResult recover_referee_state(const RecoveryOptions& options) {
   // One replay CollectState carries the dedup semantics for snapshot and
   // tail alike — the "same one-arbiter acceptance path" as live traffic.
   CollectState state(options.sites, options.expected_kind, options.dedup);
+  if (options.delta_kind.has_value()) state.enable_deltas(*options.delta_kind);
 
   // Newest valid snapshot first; corrupt ones fall back to the previous.
   const auto snapshots = scan_snapshots(options.dir);
@@ -88,7 +97,7 @@ RecoveryResult recover_referee_state(const RecoveryOptions& options) {
     }
     for (const auto& frame : frames) {
       const auto quarantined_before = state.report().frames_quarantined;
-      replay_record(state, frame, result);
+      replay_record(state, options.delta_kind, frame, result);
       if (state.report().frames_quarantined > quarantined_before) {
         result.frames_corrupt += 1;
       }
@@ -119,13 +128,18 @@ RecoveryResult recover_referee_state(const RecoveryOptions& options) {
     SegmentReader reader(seg.path);
     while (auto record = reader.next()) {
       const auto quarantined_before = state.report().frames_quarantined;
+      // A delta whose chain was re-based by a later-replayed full frame is
+      // superseded state, same as a stale snapshot — its resync counter
+      // folds into the superseded classification.
       const auto super_before = state.report().duplicates_dropped +
-                                state.report().stale_dropped;
-      replay_record(state, *record, result);
+                                state.report().stale_dropped +
+                                state.report().resyncs;
+      replay_record(state, options.delta_kind, *record, result);
       if (state.report().frames_quarantined > quarantined_before) {
         result.frames_corrupt += 1;
       } else if (state.report().duplicates_dropped +
-                     state.report().stale_dropped > super_before) {
+                     state.report().stale_dropped +
+                     state.report().resyncs > super_before) {
         result.frames_superseded += 1;
       }
     }
@@ -198,14 +212,23 @@ void DurableLog::open_writers(std::uint32_t shards, std::uint32_t start_seq,
 
 void DurableLog::log_accepted(std::uint32_t shard, std::uint32_t site,
                               std::uint32_t epoch,
-                              std::span<const std::uint8_t> frame_bytes) {
+                              std::span<const std::uint8_t> frame_bytes,
+                              bool is_delta) {
   USTREAM_REQUIRE(shard < writers_.size(), "log_accepted: shard out of range");
   USTREAM_REQUIRE(site < winners_.size(), "log_accepted: site out of range");
   WalWriter& writer = *writers_[shard];
   writer.append(frame_bytes);
   writer.commit();
-  winners_[site] = RecoveredSite{epoch,
-                                 {frame_bytes.begin(), frame_bytes.end()}};
+  if (is_delta) {
+    USTREAM_REQUIRE(winners_[site].has_value(),
+                    "delta logged for a site with no full frame on record");
+    winners_[site]->deltas.emplace_back(frame_bytes.begin(), frame_bytes.end());
+    winners_[site]->epoch = epoch;
+  } else {
+    winners_[site] = RecoveredSite{epoch,
+                                   {frame_bytes.begin(), frame_bytes.end()},
+                                   {}};
+  }
   records_logged_ += 1;
   accepted_since_snapshot_ += 1;
   maybe_snapshot();
@@ -219,7 +242,11 @@ void DurableLog::maybe_snapshot() {
   std::vector<std::vector<std::uint8_t>> frames;
   frames.reserve(winners_.size());
   for (const auto& winner : winners_) {
-    if (winner.has_value()) frames.push_back(winner->frame);
+    if (!winner.has_value()) continue;
+    // Chain order matters: the full frame first, then its deltas, so a
+    // snapshot replay rebuilds the chain through the same acceptance path.
+    frames.push_back(winner->frame);
+    for (const auto& delta : winner->deltas) frames.push_back(delta);
   }
   const std::uint32_t seq = next_snapshot_seq_++;
   write_snapshot(options_.dir, run_id_, seq, frames);

@@ -36,9 +36,16 @@ namespace ustream::durability {
 // One site's recovered acceptance: the winning epoch and the verbatim
 // winning frame (kept so snapshots can be rewritten and re-pushes after
 // restart can be compared against real state, not a summary of it).
+// Under the continuous delta protocol the winning state is a CHAIN: the
+// last full frame plus every delta accepted on top of it, in log order
+// (`epoch` is then the chain head — the last delta's epoch). Replaying
+// frame-then-deltas through the same sink path reproduces the pre-crash
+// mirror; snapshots flatten the chain in that order so a recovery from
+// snapshot rebuilds it identically.
 struct RecoveredSite {
   std::uint32_t epoch = 0;
   std::vector<std::uint8_t> frame;
+  std::vector<std::vector<std::uint8_t>> deltas;
 };
 
 struct RecoveryResult {
@@ -68,6 +75,9 @@ struct RecoveryOptions {
   std::size_t sites = 0;
   PayloadKind expected_kind = PayloadKind::kOpaque;
   DedupMode dedup = DedupMode::kExactlyOnce;
+  // Continuous mode: accept logged delta frames of this kind onto their
+  // site's chain during replay (requires kLatestWins, like the live path).
+  std::optional<PayloadKind> delta_kind;
 };
 
 // Replays the WAL dir into a RecoveryResult. Corrupt snapshots fall back
@@ -108,9 +118,13 @@ class DurableLog {
   // Logs one arbitration winner: appends the frame to shard's WAL and
   // commits (write + policy fsync) so the caller may ack. May write a
   // snapshot and rotate every shard's writer when snapshot_every is hit.
+  // `is_delta` appends the frame to the site's recovered chain instead of
+  // replacing it (the site must already hold a full frame); a full frame
+  // always resets the chain.
   void log_accepted(std::uint32_t shard, std::uint32_t site,
                     std::uint32_t epoch,
-                    std::span<const std::uint8_t> frame_bytes);
+                    std::span<const std::uint8_t> frame_bytes,
+                    bool is_delta = false);
 
   // Final flush+fsync on every shard (clean shutdown).
   void sync_all();

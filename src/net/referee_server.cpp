@@ -62,10 +62,11 @@ struct RefereeServer::Conn {
 // referee would have issued, which is what keeps the merge_reports() fold
 // of the shard ledgers identical to the sequential ledger.
 struct RefereeServer::Shared {
-  Shared(std::size_t sites, DedupMode mode, const PayloadSink& sink)
-      : mode(mode), sink(sink), slots(sites, 0) {}
+  Shared(std::size_t sites, DedupMode mode, bool continuous, const PayloadSink& sink)
+      : mode(mode), continuous(continuous), sink(sink), slots(sites, 0) {}
 
   const DedupMode mode;
+  const bool continuous;  // never declare completion; run to deadline/stop
   const PayloadSink& sink;
   std::mutex mu;
   std::vector<std::uint64_t> slots;  // guarded by mu; 0 = unclaimed
@@ -102,6 +103,8 @@ struct RefereeMetrics {
   obs::Counter& frames_duplicate;
   obs::Counter& frames_stale;
   obs::Counter& frames_quarantined;
+  obs::Counter& frames_delta;
+  obs::Counter& frames_resync;
   obs::Counter& bytes_in;
   obs::Counter& bytes_out;
   obs::Counter& admin_requests;
@@ -117,6 +120,10 @@ struct RefereeMetrics {
         frames_stale(obs::default_registry().counter("ustream_referee_frames_stale_total", labels)),
         frames_quarantined(
             obs::default_registry().counter("ustream_referee_frames_quarantined_total", labels)),
+        frames_delta(
+            obs::default_registry().counter("ustream_referee_frames_delta_total", labels)),
+        frames_resync(
+            obs::default_registry().counter("ustream_referee_frames_resync_total", labels)),
         bytes_in(obs::default_registry().counter("ustream_referee_bytes_in_total", labels)),
         bytes_out(obs::default_registry().counter("ustream_referee_bytes_out_total", labels)),
         admin_requests(
@@ -144,6 +151,7 @@ class RefereeServer::Shard {
         state_(config_.sites, config_.expected_kind, config_.dedup),
         metrics_(config_.shards > 1 ? "shard=\"" + std::to_string(index) + "\""
                                     : std::string{}) {
+    if (config_.delta_kind.has_value()) state_.enable_deltas(*config_.delta_kind);
     wire_.bytes_per_site.assign(config_.sites, 0);
   }
 
@@ -470,7 +478,10 @@ class RefereeServer::Shard {
     const CollectReport& before = state_.report();
     const std::uint64_t dup0 = before.duplicates_dropped;
     const std::uint64_t stale0 = before.stale_dropped;
+    const std::uint64_t resync0 = before.resyncs;
     auto accepted = state_.ingest(frame_bytes);
+    const bool was_delta = accepted.has_value() && config_.delta_kind.has_value() &&
+                           accepted->kind == *config_.delta_kind;
     PushAck ack = PushAck::kQuarantined;
     if (accepted) {
       ack = arbitrate(*accepted, prev_epoch, prev_reported, frame_bytes);
@@ -478,12 +489,20 @@ class RefereeServer::Shard {
       ack = PushAck::kDuplicate;
     } else if (state_.report().stale_dropped > stale0) {
       ack = PushAck::kStale;
+    } else if (state_.report().resyncs > resync0) {
+      // Delta with a broken chain (gap / unreported site): tell the site to
+      // re-base with a full frame.
+      ack = PushAck::kResync;
     }
     switch (ack) {
-      case PushAck::kAccepted: metrics_.frames_accepted.add(1); break;
+      case PushAck::kAccepted:
+        metrics_.frames_accepted.add(1);
+        if (was_delta) metrics_.frames_delta.add(1);
+        break;
       case PushAck::kDuplicate: metrics_.frames_duplicate.add(1); break;
       case PushAck::kStale: metrics_.frames_stale.add(1); break;
       case PushAck::kQuarantined: metrics_.frames_quarantined.add(1); break;
+      case PushAck::kResync: metrics_.frames_resync.add(1); break;
     }
     if (conn.out.empty()) flushing_ += 1;
     conn.out.push_back(static_cast<std::uint8_t>(ack));
@@ -503,6 +522,32 @@ class RefereeServer::Shard {
     const std::uint64_t want = static_cast<std::uint64_t>(acc.epoch) + 1;
     std::lock_guard<std::mutex> lock(shared_.mu);
     std::uint64_t& slot = shared_.slots[site];
+    if (config_.delta_kind.has_value() && acc.kind == *config_.delta_kind) {
+      // A delta extends the GLOBAL chain iff the winning epoch is exactly
+      // its predecessor (slot stores epoch + 1, so slot == acc.epoch; the
+      // slot != 0 guard keeps an epoch-0-claiming delta from binding to an
+      // unreported site). Any other slot state means another shard moved
+      // the chain, or nothing is based yet — either way the local
+      // acceptance demotes to the resync verdict a sequential referee
+      // would have issued, and the site re-bases with a full frame.
+      if (slot == 0 || slot != acc.epoch) {
+        state_.demote_delta(site, prev_epoch);
+        return PushAck::kResync;
+      }
+      if (!shared_.sink(site, acc.epoch, acc.kind, std::move(acc.payload))) {
+        // The delta did not apply (mirror mismatch / corrupt payload with a
+        // colliding CRC). Retransmission cannot help; demand a full frame.
+        state_.demote_delta(site, prev_epoch);
+        return PushAck::kResync;
+      }
+      if (server_.durable_ != nullptr) {
+        server_.durable_->log_accepted(static_cast<std::uint32_t>(index_),
+                                       static_cast<std::uint32_t>(site), acc.epoch,
+                                       frame_bytes, /*is_delta=*/true);
+      }
+      slot = want;
+      return PushAck::kAccepted;
+    }
     bool wins = false;
     bool stale = false;
     if (slot == 0) {
@@ -516,7 +561,7 @@ class RefereeServer::Shard {
       state_.demote_accepted(site, prev_epoch, prev_reported, stale);
       return stale ? PushAck::kStale : PushAck::kDuplicate;
     }
-    if (!shared_.sink(site, acc.epoch, std::move(acc.payload))) {
+    if (!shared_.sink(site, acc.epoch, acc.kind, std::move(acc.payload))) {
       // CRC collision: reopen + quarantine locally. The slot keeps its
       // previous value — if an older snapshot had already been delivered,
       // the sink still holds it, and the retransmit the 'Q' ack provokes
@@ -537,7 +582,7 @@ class RefereeServer::Shard {
     slot = want;
     if (first) {
       shared_.reported += 1;
-      if (shared_.reported == shared_.slots.size()) {
+      if (shared_.reported == shared_.slots.size() && !shared_.continuous) {
         shared_.complete.store(true, std::memory_order_release);
         server_.notify_all();  // every shard re-checks and winds down
       }
@@ -566,6 +611,8 @@ class RefereeServer::Shard {
 RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(config)) {
   USTREAM_REQUIRE(config_.sites >= 1, "need at least one site");
   USTREAM_REQUIRE(config_.shards >= 1, "need at least one shard");
+  USTREAM_REQUIRE(!config_.delta_kind.has_value() || config_.dedup == DedupMode::kLatestWins,
+                  "the delta protocol requires latest-wins dedup");
   if (config_.wal.has_value()) {
     const RefereeServerConfig::Durability& opt = *config_.wal;
     durability::DurableLog::Options log_options;
@@ -580,6 +627,7 @@ RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(con
       rec.sites = config_.sites;
       rec.expected_kind = config_.expected_kind;
       rec.dedup = config_.dedup;
+      rec.delta_kind = config_.delta_kind;
       durable_ = std::make_unique<durability::DurableLog>(
           std::move(log_options), config_.sites,
           static_cast<std::uint32_t>(config_.shards),
@@ -617,7 +665,7 @@ RefereeServer::RefereeServer(RefereeServerConfig config) : config_(std::move(con
 RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
   const bool has_deadline = config_.timeout.count() > 0;
   const auto deadline = std::chrono::steady_clock::now() + config_.timeout;
-  Shared shared(config_.sites, config_.dedup, sink);
+  Shared shared(config_.sites, config_.dedup, config_.continuous, sink);
 
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(config_.shards);
@@ -637,12 +685,26 @@ RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
     for (std::size_t site = 0; site < rec.sites.size(); ++site) {
       if (!rec.sites[site].has_value()) continue;
       Frame frame = frame_decode(rec.sites[site]->frame);
-      if (!sink(site, frame.header.epoch, std::move(frame.payload))) continue;
-      shared.slots[site] = static_cast<std::uint64_t>(frame.header.epoch) + 1;
+      if (!sink(site, frame.header.epoch, frame.header.kind, std::move(frame.payload))) {
+        continue;
+      }
+      std::uint32_t head = frame.header.epoch;
+      // Replay the site's logged delta chain on top of the re-based mirror,
+      // in log order. A delta that fails to apply ends the chain there —
+      // the site's next delta then earns 'R' and a full frame re-bases it,
+      // the same fallback a live chain break takes.
+      for (const auto& delta_bytes : rec.sites[site]->deltas) {
+        Frame delta = frame_decode(delta_bytes);
+        if (!sink(site, delta.header.epoch, delta.header.kind, std::move(delta.payload))) {
+          break;
+        }
+        head = delta.header.epoch;
+      }
+      shared.slots[site] = static_cast<std::uint64_t>(head) + 1;
       shared.reported += 1;
-      shards[0]->preload(site, frame.header.epoch);
+      shards[0]->preload(site, head);
     }
-    if (shared.reported == shared.slots.size()) {
+    if (shared.reported == shared.slots.size() && !shared.continuous) {
       shared.complete.store(true, std::memory_order_release);
     }
   }

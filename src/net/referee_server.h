@@ -70,6 +70,20 @@ struct RefereeServerConfig {
   PayloadKind expected_kind = PayloadKind::kF0Estimator;
   DedupMode dedup = DedupMode::kExactlyOnce;
 
+  // Continuous-mode delta protocol (DESIGN.md §12). When set, frames of
+  // this kind are accepted iff they extend the site's epoch chain exactly
+  // (accepted_epoch + 1, globally arbitrated); anything else earns the 'R'
+  // resync ack that tells the site to re-base with a full frame of
+  // expected_kind. Requires kLatestWins. The sink receives each accepted
+  // payload with its kind, so it can apply deltas onto its per-site mirror
+  // instead of replacing it.
+  std::optional<PayloadKind> delta_kind;
+
+  // Keep collecting after every site has reported (continuous monitoring):
+  // completion never fires, and the server runs until the deadline expires
+  // or request_stop() is called.
+  bool continuous = false;
+
   // Worker event loops. 1 keeps the original single-threaded referee (no
   // extra threads are spawned); N > 1 runs N-1 extra shard threads with
   // SO_REUSEPORT acceptors on the same port.
@@ -130,11 +144,16 @@ class RefereeServer {
   // Consumes an accepted payload. Returns false iff the payload fails to
   // deserialize despite its CRC matching (the 2^-32 collision case): the
   // frame is then quarantined and the site reopened, and the client sees a
-  // 'Q' ack telling it to retransmit. In a sharded server the sink is
-  // invoked under the shared arbiter mutex, so calls are serialized and
-  // arrive in global acceptance order — a plain vector-slot sink needs no
-  // locking of its own.
+  // 'Q' ack telling it to retransmit — except for a delta payload, whose
+  // failure demotes the acceptance to a resync ('R'): retransmitting a
+  // delta that cannot apply is useless, the site owes a full frame. `kind`
+  // is the frame's PayloadKind (config.expected_kind, or config.delta_kind
+  // for chain deltas). In a sharded server the sink is invoked under the
+  // shared arbiter mutex, so calls are serialized and arrive in global
+  // acceptance order — a plain vector-slot sink needs no locking of its
+  // own.
   using PayloadSink = std::function<bool(std::size_t site, std::uint32_t epoch,
+                                         PayloadKind kind,
                                          std::vector<std::uint8_t>&& payload)>;
 
   // One shard's view of the collection — the fold inputs, kept visible so
@@ -214,6 +233,7 @@ NetCollectResult<Sketch> collect_and_merge(RefereeServer& server,
   std::vector<std::optional<Sketch>> accepted(server.sites());
   RefereeServer::Result res =
       server.run([&accepted](std::size_t site, std::uint32_t /*epoch*/,
+                             PayloadKind /*kind*/,
                              std::vector<std::uint8_t>&& payload) {
         try {
           accepted[site].emplace(

@@ -15,6 +15,7 @@ const char* push_ack_name(PushAck ack) noexcept {
     case PushAck::kDuplicate: return "duplicate";
     case PushAck::kStale: return "stale";
     case PushAck::kQuarantined: return "quarantined";
+    case PushAck::kResync: return "resync";
   }
   return "unknown";
 }
@@ -96,6 +97,10 @@ PushAck TcpTransport::send_with_ack(std::size_t from_site,
         case PushAck::kAccepted: return PushAck::kAccepted;
         case PushAck::kDuplicate: return PushAck::kDuplicate;
         case PushAck::kStale: return PushAck::kStale;
+        case PushAck::kResync:
+          // The delta's chain is broken at the referee; only a full frame
+          // can fix that. Hand the verdict back instead of retrying.
+          return PushAck::kResync;
         case PushAck::kQuarantined:
           // The referee saw the bytes but rejected them; retransmitting the
           // same frame is the protocol's answer to line corruption.

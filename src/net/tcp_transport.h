@@ -10,6 +10,7 @@
 //   server -> client :  one ack byte per frame, in order:
 //                         'A' accepted   'D' duplicate   'S' stale
 //                         'Q' quarantined (failed CRC/decode/kind/site)
+//                         'R' resync (delta chain broken; send a full frame)
 //
 // The length prefix delimits frames on the byte stream; everything about
 // integrity stays a frame-layer verdict (common/frame.h) so the server
@@ -42,6 +43,11 @@ enum class PushAck : std::uint8_t {
   kDuplicate = 'D',
   kStale = 'S',
   kQuarantined = 'Q',
+  // Continuous mode only: the delta frame did not extend the site's chain
+  // (gap, unreported site, or the referee demoted it). NOT retried by
+  // send_with_ack — retransmitting the same delta cannot help; the caller
+  // must re-base with a full frame at the next epoch.
+  kResync = 'R',
 };
 
 const char* push_ack_name(PushAck ack) noexcept;

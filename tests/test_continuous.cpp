@@ -252,5 +252,210 @@ TEST(Continuous, IncrementalEstimateMatchesFullRemergeOverFaultyTransport) {
   EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
 }
 
+// ---------------------------------------------------------------------------
+// Delta protocol (DESIGN.md §12): threshold-silent sites, delta frames,
+// full-frame resync on chain breaks.
+
+constexpr ContinuousMonitorOptions kDeltaOpts{.delta_protocol = true, .growth = 0.25};
+
+TEST(ContinuousDelta, SessionSendsFullThenDeltasThenResync) {
+  DeltaSiteSession session(EstimatorParams::for_guarantee(0.2, 0.1, 30), 0.25);
+  // First crossing emits a full frame (no base yet).
+  std::uint64_t label = 0;
+  while (!session.add(label)) ++label;
+  auto first = session.next_update();
+  EXPECT_FALSE(first.is_delta);
+  EXPECT_EQ(first.epoch, 1u);
+  session.delivered();
+  EXPECT_FALSE(session.dirty());
+  // Next crossing rides the chain as a delta.
+  while (!session.add(++label)) {
+  }
+  auto second = session.next_update();
+  EXPECT_TRUE(second.is_delta);
+  EXPECT_EQ(second.epoch, 2u);
+  session.delivered();
+  // A lost transmission breaks the chain: the next update re-bases full.
+  while (!session.add(++label)) {
+  }
+  auto third = session.next_update();
+  EXPECT_TRUE(third.is_delta);
+  session.lost();
+  EXPECT_TRUE(session.needs_full());
+  auto resync = session.next_update();
+  EXPECT_FALSE(resync.is_delta);
+  session.delivered();
+  EXPECT_EQ(session.resyncs(), 1u);
+  EXPECT_EQ(session.fulls_sent(), 2u);
+  EXPECT_EQ(session.deltas_sent(), 2u);
+}
+
+TEST(ContinuousDelta, DeltaReconstructionIsBitIdentical) {
+  // The referee applying (full, delta, delta, ...) must hold the SAME bytes
+  // as a full serialization of the site's sketch at each acked point.
+  DeltaSiteSession session(EstimatorParams::for_guarantee(0.15, 0.05, 31), 0.25);
+  std::optional<F0Estimator> mirror;
+  Xoshiro256 rng(32);
+  for (int i = 0; i < 30'000; ++i) {
+    if (!session.add(rng.below(20'000))) continue;
+    const auto out = session.next_update();
+    if (out.is_delta) {
+      mirror->apply_delta(std::span<const std::uint8_t>(out.payload));
+    } else {
+      mirror = F0Estimator::deserialize(std::span<const std::uint8_t>(out.payload));
+    }
+    session.delivered();
+    ASSERT_EQ(mirror->serialize(), session.sketch().serialize()) << "at item " << i;
+  }
+}
+
+TEST(ContinuousDelta, EstimateMatchesFullRemergeAtEveryCheckpoint) {
+  // Satellite property: with the delta protocol on a clean transport the
+  // incremental estimate equals the copy-everything reference at every
+  // checkpoint, and the flushed answer equals the one-shot central fold.
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 33);
+  const std::size_t sites = 6;
+  ContinuousUnionMonitor mon(sites, 64, params, kDeltaOpts);
+  F0Estimator central(params);
+  Xoshiro256 rng(34);
+  for (int i = 0; i < 40'000; ++i) {
+    const std::uint64_t label = rng.below(25'000);
+    mon.observe(rng.below(sites), label);
+    central.add(label);
+    if (i % 1000 == 999) {
+      ASSERT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge()) << "at item " << i;
+    }
+  }
+  mon.flush();
+  EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
+  EXPECT_DOUBLE_EQ(mon.estimate(), central.estimate());
+  EXPECT_GT(mon.deltas_sent(), 0u);
+  EXPECT_GT(mon.suppressed_updates(), mon.deltas_sent());
+  EXPECT_EQ(mon.delta_resyncs(), 0u);
+}
+
+TEST(ContinuousDelta, ChaosNeverOvercountsAndDropsForceResyncs) {
+  // Satellite property: under FaultyChannel chaos every broken delta chain
+  // falls back to a full-frame resync, the estimate stays a prefix-union
+  // answer (never overcounts beyond estimator noise) at EVERY checkpoint,
+  // and the incremental path still equals full remerge.
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 35);
+  const std::size_t sites = 4;
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 16;
+  policy.sleep_on_backoff = false;
+  ContinuousUnionMonitor mon(
+      sites, 64, params, std::make_unique<FaultyChannel>(sites, FaultSpec::dropping(0.4), 87),
+      policy, kDeltaOpts);
+  ExactDistinctCounter exact;
+  Xoshiro256 rng(36);
+  for (int i = 0; i < 40'000; ++i) {
+    const std::uint64_t label = rng.below(25'000);
+    mon.observe(rng.below(sites), label);
+    exact.add(label);
+    if (i % 2500 == 2499) {
+      ASSERT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge()) << "at item " << i;
+      ASSERT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count()))
+          << "at item " << i;
+    }
+  }
+  EXPECT_GT(mon.delta_resyncs(), 0u);  // drops really broke chains
+  const CollectReport& report = mon.flush();
+  EXPECT_TRUE(report.complete()) << report.summary();
+  EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
+  EXPECT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count()));
+  for (auto lag : mon.staleness()) EXPECT_EQ(lag, 0u);
+}
+
+TEST(ContinuousDelta, FlushedDeltaRunMatchesSnapshotProtocol) {
+  // Same streams through both protocol variants: after a converged flush
+  // the referee state is identical (sampler state is a pure function of
+  // the absorbed label set), while the delta variant spends far fewer
+  // bytes and messages.
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 37);
+  const std::size_t sites = 4;
+  ContinuousUnionMonitor delta_mon(sites, 64, params, kDeltaOpts);
+  ContinuousUnionMonitor snap_mon(sites, 64, params);
+  Xoshiro256 rng(38);
+  for (int i = 0; i < 60'000; ++i) {
+    const std::uint64_t label = rng.below(30'000);
+    const auto site = static_cast<std::size_t>(rng.below(sites));
+    delta_mon.observe(site, label);
+    snap_mon.observe(site, label);
+  }
+  delta_mon.flush();
+  snap_mon.flush();
+  EXPECT_DOUBLE_EQ(delta_mon.estimate(), snap_mon.estimate());
+  EXPECT_LT(delta_mon.channel_stats().total_bytes, snap_mon.channel_stats().total_bytes / 5);
+  EXPECT_LT(delta_mon.channel_stats().messages, snap_mon.channel_stats().messages / 2);
+}
+
+TEST(ContinuousDelta, CorruptDeltasQuarantineAndResync) {
+  const auto params = EstimatorParams::for_guarantee(0.1, 0.05, 39);
+  const std::size_t sites = 2;
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 16;
+  policy.sleep_on_backoff = false;
+  ContinuousUnionMonitor mon(
+      sites, 64, params,
+      std::make_unique<FaultyChannel>(sites, FaultSpec::corrupting(0.3), 88), policy,
+      kDeltaOpts);
+  ExactDistinctCounter exact;
+  Xoshiro256 rng(40);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t label = rng.below(15'000);
+    mon.observe(static_cast<std::size_t>(i) % sites, label);
+    exact.add(label);
+  }
+  EXPECT_GT(mon.status().frames_quarantined, 0u);
+  EXPECT_LE(mon.estimate(), 1.15 * static_cast<double>(exact.count()));
+  const CollectReport& report = mon.flush();
+  EXPECT_TRUE(report.complete()) << report.summary();
+  EXPECT_DOUBLE_EQ(mon.estimate(), mon.estimate_full_remerge());
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window continuous protocol (kWindowedDelta op-replay frames).
+
+TEST(ContinuousWindowed, MirrorsTrackSitesBitIdentically) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 41);
+  const std::size_t sites = 3;
+  ContinuousWindowedMonitor mon(sites, 128, params);
+  Xoshiro256 rng(42);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    mon.observe(rng.below(sites), rng.below(10'000), t++);
+  }
+  mon.flush();
+  // After a converged flush the referee answers exactly what a zero-lag
+  // union over the live site estimators would, for any window start.
+  for (std::uint64_t start : {std::uint64_t{0}, t / 2, t - 500, t}) {
+    EXPECT_DOUBLE_EQ(mon.estimate(start), mon.site_estimate(start)) << start;
+  }
+  EXPECT_GT(mon.deltas_sent(), 0u);
+}
+
+TEST(ContinuousWindowed, DropsForceFullResyncAndConverge) {
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 43);
+  const std::size_t sites = 2;
+  RetryPolicy policy;
+  policy.max_attempts_per_site = 16;
+  policy.sleep_on_backoff = false;
+  ContinuousWindowedMonitor mon(
+      sites, 64, params, std::make_unique<FaultyChannel>(sites, FaultSpec::dropping(0.4), 89),
+      policy);
+  Xoshiro256 rng(44);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    mon.observe(static_cast<std::size_t>(i) % sites, rng.below(8'000), t++);
+  }
+  EXPECT_GT(mon.fulls_sent(), sites);  // drops forced at least one resync
+  const CollectReport& report = mon.flush();
+  EXPECT_TRUE(report.complete()) << report.summary();
+  for (std::uint64_t start : {std::uint64_t{0}, t / 2, t}) {
+    EXPECT_DOUBLE_EQ(mon.estimate(start), mon.site_estimate(start)) << start;
+  }
+}
+
 }  // namespace
 }  // namespace ustream

@@ -17,6 +17,7 @@
 #include "core/distinct_sum.h"
 #include "core/f0_estimator.h"
 #include "core/range_sampler.h"
+#include "core/windowed_sampler.h"
 
 namespace ustream {
 namespace {
@@ -153,6 +154,87 @@ TEST(WireFuzz, FramedCoordinatedSamplerCorruptionAlwaysDetected) {
 
 TEST(WireFuzz, FramedEmptyPayloadCorruptionAlwaysDetected) {
   framed_corruption_sweep({}, PayloadKind::kOpaque, 30);
+}
+
+// The continuous-mode kinds join the framed matrix: a corrupted delta that
+// slipped past the CRC would silently skew the referee's mirror, so the
+// zero-undetected-corruptions bar applies to them exactly as to full
+// sketches.
+TEST(WireFuzz, FramedWindowedF0CorruptionAlwaysDetected) {
+  WindowedF0Estimator est(EstimatorParams{.capacity = 32, .copies = 5, .seed = 31});
+  Xoshiro256 rng(11);
+  for (std::uint64_t t = 0; t < 10'000; ++t) est.add(rng.next(), t);
+  framed_corruption_sweep(est.serialize(), PayloadKind::kWindowedF0, 32);
+}
+
+TEST(WireFuzz, FramedF0DeltaCorruptionAlwaysDetected) {
+  F0Estimator est(EstimatorParams{.capacity = 32, .copies = 5, .seed = 33});
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 5'000; ++i) est.add(rng.next());
+  const F0Estimator base = est;
+  for (int i = 0; i < 5'000; ++i) est.add(rng.next());
+  framed_corruption_sweep(est.serialize_delta(base), PayloadKind::kF0Delta, 34);
+}
+
+TEST(WireFuzz, FramedWindowedDeltaCorruptionAlwaysDetected) {
+  Xoshiro256 rng(13);
+  std::vector<WindowedF0Estimator::Op> ops;
+  std::uint64_t t = 500;
+  for (int i = 0; i < 2'000; ++i) ops.emplace_back(rng.next(), t++);
+  framed_corruption_sweep(WindowedF0Estimator::encode_delta(500, 499, ops),
+                          PayloadKind::kWindowedDelta, 35);
+}
+
+// Below the frame layer the delta decoders face the weaker contract:
+// corrupted payload bytes must raise SerializationError or apply benignly
+// — never crash, and for the windowed decoder never mutate the mirror on a
+// rejected delta (validate-before-mutate).
+TEST(WireFuzz, F0DeltaPayloadSurvivesCorruption) {
+  F0Estimator est(EstimatorParams{.capacity = 32, .copies = 5, .seed = 36});
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 5'000; ++i) est.add(rng.next());
+  const F0Estimator base = est;
+  for (int i = 0; i < 5'000; ++i) est.add(rng.next());
+  corruption_sweep(est.serialize_delta(base),
+                   [&base](const std::vector<std::uint8_t>& b) {
+                     F0Estimator scratch = base;  // apply may partially mutate
+                     scratch.apply_delta(std::span<const std::uint8_t>(b));
+                   },
+                   37);
+}
+
+TEST(WireFuzz, WindowedDeltaPayloadSurvivesCorruptionWithoutMutation) {
+  WindowedF0Estimator mirror(EstimatorParams{.capacity = 32, .copies = 5, .seed = 38});
+  Xoshiro256 rng(15);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 3'000; ++i) mirror.add(rng.next(), t++);
+  std::vector<WindowedF0Estimator::Op> ops;
+  for (int i = 0; i < 1'000; ++i) ops.emplace_back(rng.next(), t++);
+  const auto delta =
+      WindowedF0Estimator::encode_delta(mirror.sequence(), mirror.last_timestamp(), ops);
+  const auto pristine = mirror.serialize();
+  Xoshiro256 sweep_rng(16);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto copy = delta;
+    const int mode = static_cast<int>(sweep_rng.below(3));
+    if (mode == 0) {
+      copy[sweep_rng.below(copy.size())] ^= static_cast<std::uint8_t>(1 + sweep_rng.below(255));
+    } else if (mode == 1) {
+      copy.resize(sweep_rng.below(copy.size()));
+    } else {
+      for (std::uint64_t i = 0, n = 1 + sweep_rng.below(8); i < n; ++i) {
+        copy.push_back(static_cast<std::uint8_t>(sweep_rng.below(256)));
+      }
+    }
+    try {
+      mirror.apply_delta(std::span<const std::uint8_t>(copy));
+      // Accepted: state advanced; rebuild the base mirror for the next trial.
+      mirror = WindowedF0Estimator::deserialize(std::span<const std::uint8_t>(pristine));
+    } catch (const SerializationError&) {
+      // Rejected: validate-before-mutate means the mirror is untouched.
+      ASSERT_EQ(mirror.serialize(), pristine) << "trial " << trial;
+    }
+  }
 }
 
 TEST(WireFuzz, CliRejectsJunkFiles) {

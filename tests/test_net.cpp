@@ -662,7 +662,7 @@ TEST(NetShardedReferee, CrossShardDuplicatesCollapseToOneAcceptance) {
   std::atomic<std::size_t> sink_calls{0};
   RefereeServer::Result result;
   std::thread referee([&server, &result, &sink_calls] {
-    result = server.run([&sink_calls](std::size_t, std::uint32_t,
+    result = server.run([&sink_calls](std::size_t, std::uint32_t, PayloadKind,
                                       std::vector<std::uint8_t>&&) {
       sink_calls.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -717,7 +717,7 @@ TEST(NetShardedReferee, LatestWinsEpochOrderHoldsAcrossShards) {
   std::vector<std::uint32_t> delivered;
   RefereeServer::Result result;
   std::thread referee([&server, &result, &delivered] {
-    result = server.run([&delivered](std::size_t, std::uint32_t epoch,
+    result = server.run([&delivered](std::size_t, std::uint32_t epoch, PayloadKind,
                                      std::vector<std::uint8_t>&&) {
       delivered.push_back(epoch);  // serialized under the arbiter mutex
       return true;
@@ -1022,6 +1022,60 @@ TEST_F(NetCliTest, ServeExitsDegradedWhenASiteNeverPushes) {
   EXPECT_NE(serve_out.find("\"timed_out\":true"), std::string::npos) << serve_out;
 }
 
+// Continuous mode as real processes: a well-configured delta pusher
+// converges, and a site whose sketch was built under DIFFERENT (eps, seed)
+// parameters gets its frames rejected — the referee must survive to its
+// deadline and report honestly, not die mid-run on the un-mergeable
+// mirror (the crash this test pins down).
+TEST_F(NetCliTest, ContinuousServeSurvivesMismatchedSiteParams) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  const auto port_file = path("cport.txt");
+  const std::string serve_cmd = g_ustream_bin +
+                                " serve --port 0 --sites 2 --continuous --json" +
+                                " --timeout-ms 8000 --port-file " + port_file + " 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  ASSERT_NE(port, 0);
+  const std::string target = " push --to 127.0.0.1:" + std::to_string(port) +
+                             " --continuous";
+
+  // Site 0: the protocol's happy path — deltas while the chain holds,
+  // flushed full frame at end of stream.
+  ASSERT_EQ(std::system((g_ustream_bin + target +
+                         " --site 0 --items 30000 --distinct 10000 --seed 42"
+                         " > /dev/null 2>&1").c_str()), 0);
+  // Site 1: same protocol, incompatible estimator parameters. Every frame
+  // it sends is rejected (its sketch can never join site 0's union), so the
+  // referee quarantines it until the transport gives up — the pusher must
+  // fail CLEANLY (error exit, actionable message), against a referee that
+  // is still alive.
+  const auto mm_out = path("mismatch.out");
+  const int mm = std::system((g_ustream_bin + target +
+                              " --site 1 --items 2000 --distinct 500 --seed 7"
+                              " --eps 0.3 --attempts 2 > " + mm_out +
+                              " 2>&1").c_str());
+  ASSERT_TRUE(WIFEXITED(mm));
+  EXPECT_EQ(WEXITSTATUS(mm), 1);
+  const auto mm_bytes = slurp(mm_out);
+  const std::string mm_text(mm_bytes.begin(), mm_bytes.end());
+  EXPECT_NE(mm_text.find("undeliverable"), std::string::npos) << mm_text;
+
+  std::string serve_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), serve)) serve_out += buf;
+  const int status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(status)) << serve_out;
+  // The referee reached its deadline: site 0 reported (with applied
+  // deltas), site 1 never landed a frame — degraded, not crashed.
+  EXPECT_EQ(WEXITSTATUS(status), 3) << serve_out;
+  EXPECT_NE(serve_out.find("\"sites_reported\":1"), std::string::npos) << serve_out;
+  EXPECT_NE(serve_out.find("\"degraded\":true"), std::string::npos) << serve_out;
+  EXPECT_EQ(serve_out.find("\"deltas_applied\":0,"), std::string::npos) << serve_out;
+  EXPECT_EQ(serve_out.find("error:"), std::string::npos) << serve_out;
+}
+
 // Sharded serve as a real process: 4 sites into 2 shard loops, output
 // byte-identical to the in-process merge, per-shard breakdown in the JSON.
 TEST_F(NetCliTest, ShardedServeMatchesInProcessMergeByteForByte) {
@@ -1194,6 +1248,172 @@ TEST_F(NetCliTest, StatsWatchPollsTheAdminEndpoint) {
   const int serve_status = pclose(serve);
   ASSERT_TRUE(WIFEXITED(serve_status));
   EXPECT_EQ(WEXITSTATUS(serve_status), 0);
+}
+
+TEST(NetDeltaProtocol, AckSequenceDrivesResyncAndChainRepair) {
+  // Continuous server (latest-wins + kF0Delta): full frames re-base, a
+  // delta must extend the accepted chain exactly; a gap earns 'R' (which
+  // send_with_ack surfaces WITHOUT retrying — retransmitting a rejected
+  // delta is useless), a replayed epoch 'D', an older one 'S', and a delta
+  // that deserializes but cannot apply demotes to 'R' as well. One
+  // connection keeps the whole chain on one shard's ledger.
+  RefereeServerConfig config;
+  config.sites = 1;
+  config.dedup = DedupMode::kLatestWins;
+  config.delta_kind = PayloadKind::kF0Delta;
+  config.continuous = true;
+  config.timeout = std::chrono::milliseconds{30'000};
+  RefereeServer server(std::move(config));
+
+  std::optional<F0Estimator> mirror;
+  RefereeServer::Result result;
+  std::thread referee([&server, &result, &mirror] {
+    result = server.run([&mirror](std::size_t, std::uint32_t, PayloadKind kind,
+                                  std::vector<std::uint8_t>&& payload) {
+      try {
+        if (kind == PayloadKind::kF0Delta) {
+          F0Estimator next = *mirror;
+          next.apply_delta(std::span<const std::uint8_t>(payload));
+          mirror = std::move(next);
+        } else {
+          mirror = F0Estimator::deserialize(std::span<const std::uint8_t>(payload));
+        }
+        return true;
+      } catch (const SerializationError&) {
+        return false;
+      }
+    });
+  });
+
+  F0Estimator est(EstimatorParams::for_guarantee(0.2, 0.1, 50));
+  Xoshiro256 rng(51);
+  auto grow = [&](int n) {
+    for (int i = 0; i < n; ++i) est.add(rng.next());
+  };
+  TcpTransport transport(1, client_config(server.port()));
+  auto send = [&transport](PayloadKind kind, std::uint32_t epoch,
+                           const std::vector<std::uint8_t>& payload) {
+    return transport.send_with_ack(0, frame_encode({kind, 0, epoch}, payload));
+  };
+
+  grow(2000);
+  const F0Estimator base1 = est;
+  EXPECT_EQ(send(PayloadKind::kF0Estimator, 1, base1.serialize()), PushAck::kAccepted);
+  grow(2000);
+  const F0Estimator base2 = est;
+  const auto delta12 = base2.serialize_delta(base1);
+  EXPECT_EQ(send(PayloadKind::kF0Delta, 2, delta12), PushAck::kAccepted);
+  grow(2000);
+  const auto delta23 = est.serialize_delta(base2);
+  // Gap: epoch 4 does not extend accepted epoch 2.
+  EXPECT_EQ(send(PayloadKind::kF0Delta, 4, delta23), PushAck::kResync);
+  // The chain repairs at the correct next epoch...
+  EXPECT_EQ(send(PayloadKind::kF0Delta, 3, delta23), PushAck::kAccepted);
+  // ...a replayed epoch is a duplicate, an older one stale.
+  EXPECT_EQ(send(PayloadKind::kF0Delta, 3, delta23), PushAck::kDuplicate);
+  EXPECT_EQ(send(PayloadKind::kF0Delta, 2, delta12), PushAck::kStale);
+  // Valid frame, inapplicable payload (copy-count mismatch against the
+  // mirror): the sink refuses, the acceptance demotes to resync.
+  F0Estimator other(EstimatorParams{.capacity = 16, .copies = 3, .seed = 77});
+  other.add(1);
+  const F0Estimator other_base = other;
+  other.add(2);
+  EXPECT_EQ(send(PayloadKind::kF0Delta, 4, other.serialize_delta(other_base)),
+            PushAck::kResync);
+  // The owed full frame re-bases the chain (latest-wins: any newer epoch).
+  grow(1000);
+  EXPECT_EQ(send(PayloadKind::kF0Estimator, 5, est.serialize()), PushAck::kAccepted);
+  server.request_stop();
+  referee.join();
+
+  ASSERT_TRUE(mirror.has_value());
+  EXPECT_EQ(mirror->serialize(), est.serialize());
+  EXPECT_EQ(result.report.per_site[0].accepted_epoch, 5u);
+  EXPECT_EQ(result.report.deltas_applied, 2u);  // 3 accepted - 1 demoted
+  EXPECT_EQ(result.report.resyncs, 2u);         // the gap + the demotion
+  EXPECT_EQ(result.report.duplicates_dropped, 1u);
+  EXPECT_EQ(result.report.stale_dropped, 1u);
+}
+
+TEST(NetDeltaProtocol, CrossConnectionDeltaWithoutLocalChainForcesResync) {
+  // A delta arriving on a FRESH connection may land on a shard whose local
+  // ledger never saw the site's full frame: the shard must answer 'R'
+  // (resync) rather than guess — the site then re-bases with a full frame,
+  // which any shard can accept.
+  RefereeServerConfig config;
+  config.sites = 1;
+  config.shards = 2;
+  config.dedup = DedupMode::kLatestWins;
+  config.delta_kind = PayloadKind::kF0Delta;
+  config.continuous = true;
+  config.timeout = std::chrono::milliseconds{30'000};
+  RefereeServer server(std::move(config));
+
+  std::optional<F0Estimator> mirror;
+  RefereeServer::Result result;
+  std::thread referee([&server, &result, &mirror] {
+    result = server.run([&mirror](std::size_t, std::uint32_t, PayloadKind kind,
+                                  std::vector<std::uint8_t>&& payload) {
+      try {
+        if (kind == PayloadKind::kF0Delta) {
+          F0Estimator next = *mirror;
+          next.apply_delta(std::span<const std::uint8_t>(payload));
+          mirror = std::move(next);
+        } else {
+          mirror = F0Estimator::deserialize(std::span<const std::uint8_t>(payload));
+        }
+        return true;
+      } catch (const SerializationError&) {
+        return false;
+      }
+    });
+  });
+
+  F0Estimator est(EstimatorParams::for_guarantee(0.2, 0.1, 52));
+  Xoshiro256 rng(53);
+  for (int i = 0; i < 2000; ++i) est.add(rng.next());
+  F0Estimator base = est;
+  {
+    TcpTransport transport(1, client_config(server.port()));
+    EXPECT_EQ(transport.send_with_ack(
+                  0, frame_encode({PayloadKind::kF0Estimator, 0, 1}, base.serialize())),
+              PushAck::kAccepted);
+  }
+  // Push fresh deltas over fresh connections: the kernel spreads the
+  // connections across the SO_REUSEPORT acceptors, so some land on the
+  // shard holding the chain (accepted — the chain advances) and, with
+  // overwhelming probability within the attempt budget, at least one lands
+  // on the other shard, whose local ledger never saw the site: that shard
+  // must demand a resync rather than guess. After every verdict the site's
+  // state stays recoverable via a full re-base.
+  bool saw_resync = false;
+  std::uint32_t epoch = 2;
+  for (int attempt = 0; attempt < 64 && !saw_resync; ++attempt) {
+    for (int i = 0; i < 200; ++i) est.add(rng.next());
+    const auto delta = est.serialize_delta(base);
+    TcpTransport transport(1, client_config(server.port()));
+    const PushAck ack = transport.send_with_ack(
+        0, frame_encode({PayloadKind::kF0Delta, 0, epoch}, delta));
+    if (ack == PushAck::kResync) {
+      saw_resync = true;
+      // Re-base: the full frame is accepted wherever it lands.
+      TcpTransport rebase(1, client_config(server.port()));
+      EXPECT_EQ(rebase.send_with_ack(
+                    0, frame_encode({PayloadKind::kF0Estimator, 0, epoch + 1},
+                                    est.serialize())),
+                PushAck::kAccepted);
+    } else {
+      ASSERT_EQ(ack, PushAck::kAccepted) << "attempt " << attempt;
+      base = est;
+      ++epoch;
+    }
+  }
+  EXPECT_TRUE(saw_resync) << "64 fresh connections all landed on the chain's shard";
+  server.request_stop();
+  referee.join();
+
+  ASSERT_TRUE(mirror.has_value());
+  EXPECT_EQ(mirror->serialize(), est.serialize());
 }
 
 }  // namespace

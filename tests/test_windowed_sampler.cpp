@@ -146,5 +146,102 @@ TEST(WindowedSampler, RejectsZeroCapacity) {
   EXPECT_THROW(WindowedF0Sampler(0, 1), InvalidArgument);
 }
 
+TEST(WindowedSampler, ExpiryExactlyAtWindowBoundary) {
+  // ts >= window_start is IN the window: a label whose latest arrival sits
+  // exactly on the boundary counts, one tick earlier does not. Checked in
+  // the exact regime and again at each level's eviction horizon, where the
+  // boundary window is the oldest one the level can still serve.
+  WindowedF0Sampler s(1024, 11);
+  s.add(7, 40);
+  s.add(8, 50);
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(50), 1.0);  // boundary: 8 in, 7 out
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(51), 0.0);
+  EXPECT_DOUBLE_EQ(s.estimate_distinct(41), 1.0);
+
+  WindowedF0Sampler small(64, 12);
+  Xoshiro256 rng(6);
+  for (std::uint64_t t = 0; t < 30'000; ++t) small.add(rng.next(), t);
+  for (int l = 0; l < WindowedF0Sampler::kMaxLevel; ++l) {
+    if (!small.level_ever_evicted(l)) continue;
+    // The level evicted material at its horizon, so the oldest window it
+    // can still serve starts one past the horizon; the window starting AT
+    // the horizon must fall back to a coarser level.
+    const std::uint64_t horizon = small.level_horizon(l);
+    EXPECT_LE(small.level_for_window(horizon + 1), l) << "level " << l;
+    EXPECT_GT(small.level_for_window(horizon), l) << "level " << l;
+  }
+}
+
+TEST(WindowedSampler, DeltaRoundtripIsBitIdentical) {
+  // A mirror that replays the op delta must equal the live estimator BYTE
+  // FOR BYTE — the property the continuous windowed protocol rests on.
+  WindowedF0Estimator live(0.2, 0.1, 13);
+  Xoshiro256 rng(7);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 5'000; ++i) live.add(rng.below(4'000), t++);
+
+  WindowedF0Estimator mirror =
+      WindowedF0Estimator::deserialize(std::span<const std::uint8_t>(live.serialize()));
+  const std::uint64_t base_seq = live.sequence();
+  const std::uint64_t base_ts = live.last_timestamp();
+  std::vector<WindowedF0Estimator::Op> ops;
+  for (int i = 0; i < 2'000; ++i) {
+    const WindowedF0Estimator::Op op{rng.below(4'000), t++};
+    live.add(op.first, op.second);
+    ops.push_back(op);
+  }
+  mirror.apply_delta(std::span<const std::uint8_t>(
+      WindowedF0Estimator::encode_delta(base_seq, base_ts, ops)));
+  EXPECT_EQ(mirror.serialize(), live.serialize());
+  EXPECT_EQ(mirror.sequence(), live.sequence());
+}
+
+TEST(WindowedSampler, DeltaRefusesMismatchedBase) {
+  WindowedF0Estimator est(0.2, 0.1, 14);
+  for (std::uint64_t t = 0; t < 100; ++t) est.add(t, t);
+  const std::vector<WindowedF0Estimator::Op> ops{{1, 200}};
+  // Wrong base sequence (gap in the chain) and wrong base timestamp both
+  // surface BEFORE any mutation.
+  const auto before = est.serialize();
+  EXPECT_THROW(est.apply_delta(std::span<const std::uint8_t>(
+                   WindowedF0Estimator::encode_delta(est.sequence() + 5,
+                                                     est.last_timestamp(), ops))),
+               SerializationError);
+  EXPECT_THROW(est.apply_delta(std::span<const std::uint8_t>(
+                   WindowedF0Estimator::encode_delta(est.sequence(),
+                                                     est.last_timestamp() + 1, ops))),
+               SerializationError);
+  EXPECT_EQ(est.serialize(), before);
+}
+
+TEST(WindowedSampler, ExpiryThenMergeOrderIndependence) {
+  // The cross-site union must not care whether a site's boundary items
+  // aged out before or after the other site reported, nor in which order
+  // the parts are folded: windowed_union_estimate reads the mirrors
+  // non-destructively, so any (expiry, merge) interleaving answers alike.
+  const auto params = EstimatorParams::for_guarantee(0.2, 0.1, 15);
+  WindowedF0Estimator a(params), b(params);
+  ExactWindow exact;
+  Xoshiro256 rng(8);
+  for (std::uint64_t t = 0; t < 4'000; ++t) {
+    const std::uint64_t la = rng.below(3'000), lb = rng.below(3'000);
+    a.add(la, t);
+    b.add(lb, t);
+    exact.add(la, t);
+    exact.add(lb, t);
+  }
+  const std::vector<const WindowedF0Estimator*> ab{&a, &b};
+  const std::vector<const WindowedF0Estimator*> ba{&b, &a};
+  for (std::uint64_t start : {0ull, 1'000ull, 3'500ull, 4'000ull}) {
+    const double u1 = windowed_union_estimate(
+        std::span<const WindowedF0Estimator* const>(ab), start);
+    const double u2 = windowed_union_estimate(
+        std::span<const WindowedF0Estimator* const>(ba), start);
+    EXPECT_DOUBLE_EQ(u1, u2) << "window start " << start;
+    const double truth = static_cast<double>(exact.distinct_since(start));
+    EXPECT_NEAR(u1, truth, 0.3 * truth + 2.0) << "window start " << start;
+  }
+}
+
 }  // namespace
 }  // namespace ustream

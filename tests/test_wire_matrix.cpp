@@ -5,8 +5,11 @@
 
 #include <algorithm>
 
+#include "common/frame.h"
 #include "common/random.h"
 #include "core/coordinated_sampler.h"
+#include "core/f0_estimator.h"
+#include "core/windowed_sampler.h"
 #include "hash/hash_family.h"
 
 namespace ustream {
@@ -94,6 +97,96 @@ TYPED_TEST(WireMatrix, CrossHashMessagesRejected) {
   auto bytes = s.serialize();
   bytes[1] = static_cast<std::uint8_t>(bytes[1] + 1);  // flip the value tag
   ASSERT_THROW(S::deserialize(bytes), SerializationError);
+}
+
+TYPED_TEST(WireMatrix, SamplerDeltaRoundtripAcrossHashes) {
+  // The delta encoding must hold for every hash family the library
+  // instantiates: mirror(base) + delta(base -> live) == live, byte for
+  // byte, including across level raises.
+  using S = CoordinatedSampler<typename TypeParam::HashT, typename TypeParam::ValueT>;
+  S live(32, 17);
+  Xoshiro256 rng(6);
+  auto feed = [&](int items) {
+    for (int i = 0; i < items; ++i) {
+      if constexpr (S::kHasValue) {
+        live.add(rng.next(), typename S::Slot{}.value + 1);
+      } else {
+        live.add(rng.next());
+      }
+    }
+  };
+  feed(500);
+  const S base = live;
+  S mirror = S::deserialize(base.serialize());
+  feed(4000);  // enough to force level raises at capacity 32
+  ASSERT_GT(live.level(), base.level());
+  ByteWriter w;
+  live.serialize_delta(w, base);
+  const auto delta = w.take();
+  ByteReader r(delta);
+  mirror.apply_delta(r);
+  ASSERT_EQ(mirror.serialize(), live.serialize());
+}
+
+// The three continuous-mode payload kinds (kWindowedF0, kF0Delta,
+// kWindowedDelta) join the frame matrix: each roundtrips under its own
+// kind and is rejected when the frame announces a different kind — the
+// referee's kind dispatch is what keeps a delta from being parsed as a
+// full sketch (and vice versa).
+TEST(WireKindMatrix, ContinuousPayloadKindsRoundtripAndCrossReject) {
+  F0Estimator f0(EstimatorParams{.capacity = 32, .copies = 3, .seed = 40});
+  WindowedF0Estimator wf0(EstimatorParams{.capacity = 32, .copies = 3, .seed = 41});
+  Xoshiro256 rng(7);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    f0.add(rng.next());
+    wf0.add(rng.next(), t++);
+  }
+  const F0Estimator f0_base = f0;
+  const std::uint64_t base_seq = wf0.sequence(), base_ts = wf0.last_timestamp();
+  std::vector<WindowedF0Estimator::Op> ops;
+  for (int i = 0; i < 500; ++i) {
+    const WindowedF0Estimator::Op op{rng.next(), t++};
+    f0.add(op.first);
+    wf0.add(op.first, op.second);
+    ops.push_back(op);
+  }
+
+  const struct {
+    PayloadKind kind;
+    std::vector<std::uint8_t> payload;
+  } rows[] = {
+      {PayloadKind::kWindowedF0, wf0.serialize()},
+      {PayloadKind::kF0Delta, f0.serialize_delta(f0_base)},
+      {PayloadKind::kWindowedDelta,
+       WindowedF0Estimator::encode_delta(base_seq, base_ts, ops)},
+  };
+  for (const auto& row : rows) {
+    const auto framed = frame_encode({row.kind, 3, 9}, row.payload);
+    const Frame frame = frame_decode(framed);
+    ASSERT_EQ(frame.header.kind, row.kind);
+    ASSERT_EQ(frame.payload, row.payload);
+    for (const auto& other : rows) {
+      if (other.kind == row.kind) continue;
+      // Same bytes under the wrong kind: the dispatch layer must refuse
+      // to hand them to the other decoder.
+      ASSERT_NE(frame_decode(frame_encode({other.kind, 3, 9}, row.payload)).header.kind,
+                row.kind);
+    }
+  }
+
+  // And the payloads themselves cross-reject: a windowed full state is not
+  // a valid f0 delta, an op-replay delta is not a valid windowed state.
+  F0Estimator f0_mirror = f0_base;
+  ASSERT_THROW(f0_mirror.apply_delta(std::span<const std::uint8_t>(rows[0].payload)),
+               SerializationError);
+  ASSERT_THROW(WindowedF0Estimator::deserialize(
+                   std::span<const std::uint8_t>(rows[2].payload)),
+               SerializationError);
+  WindowedF0Estimator wf0_mirror =
+      WindowedF0Estimator::deserialize(std::span<const std::uint8_t>(rows[0].payload));
+  ASSERT_THROW(wf0_mirror.apply_delta(std::span<const std::uint8_t>(rows[1].payload)),
+               SerializationError);
 }
 
 }  // namespace
