@@ -41,7 +41,7 @@ class RefereeHarness {
   // worker event loops (1 == the sequential referee).
   explicit RefereeHarness(std::size_t sites = 2, std::size_t shards = 1)
       : server_(make_config(sites, shards)), referee_([this] {
-          server_.run([](std::size_t, std::uint32_t, PayloadKind, std::vector<std::uint8_t>&&) {
+          server_.run([](std::size_t, std::uint32_t, std::uint16_t, PayloadKind, std::vector<std::uint8_t>&&) {
             return true;
           });
         }) {}

@@ -101,7 +101,7 @@ class RefereeHarness {
     }
     server_ = std::make_unique<net::RefereeServer>(std::move(config));
     referee_ = std::thread([this] {
-      server_->run([](std::size_t, std::uint32_t, PayloadKind, std::vector<std::uint8_t>&&) {
+      server_->run([](std::size_t, std::uint32_t, std::uint16_t, PayloadKind, std::vector<std::uint8_t>&&) {
         return true;
       });
     });

@@ -37,6 +37,11 @@
 #      mode <= 10% of the snapshot protocol's bytes AND messages), and
 #      the runner adds the BENCH_continuous.json regression check plus
 #      the >= 2x end-to-end delta-vs-snapshot speedup floor.
+#   8. query engine — bench/run_query_bench.sh measures the set-expression
+#      rows (parse at 2/4/8 operands, DLRT evaluation, the end-to-end
+#      `GET /query?e=...` admin round trip) against bench/BENCH_query.json,
+#      with the >= 10x parse-vs-eval floor keeping the grammar off the
+#      hot path.
 #
 # Usage:
 #   bench/run_gates.sh [build-dir]            # all gates
@@ -56,26 +61,29 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/7: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/8: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/7: merge-engine perf regression (bench/run_merge_bench.sh) =="
+echo "== gate 2/8: merge-engine perf regression (bench/run_merge_bench.sh) =="
 "$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 3/7: fault-injection soak (ctest -L soak) =="
+echo "== gate 3/8: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
 
-echo "== gate 4/7: net wire perf regression (bench/run_net_bench.sh) =="
+echo "== gate 4/8: net wire perf regression (bench/run_net_bench.sh) =="
 "$repo/bench/run_net_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 5/7: instrumentation overhead (bench/run_obs_bench.sh) =="
+echo "== gate 5/8: instrumentation overhead (bench/run_obs_bench.sh) =="
 "$repo/bench/run_obs_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 6/7: durability tax (bench/run_wal_bench.sh) =="
+echo "== gate 6/8: durability tax (bench/run_wal_bench.sh) =="
 "$repo/bench/run_wal_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 7/7: continuous wire cost (bench/run_continuous_bench.sh) =="
+echo "== gate 7/8: continuous wire cost (bench/run_continuous_bench.sh) =="
 "$repo/bench/run_continuous_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 8/8: query engine perf regression (bench/run_query_bench.sh) =="
+"$repo/bench/run_query_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
 echo "all gates passed"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the query-engine rows of bench_query with JSON output and gates
+# them against the checked-in baseline (bench/BENCH_query.json) via
+# check_regression.py. One speedup floor is enforced:
+#
+#   * PARSE OFF THE HOT PATH: parsing an 8-operand expression must stay
+#     >= 10x faster than evaluating it (BM_QueryParse/8 vs
+#     BM_QueryEval/8). Evaluation walks operands x copies x retained
+#     entries; the parser touches a few dozen tokens. Measured >= 100x on
+#     the reference machine — the floor only trips if the grammar grows
+#     something pathological (backtracking, per-token allocation storms).
+#
+# BM_QueryEndToEnd (a live `GET /query?e=...` admin round trip) is gated
+# only by the baseline tolerance: its absolute number is RTT-bound and is
+# the per-query cost quoted in EXPERIMENTS.md E19.
+#
+# Usage:
+#   bench/run_query_bench.sh [build-dir]            # measure + gate
+#   bench/run_query_bench.sh --update [build-dir]   # also refresh baseline
+set -euo pipefail
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/bench/BENCH_query.json"
+current="$(mktemp --suffix=.json)"
+trap 'rm -f "$current"' EXIT
+
+cmake --build "$build" --target bench_query -j >/dev/null
+
+"$build/bench/bench_query" \
+  --benchmark_filter='BM_Query' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$current" \
+  --benchmark_out_format=json
+
+gates=(--speedup 'BM_QueryEval/8,BM_QueryParse/8,10')
+
+if [[ -f "$baseline" ]]; then
+  python3 "$repo/bench/check_regression.py" \
+    --baseline "$baseline" --current "$current" \
+    "${gates[@]}"
+else
+  echo "no baseline at $baseline yet; skipping regression gate"
+fi
+
+if [[ "$update" == 1 || ! -f "$baseline" ]]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $baseline"
+fi

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <tuple>
 
@@ -29,6 +31,7 @@
 #include "net/tcp_transport.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "query/service.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
 #include "stream/trace_io.h"
@@ -149,14 +152,45 @@ int cmd_sketch(const Args& args, std::string& out) {
   const double eps = args.f64("eps", 0.1);
   const double delta = args.f64("delta", 0.05);
   const std::uint64_t seed = args.u64("seed", 0x5eed0123456789abULL);
+  const std::uint64_t group_raw = args.u64("group", 0);
+  USTREAM_REQUIRE(group_raw <= 0xffff, "--group out of range (max 65535)");
+  const auto group = static_cast<std::uint16_t>(group_raw);
   args.reject_unknown();
   F0Estimator estimator(EstimatorParams::for_guarantee(eps, delta, seed));
   const auto items = read_trace(in);
   for (const Item& item : items) estimator.add(item.label);
-  write_sketch_file(out_path, estimator);
+  write_sketch_file(out_path, estimator, group);
   append(out, "sketched %zu items from %s -> %s (%zu bytes, estimate %.0f)", items.size(),
          in.c_str(), out_path.c_str(), read_file(out_path).size(), estimator.estimate());
   return 0;
+}
+
+// Pre-scan framed inputs for a payload-kind mismatch so a mixed batch
+// fails with ONE line naming both kinds ("a.sk is f0-estimator, b.sk is
+// bottom-k") instead of the generic per-file decode error a user has to
+// cross-reference by hand. Unframed/corrupt files are skipped here — they
+// produce their own precise error when actually read.
+void require_uniform_kinds(const std::vector<std::string>& paths) {
+  std::optional<PayloadKind> first_kind;
+  std::string first_path;
+  for (const auto& path : paths) {
+    PayloadKind kind;
+    try {
+      const auto bytes = read_file(path);
+      if (!looks_like_frame(bytes)) continue;
+      kind = frame_decode(bytes).header.kind;
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!first_kind.has_value()) {
+      first_kind = kind;
+      first_path = path;
+    } else if (kind != *first_kind) {
+      throw InvalidArgument("inputs mix payload kinds: " + first_path + " is " +
+                            payload_kind_name(*first_kind) + ", " + path + " is " +
+                            payload_kind_name(kind));
+    }
+  }
 }
 
 int cmd_merge(const Args& args, std::string& out) {
@@ -164,6 +198,7 @@ int cmd_merge(const Args& args, std::string& out) {
   args.reject_unknown();
   const auto& inputs = args.positional();
   USTREAM_REQUIRE(!inputs.empty(), "merge needs at least one input sketch");
+  require_uniform_kinds(inputs);
   F0Estimator merged = read_sketch_file(inputs[0]);
   for (std::size_t i = 1; i < inputs.size(); ++i) {
     merged.merge(read_sketch_file(inputs[i]));
@@ -178,6 +213,7 @@ int cmd_estimate(const Args& args, std::string& out) {
   const bool json = json_requested(args);
   args.reject_unknown();
   USTREAM_REQUIRE(!args.positional().empty(), "estimate needs a sketch file");
+  require_uniform_kinds(args.positional());
   for (const auto& path : args.positional()) {
     const F0Estimator est = read_sketch_file(path);
     if (json) {
@@ -427,6 +463,53 @@ int cmd_serve(const Args& args, std::string& out) {
   const bool stats = stats_requested(args);
   args.reject_unknown();
 
+  // Live per-site sketch store: the payload sink fills it under the shared
+  // arbiter mutex while the admin /query handler reads it from shard 0's
+  // event loop thread, so every access takes the store mutex. Group tags
+  // ride along so `group:G` operands and the per-group report can bucket
+  // sites by tenant.
+  struct QueryStore {
+    std::mutex mu;
+    std::vector<std::optional<F0Estimator>> sketches;
+    std::vector<std::uint16_t> groups;
+  } store;
+  store.sketches.resize(config.sites);
+  store.groups.resize(config.sites, 0);
+  config.query_handler = [&store](const std::string& raw, bool as_json) {
+    const std::string text = query::percent_decode(raw);
+    std::lock_guard<std::mutex> lock(store.mu);
+    std::map<std::uint32_t, F0Estimator> group_cache;  // node-stable addresses
+    query::ResolveSketch resolve = [&](const query::Expr& leaf) -> const F0Estimator* {
+      if (leaf.operand == query::OperandKind::kSite) {
+        if (leaf.id >= store.sketches.size() || !store.sketches[leaf.id].has_value()) {
+          return nullptr;
+        }
+        return &*store.sketches[leaf.id];
+      }
+      if (leaf.operand != query::OperandKind::kGroup) return nullptr;
+      auto it = group_cache.find(leaf.id);
+      if (it == group_cache.end()) {
+        std::optional<F0Estimator> merged;
+        for (std::size_t s = 0; s < store.sketches.size(); ++s) {
+          if (!store.sketches[s].has_value() ||
+              store.groups[s] != static_cast<std::uint16_t>(leaf.id)) {
+            continue;
+          }
+          if (!merged.has_value()) {
+            merged = *store.sketches[s];
+          } else {
+            merged->merge(*store.sketches[s]);
+          }
+        }
+        if (!merged.has_value()) return nullptr;
+        it = group_cache.emplace(leaf.id, std::move(*merged)).first;
+      }
+      return &it->second;
+    };
+    const query::QueryResult r = query::run_query(text, resolve);
+    return as_json ? query::format_query_json(text, r) : query::format_query_text(text, r);
+  };
+
   net::RefereeServer server(std::move(config));
   if (!port_file.empty()) {
     // Written after bind, before the event loop: a script that waits for
@@ -441,11 +524,12 @@ int cmd_serve(const Args& args, std::string& out) {
   }
   net::NetCollectResult<F0Estimator> result;
   if (continuous) {
-    std::vector<std::optional<F0Estimator>> mirrors(server.sites());
     obs::Gauge& live = obs::default_registry().gauge("ustream_referee_live_estimate");
     net::RefereeServer::Result res = server.run(
-        [&mirrors, &live](std::size_t site, std::uint32_t, PayloadKind kind,
-                          std::vector<std::uint8_t>&& payload) {
+        [&store, &live](std::size_t site, std::uint32_t, std::uint16_t group,
+                        PayloadKind kind, std::vector<std::uint8_t>&& payload) {
+          std::lock_guard<std::mutex> lock(store.mu);
+          auto& mirrors = store.sketches;
           try {
             if (kind == PayloadKind::kF0Delta) {
               // Transactional apply: patch a copy, swap on success, so a
@@ -471,6 +555,7 @@ int cmd_serve(const Args& args, std::string& out) {
           } catch (const SerializationError&) {
             return false;
           }
+          store.groups[site] = group;
           std::optional<F0Estimator> merged;
           for (const auto& m : mirrors) {
             if (!m.has_value()) continue;
@@ -488,9 +573,44 @@ int cmd_serve(const Args& args, std::string& out) {
     result.timed_out = res.timed_out;
     result.shards = std::move(res.shards);
     result.durability = std::move(res.durability);
-    result.union_sketch = MergeEngine::shared().reduce(std::move(mirrors));
   } else {
-    result = net::collect_and_merge<F0Estimator>(server);
+    net::RefereeServer::Result res = server.run(
+        [&store](std::size_t site, std::uint32_t, std::uint16_t group,
+                 PayloadKind /*kind*/, std::vector<std::uint8_t>&& payload) {
+          try {
+            F0Estimator est =
+                F0Estimator::deserialize(std::span<const std::uint8_t>(payload));
+            std::lock_guard<std::mutex> lock(store.mu);
+            for (const auto& m : store.sketches) {
+              if (m.has_value() && !m->can_merge_with(est)) return false;
+            }
+            store.sketches[site] = std::move(est);
+            store.groups[site] = group;
+            return true;
+          } catch (const SerializationError&) {
+            return false;
+          }
+        });
+    result.report = std::move(res.report);
+    result.wire = std::move(res.wire);
+    result.timed_out = res.timed_out;
+    result.shards = std::move(res.shards);
+    result.durability = std::move(res.durability);
+  }
+  // Per-group union sketches for the report (the site ledger already knows
+  // each site's tag); only surfaced when some accepted frame was grouped.
+  std::vector<GroupSketch<F0Estimator>> group_sketches;
+  {
+    std::lock_guard<std::mutex> lock(store.mu);
+    bool grouped = false;
+    for (const auto& st : result.report.per_site) {
+      grouped = grouped || (st.reported && st.group != 0);
+    }
+    if (grouped) {
+      auto copies = store.sketches;
+      group_sketches = reduce_groups<F0Estimator>(result.report, std::move(copies));
+    }
+    result.union_sketch = MergeEngine::shared().reduce(std::move(store.sketches));
   }
   F0Estimator referee = result.union_sketch
                             ? std::move(*result.union_sketch)
@@ -530,6 +650,18 @@ int cmd_serve(const Args& args, std::string& out) {
       shards_json += buf;
     }
     shards_json += ']';
+    std::string groups_json;
+    if (!group_sketches.empty()) {
+      groups_json = ",\"groups\":[";
+      for (std::size_t k = 0; k < group_sketches.size(); ++k) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s{\"group\":%u,\"sites\":%zu,\"estimate\":%.17g}",
+                      k > 0 ? "," : "", group_sketches[k].group,
+                      group_sketches[k].sites.size(), group_sketches[k].sketch.estimate());
+        groups_json += buf;
+      }
+      groups_json += ']';
+    }
     std::string wal_json;
     if (result.durability.enabled) {
       char buf[256];
@@ -552,7 +684,7 @@ int cmd_serve(const Args& args, std::string& out) {
            "\"duplicates_dropped\":%llu,\"stale_dropped\":%llu,"
            "\"deltas_applied\":%llu,\"resyncs\":%llu,"
            "\"wire_frames\":%llu,\"wire_bytes\":%llu,"
-           "\"shards\":%s%s%s%s%s}",
+           "\"shards\":%s%s%s%s%s%s}",
            server.port(), server.admin_port().value_or(0), report.sites_total,
            report.sites_reported,
            report.degraded() ? "true" : "false", result.timed_out ? "true" : "false",
@@ -565,7 +697,7 @@ int cmd_serve(const Args& args, std::string& out) {
            static_cast<unsigned long long>(report.resyncs),
            static_cast<unsigned long long>(result.wire.messages),
            static_cast<unsigned long long>(result.wire.total_bytes),
-           shards_json.c_str(), wal_json.c_str(),
+           shards_json.c_str(), groups_json.c_str(), wal_json.c_str(),
            relay ? ",\"relay_ack\":\"" : "", relay_ack, relay ? "\"" : "");
   } else {
     append(out, "listening on %s:%u for %zu sites (%zu shard%s)",
@@ -587,6 +719,10 @@ int cmd_serve(const Args& args, std::string& out) {
                static_cast<unsigned long long>(shard.wire.messages),
                static_cast<unsigned long long>(shard.wire.total_bytes));
       }
+    }
+    for (const auto& g : group_sketches) {
+      append(out, "group %u: %zu site%s, estimate %.0f", g.group, g.sites.size(),
+             g.sites.size() == 1 ? "" : "s", g.sketch.estimate());
     }
     if (result.durability.enabled) {
       if (recover) append(out, "%s", result.durability.recovery_summary.c_str());
@@ -614,7 +750,7 @@ int cmd_serve(const Args& args, std::string& out) {
 // whenever the referee acks 'R' (resync) or the frame is lost.
 int cmd_push_continuous(const Args& args, const std::string& to,
                         net::TcpTransportConfig config, std::size_t site,
-                        std::string& out) {
+                        std::uint16_t group, std::string& out) {
   const std::uint64_t items = args.u64("items", 100000);
   const std::uint64_t distinct = args.u64("distinct", 50000);
   const double growth = args.f64("growth", 0.5);
@@ -637,7 +773,7 @@ int cmd_push_continuous(const Args& args, const std::string& to,
   auto transmit = [&](const DeltaSiteSession::Outgoing& msg) {
     const auto frame = frame_encode(
         {msg.is_delta ? PayloadKind::kF0Delta : PayloadKind::kF0Estimator,
-         static_cast<std::uint32_t>(site), msg.epoch},
+         static_cast<std::uint32_t>(site), msg.epoch, group},
         msg.payload);
     return transport.send_with_ack(site, frame);
   };
@@ -714,9 +850,12 @@ int cmd_push(const Args& args, std::string& out) {
   config.max_send_attempts = static_cast<std::uint32_t>(args.u64("attempts", 4));
   config.max_connect_attempts =
       static_cast<std::uint32_t>(args.u64("connect-attempts", 10));
+  const std::uint64_t group_raw = args.u64("group", 0);
+  USTREAM_REQUIRE(group_raw <= 0xffff, "--group out of range (max 65535)");
+  const auto group = static_cast<std::uint16_t>(group_raw);
   if (args.has("continuous")) {
     args.str("continuous", "");
-    return cmd_push_continuous(args, to, config, site, out);
+    return cmd_push_continuous(args, to, config, site, group, out);
   }
   const auto epoch = static_cast<std::uint32_t>(args.u64("epoch", 0));
   const bool json = json_requested(args);
@@ -729,7 +868,7 @@ int cmd_push(const Args& args, std::string& out) {
   // corrupt file fails HERE, not at the referee.
   const F0Estimator est = read_sketch_file(path);
   const auto frame = frame_encode(
-      {PayloadKind::kF0Estimator, static_cast<std::uint32_t>(site), epoch},
+      {PayloadKind::kF0Estimator, static_cast<std::uint32_t>(site), epoch, group},
       est.serialize());
 
   net::TcpTransport transport(site + 1, config);
@@ -824,6 +963,71 @@ int cmd_stats(const Args& args, std::string& out) {
     if (watch_count != 0 && n + 1 == watch_count) break;
     std::this_thread::sleep_for(std::chrono::duration<double>(watch_secs));
   }
+  return 0;
+}
+
+// Set-expression cardinalities (DESIGN.md §13): parse EXPR over site:N /
+// group:G operands and evaluate the common-threshold estimator, either
+// against sketch FILES on disk (site:N = Nth file, 0-based; group:G = union
+// of the files whose frame header carries group tag G) or against a LIVE
+// referee through its admin endpoint (--from HOST:PORT with serve
+// --admin-port), where the referee's own ledger supplies the operands.
+int cmd_query(const Args& args, std::string& out) {
+  const bool json = json_requested(args);
+  const std::string from = args.str("from", "");
+  const auto timeout = std::chrono::milliseconds(args.u64("timeout-ms", 5000));
+  args.reject_unknown();
+  USTREAM_REQUIRE(!args.positional().empty(),
+                  "query needs an expression, e.g. "
+                  "ustream query '(site:0 | site:1) & !site:2' FILES...");
+  const std::string expr_text = args.positional()[0];
+  const std::vector<std::string> files(args.positional().begin() + 1,
+                                       args.positional().end());
+  if (!from.empty()) {
+    USTREAM_REQUIRE(files.empty(), "--from queries a live referee; drop the sketch files");
+    const auto [host, port] = parse_host_port("--from", from);
+    const std::string request = std::string("GET /query") + (json ? "" : ".txt") +
+                                "?e=" + query::percent_encode(expr_text) + "\n";
+    const std::string body = admin_fetch(host, port, request, timeout);
+    out += body;
+    return body.rfind("error:", 0) == 0 ? 1 : 0;
+  }
+  USTREAM_REQUIRE(!files.empty(), "query needs sketch files or --from HOST:PORT");
+  std::vector<F0Estimator> sketches;
+  std::vector<std::uint16_t> groups;
+  sketches.reserve(files.size());
+  for (const auto& path : files) {
+    const auto bytes = read_file(path);
+    std::uint16_t group = 0;  // legacy v0 files are ungrouped
+    if (looks_like_frame(bytes)) group = frame_decode(bytes).header.group;
+    sketches.push_back(read_sketch_file(path));
+    groups.push_back(group);
+  }
+  std::map<std::uint32_t, F0Estimator> group_cache;  // node-stable addresses
+  query::ResolveSketch resolve = [&](const query::Expr& leaf) -> const F0Estimator* {
+    if (leaf.operand == query::OperandKind::kSite) {
+      return leaf.id < sketches.size() ? &sketches[leaf.id] : nullptr;
+    }
+    if (leaf.operand != query::OperandKind::kGroup) return nullptr;
+    auto it = group_cache.find(leaf.id);
+    if (it == group_cache.end()) {
+      std::optional<F0Estimator> merged;
+      for (std::size_t i = 0; i < sketches.size(); ++i) {
+        if (groups[i] != static_cast<std::uint16_t>(leaf.id)) continue;
+        if (!merged.has_value()) {
+          merged = sketches[i];
+        } else {
+          merged->merge(sketches[i]);
+        }
+      }
+      if (!merged.has_value()) return nullptr;
+      it = group_cache.emplace(leaf.id, std::move(*merged)).first;
+    }
+    return &it->second;
+  };
+  const query::QueryResult r = query::run_query(expr_text, resolve);
+  out += json ? query::format_query_json(expr_text, r)
+              : query::format_query_text(expr_text, r);
   return 0;
 }
 
@@ -951,8 +1155,10 @@ int cmd_wal(const Args& args, std::string& out) {
 
 }  // namespace
 
-void write_sketch_file(const std::string& path, const F0Estimator& estimator) {
-  write_file(path, frame_encode({PayloadKind::kF0Estimator, 0, 0}, estimator.serialize()));
+void write_sketch_file(const std::string& path, const F0Estimator& estimator,
+                       std::uint16_t group) {
+  write_file(path,
+             frame_encode({PayloadKind::kF0Estimator, 0, 0, group}, estimator.serialize()));
 }
 
 F0Estimator read_sketch_file(const std::string& path) {
@@ -980,6 +1186,7 @@ std::string usage() {
          "  generate --out FILE [--distinct N] [--items M] [--alpha A]\n"
          "           [--labels random|sequential|clustered] [--seed S]\n"
          "  sketch   --in TRACE --out SKETCH [--eps E] [--delta D] [--seed S]\n"
+         "           [--group G]  (tag the sketch frame with group id G)\n"
          "  merge    --out SKETCH IN1 IN2 ...\n"
          "  estimate [--json] SKETCH...\n"
          "  exact    --in TRACE\n"
@@ -999,15 +1206,17 @@ std::string usage() {
          "           (TCP referee: collect one sketch per site, merge, estimate;\n"
          "            port 0 picks a free port; exit 3 if degraded; --shards N runs\n"
          "            N SO_REUSEPORT event loops; --admin-port serves live metrics\n"
-         "            mid-collection; --relay pushes the merged sketch upstream;\n"
+         "            mid-collection and GET /query?e=EXPR set-expression\n"
+         "            queries; --relay pushes the merged sketch upstream;\n"
          "            --bind 0.0.0.0 accepts sites from other machines;\n"
          "            --wal-dir logs accepted frames before acking so\n"
          "            --recover resumes a killed referee with identical state;\n"
          "            --continuous accepts delta chains until --timeout-ms and\n"
          "            exports the live union estimate via --admin-port)\n"
-         "  push     --to HOST:PORT [--site I] [--epoch E] [--attempts K]\n"
-         "           [--connect-attempts K] [--json] [--stats] SKETCH\n"
-         "           (ship a sketch file to a running serve referee)\n"
+         "  push     --to HOST:PORT [--site I] [--epoch E] [--group G]\n"
+         "           [--attempts K] [--connect-attempts K] [--json] [--stats] SKETCH\n"
+         "           (ship a sketch file to a running serve referee; --group\n"
+         "            tags the frame so the referee buckets this site)\n"
          "  push     --to HOST:PORT --continuous [--site I] [--items M]\n"
          "           [--distinct N] [--growth G] [--eps E] [--delta D] [--seed S]\n"
          "           [--attempts K] [--connect-attempts K] [--json] [--stats]\n"
@@ -1017,6 +1226,12 @@ std::string usage() {
          "           [--watch SECS [--count N]]\n"
          "           (query a serve --admin-port endpoint for live metrics;\n"
          "            --watch re-polls and redraws until the referee exits)\n"
+         "  query    EXPR [SKETCH...] [--from HOST:PORT] [--timeout-ms N] [--json]\n"
+         "           (set-expression cardinality over coordinated sketches:\n"
+         "            operands site:N (Nth file / referee site) and group:G,\n"
+         "            operators | & \\ ! with parens, e.g.\n"
+         "            '(site:0 | site:1) & !site:2'; --from asks a live\n"
+         "            serve --admin-port referee instead of reading files)\n"
          "  wal      inspect|dump --dir DIR [--json]\n"
          "           (offline WAL dir inspection: segment/snapshot inventory,\n"
          "            per-record frame decode, torn-tail detection)\n";
@@ -1040,6 +1255,7 @@ int run(const std::vector<std::string>& argv, std::string& out) {
     if (command == "serve") return cmd_serve(args, out);
     if (command == "push") return cmd_push(args, out);
     if (command == "stats") return cmd_stats(args, out);
+    if (command == "query") return cmd_query(args, out);
     if (command == "wal") return cmd_wal(args, out);
     out += "unknown command: " + command + "\n" + usage();
     return 2;

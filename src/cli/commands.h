@@ -30,8 +30,10 @@ namespace ustream::cli {
 // subcommand). Output lines go to `out`. Returns the process exit code.
 int run(const std::vector<std::string>& argv, std::string& out);
 
-// Sketch-file helpers (exposed for tests).
-void write_sketch_file(const std::string& path, const F0Estimator& estimator);
+// Sketch-file helpers (exposed for tests). `group` tags the frame with a
+// group id (frame.h v2); 0 keeps the ungrouped v1 layout.
+void write_sketch_file(const std::string& path, const F0Estimator& estimator,
+                       std::uint16_t group = 0);
 F0Estimator read_sketch_file(const std::string& path);
 
 std::string usage();

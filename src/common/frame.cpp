@@ -53,10 +53,12 @@ std::vector<std::uint8_t> frame_encode(const FrameHeader& header,
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderBytes + payload.size());
   put_u32(out, kFrameMagic);
-  out.push_back(kFrameVersion);
+  // Group 0 stays on the v1 layout so ungrouped frames are byte-identical
+  // to every pre-group artifact; a nonzero group needs the v2 layout.
+  out.push_back(header.group == 0 ? kFrameVersion : kFrameVersionGroup);
   out.push_back(static_cast<std::uint8_t>(header.kind));
-  out.push_back(0);  // reserved
-  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(header.group));
+  out.push_back(static_cast<std::uint8_t>(header.group >> 8));
   put_u32(out, header.site);
   put_u32(out, header.epoch);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
@@ -77,15 +79,24 @@ Frame frame_decode(std::span<const std::uint8_t> bytes) {
   const std::uint8_t* p = bytes.data();
   if (get_u32(p) != kFrameMagic) throw SerializationError("bad frame magic");
   const std::uint8_t version = p[4];
-  if (version < kFrameVersionMin || version > kFrameVersion) {
+  if (version < kFrameVersionMin || version > kFrameVersionGroup) {
     throw SerializationError("unsupported frame version " + std::to_string(version) +
                              " (supported: " + std::to_string(kFrameVersionMin) + ".." +
-                             std::to_string(kFrameVersion) + ")");
+                             std::to_string(kFrameVersionGroup) + ")");
   }
   if (!valid_kind(p[5])) {
     throw SerializationError("unknown frame payload kind " + std::to_string(p[5]));
   }
-  if (p[6] != 0 || p[7] != 0) throw SerializationError("nonzero reserved frame bits");
+  // v1 keeps bytes 6..8 as reserved-must-be-zero; v2 carries the group id
+  // there. A v2 frame with group 0 is rejected too — group 0 must travel
+  // as v1 so each (header, payload) pair has exactly one wire encoding.
+  if (p[6] == 0 && p[7] == 0) {
+    if (version == kFrameVersionGroup) {
+      throw SerializationError("v2 frame with zero group (must be encoded as v1)");
+    }
+  } else if (version < kFrameVersionGroup) {
+    throw SerializationError("nonzero reserved frame bits");
+  }
   const std::uint32_t payload_len = get_u32(p + 16);
   if (bytes.size() - kFrameHeaderBytes != payload_len) {
     throw SerializationError("frame length mismatch: header says " +
@@ -99,6 +110,8 @@ Frame frame_decode(std::span<const std::uint8_t> bytes) {
   f.header.kind = static_cast<PayloadKind>(p[5]);
   f.header.site = get_u32(p + 8);
   f.header.epoch = get_u32(p + 12);
+  f.header.group = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(p[6]) | (static_cast<std::uint16_t>(p[7]) << 8));
   f.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes),
                    bytes.end());
   return f;

@@ -14,7 +14,7 @@
 //        0     4  magic        "USFR" (0x52465355)
 //        4     1  version      kFrameVersion (bump on incompatible change)
 //        5     1  kind         PayloadKind tag of the payload
-//        6     2  reserved     must be zero (future flags)
+//        6     2  group        v2: sender's group/tenant id (v1: reserved, 0)
 //        8     4  site         sender's site/link id
 //       12     4  epoch        snapshot sequence number (0 = one-shot)
 //       16     4  payload_len  byte length of the payload
@@ -25,6 +25,16 @@
 // To change the wire format, add the new layout under version N+1, keep
 // decoding N during the transition, then raise kFrameVersionMin once no
 // N-framed artifacts remain (DESIGN.md "Fault-tolerant collection").
+//
+// Version 2 (grouped collection, DESIGN.md §13) reuses the two reserved
+// bytes at offset 6 as a little-endian u16 group id, so a referee can
+// retain per-group sketches ("which labels are on link A but not B" needs
+// A and B kept apart). The encoder stays backward compatible the same way
+// the v0->v1 CLI transition did: a frame whose group is 0 is emitted as a
+// byte-identical version-1 frame, so every pre-group artifact (WAL
+// segments, sketch files, checked-in soak digests) and every v1-only
+// decoder keeps working; only frames that actually carry a nonzero group
+// use the version-2 layout. Decoders accept both and map v1 to group 0.
 #pragma once
 
 #include <cstddef>
@@ -50,7 +60,8 @@ enum class PayloadKind : std::uint8_t {
 const char* payload_kind_name(PayloadKind kind) noexcept;
 
 inline constexpr std::uint32_t kFrameMagic = 0x52465355u;  // "USFR"
-inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersion = 1;        // emitted when group == 0
+inline constexpr std::uint8_t kFrameVersionGroup = 2;   // emitted when group != 0
 inline constexpr std::uint8_t kFrameVersionMin = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 
@@ -58,6 +69,7 @@ struct FrameHeader {
   PayloadKind kind = PayloadKind::kOpaque;
   std::uint32_t site = 0;
   std::uint32_t epoch = 0;  // per-site snapshot sequence; 0 for one-shot sends
+  std::uint16_t group = 0;  // tenant/group id; 0 = ungrouped (v1 wire layout)
 };
 
 struct Frame {

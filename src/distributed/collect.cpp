@@ -111,14 +111,17 @@ std::optional<CollectState::Accepted> CollectState::ingest(
       report_.stale_dropped += 1;
       return std::nullopt;
     }
-    if (!status.reported || frame.header.epoch != status.accepted_epoch + 1) {
+    // A delta that claims a different group than the chain it extends is a
+    // chain break too: the site re-tagged itself, so its mirror is stale.
+    if (!status.reported || frame.header.epoch != status.accepted_epoch + 1 ||
+        frame.header.group != status.group) {
       report_.resyncs += 1;
       return std::nullopt;
     }
     status.accepted_epoch = frame.header.epoch;
     report_.deltas_applied += 1;
     return Accepted{frame.header.site, frame.header.epoch, frame.header.kind,
-                    std::move(frame.payload)};
+                    frame.header.group, std::move(frame.payload)};
   }
   if (status.reported) {
     if (mode_ == DedupMode::kExactlyOnce || frame.header.epoch == status.accepted_epoch) {
@@ -134,8 +137,9 @@ std::optional<CollectState::Accepted> CollectState::ingest(
     status.reported = true;
   }
   status.accepted_epoch = frame.header.epoch;
+  status.group = frame.header.group;
   return Accepted{frame.header.site, frame.header.epoch, frame.header.kind,
-                  std::move(frame.payload)};
+                  frame.header.group, std::move(frame.payload)};
 }
 
 void CollectState::record_send(std::size_t site) {
@@ -159,13 +163,15 @@ void CollectState::reject_accepted(std::size_t site) {
 }
 
 void CollectState::demote_accepted(std::size_t site, std::uint32_t previous_epoch,
-                                   bool previously_reported, bool count_stale) {
+                                   bool previously_reported, bool count_stale,
+                                   std::uint16_t previous_group) {
   SiteCollectStatus& status = report_.per_site[site];
   if (status.reported && !previously_reported) {
     status.reported = false;
     report_.sites_reported -= 1;
   }
   status.accepted_epoch = previous_epoch;
+  status.group = previous_group;
   if (count_stale) {
     report_.stale_dropped += 1;
   } else {
@@ -181,7 +187,8 @@ void CollectState::demote_delta(std::size_t site, std::uint32_t previous_epoch) 
   report_.resyncs += 1;
 }
 
-void CollectState::restore_accepted(std::size_t site, std::uint32_t epoch) {
+void CollectState::restore_accepted(std::size_t site, std::uint32_t epoch,
+                                    std::uint16_t group) {
   USTREAM_REQUIRE(site < report_.per_site.size(),
                   "restore_accepted: site out of range");
   SiteCollectStatus& status = report_.per_site[site];
@@ -190,6 +197,7 @@ void CollectState::restore_accepted(std::size_t site, std::uint32_t epoch) {
     report_.sites_reported += 1;
   }
   status.accepted_epoch = epoch;
+  status.group = group;
   if (status.attempts == 0) status.attempts = 1;
 }
 
@@ -223,6 +231,7 @@ CollectReport merge_reports(const std::vector<CollectReport>& parts) {
         // the newest.
         if (!out.reported || in.accepted_epoch > out.accepted_epoch) {
           out.accepted_epoch = in.accepted_epoch;
+          out.group = in.group;
         }
         out.reported = true;
       }

@@ -16,6 +16,7 @@
 // moves forward and the union estimate never overcounts.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -49,6 +50,7 @@ struct SiteCollectStatus {
   bool reported = false;            // a valid frame was accepted
   bool exhausted = false;           // budget spent without acceptance
   std::uint32_t accepted_epoch = 0; // epoch of the accepted/latest snapshot
+  std::uint16_t group = 0;          // group id of the accepted snapshot (v2 frames)
 };
 
 struct CollectReport {
@@ -99,6 +101,7 @@ class CollectState {
     std::size_t site = 0;
     std::uint32_t epoch = 0;
     PayloadKind kind = PayloadKind::kOpaque;  // expected kind, or the delta kind
+    std::uint16_t group = 0;                  // frame's group tag (0 = ungrouped)
     std::vector<std::uint8_t> payload;
   };
 
@@ -127,7 +130,8 @@ class CollectState {
   // frame a single loop would have dropped at its own dedup table is
   // dropped here at the shared one, under the same counter.
   void demote_accepted(std::size_t site, std::uint32_t previous_epoch,
-                       bool previously_reported, bool count_stale);
+                       bool previously_reported, bool count_stale,
+                       std::uint16_t previous_group = 0);
   // Un-accepts a DELTA ingest() just accepted because the global arbiter's
   // chain head disagrees (another shard advanced the site, or the payload
   // failed to apply): rolls the epoch back and converts the acceptance
@@ -140,7 +144,8 @@ class CollectState {
   // resulting acceptance into the referee's live ledger without touching
   // the retry/duplicate counters — attempts spent before the crash are
   // history the restarted ledger reports as one clean send per site.
-  void restore_accepted(std::size_t site, std::uint32_t epoch);
+  void restore_accepted(std::size_t site, std::uint32_t epoch,
+                        std::uint16_t group = 0);
   void finalize(std::uint32_t max_attempts);  // marks exhausted sites
 
   // The referee's merge step: folds the accepted per-site sketches (site
@@ -173,10 +178,60 @@ class CollectState {
 // referee over the same frame stream would produce. Per site: attempts
 // sum, reported = any shard reported, accepted_epoch = max over reporting
 // shards (cross-shard demotion guarantees at most one shard holds the
-// winning epoch). Quarantine/duplicate/stale counters sum; retries are
-// recomputed from the folded attempts (sum over sites of attempts - 1) so
-// a site whose retransmissions landed on different shards still counts
-// them — each shard alone saw one attempt, the union saw a retry.
+// winning epoch), group = the winning shard's group tag. Quarantine/
+// duplicate/stale counters sum; retries are recomputed from the folded
+// attempts (sum over sites of attempts - 1) so a site whose
+// retransmissions landed on different shards still counts them — each
+// shard alone saw one attempt, the union saw a retry.
 CollectReport merge_reports(const std::vector<CollectReport>& parts);
+
+// Per-group sketch for a grouped collection: the reduced union of one
+// group's reporting sites, plus which sites contributed.
+template <typename Sketch>
+struct GroupSketch {
+  std::uint16_t group = 0;
+  std::vector<std::size_t> sites;  // reporting sites in site order
+  Sketch sketch;
+};
+
+// The grouped counterpart of CollectState::finish(): buckets the accepted
+// per-site sketches by the group tag recorded in `report` and reduces each
+// bucket independently through the engine. Site order is preserved within
+// each bucket and groups come out sorted by id, so the result is
+// deterministic and byte-identical to running one single-group collection
+// per group over the same frames — the property the sharded-referee tests
+// pin down. Sites that never reported are skipped (per-group degraded
+// mode); groups with no reporting site simply don't appear.
+template <typename Sketch>
+std::vector<GroupSketch<Sketch>> reduce_groups(
+    const CollectReport& report, std::vector<std::optional<Sketch>>&& accepted,
+    MergeEngine& engine = MergeEngine::shared()) {
+  std::vector<GroupSketch<Sketch>> out;
+  std::vector<std::uint16_t> order;  // group ids, first-seen; sorted below
+  for (std::size_t site = 0; site < accepted.size(); ++site) {
+    if (!accepted[site].has_value()) continue;
+    const std::uint16_t g =
+        site < report.per_site.size() ? report.per_site[site].group : 0;
+    if (std::find(order.begin(), order.end(), g) == order.end()) order.push_back(g);
+  }
+  std::sort(order.begin(), order.end());
+  for (std::uint16_t g : order) {
+    std::vector<std::size_t> sites;
+    std::vector<std::optional<Sketch>> members;
+    for (std::size_t site = 0; site < accepted.size(); ++site) {
+      if (!accepted[site].has_value()) continue;
+      const std::uint16_t sg =
+          site < report.per_site.size() ? report.per_site[site].group : 0;
+      if (sg != g) continue;
+      sites.push_back(site);
+      members.push_back(std::move(accepted[site]));
+      accepted[site].reset();
+    }
+    auto reduced = engine.reduce(std::move(members));
+    if (!reduced.has_value()) continue;  // unreachable: bucket had members
+    out.push_back(GroupSketch<Sketch>{g, std::move(sites), std::move(*reduced)});
+  }
+  return out;
+}
 
 }  // namespace ustream

@@ -158,8 +158,8 @@ class RefereeServer::Shard {
   // Transplants one recovered acceptance into this shard's ledger (called
   // on shard 0 before the loops start, so the merged report shows the
   // recovered sites as reported — see RefereeServer::run).
-  void preload(std::size_t site, std::uint32_t epoch) {
-    state_.restore_accepted(site, epoch);
+  void preload(std::size_t site, std::uint32_t epoch, std::uint16_t group) {
+    state_.restore_accepted(site, epoch, group);
   }
 
   void run() {
@@ -345,9 +345,23 @@ class RefereeServer::Shard {
       conn.out = obs::render_json(obs::default_registry().snapshot()) + "\n";
     } else if (request == "GET /health") {
       conn.out = "ok\n";
+    } else if (request.rfind("GET /query?e=", 0) == 0 ||
+               request.rfind("GET /query.txt?e=", 0) == 0) {
+      const bool json = request.rfind("GET /query?e=", 0) == 0;
+      const std::string raw =
+          request.substr(json ? 13 : 17);  // strlen of the matched prefix
+      if (!config_.query_handler) {
+        conn.out = "error: query endpoint disabled (no query handler)\n";
+      } else {
+        try {
+          conn.out = config_.query_handler(raw, json);
+        } catch (const std::exception& e) {
+          conn.out = std::string("error: ") + e.what() + "\n";
+        }
+      }
     } else {
       conn.out = "error: unknown endpoint (try GET /metrics, GET /metrics.json, "
-                 "GET /health)\n";
+                 "GET /health, GET /query?e=EXPR)\n";
     }
     conn.responded = true;
     flush_admin(conn);
@@ -465,6 +479,7 @@ class RefereeServer::Shard {
     // always took this path — same bytes, same site field.
     std::uint32_t prev_epoch = 0;
     bool prev_reported = false;
+    std::uint16_t prev_group = 0;
     if (frame_bytes.size() >= kFrameHeaderBytes && looks_like_frame(frame_bytes)) {
       const std::uint32_t site = read_u32le(frame_bytes.data() + 8);
       if (site < config_.sites) {
@@ -472,6 +487,7 @@ class RefereeServer::Shard {
         state_.record_send(site);
         prev_reported = state_.site_reported(site);
         prev_epoch = state_.report().per_site[site].accepted_epoch;
+        prev_group = state_.report().per_site[site].group;
       }
     }
 
@@ -484,7 +500,7 @@ class RefereeServer::Shard {
                            accepted->kind == *config_.delta_kind;
     PushAck ack = PushAck::kQuarantined;
     if (accepted) {
-      ack = arbitrate(*accepted, prev_epoch, prev_reported, frame_bytes);
+      ack = arbitrate(*accepted, prev_epoch, prev_reported, prev_group, frame_bytes);
     } else if (state_.report().duplicates_dropped > dup0) {
       ack = PushAck::kDuplicate;
     } else if (state_.report().stale_dropped > stale0) {
@@ -516,7 +532,7 @@ class RefereeServer::Shard {
   // and, when durability is on, the WAL append rides the same critical
   // section, so the log order IS the acceptance order for free.
   PushAck arbitrate(CollectState::Accepted& acc, std::uint32_t prev_epoch,
-                    bool prev_reported,
+                    bool prev_reported, std::uint16_t prev_group,
                     std::span<const std::uint8_t> frame_bytes) {
     const std::size_t site = acc.site;
     const std::uint64_t want = static_cast<std::uint64_t>(acc.epoch) + 1;
@@ -534,7 +550,7 @@ class RefereeServer::Shard {
         state_.demote_delta(site, prev_epoch);
         return PushAck::kResync;
       }
-      if (!shared_.sink(site, acc.epoch, acc.kind, std::move(acc.payload))) {
+      if (!shared_.sink(site, acc.epoch, acc.group, acc.kind, std::move(acc.payload))) {
         // The delta did not apply (mirror mismatch / corrupt payload with a
         // colliding CRC). Retransmission cannot help; demand a full frame.
         state_.demote_delta(site, prev_epoch);
@@ -558,10 +574,10 @@ class RefereeServer::Shard {
       stale = true;
     }
     if (!wins) {
-      state_.demote_accepted(site, prev_epoch, prev_reported, stale);
+      state_.demote_accepted(site, prev_epoch, prev_reported, stale, prev_group);
       return stale ? PushAck::kStale : PushAck::kDuplicate;
     }
-    if (!shared_.sink(site, acc.epoch, acc.kind, std::move(acc.payload))) {
+    if (!shared_.sink(site, acc.epoch, acc.group, acc.kind, std::move(acc.payload))) {
       // CRC collision: reopen + quarantine locally. The slot keeps its
       // previous value — if an older snapshot had already been delivered,
       // the sink still holds it, and the retransmit the 'Q' ack provokes
@@ -685,24 +701,28 @@ RefereeServer::Result RefereeServer::run(const PayloadSink& sink) {
     for (std::size_t site = 0; site < rec.sites.size(); ++site) {
       if (!rec.sites[site].has_value()) continue;
       Frame frame = frame_decode(rec.sites[site]->frame);
-      if (!sink(site, frame.header.epoch, frame.header.kind, std::move(frame.payload))) {
+      if (!sink(site, frame.header.epoch, frame.header.group, frame.header.kind,
+                std::move(frame.payload))) {
         continue;
       }
       std::uint32_t head = frame.header.epoch;
+      std::uint16_t head_group = frame.header.group;
       // Replay the site's logged delta chain on top of the re-based mirror,
       // in log order. A delta that fails to apply ends the chain there —
       // the site's next delta then earns 'R' and a full frame re-bases it,
       // the same fallback a live chain break takes.
       for (const auto& delta_bytes : rec.sites[site]->deltas) {
         Frame delta = frame_decode(delta_bytes);
-        if (!sink(site, delta.header.epoch, delta.header.kind, std::move(delta.payload))) {
+        if (!sink(site, delta.header.epoch, delta.header.group, delta.header.kind,
+                  std::move(delta.payload))) {
           break;
         }
         head = delta.header.epoch;
+        head_group = delta.header.group;
       }
       shared.slots[site] = static_cast<std::uint64_t>(head) + 1;
       shared.reported += 1;
-      shards[0]->preload(site, head);
+      shards[0]->preload(site, head, head_group);
     }
     if (shared.reported == shared.slots.size() && !shared.continuous) {
       shared.complete.store(true, std::memory_order_release);

@@ -107,7 +107,19 @@ struct RefereeServerConfig {
   //   GET /metrics       Prometheus text exposition
   //   GET /metrics.json  one JSON line
   //   GET /health        "ok"
+  //   GET /query?e=EXPR  set-expression estimate (JSON; %xx-decoded)
+  //   GET /query.txt?e=EXPR  same, text rendering
   std::optional<std::uint16_t> admin_port;
+
+  // Serves the admin /query route (DESIGN.md §13). Receives the raw query
+  // string as it appeared after `e=` (still %xx-encoded — decode with
+  // query::percent_decode; net doesn't link the query library); returns
+  // the response body (JSON when `json`). Runs on shard 0's event loop
+  // thread while the sink may be
+  // firing on other shards, so the handler must do its own locking around
+  // whatever sketch store it reads. Unset = /query answers 404. Exceptions
+  // become a one-line "error: ..." body with a 400 status.
+  std::function<std::string(const std::string& expr, bool json)> query_handler;
 
   // Durability (DESIGN.md §11): when set, every frame that wins arbitration
   // is appended to a per-shard WAL under `dir` and committed (write + fsync
@@ -148,12 +160,13 @@ class RefereeServer {
   // failure demotes the acceptance to a resync ('R'): retransmitting a
   // delta that cannot apply is useless, the site owes a full frame. `kind`
   // is the frame's PayloadKind (config.expected_kind, or config.delta_kind
-  // for chain deltas). In a sharded server the sink is invoked under the
-  // shared arbiter mutex, so calls are serialized and arrive in global
-  // acceptance order — a plain vector-slot sink needs no locking of its
-  // own.
+  // for chain deltas); `group` is the frame's group tag (0 = ungrouped), so
+  // a grouped sink can keep per-tenant stores apart. In a sharded server
+  // the sink is invoked under the shared arbiter mutex, so calls are
+  // serialized and arrive in global acceptance order — a plain vector-slot
+  // sink needs no locking of its own.
   using PayloadSink = std::function<bool(std::size_t site, std::uint32_t epoch,
-                                         PayloadKind kind,
+                                         std::uint16_t group, PayloadKind kind,
                                          std::vector<std::uint8_t>&& payload)>;
 
   // One shard's view of the collection — the fold inputs, kept visible so
@@ -233,7 +246,7 @@ NetCollectResult<Sketch> collect_and_merge(RefereeServer& server,
   std::vector<std::optional<Sketch>> accepted(server.sites());
   RefereeServer::Result res =
       server.run([&accepted](std::size_t site, std::uint32_t /*epoch*/,
-                             PayloadKind /*kind*/,
+                             std::uint16_t /*group*/, PayloadKind /*kind*/,
                              std::vector<std::uint8_t>&& payload) {
         try {
           accepted[site].emplace(

@@ -1,0 +1,120 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+namespace ustream::query {
+namespace {
+
+// Higher binds tighter. Operand/complement never need parens as children.
+int precedence(ExprKind k) noexcept {
+  switch (k) {
+    case ExprKind::kUnion: return 1;
+    case ExprKind::kDifference: return 2;
+    case ExprKind::kIntersect: return 3;
+    case ExprKind::kComplement: return 4;
+    case ExprKind::kOperand: return 5;
+  }
+  return 5;
+}
+
+const char* infix_token(ExprKind k) noexcept {
+  switch (k) {
+    case ExprKind::kUnion: return " | ";
+    case ExprKind::kDifference: return " \\ ";
+    case ExprKind::kIntersect: return " & ";
+    default: return "";
+  }
+}
+
+void print_rec(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kOperand:
+      out += operand_key(e);
+      return;
+    case ExprKind::kComplement: {
+      out += '!';
+      const bool parens = precedence(e.left->kind) < precedence(e.kind);
+      if (parens) out += '(';
+      print_rec(*e.left, out);
+      if (parens) out += ')';
+      return;
+    }
+    default: {
+      // Left child: parens only when strictly looser. Right child: parens
+      // also at EQUAL precedence, so right-nested same-operator trees
+      // survive the parser's left-associativity (round-trip identity).
+      const int p = precedence(e.kind);
+      const bool lparens = precedence(e.left->kind) < p;
+      if (lparens) out += '(';
+      print_rec(*e.left, out);
+      if (lparens) out += ')';
+      out += infix_token(e.kind);
+      const bool rparens = precedence(e.right->kind) <= p;
+      if (rparens) out += '(';
+      print_rec(*e.right, out);
+      if (rparens) out += ')';
+      return;
+    }
+  }
+}
+
+void collect_rec(const Expr& e, std::vector<const Expr*>& out,
+                 std::vector<std::string>& seen) {
+  if (e.kind == ExprKind::kOperand) {
+    std::string key = operand_key(e);
+    if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+      seen.push_back(std::move(key));
+      out.push_back(&e);
+    }
+    return;
+  }
+  collect_rec(*e.left, out, seen);
+  if (e.right) collect_rec(*e.right, out, seen);
+}
+
+}  // namespace
+
+std::string operand_key(const Expr& e) {
+  switch (e.operand) {
+    case OperandKind::kSite: return "site:" + std::to_string(e.id);
+    case OperandKind::kGroup: return "group:" + std::to_string(e.id);
+    case OperandKind::kName: return e.name;
+  }
+  return e.name;
+}
+
+std::string to_string(const Expr& e) {
+  std::string out;
+  print_rec(e, out);
+  return out;
+}
+
+bool structurally_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == ExprKind::kOperand) {
+    return a.operand == b.operand && a.id == b.id && a.name == b.name;
+  }
+  if (!structurally_equal(*a.left, *b.left)) return false;
+  if ((a.right == nullptr) != (b.right == nullptr)) return false;
+  return a.right == nullptr || structurally_equal(*a.right, *b.right);
+}
+
+std::vector<const Expr*> collect_operands(const Expr& e) {
+  std::vector<const Expr*> out;
+  std::vector<std::string> seen;
+  collect_rec(e, out, seen);
+  return out;
+}
+
+bool is_bounded(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kOperand: return true;
+    case ExprKind::kComplement: return false;
+    case ExprKind::kUnion: return is_bounded(*e.left) && is_bounded(*e.right);
+    case ExprKind::kIntersect: return is_bounded(*e.left) || is_bounded(*e.right);
+    case ExprKind::kDifference: return is_bounded(*e.left);
+  }
+  return false;
+}
+
+}  // namespace ustream::query

@@ -1,0 +1,35 @@
+#include "query/evaluator.h"
+
+namespace ustream::query {
+
+double exact_evaluate(
+    const Expr& expr,
+    const std::function<const std::vector<std::uint64_t>*(const Expr&)>& resolve) {
+  const OperandTable table(expr);
+  std::vector<const std::vector<std::uint64_t>*> sets;
+  sets.reserve(table.size());
+  for (const Expr* leaf : table.leaves()) {
+    const auto* set = resolve(*leaf);
+    if (set == nullptr) {
+      throw QueryError(leaf->pos, "unknown operand '" + operand_key(*leaf) + "'");
+    }
+    sets.push_back(set);
+  }
+  CompiledExpr compiled(expr, [&](const Expr& leaf) { return table.bit_of(leaf); });
+  DenseMap<std::uint64_t> mask(256);
+  for (std::size_t j = 0; j < sets.size(); ++j) {
+    const std::uint64_t bit = 1ull << j;
+    for (std::uint64_t label : *sets[j]) {
+      auto [slot, inserted] = mask.try_emplace(label, 0);
+      (void)inserted;
+      slot->value |= bit;
+    }
+  }
+  std::size_t count = 0;
+  for (const auto& e : mask) {
+    if (compiled.eval(e.value)) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+}  // namespace ustream::query

@@ -1,0 +1,241 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <limits>
+
+namespace ustream::query {
+namespace {
+
+enum class Tok : std::uint8_t {
+  kLParen, kRParen, kPipe, kAmp, kDiff, kBang, kIdent, kNumber, kColon, kEnd,
+};
+
+const char* tok_name(Tok t) noexcept {
+  switch (t) {
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kDiff: return "'\\'";
+    case Tok::kBang: return "'!'";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kColon: return "':'";
+    case Tok::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::size_t pos = 0;
+  std::string_view text;  // ident / number lexeme
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const noexcept { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+    current_.pos = at_;
+    current_.text = {};
+    if (at_ >= text_.size()) {
+      current_.kind = Tok::kEnd;
+      return;
+    }
+    const char c = text_[at_];
+    switch (c) {
+      case '(': current_.kind = Tok::kLParen; ++at_; return;
+      case ')': current_.kind = Tok::kRParen; ++at_; return;
+      case '|': current_.kind = Tok::kPipe; ++at_; return;
+      case '&': current_.kind = Tok::kAmp; ++at_; return;
+      case '\\':
+      case '-': current_.kind = Tok::kDiff; ++at_; return;
+      case '!': current_.kind = Tok::kBang; ++at_; return;
+      case ':': current_.kind = Tok::kColon; ++at_; return;
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = at_;
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        ++at_;
+      }
+      current_.kind = Tok::kNumber;
+      current_.text = text_.substr(start, at_ - start);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = at_;
+      while (at_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[at_])) ||
+              text_[at_] == '_')) {
+        ++at_;
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = text_.substr(start, at_ - start);
+      return;
+    }
+    throw QueryError(at_, std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  ExprPtr run() {
+    ExprPtr e = parse_union();
+    const Token& t = lex_.peek();
+    if (t.kind != Tok::kEnd) {
+      throw QueryError(t.pos, std::string("unexpected ") + tok_name(t.kind) +
+                                  " after expression");
+    }
+    return e;
+  }
+
+ private:
+  ExprPtr parse_union() {
+    ExprPtr left = parse_diff();
+    while (lex_.peek().kind == Tok::kPipe) {
+      const Token op = lex_.take();
+      left = make_binary(ExprKind::kUnion, op.pos, std::move(left), parse_diff());
+    }
+    return left;
+  }
+
+  ExprPtr parse_diff() {
+    ExprPtr left = parse_inter();
+    while (lex_.peek().kind == Tok::kDiff) {
+      const Token op = lex_.take();
+      left = make_binary(ExprKind::kDifference, op.pos, std::move(left),
+                         parse_inter());
+    }
+    return left;
+  }
+
+  ExprPtr parse_inter() {
+    ExprPtr left = parse_unary();
+    while (lex_.peek().kind == Tok::kAmp) {
+      const Token op = lex_.take();
+      left = make_binary(ExprKind::kIntersect, op.pos, std::move(left),
+                         parse_unary());
+    }
+    return left;
+  }
+
+  ExprPtr parse_unary() {
+    if (lex_.peek().kind == Tok::kBang) {
+      const Token op = lex_.take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kComplement;
+      e->pos = op.pos;
+      e->left = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case Tok::kLParen: {
+        lex_.take();
+        ExprPtr inner = parse_union();
+        const Token& close = lex_.peek();
+        if (close.kind != Tok::kRParen) {
+          throw QueryError(close.pos, std::string("expected ')' but found ") +
+                                          tok_name(close.kind));
+        }
+        lex_.take();
+        return inner;
+      }
+      case Tok::kIdent: return parse_operand();
+      default:
+        throw QueryError(t.pos, std::string("expected operand or '(' but found ") +
+                                    tok_name(t.kind));
+    }
+  }
+
+  ExprPtr parse_operand() {
+    const Token ident = lex_.take();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kOperand;
+    e->pos = ident.pos;
+    if (lex_.peek().kind != Tok::kColon) {
+      e->operand = OperandKind::kName;
+      e->name.assign(ident.text);
+      return e;
+    }
+    lex_.take();  // ':'
+    const Token& num = lex_.peek();
+    if (num.kind != Tok::kNumber) {
+      throw QueryError(num.pos, std::string("expected number after '") +
+                                    std::string(ident.text) + ":' but found " +
+                                    tok_name(num.kind));
+    }
+    if (ident.text == "site") {
+      e->operand = OperandKind::kSite;
+      e->id = parse_id(lex_.take(), std::numeric_limits<std::uint32_t>::max());
+    } else if (ident.text == "group") {
+      // Group ids travel in a u16 wire field (frame.h v2).
+      e->operand = OperandKind::kGroup;
+      e->id = parse_id(lex_.take(), std::numeric_limits<std::uint16_t>::max());
+    } else {
+      throw QueryError(ident.pos, "unknown operand namespace '" +
+                                      std::string(ident.text) +
+                                      "' (expected site: or group:)");
+    }
+    return e;
+  }
+
+  static std::uint32_t parse_id(const Token& num, std::uint32_t max) {
+    std::uint64_t v = 0;
+    for (char c : num.text) {
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      if (v > max) {
+        throw QueryError(num.pos, "operand id " + std::string(num.text) +
+                                      " out of range (max " +
+                                      std::to_string(max) + ")");
+      }
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  static ExprPtr make_binary(ExprKind kind, std::size_t pos, ExprPtr left,
+                             ExprPtr right) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->pos = pos;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+ExprPtr parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace ustream::query

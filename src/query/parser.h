@@ -1,0 +1,42 @@
+// Tokenizer + recursive-descent parser for the query grammar (ast.h).
+//
+//   union  := diff  ( '|' diff  )*
+//   diff   := inter ( ('\' | '-') inter )*
+//   inter  := unary ( '&' unary )*
+//   unary  := '!' unary | primary
+//   primary:= '(' union ')' | operand
+//   operand:= 'site' ':' NUMBER | 'group' ':' NUMBER | IDENT
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*, numbers are decimal digits.
+// Every error carries the byte offset of the offending token so the CLI
+// can point at it; the offset is also exposed programmatically via
+// QueryError::pos() for the error-position tests.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "query/ast.h"
+
+namespace ustream::query {
+
+// Malformed query text (or a semantic error like an unbounded expression).
+// what() already embeds the offset: "query error at offset 12: ...".
+class QueryError : public std::runtime_error {
+ public:
+  QueryError(std::size_t pos, const std::string& msg)
+      : std::runtime_error("query error at offset " + std::to_string(pos) +
+                           ": " + msg),
+        pos_(pos) {}
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+// Parses `text` into an AST; throws QueryError on any malformation.
+ExprPtr parse(std::string_view text);
+
+}  // namespace ustream::query

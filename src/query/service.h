@@ -1,0 +1,37 @@
+// The deployment-facing face of the query engine: parse + evaluate + obs
+// metrics in one call, plus the text/JSON renderings and the %xx decoding
+// shared by `ustream query` and the referee's `GET /query?e=...` admin
+// route. Kept concrete (F0Estimator) so the CLI and server don't each
+// instantiate the evaluator template.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "core/f0_estimator.h"
+#include "query/evaluator.h"
+
+namespace ustream::query {
+
+using ResolveSketch = std::function<const F0Estimator*(const Expr&)>;
+
+// Parses `text` and evaluates it against the sketches `resolve` names.
+// Records ustream_queries_total, the ustream_query_latency_ns histogram,
+// and the ustream_query_operands histogram. Throws QueryError on parse or
+// resolution failure (after counting the query as received).
+QueryResult run_query(const std::string& text, const ResolveSketch& resolve);
+
+// "query: ...\nestimate: ... (± ... @1σ)\n..." — one fact per line.
+std::string format_query_text(const std::string& text, const QueryResult& r);
+std::string format_query_json(const std::string& text, const QueryResult& r);
+
+// Decodes %xx escapes (and '+' as space) for the admin query route.
+// Malformed escapes throw QueryError at the offending offset.
+std::string percent_decode(std::string_view s);
+
+// Inverse for clients: escapes everything outside [A-Za-z0-9_.:~-] so an
+// expression survives the one-line admin request format.
+std::string percent_encode(std::string_view s);
+
+}  // namespace ustream::query

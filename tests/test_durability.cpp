@@ -517,7 +517,7 @@ void crash_resume_round_trip(std::size_t shards) {
 
   TempDir dir;
   std::vector<std::optional<std::vector<std::uint8_t>>> collected(kSites);
-  auto sink = [&collected](std::size_t site, std::uint32_t, PayloadKind,
+  auto sink = [&collected](std::size_t site, std::uint32_t, std::uint16_t, PayloadKind,
                            std::vector<std::uint8_t>&& payload) {
     collected[site] = std::move(payload);
     return true;
@@ -560,6 +560,94 @@ TEST(CrashResume, ByteIdenticalStateSingleShard) { crash_resume_round_trip(1); }
 
 TEST(CrashResume, ByteIdenticalStateFourShards) { crash_resume_round_trip(4); }
 
+TEST(CrashResume, GroupLedgerSurvivesRestartByteForByte) {
+  // Grouped frames (v2 wire encoding) through the WAL: the crash loses the
+  // in-memory ledger, recovery replays the logged frames through the same
+  // sink, and the restored ledger must carry each site's group tag — so a
+  // post-restart per-group reduction buckets exactly as the pre-crash one
+  // would have. Site 3 stays ungrouped (v1) to pin the mixed case.
+  constexpr std::size_t kSites = 4;
+  constexpr std::uint16_t kGroups[kSites] = {3, 5, 3, 0};
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint32_t site = 0; site < kSites; ++site) {
+    Xoshiro256 rng(700 + site);
+    std::vector<std::uint8_t> payload(96);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+    frames.push_back(
+        frame_encode({PayloadKind::kOpaque, site, 1, kGroups[site]}, payload));
+    payloads.push_back(std::move(payload));
+  }
+
+  auto make_server_config = [&](const std::string& wal_dir, bool recover) {
+    net::RefereeServerConfig config;
+    config.sites = kSites;
+    config.expected_kind = PayloadKind::kOpaque;
+    config.dedup = DedupMode::kExactlyOnce;
+    net::RefereeServerConfig::Durability wal;
+    wal.dir = wal_dir;
+    wal.fsync = FsyncPolicy::kNever;
+    wal.recover = recover;
+    config.wal = wal;
+    return config;
+  };
+  auto push = [](std::uint16_t port, std::size_t site,
+                 const std::vector<std::uint8_t>& frame) {
+    net::TcpTransportConfig config;
+    config.host = "127.0.0.1";
+    config.port = port;
+    net::TcpTransport transport(site + 1, config);
+    return transport.send_with_ack(site, frame);
+  };
+
+  struct Got {
+    std::uint16_t group = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<std::optional<Got>> collected(kSites);
+  auto sink = [&collected](std::size_t site, std::uint32_t, std::uint16_t group,
+                           PayloadKind, std::vector<std::uint8_t>&& payload) {
+    collected[site] = Got{group, std::move(payload)};
+    return true;
+  };
+
+  TempDir dir;
+  // Phase 1: accept one site of each group, then "crash".
+  {
+    net::RefereeServer server(make_server_config(dir.path, false));
+    std::thread runner([&] { (void)server.run(sink); });
+    EXPECT_EQ(push(server.port(), 0, frames[0]), net::PushAck::kAccepted);
+    EXPECT_EQ(push(server.port(), 1, frames[1]), net::PushAck::kAccepted);
+    server.request_stop();
+    runner.join();
+  }
+  collected.assign(kSites, std::nullopt);  // the crash loses all in-memory state
+
+  // Phase 2: recover and finish. The replayed frames re-run the sink with
+  // their ORIGINAL group tags, and the retrying pusher's duplicate dedups
+  // against the recovered (site, epoch) — group included.
+  net::RefereeServer server(make_server_config(dir.path, true));
+  EXPECT_EQ(server.durable_log()->recovered().sites_recovered(), 2u);
+  net::RefereeServer::Result result;
+  std::thread runner([&] { result = server.run(sink); });
+  EXPECT_EQ(push(server.port(), 0, frames[0]), net::PushAck::kDuplicate);
+  EXPECT_EQ(push(server.port(), 2, frames[2]), net::PushAck::kAccepted);
+  EXPECT_EQ(push(server.port(), 3, frames[3]), net::PushAck::kAccepted);
+  runner.join();
+
+  EXPECT_TRUE(result.report.complete());
+  EXPECT_EQ(result.durability.sites_recovered, 2u);
+  for (std::size_t site = 0; site < kSites; ++site) {
+    ASSERT_TRUE(collected[site].has_value()) << "site " << site;
+    EXPECT_EQ(collected[site]->group, kGroups[site]) << "site " << site;
+    EXPECT_EQ(collected[site]->payload, payloads[site]) << "site " << site;
+    // The ledger a per-group reduction would bucket by: identical to what
+    // an uninterrupted run records.
+    EXPECT_EQ(result.report.per_site[site].group, kGroups[site]) << "site " << site;
+    EXPECT_EQ(result.report.per_site[site].accepted_epoch, 1u) << "site " << site;
+  }
+}
+
 TEST(CrashResume, DeltaChainSurvivesRestartAndExtends) {
   // Continuous-mode WAL: a site's logged state is a CHAIN (full frame +
   // accepted deltas). Kill the referee mid-chain, recover, and the replayed
@@ -597,7 +685,7 @@ TEST(CrashResume, DeltaChainSurvivesRestartAndExtends) {
     for (int i = 0; i < n; ++i) est.add(rng.next());
   };
   std::optional<F0Estimator> mirror;
-  auto sink = [&mirror](std::size_t, std::uint32_t, PayloadKind kind,
+  auto sink = [&mirror](std::size_t, std::uint32_t, std::uint16_t, PayloadKind kind,
                         std::vector<std::uint8_t>&& payload) {
     try {
       if (kind == PayloadKind::kF0Delta) {

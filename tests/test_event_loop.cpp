@@ -280,7 +280,7 @@ TEST(EventLoop, RefereeAcceptStormMidRound) {
   });
 
   std::atomic<std::size_t> delivered{0};
-  const auto result = server.run([&delivered](std::size_t, std::uint32_t, PayloadKind,
+  const auto result = server.run([&delivered](std::size_t, std::uint32_t, std::uint16_t, PayloadKind,
                                               std::vector<std::uint8_t>&&) {
     delivered.fetch_add(1, std::memory_order_relaxed);
     return true;

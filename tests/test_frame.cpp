@@ -86,7 +86,7 @@ TEST(Frame, EveryTruncationIsDetected) {
 
 TEST(Frame, VersionGateRejectsFutureAndAncientVersions) {
   auto framed = frame_encode({PayloadKind::kF0Estimator, 0, 0}, bytes_of("payload"));
-  for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{kFrameVersion + 1},
+  for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{kFrameVersionGroup + 1},
                          std::uint8_t{255}}) {
     auto copy = framed;
     copy[4] = v;  // even with a recomputed CRC the version gate must hold
@@ -117,6 +117,58 @@ TEST(Frame, UnknownKindAndReservedBitsRejected) {
   EXPECT_THROW((void)frame_decode(reframe(5, 200)), SerializationError);   // kind 200
   EXPECT_THROW((void)frame_decode(reframe(6, 1)), SerializationError);     // reserved
   EXPECT_THROW((void)frame_decode(reframe(7, 0x80)), SerializationError);  // reserved
+}
+
+TEST(Frame, GroupTagRoundTripsAsVersion2) {
+  const auto payload = bytes_of("grouped");
+  const auto framed = frame_encode({PayloadKind::kF0Estimator, 3, 9, 0x1234}, payload);
+  EXPECT_EQ(framed[4], kFrameVersionGroup);  // group != 0 selects v2
+  const Frame decoded = frame_decode(framed);
+  EXPECT_EQ(decoded.header.group, 0x1234u);
+  EXPECT_EQ(decoded.header.site, 3u);
+  EXPECT_EQ(decoded.header.epoch, 9u);
+  EXPECT_EQ(decoded.payload, payload);
+}
+
+TEST(Frame, GroupZeroEncodesAsLegacyV1) {
+  // One wire encoding per logical header: group 0 must produce bytes
+  // indistinguishable from a pre-group encoder, so byte-identity tests and
+  // WAL artifacts from older runs stay valid.
+  const auto payload = bytes_of("plain");
+  const auto tagged = frame_encode({PayloadKind::kF0Estimator, 3, 9, 0}, payload);
+  const auto legacy = frame_encode({PayloadKind::kF0Estimator, 3, 9}, payload);
+  EXPECT_EQ(tagged, legacy);
+  EXPECT_EQ(tagged[4], kFrameVersion);
+  EXPECT_EQ(tagged[6], 0);
+  EXPECT_EQ(tagged[7], 0);
+  EXPECT_EQ(frame_decode(tagged).header.group, 0u);
+}
+
+TEST(Frame, NonCanonicalGroupEncodingsRejected) {
+  const auto payload = bytes_of("x");
+  const auto reframe = [&](const FrameHeader& header, std::size_t offset,
+                           std::uint8_t value) {
+    auto copy = frame_encode(header, payload);
+    copy[offset] = value;
+    std::uint32_t crc = crc32c(std::span<const std::uint8_t>(copy).subspan(0, 20));
+    crc = crc32c(std::span<const std::uint8_t>(copy).subspan(kFrameHeaderBytes), crc);
+    copy[20] = static_cast<std::uint8_t>(crc);
+    copy[21] = static_cast<std::uint8_t>(crc >> 8);
+    copy[22] = static_cast<std::uint8_t>(crc >> 16);
+    copy[23] = static_cast<std::uint8_t>(crc >> 24);
+    return copy;
+  };
+  // A v2 frame whose group bytes are zero should have been encoded as v1.
+  EXPECT_THROW(
+      (void)frame_decode(reframe({PayloadKind::kF0Estimator, 1, 1, 7}, 6, 0)),
+      SerializationError);
+  // A v1 frame with nonzero group bytes is a reserved-bits violation.
+  EXPECT_THROW(
+      (void)frame_decode(reframe({PayloadKind::kF0Estimator, 1, 1, 0}, 6, 1)),
+      SerializationError);
+  EXPECT_THROW(
+      (void)frame_decode(reframe({PayloadKind::kF0Estimator, 1, 1, 0}, 7, 0x80)),
+      SerializationError);
 }
 
 TEST(Frame, LooksLikeFrameIsAProbeNotAValidator) {

@@ -24,6 +24,7 @@
 #include "common/frame.h"
 #include "core/f0_estimator.h"
 #include "core/params.h"
+#include "distributed/collect.h"
 #include "distributed/faulty_channel.h"
 #include "distributed/runtime.h"
 #include "net/socket.h"
@@ -360,6 +361,75 @@ TEST(NetAdmin, ServesLiveMetricsMidCollection) {
   EXPECT_GE(reg.counter("ustream_referee_admin_requests_total").value(), requests0 + 4);
 }
 
+TEST(NetAdmin, QueryEndpointRoutesThroughInstalledHandler) {
+  // The admin loop owns only the ROUTE: `/query?e=` (JSON) and
+  // `/query.txt?e=` (text) hand the still-percent-encoded expression to
+  // the configured handler, and a throwing handler becomes an error
+  // response, not a dead admin loop. The handler's semantics (decode,
+  // resolve, evaluate) live in the CLI and are covered end to end below.
+  Workload workload(1);
+
+  RefereeServerConfig config;
+  config.sites = 1;
+  config.admin_port = 0;
+  struct Seen {
+    std::string raw;
+    bool json = false;
+  };
+  std::vector<Seen> seen;  // admin requests run serialized on shard 0's loop
+  config.query_handler = [&seen](const std::string& raw, bool as_json) {
+    if (raw == "boom") throw std::runtime_error("handler exploded");
+    seen.push_back({raw, as_json});
+    return as_json ? std::string("{\"echo\":true}\n") : std::string("echo\n");
+  };
+  RefereeServer server(std::move(config));
+  ASSERT_TRUE(server.admin_port().has_value());
+  const std::uint16_t admin = *server.admin_port();
+
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+
+  EXPECT_EQ(admin_query(admin, "GET /query?e=site%3A0%20%7C%20site%3A1"),
+            "{\"echo\":true}\n");
+  EXPECT_EQ(admin_query(admin, "GET /query.txt?e=site%3A0"), "echo\n");
+  EXPECT_EQ(admin_query(admin, "GET /query?e=boom"), "error: handler exploded\n");
+  EXPECT_EQ(admin_query(admin, "GET /health"), "ok\n");  // loop survived the throw
+
+  TcpTransport transport(1, client_config(server.port()));
+  transport.send(0, frame_encode({PayloadKind::kF0Estimator, 0, 0},
+                                 workload.sites[0].serialize()));
+  referee.join();
+  ASSERT_TRUE(result.report.complete()) << result.report.summary();
+
+  // The handler saw the RAW query string (decoding is its job), with the
+  // route's format flag.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].raw, "site%3A0%20%7C%20site%3A1");
+  EXPECT_TRUE(seen[0].json);
+  EXPECT_EQ(seen[1].raw, "site%3A0");
+  EXPECT_FALSE(seen[1].json);
+}
+
+TEST(NetAdmin, QueryEndpointWithoutHandlerReportsDisabled) {
+  RefereeServerConfig config;
+  config.sites = 1;
+  config.admin_port = 0;
+  RefereeServer server(std::move(config));
+  ASSERT_TRUE(server.admin_port().has_value());
+  const std::uint16_t admin = *server.admin_port();
+
+  net::NetCollectResult<F0Estimator> result;
+  std::thread referee([&server, &result] {
+    result = net::collect_and_merge<F0Estimator>(server);
+  });
+  EXPECT_EQ(admin_query(admin, "GET /query?e=site%3A0"),
+            "error: query endpoint disabled (no query handler)\n");
+  server.request_stop();
+  referee.join();
+}
+
 // ---------------------------------------------------------------------------
 // Ledger algebra for the sharded referee: demote_accepted undoes a local
 // acceptance that lost the cross-shard arbitration, and merge_reports folds
@@ -662,7 +732,7 @@ TEST(NetShardedReferee, CrossShardDuplicatesCollapseToOneAcceptance) {
   std::atomic<std::size_t> sink_calls{0};
   RefereeServer::Result result;
   std::thread referee([&server, &result, &sink_calls] {
-    result = server.run([&sink_calls](std::size_t, std::uint32_t, PayloadKind,
+    result = server.run([&sink_calls](std::size_t, std::uint32_t, std::uint16_t, PayloadKind,
                                       std::vector<std::uint8_t>&&) {
       sink_calls.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -717,7 +787,7 @@ TEST(NetShardedReferee, LatestWinsEpochOrderHoldsAcrossShards) {
   std::vector<std::uint32_t> delivered;
   RefereeServer::Result result;
   std::thread referee([&server, &result, &delivered] {
-    result = server.run([&delivered](std::size_t, std::uint32_t epoch, PayloadKind,
+    result = server.run([&delivered](std::size_t, std::uint32_t epoch, std::uint16_t, PayloadKind,
                                      std::vector<std::uint8_t>&&) {
       delivered.push_back(epoch);  // serialized under the arbiter mutex
       return true;
@@ -756,6 +826,76 @@ TEST(NetShardedReferee, LatestWinsEpochOrderHoldsAcrossShards) {
   }
   EXPECT_GE(holders, 1u);
   EXPECT_EQ(newest, 5u);
+}
+
+TEST(NetShardedReferee, GroupedCollectionIsByteIdenticalAcrossShardCounts) {
+  // Two groups' traffic interleaved over per-site connections (sites
+  // alternate group 1 / group 2, one connection each so the kernel spreads
+  // them): however SO_REUSEPORT routes the frames, the folded ledger's
+  // group tags and the per-group reductions must be byte-identical to a
+  // single-shard referee fed the same frames — the grouped extension of
+  // the sharding invariance claim.
+  constexpr std::size_t kSites = 8;
+  Workload workload(kSites);
+  const auto group_of = [](std::size_t site) {
+    return static_cast<std::uint16_t>(site % 2 == 0 ? 1 : 2);
+  };
+
+  const auto run_referee = [&](std::size_t shards) {
+    RefereeServerConfig config;
+    config.sites = kSites;
+    config.shards = shards;
+    config.timeout = std::chrono::milliseconds{30'000};
+    RefereeServer server(std::move(config));
+
+    std::vector<std::optional<F0Estimator>> accepted(kSites);
+    RefereeServer::Result result;
+    std::thread referee([&server, &result, &accepted] {
+      result = server.run([&accepted](std::size_t site, std::uint32_t, std::uint16_t,
+                                      PayloadKind, std::vector<std::uint8_t>&& payload) {
+        // Serialized under the shared arbiter mutex, so the plain vector
+        // is safe even with four shard loops.
+        accepted[site] = F0Estimator::deserialize(std::span<const std::uint8_t>(payload));
+        return true;
+      });
+    });
+    for (std::size_t s = 0; s < kSites; ++s) {
+      TcpTransport transport(kSites, client_config(server.port()));
+      transport.send(s, frame_encode({PayloadKind::kF0Estimator,
+                                      static_cast<std::uint32_t>(s), 0, group_of(s)},
+                                     workload.sites[s].serialize()));
+    }
+    referee.join();
+    return std::pair{std::move(result), std::move(accepted)};
+  };
+
+  auto [sharded, sharded_accepted] = run_referee(4);
+  auto [single, single_accepted] = run_referee(1);
+  ASSERT_TRUE(sharded.report.complete()) << sharded.report.summary();
+  ASSERT_TRUE(single.report.complete()) << single.report.summary();
+  for (std::size_t s = 0; s < kSites; ++s) {
+    EXPECT_EQ(sharded.report.per_site[s].group, group_of(s)) << "site " << s;
+    EXPECT_EQ(single.report.per_site[s].group, group_of(s)) << "site " << s;
+  }
+
+  const auto sharded_groups =
+      reduce_groups<F0Estimator>(sharded.report, std::move(sharded_accepted));
+  const auto single_groups =
+      reduce_groups<F0Estimator>(single.report, std::move(single_accepted));
+  ASSERT_EQ(sharded_groups.size(), 2u);
+  ASSERT_EQ(single_groups.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(sharded_groups[k].group, single_groups[k].group);
+    EXPECT_EQ(sharded_groups[k].sites, single_groups[k].sites);
+    EXPECT_EQ(sharded_groups[k].sketch.serialize(), single_groups[k].sketch.serialize());
+    // And both match a site-order fold of just that group's members — the
+    // "one single-group collection per group" reference from collect.h.
+    std::vector<std::optional<F0Estimator>> members;
+    for (std::size_t s : sharded_groups[k].sites) members.emplace_back(workload.sites[s]);
+    auto reference = MergeEngine::shared().reduce(std::move(members));
+    ASSERT_TRUE(reference.has_value());
+    EXPECT_EQ(sharded_groups[k].sketch.serialize(), reference->serialize());
+  }
 }
 
 TEST(NetShardedReferee, PollBackendMatchesEpollBackend) {
@@ -1123,6 +1263,78 @@ TEST_F(NetCliTest, ShardedServeMatchesInProcessMergeByteForByte) {
   EXPECT_EQ(net_bytes, slurp(inproc));
 }
 
+// The query engine end to end as real processes: a serve referee takes
+// grouped pushes, answers `ustream query --from` MID-collection (site 0
+// in, site 1 outstanding) through its admin endpoint, and reports the
+// per-group estimates once the round completes. The live answer and the
+// file-mode answer for the same expression must be IDENTICAL strings —
+// both paths resolve the same sketch bytes through the same evaluator.
+TEST_F(NetCliTest, GroupedServePushAndLiveQueryEndToEnd) {
+  if (g_ustream_bin.empty()) GTEST_SKIP() << "ustream binary path not provided";
+
+  const auto t0 = path("q0.trace"), t1 = path("q1.trace");
+  const auto s0 = path("q0.sk"), s1 = path("q1.sk");
+  const auto port_file = path("qport.txt"), admin_port_file = path("qadmin.txt");
+  for (const auto& [trace, seed] : {std::pair{t0, "31"}, std::pair{t1, "32"}}) {
+    ASSERT_EQ(invoke({"generate", "--distinct", "8000", "--items", "20000",
+                      "--seed", seed, "--out", trace}).first, 0);
+  }
+  // The group tag lands in the sketch file's frame header, so file-mode
+  // `group:G` operands resolve without any referee.
+  for (const auto& [trace, sketch, group] :
+       {std::tuple{t0, s0, "1"}, std::tuple{t1, s1, "2"}}) {
+    ASSERT_EQ(invoke({"sketch", "--in", trace, "--seed", "42", "--group", group,
+                      "--out", sketch}).first, 0);
+  }
+
+  const std::string serve_cmd = g_ustream_bin + " serve --port 0 --sites 2 --json" +
+                                " --timeout-ms 30000 --port-file " + port_file +
+                                " --admin-port-file " + admin_port_file + " 2>&1";
+  std::FILE* serve = popen(serve_cmd.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  const std::uint16_t port = wait_for_port(port_file);
+  const std::uint16_t admin = wait_for_port(admin_port_file);
+  ASSERT_NE(port, 0) << "serve never wrote its port file";
+  ASSERT_NE(admin, 0) << "serve never wrote its admin port file";
+
+  ASSERT_EQ(std::system((g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                         " --site 0 --group 1 " + s0 + " > /dev/null 2>&1").c_str()), 0);
+
+  // Mid-collection: site 0's sketch is queryable by site id and group id,
+  // and the answers match the offline evaluation of the same file exactly.
+  const std::string admin_target = "127.0.0.1:" + std::to_string(admin);
+  auto [lc, live_site] = invoke({"query", "site:0", "--from", admin_target});
+  ASSERT_EQ(lc, 0) << live_site;
+  auto [fc, file_site] = invoke({"query", "site:0", s0});
+  ASSERT_EQ(fc, 0) << file_site;
+  EXPECT_EQ(live_site, file_site);
+  auto [ljc, live_group] = invoke({"query", "group:1", "--from", admin_target, "--json"});
+  ASSERT_EQ(ljc, 0) << live_group;
+  auto [fjc, file_group] = invoke({"query", "group:1", "--json", s0});
+  ASSERT_EQ(fjc, 0) << file_group;
+  EXPECT_EQ(live_group, file_group);
+  // An operand the referee has not seen yet is a clean one-line error and
+  // a distinct exit code — and the referee survives to finish the round.
+  auto [ec, eout] = invoke({"query", "site:1", "--from", admin_target});
+  EXPECT_EQ(ec, 1) << eout;
+  EXPECT_EQ(eout.rfind("error:", 0), 0u) << eout;
+
+  ASSERT_EQ(std::system((g_ustream_bin + " push --to 127.0.0.1:" + std::to_string(port) +
+                         " --site 1 --group 2 " + s1 + " > /dev/null 2>&1").c_str()), 0);
+
+  std::string serve_out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), serve)) serve_out += buf;
+  const int status = pclose(serve);
+  ASSERT_TRUE(WIFEXITED(status)) << serve_out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << serve_out;
+  EXPECT_NE(serve_out.find("\"sites_reported\":2"), std::string::npos) << serve_out;
+  // The per-group report: one entry per tag, one site each, sorted by id.
+  EXPECT_NE(serve_out.find("\"groups\":[{\"group\":1,\"sites\":1,"), std::string::npos)
+      << serve_out;
+  EXPECT_NE(serve_out.find("{\"group\":2,\"sites\":1,"), std::string::npos) << serve_out;
+}
+
 // Relay fan-in as real processes: two sites push to a sharded relay
 // referee, which merges locally and pushes ONE frame upstream. The
 // upstream referee's output must be byte-identical to a direct in-process
@@ -1268,7 +1480,7 @@ TEST(NetDeltaProtocol, AckSequenceDrivesResyncAndChainRepair) {
   std::optional<F0Estimator> mirror;
   RefereeServer::Result result;
   std::thread referee([&server, &result, &mirror] {
-    result = server.run([&mirror](std::size_t, std::uint32_t, PayloadKind kind,
+    result = server.run([&mirror](std::size_t, std::uint32_t, std::uint16_t, PayloadKind kind,
                                   std::vector<std::uint8_t>&& payload) {
       try {
         if (kind == PayloadKind::kF0Delta) {
@@ -1352,7 +1564,7 @@ TEST(NetDeltaProtocol, CrossConnectionDeltaWithoutLocalChainForcesResync) {
   std::optional<F0Estimator> mirror;
   RefereeServer::Result result;
   std::thread referee([&server, &result, &mirror] {
-    result = server.run([&mirror](std::size_t, std::uint32_t, PayloadKind kind,
+    result = server.run([&mirror](std::size_t, std::uint32_t, std::uint16_t, PayloadKind kind,
                                   std::vector<std::uint8_t>&& payload) {
       try {
         if (kind == PayloadKind::kF0Delta) {

@@ -1,0 +1,627 @@
+// The query subsystem (DESIGN.md §13): grammar round trips and precise
+// error offsets, a parser fuzzer (token soup + mutations of valid
+// expressions — the `fuzz` label the sanitizer presets run), the DLRT
+// common-threshold evaluator against exact ground truth across workload
+// shapes and every hash family, and the grouped-collection ledger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/frame.h"
+#include "common/random.h"
+#include "core/f0_estimator.h"
+#include "distributed/collect.h"
+#include "hash/hash_family.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/service.h"
+#include "stream/partitioner.h"
+
+namespace ustream {
+namespace {
+
+using query::Expr;
+using query::ExprKind;
+using query::ExprPtr;
+using query::OperandKind;
+using query::QueryError;
+
+// ---------------------------------------------------------------- parser
+
+TEST(QueryParser, PrecedenceBindsIntersectOverDiffOverUnion) {
+  const ExprPtr e = query::parse("a | b & c \\ d");
+  // Precedence low->high is | then \ then &, so this reads as
+  // Union(a, Difference(Intersect(b, c), d)).
+  ASSERT_EQ(e->kind, ExprKind::kUnion);
+  ASSERT_EQ(e->right->kind, ExprKind::kDifference);
+  ASSERT_EQ(e->right->left->kind, ExprKind::kIntersect);
+  EXPECT_EQ(query::to_string(*e), "a | b & c \\ d");
+}
+
+TEST(QueryParser, BinariesAreLeftAssociative) {
+  for (const char* text : {"a | b | c", "a \\ b \\ c", "a & b & c"}) {
+    const ExprPtr e = query::parse(text);
+    // ((a OP b) OP c): the left child is the nested application.
+    ASSERT_EQ(e->left->kind, e->kind) << text;
+    EXPECT_EQ(e->left->left->name, "a") << text;
+    EXPECT_EQ(e->right->name, "c") << text;
+    EXPECT_EQ(query::to_string(*e), text);
+  }
+}
+
+TEST(QueryParser, MinusIsDifferenceAndBangIsPrefix) {
+  const ExprPtr e = query::parse("a - b & !c");
+  ASSERT_EQ(e->kind, ExprKind::kDifference);
+  ASSERT_EQ(e->right->kind, ExprKind::kIntersect);
+  ASSERT_EQ(e->right->right->kind, ExprKind::kComplement);
+  EXPECT_EQ(e->right->right->left->name, "c");
+  // The canonical spelling uses '\': print -> parse is still an identity.
+  EXPECT_EQ(query::to_string(*e), "a \\ b & !c");
+}
+
+TEST(QueryParser, OperandFormsAndIdLimits) {
+  const ExprPtr site = query::parse("site:4294967295");
+  EXPECT_EQ(site->operand, OperandKind::kSite);
+  EXPECT_EQ(site->id, 4294967295u);
+  const ExprPtr group = query::parse("group:65535");
+  EXPECT_EQ(group->operand, OperandKind::kGroup);
+  EXPECT_EQ(group->id, 65535u);
+  const ExprPtr name = query::parse("backbone_7");
+  EXPECT_EQ(name->operand, OperandKind::kName);
+  EXPECT_EQ(name->name, "backbone_7");
+  EXPECT_THROW((void)query::parse("site:4294967296"), QueryError);
+  EXPECT_THROW((void)query::parse("group:65536"), QueryError);
+  EXPECT_THROW((void)query::parse("foo:3"), QueryError);  // unknown namespace
+}
+
+TEST(QueryParser, ErrorsCarryExactByteOffsets) {
+  const struct {
+    const char* text;
+    std::size_t pos;
+  } cases[] = {
+      {"site:0 &", 8},    // operand missing at end of input
+      {"(site:0", 7},     // unclosed paren, reported at EOF
+      {"site:0)", 6},     // trailing token after a complete expression
+      {"foo:3", 0},       // unknown namespace, reported at the identifier
+      {"site:0 | $", 9},  // character outside the grammar
+  };
+  for (const auto& c : cases) {
+    try {
+      (void)query::parse(c.text);
+      FAIL() << "parse accepted '" << c.text << "'";
+    } catch (const QueryError& e) {
+      EXPECT_EQ(e.pos(), c.pos) << c.text << " -> " << e.what();
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+  }
+}
+
+TEST(QueryParser, PrinterUsesMinimalParens) {
+  // Redundant parens are dropped; structure-bearing ones survive.
+  EXPECT_EQ(query::to_string(*query::parse("((a) | (b & c))")), "a | b & c");
+  EXPECT_EQ(query::to_string(*query::parse("(a | b) & c")), "(a | b) & c");
+  EXPECT_EQ(query::to_string(*query::parse("a | (b | c)")), "a | (b | c)");
+  EXPECT_EQ(query::to_string(*query::parse("!(a | b)")), "!(a | b)");
+  EXPECT_EQ(query::to_string(*query::parse("!!a")), "!!a");
+}
+
+TEST(QueryParser, CollectOperandsDedupsInFirstAppearanceOrder) {
+  const ExprPtr e = query::parse("site:1 & (group:2 | site:1) \\ other");
+  const auto ops = query::collect_operands(*e);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(query::operand_key(*ops[0]), "site:1");
+  EXPECT_EQ(query::operand_key(*ops[1]), "group:2");
+  EXPECT_EQ(query::operand_key(*ops[2]), "other");
+}
+
+TEST(QueryParser, BoundednessRules) {
+  EXPECT_TRUE(query::is_bounded(*query::parse("a")));
+  EXPECT_FALSE(query::is_bounded(*query::parse("!a")));
+  EXPECT_TRUE(query::is_bounded(*query::parse("a & !b")));
+  EXPECT_TRUE(query::is_bounded(*query::parse("!b & a")));
+  EXPECT_FALSE(query::is_bounded(*query::parse("a | !b")));
+  EXPECT_TRUE(query::is_bounded(*query::parse("a \\ !b")));   // left-bounded
+  EXPECT_FALSE(query::is_bounded(*query::parse("!a \\ b")));  // support of !a
+  EXPECT_FALSE(query::is_bounded(*query::parse("!(a & !b)")));
+  EXPECT_TRUE(query::is_bounded(*query::parse("(a | b) & !(c | d)")));
+}
+
+// ----------------------------------------------------------------- fuzz
+
+ExprPtr random_leaf(Xoshiro256& rng) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOperand;
+  switch (rng.below(3)) {
+    case 0:
+      e->operand = OperandKind::kSite;
+      e->id = static_cast<std::uint32_t>(rng.below(9));
+      break;
+    case 1:
+      e->operand = OperandKind::kGroup;
+      e->id = static_cast<std::uint32_t>(rng.below(9));
+      break;
+    default:
+      e->operand = OperandKind::kName;
+      e->name = std::string(1, static_cast<char>('a' + rng.below(4)));
+      break;
+  }
+  return e;
+}
+
+ExprPtr random_expr(Xoshiro256& rng, int depth) {
+  if (depth <= 0 || rng.below(3) == 0) return random_leaf(rng);
+  auto e = std::make_unique<Expr>();
+  switch (rng.below(4)) {
+    case 0: e->kind = ExprKind::kUnion; break;
+    case 1: e->kind = ExprKind::kIntersect; break;
+    case 2: e->kind = ExprKind::kDifference; break;
+    default: e->kind = ExprKind::kComplement; break;
+  }
+  e->left = random_expr(rng, depth - 1);
+  if (e->kind != ExprKind::kComplement) e->right = random_expr(rng, depth - 1);
+  return e;
+}
+
+TEST(QueryFuzz, RandomAstsRoundTripThroughPrintAndParse) {
+  Xoshiro256 rng(101);
+  for (int i = 0; i < 500; ++i) {
+    const ExprPtr e = random_expr(rng, 5);
+    const std::string text = query::to_string(*e);
+    const ExprPtr reparsed = query::parse(text);
+    ASSERT_TRUE(query::structurally_equal(*e, *reparsed)) << text;
+    // And the printer is a fixed point: print(parse(print(e))) == print(e).
+    ASSERT_EQ(query::to_string(*reparsed), text);
+  }
+}
+
+TEST(QueryFuzz, TokenSoupNeverCrashesAndErrorsStayInBounds) {
+  static const char kAlphabet[] = "()|&\\!-:_ \tabgrsiteoup0123456789$%#";
+  Xoshiro256 rng(102);
+  for (int i = 0; i < 4000; ++i) {
+    std::string s;
+    const std::size_t len = rng.below(41);
+    for (std::size_t k = 0; k < len; ++k) {
+      s += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+    }
+    try {
+      const ExprPtr e = query::parse(s);
+      // Anything the parser accepts must round-trip.
+      ASSERT_TRUE(query::structurally_equal(*e, *query::parse(query::to_string(*e)))) << s;
+    } catch (const QueryError& err) {
+      ASSERT_LE(err.pos(), s.size()) << s;
+    }
+  }
+}
+
+TEST(QueryFuzz, MutationsOfValidExpressionsNeverCrash) {
+  static const char kAlphabet[] = "()|&\\!-: site:group:0123456789abz";
+  Xoshiro256 rng(103);
+  for (int i = 0; i < 500; ++i) {
+    std::string s = query::to_string(*random_expr(rng, 4));
+    // A few stacked byte-level mutations: insert, delete, or replace.
+    const std::size_t edits = 1 + rng.below(3);
+    for (std::size_t k = 0; k < edits && !s.empty(); ++k) {
+      const std::size_t at = rng.below(s.size());
+      switch (rng.below(3)) {
+        case 0: s.insert(at, 1, kAlphabet[rng.below(sizeof(kAlphabet) - 1)]); break;
+        case 1: s.erase(at, 1); break;
+        default: s[at] = kAlphabet[rng.below(sizeof(kAlphabet) - 1)]; break;
+      }
+    }
+    try {
+      const ExprPtr e = query::parse(s);
+      ASSERT_TRUE(query::structurally_equal(*e, *query::parse(query::to_string(*e)))) << s;
+    } catch (const QueryError& err) {
+      ASSERT_LE(err.pos(), s.size()) << s;
+    }
+  }
+}
+
+// ------------------------------------------------------------- evaluator
+
+// Exact reference sets + coordinated sketches for the same streams, so the
+// two evaluators can be compared expression by expression.
+template <typename Est>
+struct Fixture {
+  std::vector<Est> sketches;
+  std::vector<std::vector<std::uint64_t>> sets;
+
+  void add_site(const std::vector<std::uint64_t>& labels, const EstimatorParams& p) {
+    Est est(p);
+    std::set<std::uint64_t> distinct;
+    for (const std::uint64_t x : labels) {
+      est.add(x);
+      distinct.insert(x);
+    }
+    sketches.push_back(std::move(est));
+    sets.emplace_back(distinct.begin(), distinct.end());
+  }
+
+  query::QueryResult evaluate(const std::string& text) const {
+    const ExprPtr e = query::parse(text);
+    std::function<const Est*(const Expr&)> resolve = [this](const Expr& leaf) -> const Est* {
+      if (leaf.operand != OperandKind::kSite || leaf.id >= sketches.size()) return nullptr;
+      return &sketches[leaf.id];
+    };
+    return query::evaluate<Est>(*e, resolve);
+  }
+
+  double exact(const std::string& text) const {
+    const ExprPtr e = query::parse(text);
+    std::function<const std::vector<std::uint64_t>*(const Expr&)> resolve =
+        [this](const Expr& leaf) -> const std::vector<std::uint64_t>* {
+      if (leaf.operand != OperandKind::kSite || leaf.id >= sets.size()) return nullptr;
+      return &sets[leaf.id];
+    };
+    return query::exact_evaluate(*e, resolve);
+  }
+};
+
+// The DLRT envelope: count ~ Binomial(|E|, 2^-L), so a 5-sigma band around
+// truth (floored for near-empty results, since copies are medianed the
+// band is generous) must contain the estimate.
+void expect_within_envelope(const query::QueryResult& r, double exact,
+                            const std::string& what) {
+  const double scale = std::ldexp(1.0, r.level) - 1.0;
+  const double sigma = std::sqrt(std::max(exact, 1.0) * scale);
+  const double tol = 5.0 * sigma + 4.0 * (scale + 1.0);
+  EXPECT_NEAR(r.estimate, exact, tol) << what << " (level " << r.level << ")";
+  // The reported plug-in SE must agree with the formula on its own output.
+  EXPECT_DOUBLE_EQ(r.std_error, std::sqrt(r.estimate * scale)) << what;
+}
+
+TEST(QueryEvaluator, ExactReferenceOnHandComputedSets) {
+  Fixture<F0Estimator> fx;  // sketches unused here; sets drive exact_evaluate
+  const EstimatorParams p{.capacity = 64, .copies = 3, .seed = 1};
+  fx.add_site({1, 2, 3}, p);
+  fx.add_site({2, 3, 4}, p);
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 | site:1"), 4.0);
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 & site:1"), 2.0);
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 \\ site:1"), 1.0);
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 & !site:1"), 1.0);
+  EXPECT_DOUBLE_EQ(fx.exact("(site:0 | site:1) \\ (site:0 & site:1)"), 2.0);
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 \\ site:0"), 0.0);
+}
+
+// Workload matrix: disjoint sites, nested subsets, and Zipf-skewed streams
+// with pairwise overlap — the three shapes E19 sweeps.
+TEST(QueryEvaluator, EnvelopeOnDisjointSites) {
+  const EstimatorParams p{.capacity = 8192, .copies = 5, .seed = 31};
+  const auto w = make_distributed_workload(
+      {.sites = 4, .union_distinct = 40'000, .overlap = 0.0, .duplication = 1.5, .seed = 41});
+  Fixture<F0Estimator> fx;
+  for (const auto& stream : w.site_streams) {
+    std::vector<std::uint64_t> labels;
+    labels.reserve(stream.size());
+    for (const Item& item : stream) labels.push_back(item.label);
+    fx.add_site(labels, p);
+  }
+  for (const char* text :
+       {"site:0 | site:1 | site:2 | site:3", "site:0 & site:1",
+        "(site:0 | site:1) \\ site:2", "(site:0 | site:1) & !site:2"}) {
+    expect_within_envelope(fx.evaluate(text), fx.exact(text), text);
+  }
+  // Disjoint sites share no labels, so the coordinated intersection is not
+  // merely small — it is empty at every level.
+  EXPECT_DOUBLE_EQ(fx.evaluate("site:0 & site:1").estimate, 0.0);
+}
+
+TEST(QueryEvaluator, EnvelopeOnNestedSites) {
+  const EstimatorParams p{.capacity = 8192, .copies = 5, .seed = 32};
+  Xoshiro256 rng(42);
+  std::vector<std::uint64_t> big(30'000);
+  for (auto& x : big) x = rng.next();
+  const std::vector<std::uint64_t> mid(big.begin(), big.begin() + 10'000);
+  const std::vector<std::uint64_t> small(big.begin(), big.begin() + 3'000);
+  Fixture<F0Estimator> fx;
+  fx.add_site(big, p);
+  fx.add_site(mid, p);
+  fx.add_site(small, p);
+  for (const char* text :
+       {"site:0 \\ site:1", "site:0 & site:1", "site:1 & !site:2",
+        "(site:0 \\ site:1) | site:2", "site:0 & site:1 & site:2"}) {
+    expect_within_envelope(fx.evaluate(text), fx.exact(text), text);
+  }
+  // Nesting gives sharp exact answers to compare against.
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 \\ site:1"), 20'000.0);
+  EXPECT_DOUBLE_EQ(fx.exact("site:1 & site:2"), 3'000.0);
+}
+
+TEST(QueryEvaluator, EnvelopeOnZipfOverlappingSites) {
+  const EstimatorParams p{.capacity = 8192, .copies = 5, .seed = 33};
+  const auto w = make_distributed_workload({.sites = 3, .union_distinct = 30'000,
+                                            .overlap = 0.5, .duplication = 2.0,
+                                            .zipf_alpha = 1.0, .seed = 43});
+  Fixture<F0Estimator> fx;
+  for (const auto& stream : w.site_streams) {
+    std::vector<std::uint64_t> labels;
+    labels.reserve(stream.size());
+    for (const Item& item : stream) labels.push_back(item.label);
+    fx.add_site(labels, p);
+  }
+  for (const char* text :
+       {"site:0 | site:1 | site:2", "site:0 & site:1", "site:0 \\ site:1",
+        "(site:0 | site:1) & !site:2", "(site:0 & site:1) | (site:1 & site:2)"}) {
+    expect_within_envelope(fx.evaluate(text), fx.exact(text), text);
+  }
+}
+
+TEST(QueryEvaluator, AssociativityAndCommutativityAreExact) {
+  const EstimatorParams p{.capacity = 2048, .copies = 5, .seed = 34};
+  const auto w = make_distributed_workload(
+      {.sites = 3, .union_distinct = 20'000, .overlap = 0.4, .duplication = 1.5, .seed = 44});
+  Fixture<F0Estimator> fx;
+  for (const auto& stream : w.site_streams) {
+    std::vector<std::uint64_t> labels;
+    for (const Item& item : stream) labels.push_back(item.label);
+    fx.add_site(labels, p);
+  }
+  // Same operand set, same common level, same candidate set: reassociating
+  // or commuting | and & must not move the estimate by even one ULP.
+  const struct {
+    const char* a;
+    const char* b;
+  } laws[] = {
+      {"site:0 | site:1", "site:1 | site:0"},
+      {"site:0 & site:1", "site:1 & site:0"},
+      {"(site:0 | site:1) | site:2", "site:0 | (site:1 | site:2)"},
+      {"(site:0 & site:1) & site:2", "site:0 & (site:1 & site:2)"},
+      {"site:0 \\ site:1", "site:0 & !site:1"},  // difference as intersection
+  };
+  for (const auto& law : laws) {
+    EXPECT_DOUBLE_EQ(fx.evaluate(law.a).estimate, fx.evaluate(law.b).estimate)
+        << law.a << " vs " << law.b;
+  }
+  // Duplicated operands collapse onto one bitmask bit.
+  EXPECT_DOUBLE_EQ(fx.evaluate("site:0 & site:0").estimate,
+                   fx.evaluate("site:0").estimate);
+  EXPECT_DOUBLE_EQ(fx.evaluate("site:0 \\ site:0").estimate, 0.0);
+}
+
+TEST(QueryEvaluator, UnboundedExpressionsRejected) {
+  const EstimatorParams p{.capacity = 64, .copies = 3, .seed = 35};
+  Fixture<F0Estimator> fx;
+  fx.add_site({1, 2, 3}, p);
+  fx.add_site({3, 4}, p);
+  EXPECT_THROW((void)fx.evaluate("!site:0"), QueryError);
+  EXPECT_THROW((void)fx.evaluate("site:0 | !site:1"), QueryError);
+  EXPECT_NO_THROW((void)fx.evaluate("site:0 & !site:1"));
+  try {
+    (void)fx.evaluate("!site:0");
+    FAIL();
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("unbounded"), std::string::npos);
+  }
+}
+
+TEST(QueryEvaluator, UnknownAndUncoordinatedOperandsRejectedWithPositions) {
+  const EstimatorParams p{.capacity = 64, .copies = 3, .seed = 36};
+  Fixture<F0Estimator> fx;
+  fx.add_site({1, 2, 3}, p);
+  try {
+    (void)fx.evaluate("site:0 | site:9");
+    FAIL();
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.pos(), 9u);  // the offending leaf, not the whole expression
+    EXPECT_NE(std::string(e.what()).find("unknown operand 'site:9'"),
+              std::string::npos);
+  }
+  // A sketch built under a different seed is not coordinated: its sample
+  // decisions used different coins, so set algebra on the samples is
+  // meaningless and must be refused.
+  const EstimatorParams other{.capacity = 64, .copies = 3, .seed = 99};
+  fx.add_site({1, 2, 3}, other);
+  try {
+    (void)fx.evaluate("site:0 & site:1");
+    FAIL();
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("not coordinated"), std::string::npos);
+  }
+}
+
+// Every hash family in the wire matrix drives the same evaluator through
+// the same envelope check — the common-threshold argument only needs the
+// operands to share ONE hash, whichever family it is.
+template <typename H>
+class QueryHashMatrix : public ::testing::Test {};
+using HashFamilies =
+    ::testing::Types<PairwiseHash, TabulationHash, MurmurMixHash, MultiplyShiftHash>;
+TYPED_TEST_SUITE(QueryHashMatrix, HashFamilies, );
+
+TYPED_TEST(QueryHashMatrix, EvaluatorMatchesExactAcrossFamilies) {
+  using Est = BasicF0Estimator<TypeParam>;
+  const EstimatorParams p{.capacity = 4096, .copies = 5, .seed = 71};
+  Xoshiro256 rng(72);
+  std::vector<std::uint64_t> shared(6'000), only0(8'000), only1(5'000), only2(4'000);
+  for (auto& x : shared) x = rng.next();
+  for (auto& x : only0) x = rng.next();
+  for (auto& x : only1) x = rng.next();
+  for (auto& x : only2) x = rng.next();
+  Fixture<Est> fx;
+  auto with_shared = [&](const std::vector<std::uint64_t>& own) {
+    std::vector<std::uint64_t> labels = shared;
+    labels.insert(labels.end(), own.begin(), own.end());
+    return labels;
+  };
+  fx.add_site(with_shared(only0), p);
+  fx.add_site(with_shared(only1), p);
+  fx.add_site(only2, p);
+  for (const char* text : {"site:0 | site:1 | site:2", "site:0 & site:1",
+                           "(site:0 | site:1) & !site:2", "site:0 \\ site:1"}) {
+    expect_within_envelope(fx.evaluate(text), fx.exact(text), text);
+  }
+  EXPECT_DOUBLE_EQ(fx.exact("site:0 & site:1"), 6'000.0);
+}
+
+// -------------------------------------------------------------- service
+
+TEST(QueryService, RunQueryFormatsTextAndJson) {
+  const EstimatorParams p{.capacity = 1024, .copies = 3, .seed = 81};
+  Fixture<F0Estimator> fx;
+  Xoshiro256 rng(82);
+  std::vector<std::uint64_t> labels(5'000);
+  for (auto& x : labels) x = rng.next();
+  fx.add_site(labels, p);
+  query::ResolveSketch resolve = [&fx](const Expr& leaf) -> const F0Estimator* {
+    return leaf.operand == OperandKind::kSite && leaf.id == 0 ? &fx.sketches[0]
+                                                              : nullptr;
+  };
+  const query::QueryResult r = query::run_query("site:0", resolve);
+  EXPECT_GT(r.estimate, 0.0);
+  const std::string text = query::format_query_text("site:0", r);
+  EXPECT_NE(text.find("query: site:0"), std::string::npos);
+  EXPECT_NE(text.find("estimate: "), std::string::npos);
+  const std::string json = query::format_query_json("site:0", r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  for (const char* key : {"\"query\"", "\"estimate\"", "\"std_error\"", "\"level\"",
+                          "\"operands\"", "\"candidates\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_THROW((void)query::run_query("site:0 &", resolve), QueryError);
+}
+
+TEST(QueryService, PercentEncodingRoundTripsAndRejectsMalformed) {
+  const std::string exotic = "(site:0 | site:1) & !group:2 \\ a_b %\t\n";
+  EXPECT_EQ(query::percent_decode(query::percent_encode(exotic)), exotic);
+  // '+' is a space on the way in (admin clients may form-encode).
+  EXPECT_EQ(query::percent_decode("a+%26+b"), "a & b");
+  EXPECT_THROW((void)query::percent_decode("abc%2"), QueryError);   // truncated
+  EXPECT_THROW((void)query::percent_decode("abc%zz"), QueryError);  // bad hex
+  // Encoded text survives the one-line admin request format.
+  const std::string encoded = query::percent_encode(exotic);
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  EXPECT_EQ(encoded.find('\n'), std::string::npos);
+}
+
+// ------------------------------------------------------ grouped ledgers
+
+std::vector<std::uint8_t> grouped_frame(std::uint32_t site, std::uint32_t epoch,
+                                        std::uint16_t group,
+                                        PayloadKind kind = PayloadKind::kF0Estimator) {
+  static const std::vector<std::uint8_t> payload{1, 2, 3};
+  return frame_encode({kind, site, epoch, group}, payload);
+}
+
+TEST(GroupedCollect, ExactlyOnceKeepsFirstGroupTag) {
+  CollectState state(2, PayloadKind::kF0Estimator, DedupMode::kExactlyOnce);
+  const auto acc = state.ingest(grouped_frame(0, 0, 5));
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->group, 5u);
+  EXPECT_EQ(state.report().per_site[0].group, 5u);
+  // A duplicate (same site+epoch) is dropped even if it claims another
+  // group: the ledger keeps the accepted tag.
+  EXPECT_FALSE(state.ingest(grouped_frame(0, 0, 7)).has_value());
+  EXPECT_EQ(state.report().duplicates_dropped, 1u);
+  EXPECT_EQ(state.report().per_site[0].group, 5u);
+  // Ungrouped legacy frames land in group 0.
+  const auto legacy = state.ingest(grouped_frame(1, 0, 0));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->group, 0u);
+  EXPECT_EQ(state.report().per_site[1].group, 0u);
+}
+
+TEST(GroupedCollect, LatestWinsRetagsOnNewerEpochOnly) {
+  CollectState state(1, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+  ASSERT_TRUE(state.ingest(grouped_frame(0, 1, 1)).has_value());
+  EXPECT_EQ(state.report().per_site[0].group, 1u);
+  // Newer epoch re-tags the site (a site moved between tenants).
+  ASSERT_TRUE(state.ingest(grouped_frame(0, 2, 2)).has_value());
+  EXPECT_EQ(state.report().per_site[0].group, 2u);
+  // Stale frames do not roll the tag back.
+  EXPECT_FALSE(state.ingest(grouped_frame(0, 1, 1)).has_value());
+  EXPECT_EQ(state.report().stale_dropped, 1u);
+  EXPECT_EQ(state.report().per_site[0].group, 2u);
+}
+
+TEST(GroupedCollect, DemoteAndRestoreCarryGroups) {
+  CollectState state(1, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+  ASSERT_TRUE(state.ingest(grouped_frame(0, 1, 3)).has_value());
+  ASSERT_TRUE(state.ingest(grouped_frame(0, 2, 4)).has_value());
+  // Cross-shard arbitration says the epoch-2 acceptance lost: the ledger
+  // must roll back to the prior (epoch, group) pair, not just the epoch.
+  state.demote_accepted(0, /*previous_epoch=*/1, /*previously_reported=*/true,
+                        /*count_stale=*/true, /*previous_group=*/3);
+  EXPECT_EQ(state.report().per_site[0].accepted_epoch, 1u);
+  EXPECT_EQ(state.report().per_site[0].group, 3u);
+  // Crash recovery transplants (site, epoch, group) in one call.
+  CollectState resumed(2, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+  resumed.restore_accepted(1, 9, 6);
+  EXPECT_TRUE(resumed.report().per_site[1].reported);
+  EXPECT_EQ(resumed.report().per_site[1].accepted_epoch, 9u);
+  EXPECT_EQ(resumed.report().per_site[1].group, 6u);
+}
+
+TEST(GroupedCollect, DeltaWithChangedGroupForcesResync) {
+  CollectState state(1, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+  state.enable_deltas(PayloadKind::kF0Delta);
+  ASSERT_TRUE(state.ingest(grouped_frame(0, 1, 2)).has_value());
+  // A delta that extends the chain but claims a different group is a stale
+  // mirror of a re-tagged site: drop it and demand a full re-base.
+  EXPECT_FALSE(state.ingest(grouped_frame(0, 2, 3, PayloadKind::kF0Delta)).has_value());
+  EXPECT_EQ(state.report().resyncs, 1u);
+  EXPECT_EQ(state.report().per_site[0].group, 2u);
+  // The same delta under the chain's own group extends it.
+  const auto acc = state.ingest(grouped_frame(0, 2, 2, PayloadKind::kF0Delta));
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->kind, PayloadKind::kF0Delta);
+  EXPECT_EQ(state.report().per_site[0].accepted_epoch, 2u);
+}
+
+TEST(GroupedCollect, MergeReportsTakesWinningShardsGroup) {
+  CollectState a(2, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+  CollectState b(2, PayloadKind::kF0Estimator, DedupMode::kLatestWins);
+  ASSERT_TRUE(a.ingest(grouped_frame(0, 1, 1)).has_value());
+  ASSERT_TRUE(b.ingest(grouped_frame(0, 3, 2)).has_value());
+  const CollectReport merged = merge_reports({a.report(), b.report()});
+  EXPECT_EQ(merged.per_site[0].accepted_epoch, 3u);
+  EXPECT_EQ(merged.per_site[0].group, 2u);  // the newest epoch's tag
+  const CollectReport swapped = merge_reports({b.report(), a.report()});
+  EXPECT_EQ(swapped.per_site[0].group, 2u);  // shard order must not matter
+}
+
+TEST(GroupedCollect, ReduceGroupsBucketsDeterministically) {
+  const EstimatorParams p{.capacity = 512, .copies = 3, .seed = 91};
+  Xoshiro256 rng(92);
+  auto sketch = [&](int items) {
+    F0Estimator est(p);
+    for (int i = 0; i < items; ++i) est.add(rng.next());
+    return est;
+  };
+  // Sites 0..4 tagged {2, 1, 2, 0, 1}; site 5 never reported.
+  const std::uint16_t tags[] = {2, 1, 2, 0, 1};
+  CollectReport report;
+  report.sites_total = 6;
+  report.per_site.resize(6);
+  std::vector<std::optional<F0Estimator>> accepted(6);
+  std::vector<F0Estimator> originals;
+  for (std::size_t s = 0; s < 5; ++s) {
+    report.per_site[s].reported = true;
+    report.per_site[s].group = tags[s];
+    originals.push_back(sketch(2'000 + static_cast<int>(s) * 100));
+    accepted[s] = originals.back();
+  }
+  const auto groups = reduce_groups<F0Estimator>(report, std::move(accepted));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].group, 0u);
+  EXPECT_EQ(groups[1].group, 1u);
+  EXPECT_EQ(groups[2].group, 2u);
+  EXPECT_EQ(groups[0].sites, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(groups[1].sites, (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(groups[2].sites, (std::vector<std::size_t>{0, 2}));
+  // Byte identity against a sequential site-order fold per bucket — the
+  // single-group-per-collection equivalence the sharded tests build on.
+  for (const auto& g : groups) {
+    F0Estimator manual = originals[g.sites[0]];
+    for (std::size_t i = 1; i < g.sites.size(); ++i) manual.merge(originals[g.sites[i]]);
+    EXPECT_EQ(g.sketch.serialize(), manual.serialize()) << "group " << g.group;
+  }
+}
+
+}  // namespace
+}  // namespace ustream
