@@ -12,7 +12,12 @@ bench/run_bench.sh / bench/run_merge_bench.sh) and fails if:
     repeated --speedup SLOW,FAST,FLOOR arguments (measured on the CURRENT
     run: items/sec of FAST must be >= FLOOR * items/sec of SLOW); with no
     --speedup given, the legacy --scalar/--batch/--speedup-floor trio
-    forms the single pair (the ingestion gate's >= 2x batch floor).
+    forms the single pair (the ingestion gate's >= 2x batch floor), or
+  * any accuracy floor is missed. Floors come from repeated
+    --accuracy NAME,FIELD,FLOOR arguments: benchmark NAME in the CURRENT
+    run must carry a custom counter FIELD (google-benchmark counters
+    appear as plain fields on the benchmark object) whose median is
+    >= FLOOR. This is how the freq gate pins heavy-hitter recall.
 
 Exit status 0 on pass, 1 on any failure.
 """
@@ -70,6 +75,31 @@ def load_items_per_second(path):
     return {name: statistics.median(rates) for name, rates in samples.items()}
 
 
+def load_counter(path, name, field):
+    """Median of a custom counter across a named benchmark's non-aggregate
+    rows, or None if the row or field is absent."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        die(f"cannot read {path}: {exc}")
+    values = []
+    for bench in data.get("benchmarks", []):
+        if not isinstance(bench, dict) or bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("name") != name:
+            continue
+        value = bench.get(field)
+        if value is None:
+            continue
+        try:
+            values.append(float(value))
+        except (TypeError, ValueError):
+            die(f"{path}: {name}: counter {field!r} value {value!r} "
+                f"is not a number")
+    return statistics.median(values) if values else None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
@@ -90,7 +120,24 @@ def main():
         "--speedup", action="append", metavar="SLOW,FAST,FLOOR",
         help="require items/sec(FAST) >= FLOOR * items/sec(SLOW) in the "
              "current run; repeatable, overrides --scalar/--batch")
+    parser.add_argument(
+        "--accuracy", action="append", metavar="NAME,FIELD,FLOOR",
+        help="require the median of custom counter FIELD on benchmark NAME "
+             "in the current run to be >= FLOOR; repeatable")
     args = parser.parse_args()
+
+    accuracy_specs = []
+    for spec in args.accuracy or []:
+        parts = spec.rsplit(",", 2)
+        if len(parts) != 3 or not parts[0] or not parts[1]:
+            die(f"--accuracy {spec!r}: expected NAME,FIELD,FLOOR "
+                f"(three comma-separated fields)")
+        name, field, floor_text = parts
+        try:
+            floor = float(floor_text)
+        except ValueError:
+            die(f"--accuracy {spec!r}: floor {floor_text!r} is not a number")
+        accuracy_specs.append((name, field, floor))
 
     if args.speedup:
         pairs = []
@@ -143,11 +190,23 @@ def main():
         else:
             failures.append(f"{slow} / {fast}: speedup pair missing from current run")
 
+    for name, field, floor in accuracy_specs:
+        value = load_counter(args.current, name, field)
+        if value is None:
+            failures.append(f"{name}: counter {field!r} missing from current run")
+            continue
+        ok = value >= floor
+        print(f"{'OK' if ok else 'TOO LOW':11s} accuracy "
+              f"({name} {field}): {value:.4f} (floor {floor:.4f})")
+        if not ok:
+            failures.append(f"{name}: {field} {value:.4f} below floor {floor:.4f}")
+
     if failures:
         # One self-contained block per run: every failing row with its
         # measured ratio and the threshold it missed, so a red CI log
         # needs no scrolling back through the OK rows.
-        print(f"\nFAIL: {len(failures)} of {len(baseline) + len(pairs)} "
+        print(f"\nFAIL: {len(failures)} of "
+              f"{len(baseline) + len(pairs) + len(accuracy_specs)} "
               f"checks failed:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)

@@ -42,6 +42,12 @@
 #      `GET /query?e=...` admin round trip) against bench/BENCH_query.json,
 #      with the >= 10x parse-vs-eval floor keeping the grammar off the
 #      hot path.
+#   9. frequency subsystem — bench/run_freq_bench.sh measures the freq
+#      bundle's batched ingest against the sampler-based heavy-key path
+#      (the netmon superspreader observe loop) with a >= 0.5x floor, and
+#      gates union heavy-hitter recall (Zipf alpha = 1.5, 64 sites) at
+#      >= 0.95 via BM_FreqUnionRecall/64's recall counter — the E20
+#      acceptance number — against bench/BENCH_freq.json.
 #
 # Usage:
 #   bench/run_gates.sh [build-dir]            # all gates
@@ -61,29 +67,32 @@ if [[ ! -d "$build" ]]; then
   exit 2
 fi
 
-echo "== gate 1/8: ingestion perf regression (bench/run_bench.sh) =="
+echo "== gate 1/9: ingestion perf regression (bench/run_bench.sh) =="
 "$repo/bench/run_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 2/8: merge-engine perf regression (bench/run_merge_bench.sh) =="
+echo "== gate 2/9: merge-engine perf regression (bench/run_merge_bench.sh) =="
 "$repo/bench/run_merge_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 3/8: fault-injection soak (ctest -L soak) =="
+echo "== gate 3/9: fault-injection soak (ctest -L soak) =="
 cmake --build "$build" --target test_soak -j >/dev/null
 ctest --test-dir "$build" -L soak --output-on-failure
 
-echo "== gate 4/8: net wire perf regression (bench/run_net_bench.sh) =="
+echo "== gate 4/9: net wire perf regression (bench/run_net_bench.sh) =="
 "$repo/bench/run_net_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 5/8: instrumentation overhead (bench/run_obs_bench.sh) =="
+echo "== gate 5/9: instrumentation overhead (bench/run_obs_bench.sh) =="
 "$repo/bench/run_obs_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 6/8: durability tax (bench/run_wal_bench.sh) =="
+echo "== gate 6/9: durability tax (bench/run_wal_bench.sh) =="
 "$repo/bench/run_wal_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 7/8: continuous wire cost (bench/run_continuous_bench.sh) =="
+echo "== gate 7/9: continuous wire cost (bench/run_continuous_bench.sh) =="
 "$repo/bench/run_continuous_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
-echo "== gate 8/8: query engine perf regression (bench/run_query_bench.sh) =="
+echo "== gate 8/9: query engine perf regression (bench/run_query_bench.sh) =="
 "$repo/bench/run_query_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
+
+echo "== gate 9/9: frequency subsystem (bench/run_freq_bench.sh) =="
+"$repo/bench/run_freq_bench.sh" ${update_flag[@]+"${update_flag[@]}"} "$build"
 
 echo "all gates passed"

@@ -26,6 +26,8 @@
 #include "distributed/faulty_channel.h"
 #include "distributed/runtime.h"
 #include "durability/recovery.h"
+#include "freq/freq_sketch.h"
+#include "freq/universal_sketch.h"
 #include "net/referee_server.h"
 #include "net/socket.h"
 #include "net/tcp_transport.h"
@@ -146,7 +148,185 @@ int cmd_generate(const Args& args, std::string& out) {
   return 0;
 }
 
+// Framed freq/universal sketch files share the F0 file shape: one CRC
+// frame whose kind tags the payload; site/epoch are 0 for files at rest.
+void write_framed_payload(const std::string& path, PayloadKind kind,
+                          const std::vector<std::uint8_t>& payload,
+                          std::uint16_t group = 0) {
+  write_file(path, frame_encode({kind, 0, 0, group}, payload));
+}
+
+// Kind of a file for dispatch: the frame header's tag, or kF0Estimator for
+// legacy (v0) unframed sketch files.
+PayloadKind framed_kind_of(const std::string& path) {
+  const auto bytes = read_file(path);
+  if (!looks_like_frame(bytes)) return PayloadKind::kF0Estimator;
+  return frame_decode(bytes).header.kind;
+}
+
+Frame read_framed_kind(const std::string& path, PayloadKind kind) {
+  const auto bytes = read_file(path);
+  if (!looks_like_frame(bytes)) {
+    throw SerializationError(std::string("not a framed ") + payload_kind_name(kind) +
+                             " file: " + path);
+  }
+  Frame frame = frame_decode(bytes);
+  if (frame.header.kind != kind) {
+    throw SerializationError(std::string("sketch file ") + path + " carries a " +
+                             payload_kind_name(frame.header.kind) + " frame, expected " +
+                             payload_kind_name(kind));
+  }
+  return frame;
+}
+
+FreqSketch read_freq_file(const std::string& path) {
+  const Frame frame = read_framed_kind(path, PayloadKind::kFreqSketch);
+  return FreqSketch::deserialize(std::span<const std::uint8_t>(frame.payload));
+}
+
+UniversalSketch read_universal_file(const std::string& path) {
+  const Frame frame = read_framed_kind(path, PayloadKind::kUniversalSketch);
+  return UniversalSketch::deserialize(std::span<const std::uint8_t>(frame.payload));
+}
+
+// `top(K)` / `freq(LABEL)` — the frequency query surface. Returns false
+// when `text` is not a call of that name; throws InvalidArgument on a
+// malformed argument.
+bool parse_freq_call(const std::string& text, const char* name, std::uint64_t& value) {
+  const std::string prefix = std::string(name) + "(";
+  if (text.rfind(prefix, 0) != 0) return false;
+  USTREAM_REQUIRE(text.size() > prefix.size() + 1 && text.back() == ')',
+                  std::string(name) + " expects " + name + "(N)");
+  const std::string num = text.substr(prefix.size(), text.size() - prefix.size() - 1);
+  char* end = nullptr;
+  value = std::strtoull(num.c_str(), &end, 10);
+  USTREAM_REQUIRE(end != nullptr && *end == '\0' && !num.empty(),
+                  std::string(name) + " expects a non-negative integer, got '" + num + "'");
+  return true;
+}
+
+// Answers a top(k)/freq(label) expression against one (already merged)
+// freq sketch — shared by `query` over files and the freq referee's admin
+// /query endpoint.
+std::string freq_query_answer(const FreqSketch& sketch, const std::string& text,
+                              bool as_json) {
+  std::string out;
+  std::uint64_t arg = 0;
+  if (parse_freq_call(text, "top", arg)) {
+    const auto hitters = sketch.top(static_cast<std::size_t>(arg));
+    if (as_json) {
+      out += "{\"query\":\"" + json_escape(text) + "\",\"f1\":" +
+             std::to_string(static_cast<unsigned long long>(sketch.items_processed())) +
+             ",\"hitters\":[";
+      for (std::size_t i = 0; i < hitters.size(); ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"label\":%llu,\"estimate\":%llu,\"lower\":%llu,\"upper\":%llu}",
+                      i > 0 ? "," : "",
+                      static_cast<unsigned long long>(hitters[i].label),
+                      static_cast<unsigned long long>(hitters[i].estimate),
+                      static_cast<unsigned long long>(hitters[i].lower),
+                      static_cast<unsigned long long>(hitters[i].upper));
+        out += buf;
+      }
+      out += "]}\n";
+    } else {
+      append(out, "%s: %zu heavy hitters over %llu items", text.c_str(), hitters.size(),
+             static_cast<unsigned long long>(sketch.items_processed()));
+      for (const auto& hh : hitters) {
+        append(out, "  label %llu: ~%llu in [%llu, %llu]",
+               static_cast<unsigned long long>(hh.label),
+               static_cast<unsigned long long>(hh.estimate),
+               static_cast<unsigned long long>(hh.lower),
+               static_cast<unsigned long long>(hh.upper));
+      }
+    }
+    return out;
+  }
+  if (parse_freq_call(text, "freq", arg)) {
+    const auto bound = sketch.bound(arg);
+    const std::uint64_t estimate = sketch.estimate(arg);
+    if (as_json) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"query\":\"%s\",\"label\":%llu,\"estimate\":%llu,"
+                    "\"lower\":%llu,\"upper\":%llu,\"tracked\":%s}\n",
+                    json_escape(text).c_str(), static_cast<unsigned long long>(arg),
+                    static_cast<unsigned long long>(estimate),
+                    static_cast<unsigned long long>(bound.lower),
+                    static_cast<unsigned long long>(bound.upper),
+                    sketch.heavy().contains(arg) ? "true" : "false");
+      out += buf;
+    } else {
+      append(out, "%s: ~%llu in [%llu, %llu]%s", text.c_str(),
+             static_cast<unsigned long long>(estimate),
+             static_cast<unsigned long long>(bound.lower),
+             static_cast<unsigned long long>(bound.upper),
+             sketch.heavy().contains(arg) ? "" : " (untracked: upper is the absent bound)");
+    }
+    return out;
+  }
+  throw InvalidArgument("freq queries are top(K) or freq(LABEL), got '" + text + "'");
+}
+
+// `sketch --kind freq|universal`: frequency summaries over the trace,
+// written under their own PayloadKinds. Batched ingest end to end.
+int cmd_sketch_freq(const Args& args, bool universal, std::string& out) {
+  const std::string in = args.required_str("in");
+  const std::string out_path = args.required_str("out");
+  const std::uint64_t seed = args.u64("seed", 0x5eed0123456789abULL);
+  const std::uint64_t group_raw = args.u64("group", 0);
+  USTREAM_REQUIRE(group_raw <= 0xffff, "--group out of range (max 65535)");
+  const auto group = static_cast<std::uint16_t>(group_raw);
+  const std::size_t depth = args.u64("depth", 4);
+  const std::size_t width_log2 = args.u64("width-log2", universal ? 10 : 12);
+  const std::size_t heavy = args.u64("heavy", universal ? 32 : 64);
+  const std::size_t levels = args.u64("levels", 8);
+  args.reject_unknown();
+  const auto items = read_trace(in);
+  std::vector<std::uint64_t> labels;
+  labels.reserve(items.size());
+  for (const Item& item : items) labels.push_back(item.label);
+  if (universal) {
+    UniversalConfig config;
+    config.levels = levels;
+    config.depth = depth;
+    config.width_log2 = width_log2;
+    config.heavy_capacity = heavy;
+    config.seed = seed;
+    UniversalSketch sketch(config);
+    sketch.add_batch(labels);
+    write_framed_payload(out_path, PayloadKind::kUniversalSketch, sketch.serialize(), group);
+    append(out,
+           "sketched %zu items from %s -> %s (%zu bytes, %zu levels, f1 %.0f, "
+           "f2 %.4g, entropy %.3f bits)",
+           items.size(), in.c_str(), out_path.c_str(), read_file(out_path).size(),
+           sketch.levels(), sketch.f1(), sketch.f2(), sketch.entropy());
+  } else {
+    FreqConfig config;
+    config.depth = depth;
+    config.width_log2 = width_log2;
+    config.heavy_capacity = heavy;
+    config.seed = seed;
+    FreqSketch sketch(config);
+    sketch.add_batch(labels);
+    write_framed_payload(out_path, PayloadKind::kFreqSketch, sketch.serialize(), group);
+    append(out,
+           "sketched %zu items from %s -> %s (%zu bytes, %zux%zu counters, "
+           "%zu tracked heavy labels, f2 %.4g)",
+           items.size(), in.c_str(), out_path.c_str(), read_file(out_path).size(),
+           sketch.count_sketch().depth(), sketch.count_sketch().width(),
+           sketch.heavy().size(), sketch.f2());
+  }
+  return 0;
+}
+
 int cmd_sketch(const Args& args, std::string& out) {
+  const std::string sketch_kind = args.str("kind", "f0");
+  if (sketch_kind == "freq" || sketch_kind == "universal") {
+    return cmd_sketch_freq(args, sketch_kind == "universal", out);
+  }
+  USTREAM_REQUIRE(sketch_kind == "f0", "--kind must be f0, freq, or universal");
   const std::string in = args.required_str("in");
   const std::string out_path = args.required_str("out");
   const double eps = args.f64("eps", 0.1);
@@ -199,6 +379,27 @@ int cmd_merge(const Args& args, std::string& out) {
   const auto& inputs = args.positional();
   USTREAM_REQUIRE(!inputs.empty(), "merge needs at least one input sketch");
   require_uniform_kinds(inputs);
+  const PayloadKind kind = framed_kind_of(inputs[0]);
+  if (kind == PayloadKind::kFreqSketch) {
+    FreqSketch merged = read_freq_file(inputs[0]);
+    for (std::size_t i = 1; i < inputs.size(); ++i) merged.merge(read_freq_file(inputs[i]));
+    write_framed_payload(out_path, PayloadKind::kFreqSketch, merged.serialize());
+    append(out, "merged %zu freq sketches -> %s (%llu items, %zu tracked heavy labels)",
+           inputs.size(), out_path.c_str(),
+           static_cast<unsigned long long>(merged.items_processed()),
+           merged.heavy().size());
+    return 0;
+  }
+  if (kind == PayloadKind::kUniversalSketch) {
+    UniversalSketch merged = read_universal_file(inputs[0]);
+    for (std::size_t i = 1; i < inputs.size(); ++i) {
+      merged.merge(read_universal_file(inputs[i]));
+    }
+    write_framed_payload(out_path, PayloadKind::kUniversalSketch, merged.serialize());
+    append(out, "merged %zu universal sketches -> %s (f1 %.0f, f2 %.4g, entropy %.3f bits)",
+           inputs.size(), out_path.c_str(), merged.f1(), merged.f2(), merged.entropy());
+    return 0;
+  }
   F0Estimator merged = read_sketch_file(inputs[0]);
   for (std::size_t i = 1; i < inputs.size(); ++i) {
     merged.merge(read_sketch_file(inputs[i]));
@@ -215,6 +416,38 @@ int cmd_estimate(const Args& args, std::string& out) {
   USTREAM_REQUIRE(!args.positional().empty(), "estimate needs a sketch file");
   require_uniform_kinds(args.positional());
   for (const auto& path : args.positional()) {
+    const PayloadKind kind = framed_kind_of(path);
+    if (kind == PayloadKind::kFreqSketch) {
+      const FreqSketch est = read_freq_file(path);
+      if (json) {
+        append(out,
+               "{\"file\":\"%s\",\"f1\":%llu,\"f2\":%.17g,\"tracked\":%zu,"
+               "\"absent_bound\":%llu}",
+               json_escape(path).c_str(),
+               static_cast<unsigned long long>(est.items_processed()), est.f2(),
+               est.heavy().size(),
+               static_cast<unsigned long long>(est.heavy().absent_bound()));
+      } else {
+        append(out, "%s: %llu items, f2 %.4g, %zu tracked heavy labels (absent bound %llu)",
+               path.c_str(), static_cast<unsigned long long>(est.items_processed()),
+               est.f2(), est.heavy().size(),
+               static_cast<unsigned long long>(est.heavy().absent_bound()));
+      }
+      continue;
+    }
+    if (kind == PayloadKind::kUniversalSketch) {
+      const UniversalSketch est = read_universal_file(path);
+      if (json) {
+        append(out,
+               "{\"file\":\"%s\",\"f1\":%.17g,\"f2\":%.17g,\"entropy\":%.17g,"
+               "\"levels\":%zu}",
+               json_escape(path).c_str(), est.f1(), est.f2(), est.entropy(), est.levels());
+      } else {
+        append(out, "%s: f1 %.0f, f2 %.4g, entropy %.3f bits (%zu levels)", path.c_str(),
+               est.f1(), est.f2(), est.entropy(), est.levels());
+      }
+      continue;
+    }
     const F0Estimator est = read_sketch_file(path);
     if (json) {
       // One machine-readable line per file; scripts parse this instead of
@@ -266,6 +499,59 @@ int cmd_info(const Args& args, std::string& out) {
     const auto bytes = read_file(path);
     if (looks_like_frame(bytes)) {
       const Frame frame = frame_decode(bytes);  // validates CRC before parsing
+      if (frame.header.kind == PayloadKind::kFreqSketch) {
+        const FreqSketch est =
+            FreqSketch::deserialize(std::span<const std::uint8_t>(frame.payload));
+        if (json) {
+          append(out,
+                 "{\"file\":\"%s\",\"format\":\"framed-sketch\",\"kind\":\"%s\","
+                 "\"site\":%u,\"epoch\":%u,\"bytes\":%zu,\"payload_bytes\":%zu,"
+                 "\"depth\":%zu,\"width\":%zu,\"heavy_capacity\":%zu,"
+                 "\"tracked\":%zu,\"seed\":%llu}",
+                 json_escape(path).c_str(), payload_kind_name(frame.header.kind),
+                 frame.header.site, frame.header.epoch, bytes.size(), frame.payload.size(),
+                 est.count_sketch().depth(), est.count_sketch().width(),
+                 est.heavy().capacity(), est.heavy().size(),
+                 static_cast<unsigned long long>(est.config().seed));
+        } else {
+          append(out,
+                 "%s: framed sketch (%s, site %u, epoch %u, crc ok), %zu bytes "
+                 "(%zu payload), %zux%zu counters + %zu/%zu heavy slots, seed %llu",
+                 path.c_str(), payload_kind_name(frame.header.kind), frame.header.site,
+                 frame.header.epoch, bytes.size(), frame.payload.size(),
+                 est.count_sketch().depth(), est.count_sketch().width(),
+                 est.heavy().size(), est.heavy().capacity(),
+                 static_cast<unsigned long long>(est.config().seed));
+        }
+        continue;
+      }
+      if (frame.header.kind == PayloadKind::kUniversalSketch) {
+        const UniversalSketch est =
+            UniversalSketch::deserialize(std::span<const std::uint8_t>(frame.payload));
+        if (json) {
+          append(out,
+                 "{\"file\":\"%s\",\"format\":\"framed-sketch\",\"kind\":\"%s\","
+                 "\"site\":%u,\"epoch\":%u,\"bytes\":%zu,\"payload_bytes\":%zu,"
+                 "\"levels\":%zu,\"depth\":%zu,\"width\":%zu,\"heavy_capacity\":%zu,"
+                 "\"seed\":%llu}",
+                 json_escape(path).c_str(), payload_kind_name(frame.header.kind),
+                 frame.header.site, frame.header.epoch, bytes.size(), frame.payload.size(),
+                 est.levels(), est.config().depth,
+                 std::size_t{1} << est.config().width_log2, est.config().heavy_capacity,
+                 static_cast<unsigned long long>(est.config().seed));
+        } else {
+          append(out,
+                 "%s: framed sketch (%s, site %u, epoch %u, crc ok), %zu bytes "
+                 "(%zu payload), %zu levels of %zux%zu counters + %zu heavy slots, "
+                 "seed %llu",
+                 path.c_str(), payload_kind_name(frame.header.kind), frame.header.site,
+                 frame.header.epoch, bytes.size(), frame.payload.size(), est.levels(),
+                 est.config().depth, std::size_t{1} << est.config().width_log2,
+                 est.config().heavy_capacity,
+                 static_cast<unsigned long long>(est.config().seed));
+        }
+        continue;
+      }
       const F0Estimator est = read_sketch_file(path);
       if (json) {
         append(out,
@@ -393,7 +679,195 @@ int cmd_collect(const Args& args, std::string& out) {
 // collection), merge on the parallel MergeEngine and report the union
 // estimate. This is the first half of the multi-process deployment of the
 // paper's protocol; `ustream push` is the other half.
+// `serve --kind freq`: the same TCP referee, collecting one kFreqSketch
+// frame per site. The union summary is the componentwise merge (counter
+// addition + interval-sum space-saver union); because that merge is
+// associative, 1-shard and 4-shard collections of the same site set are
+// byte-identical. The admin /query endpoint answers top(K)/freq(LABEL)
+// against the live store, and the report carries a heavy-hitter table.
+int cmd_serve_freq(const Args& args, std::string& out) {
+  net::RefereeServerConfig config;
+  config.bind_host = args.str("bind", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.u64("port", 0));
+  config.sites = args.u64("sites", 1);
+  config.shards = args.u64("shards", 1);
+  config.timeout = std::chrono::milliseconds(args.u64("timeout-ms", 0));
+  config.expected_kind = PayloadKind::kFreqSketch;
+  USTREAM_REQUIRE(!args.has("continuous") && !args.has("relay"),
+                  "serve --kind freq does not support --continuous or --relay");
+  const std::uint64_t top_k = args.u64("top", 10);
+  const std::string out_path = args.str("out", "");
+  const std::string port_file = args.str("port-file", "");
+  if (args.has("admin-port")) {
+    config.admin_port = static_cast<std::uint16_t>(args.u64("admin-port", 0));
+  }
+  const std::string admin_port_file = args.str("admin-port-file", "");
+  if (!admin_port_file.empty() && !config.admin_port.has_value()) {
+    config.admin_port = 0;  // asking for the file implies the endpoint
+  }
+  const std::string wal_dir = args.str("wal-dir", "");
+  const std::string fsync_name = args.str("fsync", "interval");
+  const std::uint64_t fsync_interval_ms = args.u64("fsync-interval-ms", 50);
+  const std::uint64_t snapshot_every = args.u64("snapshot-every", 0);
+  const std::uint64_t segment_mb = args.u64("segment-mb", 64);
+  const bool recover = args.has("recover");
+  if (recover) args.str("recover", "");
+  USTREAM_REQUIRE(!recover || !wal_dir.empty(), "--recover needs --wal-dir DIR");
+  if (!wal_dir.empty()) {
+    net::RefereeServerConfig::Durability wal;
+    wal.dir = wal_dir;
+    wal.fsync = durability::parse_fsync_policy(fsync_name);
+    wal.fsync_interval = std::chrono::milliseconds(fsync_interval_ms);
+    wal.snapshot_every = snapshot_every;
+    wal.segment_bytes = segment_mb << 20;
+    wal.recover = recover;
+    config.wal = wal;
+  }
+  const bool json = json_requested(args);
+  const bool stats = stats_requested(args);
+  args.reject_unknown();
+
+  struct FreqStore {
+    std::mutex mu;
+    std::vector<std::optional<FreqSketch>> sketches;
+  } store;
+  store.sketches.resize(config.sites);
+  config.query_handler = [&store](const std::string& raw, bool as_json) {
+    const std::string text = query::percent_decode(raw);
+    std::lock_guard<std::mutex> lock(store.mu);
+    std::optional<FreqSketch> merged;
+    for (const auto& s : store.sketches) {
+      if (!s.has_value()) continue;
+      if (!merged.has_value()) {
+        merged = *s;
+      } else {
+        merged->merge(*s);
+      }
+    }
+    USTREAM_REQUIRE(merged.has_value(), "no freq sketches collected yet");
+    return freq_query_answer(*merged, text, as_json);
+  };
+
+  net::RefereeServer server(std::move(config));
+  if (!port_file.empty()) {
+    const std::string port_text = std::to_string(server.port()) + "\n";
+    write_file(port_file, std::vector<std::uint8_t>(port_text.begin(), port_text.end()));
+  }
+  if (!admin_port_file.empty()) {
+    const std::string port_text = std::to_string(*server.admin_port()) + "\n";
+    write_file(admin_port_file,
+               std::vector<std::uint8_t>(port_text.begin(), port_text.end()));
+  }
+  net::RefereeServer::Result res = server.run(
+      [&store](std::size_t site, std::uint32_t, std::uint16_t, PayloadKind /*kind*/,
+               std::vector<std::uint8_t>&& payload) {
+        try {
+          FreqSketch est = FreqSketch::deserialize(std::span<const std::uint8_t>(payload));
+          std::lock_guard<std::mutex> lock(store.mu);
+          for (const auto& m : store.sketches) {
+            if (m.has_value() && !m->can_merge_with(est)) return false;
+          }
+          store.sketches[site] = std::move(est);
+          return true;
+        } catch (const SerializationError&) {
+          return false;
+        }
+      });
+  std::optional<FreqSketch> merged;
+  {
+    std::lock_guard<std::mutex> lock(store.mu);
+    merged = MergeEngine::shared().reduce(std::move(store.sketches));
+  }
+  const CollectReport& report = res.report;
+  std::vector<FreqSketch::HeavyHitter> hitters;
+  if (merged.has_value()) hitters = merged->top(static_cast<std::size_t>(top_k));
+  if (!out_path.empty() && merged.has_value()) {
+    write_framed_payload(out_path, PayloadKind::kFreqSketch, merged->serialize());
+  }
+  if (json) {
+    std::string hitters_json = "[";
+    for (std::size_t i = 0; i < hitters.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"label\":%llu,\"estimate\":%llu,\"lower\":%llu,\"upper\":%llu}",
+                    i > 0 ? "," : "", static_cast<unsigned long long>(hitters[i].label),
+                    static_cast<unsigned long long>(hitters[i].estimate),
+                    static_cast<unsigned long long>(hitters[i].lower),
+                    static_cast<unsigned long long>(hitters[i].upper));
+      hitters_json += buf;
+    }
+    hitters_json += ']';
+    std::string wal_json;
+    if (res.durability.enabled) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"wal\":{\"records\":%llu,\"bytes\":%llu,\"fsyncs\":%llu,"
+                    "\"snapshots\":%llu,\"recovered_sites\":%zu,"
+                    "\"frames_replayed\":%llu}",
+                    static_cast<unsigned long long>(res.durability.records_logged),
+                    static_cast<unsigned long long>(res.durability.bytes_logged),
+                    static_cast<unsigned long long>(res.durability.fsyncs),
+                    static_cast<unsigned long long>(res.durability.snapshots),
+                    res.durability.sites_recovered,
+                    static_cast<unsigned long long>(res.durability.frames_replayed));
+      wal_json = buf;
+    }
+    append(out,
+           "{\"port\":%u,\"admin_port\":%u,\"kind\":\"freq-sketch\","
+           "\"sites_total\":%zu,\"sites_reported\":%zu,\"degraded\":%s,"
+           "\"timed_out\":%s,\"f1\":%llu,\"f2\":%.17g,\"tracked\":%zu,"
+           "\"absent_bound\":%llu,\"heavy_hitters\":%s,"
+           "\"wire_frames\":%llu,\"wire_bytes\":%llu%s}",
+           server.port(), server.admin_port().value_or(0), report.sites_total,
+           report.sites_reported, report.degraded() ? "true" : "false",
+           res.timed_out ? "true" : "false",
+           static_cast<unsigned long long>(merged ? merged->items_processed() : 0),
+           merged ? merged->f2() : 0.0, merged ? merged->heavy().size() : 0,
+           static_cast<unsigned long long>(merged ? merged->heavy().absent_bound() : 0),
+           hitters_json.c_str(), static_cast<unsigned long long>(res.wire.messages),
+           static_cast<unsigned long long>(res.wire.total_bytes), wal_json.c_str());
+  } else {
+    append(out, "listening on %s:%u for %zu freq sites (%zu shard%s)",
+           args.str("bind", "127.0.0.1").c_str(), server.port(), report.sites_total,
+           server.shards(), server.shards() == 1 ? "" : "s");
+    out += report.summary();
+    out += '\n';
+    if (merged.has_value()) {
+      append(out, "union: %llu items, f2 %.4g, %zu tracked heavy labels%s",
+             static_cast<unsigned long long>(merged->items_processed()), merged->f2(),
+             merged->heavy().size(), report.degraded() ? " [DEGRADED: lower bound]" : "");
+      for (const auto& hh : hitters) {
+        append(out, "  label %llu: ~%llu in [%llu, %llu]",
+               static_cast<unsigned long long>(hh.label),
+               static_cast<unsigned long long>(hh.estimate),
+               static_cast<unsigned long long>(hh.lower),
+               static_cast<unsigned long long>(hh.upper));
+      }
+    } else {
+      append(out, "union: no freq sketches collected");
+    }
+    if (res.durability.enabled) {
+      if (recover) append(out, "%s", res.durability.recovery_summary.c_str());
+      append(out, "wal: %llu records, %llu bytes, %llu fsyncs, %llu snapshots "
+                  "(fsync %s) in %s",
+             static_cast<unsigned long long>(res.durability.records_logged),
+             static_cast<unsigned long long>(res.durability.bytes_logged),
+             static_cast<unsigned long long>(res.durability.fsyncs),
+             static_cast<unsigned long long>(res.durability.snapshots),
+             fsync_name.c_str(), wal_dir.c_str());
+    }
+    if (!out_path.empty() && merged.has_value()) {
+      append(out, "wrote union freq sketch to %s", out_path.c_str());
+    }
+  }
+  if (stats) out += obs::render_json(obs::default_registry().snapshot()) + "\n";
+  return report.complete() ? 0 : 3;
+}
+
 int cmd_serve(const Args& args, std::string& out) {
+  const std::string serve_kind = args.str("kind", "f0");
+  if (serve_kind == "freq") return cmd_serve_freq(args, out);
+  USTREAM_REQUIRE(serve_kind == "f0", "serve --kind must be f0 or freq");
   net::RefereeServerConfig config;
   config.bind_host = args.str("bind", "127.0.0.1");
   config.port = static_cast<std::uint16_t>(args.u64("port", 0));
@@ -864,12 +1338,21 @@ int cmd_push(const Args& args, std::string& out) {
   USTREAM_REQUIRE(args.positional().size() == 1, "push needs exactly one sketch file");
   const std::string& path = args.positional()[0];
 
-  // Round-trip through the estimator so legacy (v0) files push fine and a
-  // corrupt file fails HERE, not at the referee.
-  const F0Estimator est = read_sketch_file(path);
+  // Round-trip through the matching sketch type so legacy (v0) files push
+  // fine and a corrupt file fails HERE, not at the referee. The frame kind
+  // follows the file: freq/universal files push under their own kinds.
+  PayloadKind push_kind = framed_kind_of(path);
+  std::vector<std::uint8_t> payload;
+  if (push_kind == PayloadKind::kFreqSketch) {
+    payload = read_freq_file(path).serialize();
+  } else if (push_kind == PayloadKind::kUniversalSketch) {
+    payload = read_universal_file(path).serialize();
+  } else {
+    push_kind = PayloadKind::kF0Estimator;
+    payload = read_sketch_file(path).serialize();
+  }
   const auto frame = frame_encode(
-      {PayloadKind::kF0Estimator, static_cast<std::uint32_t>(site), epoch, group},
-      est.serialize());
+      {push_kind, static_cast<std::uint32_t>(site), epoch, group}, payload);
 
   net::TcpTransport transport(site + 1, config);
   const net::PushAck ack = transport.send_with_ack(site, frame);
@@ -993,6 +1476,15 @@ int cmd_query(const Args& args, std::string& out) {
     return body.rfind("error:", 0) == 0 ? 1 : 0;
   }
   USTREAM_REQUIRE(!files.empty(), "query needs sketch files or --from HOST:PORT");
+  // Frequency route: top(K)/freq(LABEL) over freq sketch files (the --from
+  // path above already reaches a freq referee's admin handler verbatim).
+  if (expr_text.rfind("top(", 0) == 0 || expr_text.rfind("freq(", 0) == 0) {
+    require_uniform_kinds(files);
+    FreqSketch merged = read_freq_file(files[0]);
+    for (std::size_t i = 1; i < files.size(); ++i) merged.merge(read_freq_file(files[i]));
+    out += freq_query_answer(merged, expr_text, json);
+    return 0;
+  }
   std::vector<F0Estimator> sketches;
   std::vector<std::uint16_t> groups;
   sketches.reserve(files.size());
@@ -1187,6 +1679,9 @@ std::string usage() {
          "           [--labels random|sequential|clustered] [--seed S]\n"
          "  sketch   --in TRACE --out SKETCH [--eps E] [--delta D] [--seed S]\n"
          "           [--group G]  (tag the sketch frame with group id G)\n"
+         "           [--kind f0|freq|universal]  (freq: count-sketch + space-saver\n"
+         "            heavy hitters, --depth D --width-log2 W --heavy K;\n"
+         "            universal: layered G-sum sketch, adds --levels L)\n"
          "  merge    --out SKETCH IN1 IN2 ...\n"
          "  estimate [--json] SKETCH...\n"
          "  exact    --in TRACE\n"
@@ -1213,6 +1708,10 @@ std::string usage() {
          "            --recover resumes a killed referee with identical state;\n"
          "            --continuous accepts delta chains until --timeout-ms and\n"
          "            exports the live union estimate via --admin-port)\n"
+         "  serve    --kind freq [--top K] [...common serve flags]\n"
+         "           (collect one freq sketch per site, merge into the union\n"
+         "            heavy-hitter table; admin /query answers top(K) and\n"
+         "            freq(LABEL); sharding and WAL recovery work unchanged)\n"
          "  push     --to HOST:PORT [--site I] [--epoch E] [--group G]\n"
          "           [--attempts K] [--connect-attempts K] [--json] [--stats] SKETCH\n"
          "           (ship a sketch file to a running serve referee; --group\n"
@@ -1231,7 +1730,9 @@ std::string usage() {
          "            operands site:N (Nth file / referee site) and group:G,\n"
          "            operators | & \\ ! with parens, e.g.\n"
          "            '(site:0 | site:1) & !site:2'; --from asks a live\n"
-         "            serve --admin-port referee instead of reading files)\n"
+         "            serve --admin-port referee instead of reading files;\n"
+         "            freq expressions top(K) and freq(LABEL) run over freq\n"
+         "            sketch files or a serve --kind freq referee)\n"
          "  wal      inspect|dump --dir DIR [--json]\n"
          "           (offline WAL dir inspection: segment/snapshot inventory,\n"
          "            per-record frame decode, torn-tail detection)\n";

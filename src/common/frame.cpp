@@ -23,7 +23,7 @@ std::uint32_t get_u32(const std::uint8_t* p) noexcept {
 
 bool valid_kind(std::uint8_t k) noexcept {
   return k >= static_cast<std::uint8_t>(PayloadKind::kF0Estimator) &&
-         k <= static_cast<std::uint8_t>(PayloadKind::kWindowedDelta);
+         k <= static_cast<std::uint8_t>(PayloadKind::kUniversalSketch);
 }
 
 }  // namespace
@@ -40,6 +40,8 @@ const char* payload_kind_name(PayloadKind kind) noexcept {
     case PayloadKind::kWindowedF0: return "windowed-f0";
     case PayloadKind::kF0Delta: return "f0-delta";
     case PayloadKind::kWindowedDelta: return "windowed-delta";
+    case PayloadKind::kFreqSketch: return "freq-sketch";
+    case PayloadKind::kUniversalSketch: return "universal-sketch";
   }
   return "unknown";
 }

@@ -55,6 +55,8 @@ enum class PayloadKind : std::uint8_t {
   kWindowedF0 = 8,     // full WindowedF0Estimator snapshot (continuous resync)
   kF0Delta = 9,        // F0Estimator delta vs the last acked epoch
   kWindowedDelta = 10, // windowed op-replay delta vs the last acked epoch
+  kFreqSketch = 11,    // freq bundle: count-sketch + space-saver
+  kUniversalSketch = 12,  // layered universal sketch (G-sums over the union)
 };
 
 const char* payload_kind_name(PayloadKind kind) noexcept;

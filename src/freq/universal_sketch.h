@@ -1,0 +1,93 @@
+// UniversalSketch — layered frequency substreams for G-sum estimation
+// (Braverman–Chestnut; the layout confluo ships in production). One
+// pairwise sampling hash g assigns each label a geometric level
+// tz(g(label)); the level-j substream contains the labels with level >= j,
+// so each layer halves the expected distinct support. Every layer carries
+// its own FreqSketch (count-sketch + space-saver over the SAME labels the
+// layer sees), and a G-sum
+//     G = sum_x g(f(x))        for non-negative g
+// is recovered bottom-up by the standard recursion
+//     Y_top = sum over top-layer heavy hitters of g(est)
+//     Y_j   = 2 * Y_{j+1} + sum over layer-j heavy hitters of
+//             (+g(est) if the hitter does NOT survive to layer j+1,
+//              -g(est) if it does)
+// which debiases the doubling by the hitters already counted upstream.
+//
+// The sampling hash is derived from the root seed, so all sites carve out
+// IDENTICAL level sets — layer j at site A and layer j at site B summarize
+// the same slice of the label space, and the componentwise merge yields
+// the universal sketch of the union stream. Merge is associative and
+// commutative layer by layer; serialized bytes are merge-tree invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "freq/freq_sketch.h"
+#include "hash/pairwise.h"
+
+namespace ustream {
+
+struct UniversalConfig {
+  std::size_t levels = 8;          // number of layered substreams
+  std::size_t depth = 4;           // per-layer count-sketch rows
+  std::size_t width_log2 = 10;     // per-layer log2 counters per row
+  std::size_t heavy_capacity = 32; // per-layer space-saver entries
+  std::uint64_t seed = 0;
+};
+
+class UniversalSketch {
+ public:
+  static constexpr std::size_t kMaxLevels = 16;
+
+  explicit UniversalSketch(const UniversalConfig& config = {});
+
+  void add(std::uint64_t label);
+  void add_batch(std::span<const std::uint64_t> labels);
+
+  // G-sum estimates (clamped to >= 0).
+  double f1() const noexcept;      // exact: total weight at layer 0
+  double f2() const;               // recursion with g(x) = x^2
+  double entropy() const;          // Shannon entropy in bits via g(x) = x*log2(x)
+
+  // Heavy hitters over the full stream = layer 0's view.
+  std::vector<FreqSketch::HeavyHitter> heavy_hitters(std::size_t k) const {
+    return layers_[0].top(k);
+  }
+  std::uint64_t estimate(std::uint64_t label) const {
+    return layers_[0].estimate(label);
+  }
+
+  std::uint64_t items_processed() const noexcept {
+    return layers_[0].items_processed();
+  }
+  std::size_t levels() const noexcept { return layers_.size(); }
+  const FreqSketch& layer(std::size_t j) const { return layers_[j]; }
+  const UniversalConfig& config() const noexcept { return config_; }
+  std::size_t bytes_used() const noexcept;
+
+  bool can_merge_with(const UniversalSketch& other) const noexcept;
+  void merge(const UniversalSketch& other);
+
+  void serialize(ByteWriter& w) const;
+  std::vector<std::uint8_t> serialize() const;
+  static UniversalSketch deserialize(ByteReader& r);
+  static UniversalSketch deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::size_t kBatchBlock = 64;
+
+  // Highest layer the label belongs to (0-based, capped at levels-1).
+  std::size_t level_of(std::uint64_t label) const noexcept;
+
+  // The recursion above for an arbitrary g; g must map 0 to 0.
+  double g_sum(double (*g)(double)) const;
+
+  UniversalConfig config_;
+  PairwiseHash sample_hash_;  // g: decides layer membership
+  std::vector<FreqSketch> layers_;
+};
+
+}  // namespace ustream

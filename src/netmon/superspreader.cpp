@@ -16,6 +16,10 @@ SuperspreaderDetector::SuperspreaderDetector(const SuperspreaderConfig& config)
   USTREAM_REQUIRE(config.sampler_capacity >= 1, "sampler capacity must be >= 1");
   USTREAM_REQUIRE(config.admission_level >= 0 && config.admission_level < 32,
                   "admission level out of range");
+  if (config.fusion_capacity > 0) {
+    USTREAM_REQUIRE(config.fusion_min_admit >= 1, "fusion min-admit must be >= 1");
+    fusion_.emplace(config.fusion_capacity);
+  }
   samplers_.reserve(config.table_capacity);
   slot_source_.reserve(config.table_capacity);
 }
@@ -68,8 +72,20 @@ void SuperspreaderDetector::observe(std::uint64_t source, std::uint64_t destinat
   // Admission: a deterministic coordinated coin on the (source, dst) pair —
   // duplicates re-flip the SAME coin, so only distinct contacts count.
   const std::uint64_t pair_key = murmur_mix64(source) ^ destination;
-  if (hash_level(admission_hash_(pair_key), PairwiseHash::kBits) >=
+  if (hash_level(admission_hash_(pair_key), PairwiseHash::kBits) <
       config_.admission_level) {
+    return;
+  }
+  if (!fusion_.has_value()) {
+    admit(source, destination);
+    return;
+  }
+  // Fused admission: a surviving coin counts once toward the source's
+  // SpaceSaver entry; the table only opens when the GUARANTEED survival
+  // count reaches the bar, so single-contact tail sources (one surviving
+  // pair at most) stop churning the table under heavy skew.
+  fusion_->add(source);
+  if (fusion_->estimate(source).lower >= config_.fusion_min_admit) {
     admit(source, destination);
   }
 }
@@ -102,6 +118,7 @@ std::size_t SuperspreaderDetector::bytes_used() const noexcept {
 void SuperspreaderDetector::merge(const SuperspreaderDetector& other) {
   USTREAM_REQUIRE(can_merge_with(other),
                   "merge requires detectors with identical seed and sampler config");
+  if (fusion_.has_value()) fusion_->merge(*other.fusion_);
   for (const auto& e : other.table_) {
     const Sampler& theirs = other.samplers_[e.value];
     if (auto* mine = table_.find(e.key)) {
@@ -125,11 +142,18 @@ void SuperspreaderDetector::merge(const SuperspreaderDetector& other) {
 }
 
 void SuperspreaderDetector::serialize(ByteWriter& w) const {
-  w.u8(kWireVersion);
+  // Fusion-off detectors emit the v1 layout byte for byte, so every
+  // pre-fusion artifact and decoder stays compatible.
+  w.u8(fusion_.has_value() ? kWireVersionFusion : kWireVersion);
   w.u64(config_.seed);
   w.varint(config_.table_capacity);
   w.varint(config_.sampler_capacity);
   w.u8(static_cast<std::uint8_t>(config_.admission_level));
+  if (fusion_.has_value()) {
+    w.varint(config_.fusion_capacity);
+    w.varint(config_.fusion_min_admit);
+    fusion_->serialize(w);
+  }
   w.varint(table_.size());
   for (const auto& e : table_) {
     w.varint(e.key);
@@ -144,7 +168,10 @@ std::vector<std::uint8_t> SuperspreaderDetector::serialize() const {
 }
 
 SuperspreaderDetector SuperspreaderDetector::deserialize(ByteReader& r) {
-  if (r.u8() != kWireVersion) throw SerializationError("bad superspreader version");
+  const std::uint8_t version = r.u8();
+  if (version < kWireVersion || version > kWireVersionFusion) {
+    throw SerializationError("bad superspreader version");
+  }
   SuperspreaderConfig config;
   config.seed = r.u64();
   config.table_capacity = r.varint();
@@ -153,7 +180,20 @@ SuperspreaderDetector SuperspreaderDetector::deserialize(ByteReader& r) {
   if (config.table_capacity == 0 || config.admission_level >= 32) {
     throw SerializationError("bad superspreader config");
   }
+  std::optional<SpaceSaver> fused;
+  if (version == kWireVersionFusion) {
+    config.fusion_capacity = r.varint();
+    config.fusion_min_admit = r.varint();
+    if (config.fusion_capacity == 0 || config.fusion_min_admit == 0) {
+      throw SerializationError("v2 superspreader without a fusion stage");
+    }
+    fused = SpaceSaver::deserialize(r);
+    if (fused->capacity() != config.fusion_capacity) {
+      throw SerializationError("superspreader fusion capacity mismatch");
+    }
+  }
   SuperspreaderDetector d(config);
+  if (fused.has_value()) d.fusion_ = std::move(*fused);
   const std::uint64_t count = r.varint();
   if (count > config.table_capacity) throw SerializationError("superspreader table overfull");
   for (std::uint64_t i = 0; i < count; ++i) {

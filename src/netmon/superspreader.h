@@ -17,15 +17,28 @@
 //   * Capacity bound: if the table is full, new sources are admitted only
 //     by evicting the tracked source with the smallest current estimate
 //     (min-replacement, space-saving style).
+//   * Frequency fusion (fusion_capacity > 0): under heavy Zipf skew the
+//     single admission coin lets a long tail of one-destination sources
+//     through at rate 2^-a, and each one evicts a tracked source — the
+//     heavy tail churns out of the table. Fusion interposes a SpaceSaver
+//     between the coin and the table: a surviving coin only INCREMENTS the
+//     source's fused counter, and the source is admitted once its
+//     guaranteed lower bound reaches fusion_min_admit surviving distinct
+//     contacts. Tail singletons almost never reach 2 survivals, so they
+//     stop evicting real spreaders; a true spreader with d distinct
+//     contacts expects d * 2^-a survivals and passes almost immediately.
+//     Fusion off (the default) is byte- and behavior-identical to v1.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/dense_map.h"
 #include "common/error.h"
 #include "common/serialize.h"
 #include "core/coordinated_sampler.h"
+#include "freq/space_saver.h"
 #include "hash/pairwise.h"
 
 namespace ustream {
@@ -35,6 +48,10 @@ struct SuperspreaderConfig {
   std::size_t sampler_capacity = 64;   // per-source F0 sampler capacity
   int admission_level = 3;             // admit after ~2^level distinct contacts
   std::uint64_t seed = 0xfeedULL;      // shared across all monitors
+  // Frequency fusion: 0 = classic one-coin admission (v1 wire bytes);
+  // > 0 = SpaceSaver-gated admission with this many fused counters.
+  std::size_t fusion_capacity = 0;
+  std::uint64_t fusion_min_admit = 2;  // guaranteed survivals before admit
 };
 
 struct SuperspreaderReport {
@@ -65,7 +82,9 @@ class SuperspreaderDetector {
   bool can_merge_with(const SuperspreaderDetector& other) const noexcept {
     return config_.seed == other.config_.seed &&
            config_.sampler_capacity == other.config_.sampler_capacity &&
-           config_.admission_level == other.config_.admission_level;
+           config_.admission_level == other.config_.admission_level &&
+           config_.fusion_capacity == other.config_.fusion_capacity &&
+           config_.fusion_min_admit == other.config_.fusion_min_admit;
   }
 
   void serialize(ByteWriter& w) const;
@@ -74,7 +93,10 @@ class SuperspreaderDetector {
   static SuperspreaderDetector deserialize(std::span<const std::uint8_t> bytes);
 
  private:
+  // v1: classic detector. v2: adds the fused admission SpaceSaver; only
+  // emitted when fusion is on, so fusion-off detectors keep v1 bytes.
   static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::uint8_t kWireVersionFusion = 2;
   using Sampler = CoordinatedSampler<PairwiseHash, Unit>;
 
   Sampler make_sampler() const;
@@ -83,6 +105,7 @@ class SuperspreaderDetector {
 
   SuperspreaderConfig config_;
   PairwiseHash admission_hash_;
+  std::optional<SpaceSaver> fusion_;  // surviving-coin counts per source
   // source -> index into samplers_ (stable storage; freed slots reused).
   DenseMap<std::uint32_t> table_;
   std::vector<Sampler> samplers_;

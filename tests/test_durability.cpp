@@ -20,6 +20,7 @@
 #include "durability/recovery.h"
 #include "durability/snapshot.h"
 #include "durability/wal.h"
+#include "freq/freq_sketch.h"
 #include "net/referee_server.h"
 #include "net/tcp_transport.h"
 
@@ -559,6 +560,95 @@ void crash_resume_round_trip(std::size_t shards) {
 TEST(CrashResume, ByteIdenticalStateSingleShard) { crash_resume_round_trip(1); }
 
 TEST(CrashResume, ByteIdenticalStateFourShards) { crash_resume_round_trip(4); }
+
+TEST(CrashResume, FreqPayloadsSurviveCrashRecoveryCycle) {
+  // The ISSUE acceptance claim for the frequency subsystem's durability
+  // leg: freq payloads logged before a crash replay through recovery, a
+  // pusher retry across the restart dedups against RECOVERED state, and
+  // the post-recovery union heavy-hitter summary is byte-identical to an
+  // uninterrupted fold of the same site sketches.
+  constexpr std::size_t kSites = 4;
+  const FreqConfig freq_config{.depth = 4, .width_log2 = 9, .heavy_capacity = 24,
+                               .seed = 71};
+  std::vector<FreqSketch> sites(kSites, FreqSketch(freq_config));
+  std::vector<std::vector<std::uint8_t>> frames;
+  Xoshiro256 rng(72);
+  for (std::uint32_t site = 0; site < kSites; ++site) {
+    for (int i = 0; i < 10'000; ++i) sites[site].add(rng.below(2'000));
+    frames.push_back(frame_encode({PayloadKind::kFreqSketch, site, 1},
+                                  sites[site].serialize()));
+  }
+
+  auto make_server_config = [&](const std::string& wal_dir, bool recover) {
+    net::RefereeServerConfig config;
+    config.sites = kSites;
+    config.shards = 2;
+    config.expected_kind = PayloadKind::kFreqSketch;
+    config.dedup = DedupMode::kExactlyOnce;
+    net::RefereeServerConfig::Durability wal;
+    wal.dir = wal_dir;
+    wal.fsync = FsyncPolicy::kNever;
+    wal.recover = recover;
+    config.wal = wal;
+    return config;
+  };
+  auto push = [](std::uint16_t port, std::size_t site,
+                 const std::vector<std::uint8_t>& frame) {
+    net::TcpTransportConfig config;
+    config.host = "127.0.0.1";
+    config.port = port;
+    net::TcpTransport transport(site + 1, config);
+    return transport.send_with_ack(site, frame);
+  };
+
+  TempDir dir;
+  std::vector<std::optional<FreqSketch>> collected(kSites);
+  auto sink = [&collected](std::size_t site, std::uint32_t, std::uint16_t, PayloadKind,
+                           std::vector<std::uint8_t>&& payload) {
+    collected[site] = FreqSketch::deserialize(std::span<const std::uint8_t>(payload));
+    return true;
+  };
+
+  // Phase 1: sites 0 and 1 land, then the referee "crashes".
+  {
+    net::RefereeServer server(make_server_config(dir.path, false));
+    std::thread runner([&] { (void)server.run(sink); });
+    EXPECT_EQ(push(server.port(), 0, frames[0]), net::PushAck::kAccepted);
+    EXPECT_EQ(push(server.port(), 1, frames[1]), net::PushAck::kAccepted);
+    server.request_stop();
+    runner.join();
+  }
+  collected.assign(kSites, std::nullopt);  // the crash loses in-memory state
+
+  // Phase 2: recover, dedup the retry, collect the rest.
+  net::RefereeServer server(make_server_config(dir.path, true));
+  EXPECT_EQ(server.durable_log()->recovered().sites_recovered(), 2u);
+  net::RefereeServer::Result result;
+  std::thread runner([&] { result = server.run(sink); });
+  EXPECT_EQ(push(server.port(), 0, frames[0]), net::PushAck::kDuplicate);
+  EXPECT_EQ(push(server.port(), 2, frames[2]), net::PushAck::kAccepted);
+  EXPECT_EQ(push(server.port(), 3, frames[3]), net::PushAck::kAccepted);
+  runner.join();
+
+  EXPECT_TRUE(result.report.complete());
+  EXPECT_EQ(result.durability.sites_recovered, 2u);
+  for (std::size_t site = 0; site < kSites; ++site) {
+    ASSERT_TRUE(collected[site].has_value()) << "site " << site;
+    EXPECT_EQ(collected[site]->serialize(), sites[site].serialize()) << "site " << site;
+  }
+
+  // The union built from recovered + live payloads equals the fold of the
+  // original site sketches down to the bytes — and its top(k) intervals
+  // are the union stream's.
+  FreqSketch recovered_union = *collected[0];
+  for (std::size_t site = 1; site < kSites; ++site) {
+    recovered_union.merge(*collected[site]);
+  }
+  FreqSketch direct = sites[0];
+  for (std::size_t site = 1; site < kSites; ++site) direct.merge(sites[site]);
+  EXPECT_EQ(recovered_union.serialize(), direct.serialize());
+  EXPECT_FALSE(recovered_union.top(5).empty());
+}
 
 TEST(CrashResume, GroupLedgerSurvivesRestartByteForByte) {
   // Grouped frames (v2 wire encoding) through the WAL: the crash loses the

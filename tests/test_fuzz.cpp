@@ -18,6 +18,11 @@
 #include "core/f0_estimator.h"
 #include "core/range_sampler.h"
 #include "core/windowed_sampler.h"
+#include "freq/count_sketch.h"
+#include "freq/freq_sketch.h"
+#include "freq/space_saver.h"
+#include "freq/universal_sketch.h"
+#include "netmon/superspreader.h"
 
 namespace ustream {
 namespace {
@@ -83,6 +88,63 @@ TEST(WireFuzz, BottomKSurvivesCorruption) {
   corruption_sweep(s.serialize(),
                    [](const std::vector<std::uint8_t>& b) { (void)BottomKSampler::deserialize(b); },
                    14);
+}
+
+// The frequency subsystem's deserializers face the same bar: corrupted
+// bytes must be rejected or decoded into a consistent object, never crash.
+// SpaceSaver and the bundles validate aggressively (sorted labels, bound
+// arithmetic), so most corruptions land in SerializationError.
+TEST(WireFuzz, CountSketchSurvivesCorruption) {
+  CountSketch cs(4, 10, 40);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20'000; ++i) cs.add(rng.next());
+  corruption_sweep(cs.serialize(),
+                   [](const std::vector<std::uint8_t>& b) { (void)CountSketch::deserialize(b); },
+                   41);
+}
+
+TEST(WireFuzz, SpaceSaverSurvivesCorruption) {
+  SpaceSaver ss(48);
+  Xoshiro256 rng(18);
+  for (int i = 0; i < 20'000; ++i) ss.add(rng.below(5'000));
+  corruption_sweep(ss.serialize(),
+                   [](const std::vector<std::uint8_t>& b) { (void)SpaceSaver::deserialize(b); },
+                   42);
+}
+
+TEST(WireFuzz, FreqSketchSurvivesCorruption) {
+  FreqSketch sketch(FreqConfig{.depth = 4, .width_log2 = 9, .heavy_capacity = 32, .seed = 43});
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 20'000; ++i) sketch.add(rng.below(5'000));
+  corruption_sweep(sketch.serialize(),
+                   [](const std::vector<std::uint8_t>& b) { (void)FreqSketch::deserialize(b); },
+                   44);
+}
+
+TEST(WireFuzz, UniversalSketchSurvivesCorruption) {
+  UniversalSketch us(UniversalConfig{.levels = 5, .depth = 4, .width_log2 = 8,
+                                     .heavy_capacity = 16, .seed = 45});
+  Xoshiro256 rng(20);
+  for (int i = 0; i < 20'000; ++i) us.add(rng.below(5'000));
+  corruption_sweep(us.serialize(),
+                   [](const std::vector<std::uint8_t>& b) { (void)UniversalSketch::deserialize(b); },
+                   46);
+}
+
+TEST(WireFuzz, FusedSuperspreaderSurvivesCorruption) {
+  SuperspreaderConfig config;
+  config.table_capacity = 16;
+  config.sampler_capacity = 16;
+  config.fusion_capacity = 128;
+  SuperspreaderDetector detector(config);
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 10'000; ++i) detector.observe(rng.below(256), rng.next());
+  corruption_sweep(detector.serialize(),
+                   [](const std::vector<std::uint8_t>& b) {
+                     (void)SuperspreaderDetector::deserialize(
+                         std::span<const std::uint8_t>(b));
+                   },
+                   47);
 }
 
 // The frame layer upgrades the corruption contract from "reject or decode
@@ -154,6 +216,23 @@ TEST(WireFuzz, FramedCoordinatedSamplerCorruptionAlwaysDetected) {
 
 TEST(WireFuzz, FramedEmptyPayloadCorruptionAlwaysDetected) {
   framed_corruption_sweep({}, PayloadKind::kOpaque, 30);
+}
+
+// The two frequency payload kinds join the framed matrix under the same
+// zero-undetected-corruptions bar the referee relies on.
+TEST(WireFuzz, FramedFreqSketchCorruptionAlwaysDetected) {
+  FreqSketch sketch(FreqConfig{.depth = 4, .width_log2 = 9, .heavy_capacity = 32, .seed = 48});
+  Xoshiro256 rng(22);
+  for (int i = 0; i < 20'000; ++i) sketch.add(rng.below(5'000));
+  framed_corruption_sweep(sketch.serialize(), PayloadKind::kFreqSketch, 49);
+}
+
+TEST(WireFuzz, FramedUniversalSketchCorruptionAlwaysDetected) {
+  UniversalSketch us(UniversalConfig{.levels = 5, .depth = 4, .width_log2 = 8,
+                                     .heavy_capacity = 16, .seed = 50});
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 20'000; ++i) us.add(rng.below(5'000));
+  framed_corruption_sweep(us.serialize(), PayloadKind::kUniversalSketch, 51);
 }
 
 // The continuous-mode kinds join the framed matrix: a corrupted delta that

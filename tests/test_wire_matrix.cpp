@@ -10,6 +10,8 @@
 #include "core/coordinated_sampler.h"
 #include "core/f0_estimator.h"
 #include "core/windowed_sampler.h"
+#include "freq/freq_sketch.h"
+#include "freq/universal_sketch.h"
 #include "hash/hash_family.h"
 
 namespace ustream {
@@ -186,6 +188,47 @@ TEST(WireKindMatrix, ContinuousPayloadKindsRoundtripAndCrossReject) {
   WindowedF0Estimator wf0_mirror =
       WindowedF0Estimator::deserialize(std::span<const std::uint8_t>(rows[0].payload));
   ASSERT_THROW(wf0_mirror.apply_delta(std::span<const std::uint8_t>(rows[1].payload)),
+               SerializationError);
+}
+
+// The frequency payload kinds (kFreqSketch, kUniversalSketch) join the
+// frame matrix: each roundtrips under its own kind, the frame layer keeps
+// the kinds distinct, and the payloads themselves cross-reject — a
+// universal sketch is not a valid freq sketch and vice versa, so a
+// mis-tagged frame cannot be silently parsed as the wrong summary.
+TEST(WireKindMatrix, FreqPayloadKindsRoundtripAndCrossReject) {
+  FreqSketch freq(FreqConfig{.depth = 4, .width_log2 = 9, .heavy_capacity = 24, .seed = 60});
+  UniversalSketch universal(UniversalConfig{.levels = 5, .depth = 4, .width_log2 = 8,
+                                            .heavy_capacity = 16, .seed = 61});
+  Xoshiro256 rng(62);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t label = rng.below(3'000);
+    freq.add(label);
+    universal.add(label);
+  }
+
+  const struct {
+    PayloadKind kind;
+    std::vector<std::uint8_t> payload;
+  } rows[] = {
+      {PayloadKind::kFreqSketch, freq.serialize()},
+      {PayloadKind::kUniversalSketch, universal.serialize()},
+  };
+  for (const auto& row : rows) {
+    const auto framed = frame_encode({row.kind, 2, 4}, row.payload);
+    const Frame frame = frame_decode(framed);
+    ASSERT_EQ(frame.header.kind, row.kind);
+    ASSERT_EQ(frame.payload, row.payload);
+    for (const auto& other : rows) {
+      if (other.kind == row.kind) continue;
+      ASSERT_NE(frame_decode(frame_encode({other.kind, 2, 4}, row.payload)).header.kind,
+                row.kind);
+    }
+  }
+
+  ASSERT_THROW(FreqSketch::deserialize(std::span<const std::uint8_t>(rows[1].payload)),
+               SerializationError);
+  ASSERT_THROW(UniversalSketch::deserialize(std::span<const std::uint8_t>(rows[0].payload)),
                SerializationError);
 }
 
